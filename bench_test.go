@@ -1,0 +1,162 @@
+package accelring
+
+// One benchmark per figure/table of the paper's evaluation. Each runs the
+// corresponding experiment suite in quick mode (thinned sweeps, shorter
+// measurement windows) and reports headline values as custom metrics.
+// Full-resolution tables come from `go run ./cmd/ringbench`.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"accelring/internal/bench"
+)
+
+func runFigure(b *testing.B, id string) *bench.Table {
+	b.Helper()
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		s := &bench.Suite{Quick: true, Seed: 42}
+		var err error
+		tbl, err = s.Figure(id)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+	return tbl
+}
+
+// cell parses a table cell as a float, ignoring the saturation marker.
+func cell(b *testing.B, tbl *bench.Table, row, col int) float64 {
+	b.Helper()
+	if row >= len(tbl.Rows) || col >= len(tbl.Rows[row]) {
+		b.Fatalf("cell (%d,%d) out of range", row, col)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(tbl.Rows[row][col], "*"), 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) = %q: %v", row, col, tbl.Rows[row][col], err)
+	}
+	return v
+}
+
+func BenchmarkFig01Trace(b *testing.B) {
+	tbl := runFigure(b, "fig1")
+	b.ReportMetric(float64(len(tbl.Rows)), "trace-events")
+}
+
+func BenchmarkFig02Agreed1G(b *testing.B) {
+	tbl := runFigure(b, "fig2")
+	// Row for 400 Mbps (quick sweep index 1); spread columns are 5 (orig)
+	// and 6 (accel).
+	b.ReportMetric(cell(b, tbl, 1, 5), "spread-orig-400M-µs")
+	b.ReportMetric(cell(b, tbl, 1, 6), "spread-accel-400M-µs")
+}
+
+func BenchmarkFig03Safe1G(b *testing.B) {
+	tbl := runFigure(b, "fig3")
+	b.ReportMetric(cell(b, tbl, 1, 5), "spread-orig-400M-µs")
+	b.ReportMetric(cell(b, tbl, 1, 6), "spread-accel-400M-µs")
+}
+
+func BenchmarkFig04Agreed10G(b *testing.B) {
+	tbl := runFigure(b, "fig4")
+	b.ReportMetric(cell(b, tbl, 1, 1), "library-orig-1G-µs")
+	b.ReportMetric(cell(b, tbl, 1, 2), "library-accel-1G-µs")
+}
+
+func BenchmarkFig05Jumbo10G(b *testing.B) {
+	tbl := runFigure(b, "fig5")
+	b.ReportMetric(cell(b, tbl, 1, 1), "library-1350B-2G-µs")
+	b.ReportMetric(cell(b, tbl, 1, 2), "library-8850B-2G-µs")
+}
+
+func BenchmarkFig06Safe10G(b *testing.B) {
+	tbl := runFigure(b, "fig6")
+	b.ReportMetric(cell(b, tbl, 1, 5), "spread-orig-1G-µs")
+	b.ReportMetric(cell(b, tbl, 1, 6), "spread-accel-1G-µs")
+}
+
+func BenchmarkFig07JumboSafe10G(b *testing.B) {
+	tbl := runFigure(b, "fig7")
+	b.ReportMetric(cell(b, tbl, 1, 3), "daemon-1350B-2G-µs")
+	b.ReportMetric(cell(b, tbl, 1, 4), "daemon-8850B-2G-µs")
+}
+
+func BenchmarkFig08SafeLow10G(b *testing.B) {
+	tbl := runFigure(b, "fig8")
+	// The paper's crossover: at 100 Mbps the ORIGINAL protocol has lower
+	// Safe latency on 10 GbE (extra aru round in the accelerated one).
+	orig := cell(b, tbl, 0, 1)
+	accel := cell(b, tbl, 0, 2)
+	b.ReportMetric(orig, "spread-orig-100M-µs")
+	b.ReportMetric(accel, "spread-accel-100M-µs")
+	if accel <= orig {
+		b.Logf("note: expected the original protocol to win at 100 Mbps (paper Fig 8)")
+	}
+}
+
+func BenchmarkFig09Loss480M10G(b *testing.B) {
+	tbl := runFigure(b, "fig9")
+	last := len(tbl.Rows) - 1
+	b.ReportMetric(cell(b, tbl, last, 1), "agreed-orig-25loss-µs")
+	b.ReportMetric(cell(b, tbl, last, 2), "agreed-accel-25loss-µs")
+}
+
+func BenchmarkFig10Loss1200M10G(b *testing.B) {
+	tbl := runFigure(b, "fig10")
+	last := len(tbl.Rows) - 1
+	b.ReportMetric(cell(b, tbl, last, 3), "safe-orig-25loss-µs")
+	b.ReportMetric(cell(b, tbl, last, 4), "safe-accel-25loss-µs")
+}
+
+func BenchmarkFig11Loss140M1G(b *testing.B) {
+	tbl := runFigure(b, "fig11")
+	last := len(tbl.Rows) - 1
+	b.ReportMetric(cell(b, tbl, last, 3), "safe-orig-25loss-µs")
+	b.ReportMetric(cell(b, tbl, last, 4), "safe-accel-25loss-µs")
+}
+
+func BenchmarkFig12Loss350M1G(b *testing.B) {
+	tbl := runFigure(b, "fig12")
+	last := len(tbl.Rows) - 1
+	b.ReportMetric(cell(b, tbl, last, 1), "agreed-orig-25loss-µs")
+	b.ReportMetric(cell(b, tbl, last, 2), "agreed-accel-25loss-µs")
+}
+
+func BenchmarkFig13LossPosition(b *testing.B) {
+	tbl := runFigure(b, "fig13")
+	b.ReportMetric(cell(b, tbl, 0, 1), "agreed-orig-d1-µs")
+	b.ReportMetric(cell(b, tbl, len(tbl.Rows)-1, 1), "agreed-orig-d7-µs")
+}
+
+func BenchmarkMaxThroughput(b *testing.B) {
+	tbl := runFigure(b, "maxthroughput")
+	// Row 4: 10GbE/1350B/daemon; row 8: 10GbE/8850B/spread.
+	b.ReportMetric(cell(b, tbl, 4, 4), "daemon-10G-accel-Mbps")
+	b.ReportMetric(cell(b, tbl, 8, 4), "spread-10G-8850B-accel-Mbps")
+}
+
+func BenchmarkAblationWindow(b *testing.B) {
+	tbl := runFigure(b, "ablation-aw")
+	b.ReportMetric(cell(b, tbl, 0, 3), "aw0-max-Mbps")
+	b.ReportMetric(cell(b, tbl, len(tbl.Rows)-1, 3), "awfull-max-Mbps")
+}
+
+func BenchmarkAblationPriority(b *testing.B) {
+	tbl := runFigure(b, "ablation-priority")
+	b.ReportMetric(cell(b, tbl, 0, 1), "agreed-m1-µs")
+	b.ReportMetric(cell(b, tbl, 0, 2), "agreed-m2-µs")
+}
+
+func BenchmarkAblationRequestDelay(b *testing.B) {
+	tbl := runFigure(b, "ablation-rtr")
+	// Spurious retransmissions at zero loss when requesting immediately.
+	b.ReportMetric(cell(b, tbl, 0, 3), "delayed-retrans-at-0loss")
+	b.ReportMetric(cell(b, tbl, 0, 4), "immediate-retrans-at-0loss")
+}
+
+func BenchmarkAblationSwitchBuffer(b *testing.B) {
+	tbl := runFigure(b, "ablation-buffer")
+	b.ReportMetric(cell(b, tbl, 0, 3), "smallest-buf-switch-drops")
+}

@@ -1,0 +1,145 @@
+// Command ringdaemon runs one ordering daemon: the ring protocol over UDP
+// plus a TCP (or Unix-socket) listener for local clients, mirroring the
+// deployment model of Spread and of the paper's daemon-based prototype.
+//
+// Example three-daemon deployment on one machine:
+//
+//	ringdaemon -id 1 -data 127.0.0.1:5001 -token 127.0.0.1:6001 -client 127.0.0.1:4801 \
+//	  -peers "2=127.0.0.1:5002/127.0.0.1:6002,3=127.0.0.1:5003/127.0.0.1:6003"
+//	ringdaemon -id 2 -data 127.0.0.1:5002 -token 127.0.0.1:6002 -client 127.0.0.1:4802 \
+//	  -peers "1=127.0.0.1:5001/127.0.0.1:6001,3=127.0.0.1:5003/127.0.0.1:6003"
+//	ringdaemon -id 3 -data 127.0.0.1:5003 -token 127.0.0.1:6003 -client 127.0.0.1:4803 \
+//	  -peers "1=127.0.0.1:5001/127.0.0.1:6001,2=127.0.0.1:5002/127.0.0.1:6002"
+//
+// The daemons find each other through the membership algorithm; clients
+// connect with the client library (see examples/chat).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"accelring/internal/daemon"
+	"accelring/internal/evs"
+	"accelring/internal/ringnode"
+	"accelring/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ringdaemon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ringdaemon", flag.ContinueOnError)
+	id := fs.Uint("id", 0, "participant ID (non-zero, unique per daemon)")
+	dataAddr := fs.String("data", "127.0.0.1:5001", "UDP listen address for data messages")
+	tokenAddr := fs.String("token", "127.0.0.1:6001", "UDP listen address for the token")
+	clientAddr := fs.String("client", "127.0.0.1:4801", "TCP listen address for clients (or unix:PATH)")
+	peerSpec := fs.String("peers", "", "comma-separated peers: id=dataAddr/tokenAddr")
+	original := fs.Bool("original", false, "run the original Ring protocol instead of the Accelerated Ring")
+	personal := fs.Int("personal", 20, "personal window (messages per participant per round)")
+	global := fs.Int("global", 160, "global window (messages per round, ring-wide)")
+	accel := fs.Int("accelerated", 15, "accelerated window (post-token messages per round)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == 0 {
+		return fmt.Errorf("-id is required and must be non-zero")
+	}
+
+	peers, err := parsePeers(*peerSpec)
+	if err != nil {
+		return err
+	}
+	tr, err := transport.NewUDP(transport.UDPConfig{
+		Self:   evs.ProcID(*id),
+		Listen: transport.UDPPeer{Data: *dataAddr, Token: *tokenAddr},
+		Peers:  peers,
+	})
+	if err != nil {
+		return err
+	}
+
+	var ringCfg ringnode.Config
+	if *original {
+		ringCfg = ringnode.Original(evs.ProcID(*id), tr, *personal, *global)
+	} else {
+		ringCfg = ringnode.Accelerated(evs.ProcID(*id), tr, *personal, *global, *accel)
+	}
+
+	ln, err := listen(*clientAddr)
+	if err != nil {
+		tr.Close()
+		return err
+	}
+
+	d, err := daemon.Start(daemon.Config{Ring: ringCfg, Listener: ln})
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	proto := "accelerated"
+	if *original {
+		proto = "original"
+	}
+	log.Printf("daemon %d up: protocol=%s data=%s token=%s clients=%s peers=%d",
+		*id, proto, *dataAddr, *tokenAddr, ln.Addr(), len(peers))
+
+	go func() {
+		for {
+			time.Sleep(5 * time.Second)
+			st := d.Node().Status()
+			log.Printf("state=%v ring=%v rounds=%d sent=%d delivered=%d retrans=%d",
+				st.State, st.Ring, st.Engine.Rounds, st.Engine.Sent,
+				st.Engine.Delivered, st.Engine.Retransmitted)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	d.Stop()
+	return nil
+}
+
+func listen(addr string) (net.Listener, error) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return net.Listen("unix", path)
+	}
+	return net.Listen("tcp", addr)
+}
+
+func parsePeers(spec string) (map[evs.ProcID]transport.UDPPeer, error) {
+	peers := make(map[evs.ProcID]transport.UDPPeer)
+	if spec == "" {
+		return peers, nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		idPart, addrs, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad peer %q (want id=dataAddr/tokenAddr)", entry)
+		}
+		pid, err := strconv.ParseUint(idPart, 10, 32)
+		if err != nil || pid == 0 {
+			return nil, fmt.Errorf("bad peer id %q", idPart)
+		}
+		data, token, ok := strings.Cut(addrs, "/")
+		if !ok {
+			return nil, fmt.Errorf("bad peer addresses %q (want dataAddr/tokenAddr)", addrs)
+		}
+		peers[evs.ProcID(pid)] = transport.UDPPeer{Data: data, Token: token}
+	}
+	return peers, nil
+}

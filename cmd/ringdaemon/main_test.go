@@ -1,0 +1,68 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("2=127.0.0.1:5002/127.0.0.1:6002, 3=host:5003/host:6003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 {
+		t.Fatalf("peers = %v", peers)
+	}
+	if p := peers[2]; p.Data != "127.0.0.1:5002" || p.Token != "127.0.0.1:6002" {
+		t.Fatalf("peer 2 = %+v", p)
+	}
+	if p := peers[3]; p.Data != "host:5003" || p.Token != "host:6003" {
+		t.Fatalf("peer 3 = %+v", p)
+	}
+	// Empty spec is fine (singleton daemon).
+	if peers, err := parsePeers(""); err != nil || len(peers) != 0 {
+		t.Fatalf("empty spec: %v %v", peers, err)
+	}
+}
+
+func TestParsePeersErrors(t *testing.T) {
+	for _, spec := range []string{
+		"nope",
+		"x=1.2.3.4:1/1.2.3.4:2",
+		"0=1.2.3.4:1/1.2.3.4:2",
+		"2=1.2.3.4:1",
+	} {
+		if _, err := parsePeers(spec); err == nil {
+			t.Errorf("parsePeers(%q) accepted", spec)
+		}
+	}
+}
+
+func TestListen(t *testing.T) {
+	ln, err := listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if ln.Addr().Network() != "tcp" {
+		t.Fatalf("network = %s", ln.Addr().Network())
+	}
+	sock := filepath.Join(t.TempDir(), "d.sock")
+	uln, err := listen("unix:" + sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer uln.Close()
+	if uln.Addr().Network() != "unix" {
+		t.Fatalf("network = %s", uln.Addr().Network())
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing -id accepted")
+	}
+	if err := run([]string{"-id", "1", "-peers", "garbage"}); err == nil {
+		t.Fatal("bad peers accepted")
+	}
+}

@@ -1,0 +1,13 @@
+// Package accelring is a from-scratch Go reproduction of "Fast Total
+// Ordering for Modern Data Centers" (Babay and Amir, Johns Hopkins
+// University): the Accelerated Ring protocol, the original Totem-style
+// Ring protocol it improves on, the Extended Virtual Synchrony membership
+// substrate both need, real UDP and in-process transports, a Spread-like
+// daemon/group layer, and a discrete-event testbed simulator that
+// regenerates every figure of the paper's evaluation.
+//
+// The public surface for applications lives in the internal packages and
+// is exercised by the runnable examples under examples/ and the binaries
+// under cmd/. Start with examples/quickstart, then see DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the reproduction results.
+package accelring

@@ -1,0 +1,3 @@
+module accelring
+
+go 1.22

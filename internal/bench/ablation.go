@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"fmt"
+
+	"accelring/internal/core"
+	"accelring/internal/evs"
+	"accelring/internal/simnet"
+	"accelring/internal/simproc"
+)
+
+// ablationWindow sweeps the Accelerated window from 0 (the original
+// protocol's sending pattern) to the full Personal window, quantifying how
+// much of the round a participant may defer past the token before returns
+// diminish.
+func (s *Suite) ablationWindow() (*Table, error) {
+	fabric := simnet.GigabitFabric(8)
+	t := &Table{
+		ID:      "ablation-aw",
+		Title:   "Accelerated-window sweep: latency and max throughput vs AW (1 GbE, daemon prototype, PW=20)",
+		Columns: []string{"AW", "agreed µs @500Mbps", "safe µs @500Mbps", "max Mbps"},
+		Notes:   []string{"AW=0 reproduces the original protocol's sending pattern"},
+	}
+	aws := []int{0, 5, 10, 15, 20}
+	if s.Quick {
+		aws = []int{0, 10, 20}
+	}
+	for _, aw := range aws {
+		cfg := RunConfig{
+			Fabric:   fabric,
+			Profile:  simproc.Daemon(),
+			Protocol: AcceleratedRing,
+			Windows:  Windows{Personal: 20, Global: 160, Accelerated: aw},
+			Service:  evs.Agreed, PayloadBytes: 1350, OfferedMbps: 500,
+		}
+		agreed, err := s.run(cfg, fmt.Sprintf("aw=%d agreed", aw))
+		if err != nil {
+			return nil, err
+		}
+		cfg.Service = evs.Safe
+		safe, err := s.run(cfg, fmt.Sprintf("aw=%d safe", aw))
+		if err != nil {
+			return nil, err
+		}
+		cfg.Service = evs.Agreed
+		cfg.OfferedMbps = 0
+		max, err := s.run(cfg, fmt.Sprintf("aw=%d max", aw))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", aw), us(agreed, 500), us(safe, 500), mbps(max.GoodputMbps))
+	}
+	return t, nil
+}
+
+// ablationPriority compares the two token-priority methods of §III-D under
+// the accelerated protocol.
+func (s *Suite) ablationPriority() (*Table, error) {
+	fabric := simnet.TenGigFabric(8)
+	t := &Table{
+		ID:      "ablation-priority",
+		Title:   "Token-priority method 1 (aggressive) vs 2 (conservative), accelerated protocol, 10 GbE daemon",
+		Columns: []string{"Mbps", "agreed µs m1", "agreed µs m2", "safe µs m1", "safe µs m2"},
+		Notes:   []string{"the prototypes use method 1; production Spread uses method 2 (§III-E)"},
+	}
+	rates := s.rates([]float64{250, 500, 1000, 1500, 2000, 2500}, []float64{500, 2000})
+	for _, rate := range rates {
+		row := []string{mbps(rate)}
+		for _, svc := range []evs.Service{evs.Agreed, evs.Safe} {
+			for _, pm := range []core.PriorityMethod{core.PriorityAggressive, core.PriorityConservative} {
+				cfg := RunConfig{
+					Fabric:   fabric,
+					Profile:  simproc.Daemon(),
+					Protocol: AcceleratedRing,
+					Windows:  Windows{Personal: 30, Global: 240, Accelerated: 20},
+					Service:  svc, PayloadBytes: 1350, OfferedMbps: rate,
+				}
+				res, err := s.runWithPriority(cfg, pm, fmt.Sprintf("prio=%v %v %.0fM", pm, svc, rate))
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, us(res, rate))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// runWithPriority is run with an explicit priority-method override.
+func (s *Suite) runWithPriority(cfg RunConfig, pm core.PriorityMethod, label string) (Result, error) {
+	s.progress("%s", label)
+	cfg.Warmup, cfg.Measure = s.times()
+	if cfg.Seed == 0 {
+		cfg.Seed = s.seed()
+	}
+	cfg.priorityOverride = pm
+	return Run(cfg)
+}
+
+// ablationRequestDelay shows why the accelerated protocol must delay
+// retransmission requests by one round: requesting immediately (against
+// a token that reflects in-flight messages) floods the ring with
+// unnecessary retransmissions.
+func (s *Suite) ablationRequestDelay() (*Table, error) {
+	fabric := simnet.GigabitFabric(8)
+	t := &Table{
+		ID:      "ablation-rtr",
+		Title:   "Request-one-round-late vs request-immediately under the accelerated protocol (1 GbE daemon, 350 Mbps)",
+		Columns: []string{"loss%", "delayed µs", "immediate µs", "delayed retrans", "immediate retrans"},
+		Notes:   []string{"'immediate' pairs accelerated sending with the original protocol's request rule — the combination §III-A warns against"},
+	}
+	losses := s.rates([]float64{0, 5, 10, 20}, []float64{0, 10})
+	for _, loss := range losses {
+		var lat [2]Result
+		for i, delayed := range []bool{true, false} {
+			cfg := RunConfig{
+				Fabric:   fabric,
+				Profile:  simproc.Daemon(),
+				Protocol: AcceleratedRing,
+				Windows:  Windows{Personal: 20, Global: 160, Accelerated: 15},
+				Service:  evs.Agreed, PayloadBytes: 1350, OfferedMbps: 350,
+				LossPct: loss, DrainGrace: 200 * simnet.Millisecond,
+			}
+			if !delayed {
+				cfg.requestsOverride = requestImmediate
+			}
+			s.progress("rtr delayed=%v loss=%g", delayed, loss)
+			cfg.Warmup, cfg.Measure = s.times()
+			cfg.Seed = s.seed()
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			lat[i] = res
+		}
+		t.AddRow(fmt.Sprintf("%g", loss),
+			us(lat[0], 350), us(lat[1], 350),
+			fmt.Sprintf("%d", lat[0].Retransmissions),
+			fmt.Sprintf("%d", lat[1].Retransmissions))
+	}
+	return t, nil
+}
+
+// ablationPacking quantifies Spread-style small-message packing (the
+// §IV discussion's cost-amortization point, internal/pack): 200-byte
+// application messages sent bare versus packed six to a bundle.
+func (s *Suite) ablationPacking() (*Table, error) {
+	fabric := simnet.TenGigFabric(8)
+	t := &Table{
+		ID:      "ablation-packing",
+		Title:   "Small-message packing: 200-byte messages bare vs packed 6-per-bundle (10 GbE, spread profile, accelerated)",
+		Columns: []string{"mode", "max kmsg/s", "max payload Mbps"},
+		Notes: []string{
+			"packed bundles are 1227 bytes (pack header + 6 × (4+200)); per-message protocol and processing costs are amortized across the bundle",
+		},
+	}
+	w := fabricWindows(fabric)
+	const (
+		bare      = 200
+		perBundle = 6
+		bundle    = 3 + perBundle*(4+bare) // internal/pack layout
+	)
+	for _, mode := range []string{"bare", "packed"} {
+		payload := bare
+		scale := 1.0
+		if mode == "packed" {
+			payload = bundle
+			scale = perBundle
+		}
+		cfg := RunConfig{
+			Fabric:   fabric,
+			Profile:  simproc.Spread(),
+			Protocol: AcceleratedRing,
+			Windows:  w,
+			Service:  evs.Agreed, PayloadBytes: payload,
+		}
+		res, err := s.run(cfg, "packing "+mode)
+		if err != nil {
+			return nil, err
+		}
+		// Goodput is measured in bundle payload bytes; convert to
+		// messages and application bytes.
+		bundlesPerSec := res.GoodputMbps * 1e6 / 8 / float64(payload)
+		msgsPerSec := bundlesPerSec * scale
+		appMbps := msgsPerSec * bare * 8 / 1e6
+		t.AddRow(mode, fmt.Sprintf("%.0f", msgsPerSec/1e3), fmt.Sprintf("%.0f", appMbps))
+	}
+	return t, nil
+}
+
+// ablationBuffer sweeps the switch's per-port buffer: the paper notes the
+// acceleration benefit depends on modern switch buffering absorbing the
+// overlap between consecutive senders.
+func (s *Suite) ablationBuffer() (*Table, error) {
+	t := &Table{
+		ID:      "ablation-buffer",
+		Title:   "Switch output-port buffer sweep, accelerated protocol at 800 Mbps on 1 GbE (daemon prototype)",
+		Columns: []string{"port buf KiB", "agreed µs", "goodput Mbps", "switch drops", "retransmissions"},
+		Notes:   []string{"small buffers drop the overlapped bursts the accelerated protocol creates, forcing recovery"},
+	}
+	bufs := []int{16, 32, 64, 128, 256, 512}
+	if s.Quick {
+		bufs = []int{16, 64, 512}
+	}
+	for _, kib := range bufs {
+		fabric := simnet.GigabitFabric(8)
+		fabric.PortBufBytes = kib * 1024
+		cfg := RunConfig{
+			Fabric:   fabric,
+			Profile:  simproc.Daemon(),
+			Protocol: AcceleratedRing,
+			Windows:  Windows{Personal: 20, Global: 160, Accelerated: 15},
+			Service:  evs.Agreed, PayloadBytes: 1350, OfferedMbps: 800,
+			DrainGrace: 200 * simnet.Millisecond,
+		}
+		res, err := s.run(cfg, fmt.Sprintf("buf=%dKiB", kib))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", kib), us(res, 800), mbps(res.GoodputMbps),
+			fmt.Sprintf("%d", res.SwitchDrops), fmt.Sprintf("%d", res.Retransmissions))
+	}
+	return t, nil
+}

@@ -1,0 +1,20 @@
+package bench
+
+import "testing"
+
+func TestAblationsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := &Suite{Quick: true}
+	for _, id := range []string{"ablation-aw", "ablation-priority", "ablation-rtr", "ablation-buffer"} {
+		tbl, err := s.Figure(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+		t.Logf("\n%s", tbl.Format())
+	}
+}

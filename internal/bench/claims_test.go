@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"testing"
+
+	"accelring/internal/evs"
+	"accelring/internal/simnet"
+	"accelring/internal/simproc"
+)
+
+// TestPaperClaims is the regression armor for the reproduction: each
+// sub-test asserts one qualitative claim from the paper's evaluation, on
+// quick-mode runs. If a refactor breaks the protocol's performance
+// character, these fail before anyone reads a full ringbench sweep.
+func TestPaperClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweeps")
+	}
+	base := func() RunConfig {
+		return RunConfig{
+			Fabric:       simnet.GigabitFabric(8),
+			Profile:      simproc.Spread(),
+			Windows:      Windows{Personal: 20, Global: 160, Accelerated: 15},
+			Service:      evs.Agreed,
+			PayloadBytes: 1350,
+			Warmup:       20 * simnet.Millisecond,
+			Measure:      80 * simnet.Millisecond,
+			Seed:         42,
+		}
+	}
+
+	t.Run("simultaneous throughput and latency win on 1GbE", func(t *testing.T) {
+		// Paper §IV-A1: accel at 800 Mbps beats orig at 500 Mbps on BOTH
+		// axes.
+		lo := base()
+		lo.Protocol = OriginalRing
+		lo.OfferedMbps = 500
+		orig, err := Run(lo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi := base()
+		hi.Protocol = AcceleratedRing
+		hi.OfferedMbps = 800
+		accel, err := Run(hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accel.MeanLatencyUs >= orig.MeanLatencyUs {
+			t.Fatalf("accel at 800 Mbps (%.0fµs) not below orig at 500 Mbps (%.0fµs)",
+				accel.MeanLatencyUs, orig.MeanLatencyUs)
+		}
+		if accel.GoodputMbps < 760 {
+			t.Fatalf("accel did not sustain 800 Mbps: %.0f", accel.GoodputMbps)
+		}
+	})
+
+	t.Run("fig8 crossover: original wins safe delivery at low 10GbE load", func(t *testing.T) {
+		cfg := base()
+		cfg.Fabric = simnet.TenGigFabric(8)
+		cfg.Windows = Windows{Personal: 30, Global: 240, Accelerated: 20}
+		cfg.Service = evs.Safe
+		cfg.OfferedMbps = 100
+		cfg.Protocol = OriginalRing
+		orig, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Protocol = AcceleratedRing
+		accel, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if orig.MeanLatencyUs >= accel.MeanLatencyUs {
+			t.Fatalf("crossover missing: orig %.0fµs, accel %.0fµs at 100 Mbps",
+				orig.MeanLatencyUs, accel.MeanLatencyUs)
+		}
+	})
+
+	t.Run("loss penalty: accel agreed worse at low rate and heavy loss on 10GbE", func(t *testing.T) {
+		// Paper Fig 9: the one-round-late request rule costs the
+		// accelerated protocol the lead at 20% of capacity with >=5% loss.
+		cfg := base()
+		cfg.Fabric = simnet.TenGigFabric(8)
+		cfg.Profile = simproc.Daemon()
+		cfg.Windows = Windows{Personal: 30, Global: 240, Accelerated: 20}
+		cfg.OfferedMbps = 480
+		cfg.LossPct = 25
+		cfg.DrainGrace = 200 * simnet.Millisecond
+		cfg.Protocol = OriginalRing
+		orig, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Protocol = AcceleratedRing
+		accel, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accel.MeanLatencyUs <= orig.MeanLatencyUs {
+			t.Fatalf("expected accel penalty under heavy loss: orig %.0fµs accel %.0fµs",
+				orig.MeanLatencyUs, accel.MeanLatencyUs)
+		}
+	})
+
+	t.Run("loss advantage: accel safe better at 50% load on 1GbE", func(t *testing.T) {
+		// Paper Fig 12.
+		cfg := base()
+		cfg.Profile = simproc.Daemon()
+		cfg.Service = evs.Safe
+		cfg.OfferedMbps = 350
+		cfg.LossPct = 15
+		cfg.DrainGrace = 200 * simnet.Millisecond
+		cfg.Protocol = OriginalRing
+		orig, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Protocol = AcceleratedRing
+		accel, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accel.MeanLatencyUs >= orig.MeanLatencyUs {
+			t.Fatalf("accel safe not ahead under loss at 50%% load: orig %.0fµs accel %.0fµs",
+				orig.MeanLatencyUs, accel.MeanLatencyUs)
+		}
+	})
+
+	t.Run("jumbo datagrams raise spread max throughput >=2x", func(t *testing.T) {
+		// Paper Fig 5 / §IV-A3: 8850-byte payloads amortize processing.
+		cfg := base()
+		cfg.Fabric = simnet.TenGigFabric(8)
+		cfg.Windows = Windows{Personal: 30, Global: 240, Accelerated: 20}
+		cfg.Protocol = AcceleratedRing
+		small, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.PayloadBytes = 8850
+		big, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if big.GoodputMbps < 2*small.GoodputMbps {
+			t.Fatalf("jumbo gain too small: %.0f vs %.0f Mbps", big.GoodputMbps, small.GoodputMbps)
+		}
+	})
+}

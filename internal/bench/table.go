@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is the text rendering of one reproduced figure or table.
+type Table struct {
+	// ID is the experiment identifier ("fig2", "maxthroughput", ...).
+	ID string
+	// Title describes the experiment, mirroring the paper's caption.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, one slice per row.
+	Rows [][]string
+	// Notes are appended under the table (units, markers).
+	Notes []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (header row, then data rows;
+// the title and notes become leading comment lines).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", t.ID, t.Title)
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// us formats a latency in microseconds; saturated (unsupported) points are
+// marked with a trailing '*'.
+func us(r Result, offered float64) string {
+	if r.Delivered == 0 {
+		return "-"
+	}
+	cell := fmt.Sprintf("%.0f", r.MeanLatencyUs)
+	if offered > 0 && r.GoodputMbps < 0.95*offered {
+		cell += "*"
+	}
+	return cell
+}
+
+// mbps formats a throughput cell.
+func mbps(v float64) string { return fmt.Sprintf("%.0f", v) }

@@ -1,0 +1,212 @@
+// Package client is the application-side library for the ordering daemon:
+// the equivalent of Spread's client library. A client connects to a local
+// daemon, joins groups, multicasts to any groups (open-group semantics),
+// and receives totally ordered messages and agreed group views.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"accelring/internal/evs"
+	"accelring/internal/group"
+	"accelring/internal/session"
+)
+
+// Event is a delivery to the client: a *Message or a *View.
+type Event interface{ isEvent() }
+
+// Message is a totally ordered group message.
+type Message struct {
+	// Sender is the originating client.
+	Sender group.ClientID
+	// Service is the delivery level it was sent with.
+	Service evs.Service
+	// Groups are the destination groups.
+	Groups []string
+	// Payload is the application data.
+	Payload []byte
+}
+
+func (*Message) isEvent() {}
+
+// View is a group's agreed membership after a join, leave, disconnect, or
+// daemon membership change.
+type View struct {
+	Group   string
+	Members []group.ClientID
+}
+
+func (*View) isEvent() {}
+
+// ErrClosed is returned after the connection is closed.
+var ErrClosed = errors.New("client: connection closed")
+
+// Client is a connection to an ordering daemon.
+type Client struct {
+	conn net.Conn
+	id   group.ClientID
+
+	writeMu sync.Mutex
+	events  chan Event
+
+	closeOnce sync.Once
+	closeErr  error
+	done      chan struct{}
+}
+
+// Dial connects to a daemon at network/addr (e.g. "tcp",
+// "127.0.0.1:4803" or "unix", "/tmp/ring.sock") with a private name.
+func Dial(network, addr, name string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return Attach(conn, name)
+}
+
+// Attach runs the session handshake over an established connection.
+func Attach(conn net.Conn, name string) (*Client, error) {
+	if err := session.WriteFrame(conn, session.Connect{Name: name}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	f, err := session.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	w, ok := f.(session.Welcome)
+	if !ok {
+		conn.Close()
+		return nil, fmt.Errorf("client: unexpected handshake frame %T", f)
+	}
+	c := &Client{
+		conn:   conn,
+		id:     w.Client,
+		events: make(chan Event, 1024),
+		done:   make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// ID returns the globally unique client identifier assigned by the daemon.
+func (c *Client) ID() group.ClientID { return c.id }
+
+// Events returns the delivery stream. The channel is closed when the
+// connection ends; Err explains why.
+func (c *Client) Events() <-chan Event { return c.events }
+
+// Err returns the terminal error after Events is closed (nil on clean
+// Close).
+func (c *Client) Err() error {
+	select {
+	case <-c.done:
+		if errors.Is(c.closeErr, net.ErrClosed) {
+			return nil
+		}
+		return c.closeErr
+	default:
+		return nil
+	}
+}
+
+func (c *Client) readLoop() {
+	defer close(c.events)
+	for {
+		f, err := session.ReadFrame(c.conn)
+		if err != nil {
+			c.shutdown(err)
+			return
+		}
+		switch v := f.(type) {
+		case session.Message:
+			c.events <- &Message{Sender: v.Sender, Service: v.Service, Groups: v.Groups, Payload: v.Payload}
+		case session.View:
+			c.events <- &View{Group: v.Group, Members: v.Members}
+		case session.Error:
+			c.shutdown(fmt.Errorf("client: daemon error: %s", v.Msg))
+			return
+		}
+	}
+}
+
+func (c *Client) shutdown(err error) {
+	c.closeOnce.Do(func() {
+		c.closeErr = err
+		close(c.done)
+		c.conn.Close()
+	})
+}
+
+func (c *Client) write(f session.Frame) error {
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if err := session.WriteFrame(c.conn, f); err != nil {
+		c.shutdown(err)
+		return ErrClosed
+	}
+	return nil
+}
+
+// Join adds this client to a group. The resulting agreed view arrives as
+// a *View event.
+func (c *Client) Join(groupName string) error {
+	if !group.ValidGroupName(groupName) {
+		return group.ErrBadGroup
+	}
+	return c.write(session.Join{Group: groupName})
+}
+
+// Leave removes this client from a group.
+func (c *Client) Leave(groupName string) error {
+	if !group.ValidGroupName(groupName) {
+		return group.ErrBadGroup
+	}
+	return c.write(session.Leave{Group: groupName})
+}
+
+// SendPrivate sends payload to exactly one client (Spread's private
+// messages), still ordered relative to all group traffic. The target's
+// ClientID is learned from group views.
+func (c *Client) SendPrivate(to group.ClientID, service evs.Service, payload []byte) error {
+	if to == (group.ClientID{}) {
+		return errors.New("client: private message needs a target")
+	}
+	if !service.Valid() {
+		return fmt.Errorf("client: invalid service %d", service)
+	}
+	return c.write(session.Private{To: to, Service: service, Payload: payload})
+}
+
+// Multicast sends payload to the members of the given groups with the
+// given service level. The sender need not be a member (open groups); if
+// it is, it receives its own message in order like everyone else.
+func (c *Client) Multicast(service evs.Service, payload []byte, groups ...string) error {
+	if len(groups) == 0 || len(groups) > group.MaxGroups {
+		return fmt.Errorf("client: need 1..%d groups", group.MaxGroups)
+	}
+	for _, g := range groups {
+		if !group.ValidGroupName(g) {
+			return group.ErrBadGroup
+		}
+	}
+	if !service.Valid() {
+		return fmt.Errorf("client: invalid service %d", service)
+	}
+	return c.write(session.Send{Service: service, Groups: groups, Payload: payload})
+}
+
+// Close tears the session down.
+func (c *Client) Close() error {
+	c.shutdown(net.ErrClosed)
+	return nil
+}

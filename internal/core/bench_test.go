@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"accelring/internal/evs"
+	"accelring/internal/wire"
+)
+
+// nullOut discards all engine effects: these benchmarks measure the pure
+// protocol-processing cost per message and per round, the quantity that
+// bounds throughput on 10 GbE fabrics per the paper.
+type nullOut struct{ tokens []*wire.Token }
+
+func (o *nullOut) SendToken(t *wire.Token) {
+	cp := *t
+	cp.Rtr = append([]uint64(nil), t.Rtr...)
+	o.tokens = append(o.tokens[:0], &cp)
+}
+func (o *nullOut) Multicast(*wire.Data)  {}
+func (o *nullOut) Deliver(evs.Event)     {}
+
+// BenchmarkHandleData measures receive-path cost for 1350-byte messages.
+func BenchmarkHandleData(b *testing.B) {
+	ring := ringOf(1, 2)
+	out := &nullOut{}
+	eng, err := New(Accelerated(2, ring, 64, 10000, 32), out)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1350)
+	b.ReportAllocs()
+	b.SetBytes(1350)
+	for i := 0; i < b.N; i++ {
+		eng.HandleData(&wire.Data{
+			RingID:  ring.ID,
+			Seq:     uint64(i + 1),
+			Sender:  1,
+			Round:   1,
+			Service: evs.Agreed,
+			Payload: payload,
+		})
+	}
+}
+
+// BenchmarkTokenRound measures a full one-participant round: token in,
+// personal-window sends, token out, delivery, discard.
+func BenchmarkTokenRound(b *testing.B) {
+	ring := ringOf(1)
+	out := &nullOut{}
+	const window = 32
+	eng, err := New(Accelerated(1, ring, window, 10000, 16), out)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1350)
+	tok := NewInitialToken(ring.ID, 0)
+	b.ReportAllocs()
+	b.SetBytes(window * 1350)
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < window; k++ {
+			if err := eng.Submit(payload, evs.Agreed); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eng.HandleToken(tok)
+		tok = out.tokens[0]
+	}
+	if got := eng.Counters().Sent; got != uint64(b.N*window) {
+		b.Fatalf("sent %d, want %d", got, b.N*window)
+	}
+}
+
+// BenchmarkWireRoundTrip measures the codec cost included in every
+// simulated and real hop.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	d := wire.Data{
+		RingID:  evs.ViewID{Rep: 1, Seq: 1},
+		Seq:     1,
+		Sender:  1,
+		Round:   1,
+		Service: evs.Agreed,
+		Payload: make([]byte, 1350),
+	}
+	buf := make([]byte, 0, d.EncodedLen())
+	b.ReportAllocs()
+	b.SetBytes(int64(d.EncodedLen()))
+	for i := 0; i < b.N; i++ {
+		buf = d.AppendTo(buf[:0])
+		if _, err := wire.DecodeData(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

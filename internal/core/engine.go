@@ -1,0 +1,630 @@
+// Package core implements the ordering protocols of the paper: the
+// Accelerated Ring protocol and the original Totem-style Ring protocol it
+// is compared against. Both are expressed by one engine; the variant is
+// selected by the flow-control windows (Accelerated window zero reproduces
+// the original sending pattern), the retransmission-request horizon, and
+// the token-priority method.
+//
+// The engine is a deterministic, I/O-free state machine. It consumes token
+// and data frames through HandleToken and HandleData and produces effects
+// through an Output implementation: token unicasts, data multicasts, and
+// delivery events. Time, sockets, and retransmission timers belong to the
+// drivers (internal/simproc for simulated time, internal/ringnode for wall
+// clock); membership changes belong to internal/membership, which creates
+// one engine per ring.
+//
+// The engine is not safe for concurrent use. Both the paper's daemon and
+// our drivers are single-threaded around it by design: limiting the
+// ordering service to one core is an explicit goal of the paper.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"accelring/internal/evs"
+	"accelring/internal/flowcontrol"
+	"accelring/internal/seqbuf"
+	"accelring/internal/wire"
+)
+
+// PriorityMethod selects how a participant decides to raise the token's
+// processing priority again after handling a token (paper §III-D).
+type PriorityMethod int
+
+const (
+	// PriorityAggressive raises the token's priority as soon as any data
+	// message that the ring predecessor sent in the next token round is
+	// processed. It maximizes token rotation speed; the paper's prototypes
+	// use it.
+	PriorityAggressive PriorityMethod = iota + 1
+	// PriorityConservative waits for a data message that the predecessor
+	// sent in the next round after passing the token (a post-token
+	// message). It is less sensitive to misconfiguration; production
+	// Spread uses it. With an Accelerated window of zero it behaves like
+	// the original Ring protocol.
+	PriorityConservative
+)
+
+func (m PriorityMethod) String() string {
+	switch m {
+	case PriorityAggressive:
+		return "aggressive"
+	case PriorityConservative:
+		return "conservative"
+	default:
+		return fmt.Sprintf("priority(%d)", int(m))
+	}
+}
+
+// Config parameterizes an engine for one ring.
+type Config struct {
+	// Self is this participant's ID. Must be a ring member.
+	Self evs.ProcID
+	// Ring is the established configuration (membership's output).
+	Ring evs.Configuration
+	// Windows are the flow-control parameters. Accelerated == 0 gives the
+	// original protocol's sending pattern.
+	Windows flowcontrol.Windows
+	// Priority is the token-priority method (§III-D). Defaults to
+	// PriorityAggressive.
+	Priority PriorityMethod
+	// DelayedRequests selects the accelerated protocol's retransmission
+	// rule: request missing messages only up to the seq carried by the
+	// token received in the previous round, guaranteeing they were really
+	// sent. When false (original protocol) gaps below the current token's
+	// seq are requested immediately.
+	DelayedRequests bool
+	// InitialSeq is the sequence number ordering starts after; the first
+	// message of the ring gets InitialSeq+1.
+	InitialSeq uint64
+	// MaxRtrPerRound caps how many retransmission requests this
+	// participant adds to one token. Defaults to 512.
+	MaxRtrPerRound int
+}
+
+// Original returns a Config for the original Totem-style Ring protocol:
+// no post-token sending, immediate retransmission requests, conservative
+// token priority.
+func Original(self evs.ProcID, ring evs.Configuration, personal, global int) Config {
+	return Config{
+		Self: self,
+		Ring: ring,
+		Windows: flowcontrol.Windows{
+			Personal: personal,
+			Global:   global,
+		},
+		Priority: PriorityConservative,
+	}
+}
+
+// Accelerated returns a Config for the Accelerated Ring protocol with the
+// given accelerated window and the aggressive priority method used by the
+// paper's prototypes.
+func Accelerated(self evs.ProcID, ring evs.Configuration, personal, global, accelerated int) Config {
+	return Config{
+		Self: self,
+		Ring: ring,
+		Windows: flowcontrol.Windows{
+			Personal:    personal,
+			Global:      global,
+			Accelerated: accelerated,
+		},
+		Priority:        PriorityAggressive,
+		DelayedRequests: true,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Self == 0 {
+		return errors.New("core: config requires a non-zero Self")
+	}
+	if !c.Ring.Contains(c.Self) {
+		return fmt.Errorf("core: %d is not a member of %v", c.Self, c.Ring)
+	}
+	if err := c.Windows.Validate(); err != nil {
+		return err
+	}
+	if c.Priority == 0 {
+		c.Priority = PriorityAggressive
+	}
+	if c.Priority != PriorityAggressive && c.Priority != PriorityConservative {
+		return fmt.Errorf("core: unknown priority method %d", c.Priority)
+	}
+	if c.MaxRtrPerRound == 0 {
+		c.MaxRtrPerRound = 512
+	}
+	if c.MaxRtrPerRound < 0 || c.MaxRtrPerRound > wire.MaxRtr {
+		return fmt.Errorf("core: MaxRtrPerRound %d out of range (0, %d]", c.MaxRtrPerRound, wire.MaxRtr)
+	}
+	return nil
+}
+
+// Output receives the engine's effects. Implementations must not call back
+// into the engine.
+type Output interface {
+	// SendToken unicasts the token to the ring successor. The engine
+	// retains ownership of the token; implementations must encode or copy
+	// it before returning.
+	SendToken(*wire.Token)
+	// Multicast sends a data message to all ring members. The message and
+	// its payload must be treated as read-only.
+	Multicast(*wire.Data)
+	// Deliver hands a delivery event to the application in total order.
+	Deliver(evs.Event)
+}
+
+// Counters exposes engine activity for tests, stats, and benchmarks.
+type Counters struct {
+	// Rounds is the number of tokens handled.
+	Rounds uint64
+	// Sent is the number of new data messages this participant initiated.
+	Sent uint64
+	// Retransmitted is the number of retransmissions this participant
+	// answered.
+	Retransmitted uint64
+	// Requested is the number of retransmission requests this participant
+	// added to tokens.
+	Requested uint64
+	// Delivered is the number of messages delivered to the application.
+	Delivered uint64
+	// TokensDropped counts duplicate or stale tokens discarded.
+	TokensDropped uint64
+	// DataDropped counts duplicate or foreign data messages discarded.
+	DataDropped uint64
+}
+
+type pending struct {
+	payload []byte
+	service evs.Service
+	flags   uint8
+}
+
+// Engine runs the ordering protocol for one participant on one ring.
+type Engine struct {
+	cfg Config
+	out Output
+
+	ringIdx int
+	succ    evs.ProcID
+	pred    evs.ProcID
+
+	buf   *seqbuf.Buffer
+	sendQ []pending
+
+	// myRound counts tokens handled; data messages carry it.
+	myRound uint64
+	// lastTokenSeq is the TokenSeq of the last accepted token (duplicate
+	// suppression, wraparound-aware).
+	lastTokenSeq uint32
+	sawToken     bool
+	// prevRecvSeq is the seq field of the token received in the previous
+	// round: the accelerated protocol's retransmission-request horizon.
+	prevRecvSeq uint64
+	// lastRoundSent is how many multicasts (new + retransmissions) this
+	// participant sent last round, for the fcc update.
+	lastRoundSent int
+	// aruSentThis/aruSentPrev are the aru values on the tokens this
+	// participant sent this round and the round before; their minimum is
+	// the safe-delivery line (§III-B4).
+	aruSentThis, aruSentPrev uint64
+	// delivered is the highest sequence number delivered to the app.
+	delivered uint64
+	// safeLine is min(aruSentThis, aruSentPrev).
+	safeLine uint64
+
+	// dataPriority is true while data messages have processing priority
+	// over the token (§III-D).
+	dataPriority bool
+
+	counters Counters
+	lastSent *wire.Token
+}
+
+// New creates an engine. The configuration is validated; the ring must
+// contain Self.
+func New(cfg Config, out Output) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, errors.New("core: nil Output")
+	}
+	e := &Engine{
+		cfg:         cfg,
+		out:         out,
+		ringIdx:     cfg.Ring.Index(cfg.Self),
+		succ:        cfg.Ring.Successor(cfg.Self),
+		pred:        cfg.Ring.Predecessor(cfg.Self),
+		buf:         seqbuf.New(cfg.InitialSeq),
+		prevRecvSeq: cfg.InitialSeq,
+		aruSentThis: cfg.InitialSeq,
+		aruSentPrev: cfg.InitialSeq,
+		delivered:   cfg.InitialSeq,
+		safeLine:    cfg.InitialSeq,
+	}
+	return e, nil
+}
+
+// NewInitialToken builds the first token of a freshly installed ring. The
+// membership representative handles it directly to start rotation.
+func NewInitialToken(ring evs.ViewID, initialSeq uint64) *wire.Token {
+	return &wire.Token{
+		RingID:   ring,
+		TokenSeq: 1,
+		Round:    1,
+		Seq:      initialSeq,
+		Aru:      initialSeq,
+	}
+}
+
+// Self returns this participant's ID.
+func (e *Engine) Self() evs.ProcID { return e.cfg.Self }
+
+// Ring returns the configuration the engine is ordering for.
+func (e *Engine) Ring() evs.Configuration { return e.cfg.Ring }
+
+// Counters returns a snapshot of the engine's activity counters.
+func (e *Engine) Counters() Counters { return e.counters }
+
+// Aru returns the local all-received-up-to value.
+func (e *Engine) Aru() uint64 { return e.buf.Aru() }
+
+// High returns the highest sequence number received or assigned.
+func (e *Engine) High() uint64 { return e.buf.High() }
+
+// Delivered returns the highest sequence number delivered to the app.
+func (e *Engine) Delivered() uint64 { return e.delivered }
+
+// SafeLine returns the stability line: every message at or below it has
+// been received by all ring members.
+func (e *Engine) SafeLine() uint64 { return e.safeLine }
+
+// QueueLen returns the number of messages waiting for a token.
+func (e *Engine) QueueLen() int { return len(e.sendQ) }
+
+// DataPriority reports whether data messages currently have processing
+// priority over the token. Drivers with both classes pending consult this.
+func (e *Engine) DataPriority() bool { return e.dataPriority }
+
+// LastToken returns the most recently sent token, for retransmission on a
+// token-loss timer, or nil if none has been sent.
+func (e *Engine) LastToken() *wire.Token { return e.lastSent }
+
+// Buffered returns the buffered message with the given sequence number, or
+// nil. Membership recovery uses it to retransmit old-ring messages.
+func (e *Engine) Buffered(seq uint64) *wire.Data { return e.buf.Get(seq) }
+
+// RangeBuffered iterates buffered messages in [from, to] in seq order.
+func (e *Engine) RangeBuffered(from, to uint64, fn func(*wire.Data) bool) {
+	e.buf.Range(from, to, fn)
+}
+
+// ErrPayloadTooLarge is returned by Submit for oversized payloads.
+var ErrPayloadTooLarge = fmt.Errorf("core: payload exceeds %d bytes", wire.MaxPayload)
+
+// Submit queues an application payload for ordered multicast with the
+// given service level. The payload is not copied; the caller must not
+// mutate it afterwards. Messages are sent when the token next arrives,
+// subject to flow control.
+func (e *Engine) Submit(payload []byte, service evs.Service) error {
+	if len(payload) > wire.MaxPayload {
+		return ErrPayloadTooLarge
+	}
+	if !service.Valid() {
+		return fmt.Errorf("core: invalid service %d", service)
+	}
+	e.sendQ = append(e.sendQ, pending{payload: payload, service: service})
+	return nil
+}
+
+// SubmitControl queues a protocol-internal message (membership recovery
+// traffic). It is ordered like any Agreed message but flagged so the
+// membership layer can consume it before application delivery.
+func (e *Engine) SubmitControl(payload []byte) error {
+	if len(payload) > wire.MaxPayload {
+		return ErrPayloadTooLarge
+	}
+	e.sendQ = append(e.sendQ, pending{payload: payload, service: evs.Agreed, flags: wire.FlagControl})
+	return nil
+}
+
+// PendingSubmission is a queued message that never received a sequence
+// number, drained from a dissolving ring's engine so membership can
+// resubmit it on the next ring.
+type PendingSubmission struct {
+	Payload []byte
+	Service evs.Service
+	Control bool
+}
+
+// TakePending drains and returns the unsent submission queue.
+func (e *Engine) TakePending() []PendingSubmission {
+	out := make([]PendingSubmission, len(e.sendQ))
+	for i, p := range e.sendQ {
+		out[i] = PendingSubmission{
+			Payload: p.payload,
+			Service: p.service,
+			Control: p.flags&wire.FlagControl != 0,
+		}
+	}
+	e.sendQ = nil
+	return out
+}
+
+// HandleData processes a received data message (paper §III-C): buffer it,
+// deliver any newly in-order deliverable messages, and update the token
+// priority state (§III-D).
+func (e *Engine) HandleData(d *wire.Data) {
+	if d.RingID != e.cfg.Ring.ID {
+		e.counters.DataDropped++
+		return
+	}
+	if !e.buf.Insert(d) {
+		e.counters.DataDropped++
+		return
+	}
+	e.deliverReady()
+	e.maybeRaiseTokenPriority(d)
+}
+
+// maybeRaiseTokenPriority implements the two methods of §III-D. A data
+// message from the ring predecessor initiated in the next token round
+// proves the next token has been (method 2: post-token flag) or will
+// imminently be (method 1) sent.
+func (e *Engine) maybeRaiseTokenPriority(d *wire.Data) {
+	if !e.dataPriority || d.Sender != e.pred {
+		return
+	}
+	// The predecessor's round r token handling precedes ours for every
+	// ring position except the representative, whose predecessor (the last
+	// member) handles round r after the representative does.
+	expected := e.myRound + 1
+	if e.ringIdx == 0 {
+		expected = e.myRound
+	}
+	if d.Round < expected {
+		return
+	}
+	if e.cfg.Priority == PriorityConservative && !d.PostToken() {
+		return
+	}
+	e.dataPriority = false
+}
+
+// HandleToken processes a received token (paper §III-B): answer
+// retransmission requests, multicast the pre-token share of this round's
+// new messages, update and send the token, multicast the post-token share,
+// then deliver and discard.
+func (e *Engine) HandleToken(t *wire.Token) {
+	if t.RingID != e.cfg.Ring.ID {
+		e.counters.TokensDropped++
+		return
+	}
+	// Wraparound-aware duplicate/stale suppression for retransmitted
+	// tokens.
+	if e.sawToken && int32(t.TokenSeq-e.lastTokenSeq) <= 0 {
+		e.counters.TokensDropped++
+		return
+	}
+	e.sawToken = true
+	e.lastTokenSeq = t.TokenSeq
+	e.myRound++
+	e.counters.Rounds++
+
+	recvSeq := t.Seq
+	recvAru := t.Aru
+	recvFcc := int(t.Fcc)
+
+	// Phase 1 (§III-B1): answer retransmission requests. All of them must
+	// go out pre-token or they could be requested again.
+	numRetrans, remaining := e.answerRetransmissions(t.Rtr)
+
+	// Decide the complete set of new messages for this round.
+	numToSend := e.cfg.Windows.NumToSend(len(e.sendQ), recvFcc, numRetrans)
+	newMsgs := e.takeMessages(numToSend, recvSeq)
+	pre, _ := e.cfg.Windows.Split(numToSend)
+
+	// Self-receive the full round's messages now: the token must reflect
+	// every message this participant will send this round.
+	for _, m := range newMsgs {
+		e.buf.Insert(m)
+	}
+
+	// Pre-token multicasting.
+	for _, m := range newMsgs[:pre] {
+		e.out.Multicast(m)
+	}
+
+	// Phase 2 (§III-B2): update and send the token.
+	newSeq := recvSeq + uint64(numToSend)
+	t.Seq = newSeq
+	e.updateAru(t, recvAru, recvSeq, newSeq)
+	t.Fcc = flowcontrol.NextFcc(uint32(recvFcc), e.lastRoundSent, numRetrans+numToSend)
+	t.Rtr = e.appendRequests(remaining, recvSeq)
+	t.TokenSeq++
+	if e.ringIdx == 0 {
+		t.Round++
+	}
+	e.aruSentPrev = e.aruSentThis
+	e.aruSentThis = t.Aru
+	e.lastSent = t
+	e.out.SendToken(t)
+
+	// Phase 3 (§III-B3): post-token multicasting.
+	for _, m := range newMsgs[pre:] {
+		m.Flags |= wire.FlagPostToken
+		e.out.Multicast(m)
+	}
+
+	// Phase 4 (§III-B4): deliver and discard.
+	if min := minU64(e.aruSentThis, e.aruSentPrev); min > e.safeLine {
+		e.safeLine = min
+	}
+	e.deliverReady()
+	e.discardStable()
+
+	e.lastRoundSent = numToSend + numRetrans
+	e.prevRecvSeq = recvSeq
+	e.dataPriority = true
+}
+
+// answerRetransmissions multicasts every requested message this
+// participant holds and returns how many it sent plus the requests it
+// could not answer.
+func (e *Engine) answerRetransmissions(rtr []uint64) (int, []uint64) {
+	if len(rtr) == 0 {
+		return 0, nil
+	}
+	n := 0
+	var remaining []uint64
+	for _, seq := range rtr {
+		if seq <= e.buf.Floor() {
+			// Stable at this participant: every member already has it;
+			// the request is stale. Drop it.
+			continue
+		}
+		if d := e.buf.Get(seq); d != nil {
+			rd := *d
+			rd.Flags |= wire.FlagRetrans
+			rd.Flags &^= wire.FlagPostToken
+			e.out.Multicast(&rd)
+			e.counters.Retransmitted++
+			n++
+			continue
+		}
+		remaining = append(remaining, seq)
+	}
+	return n, remaining
+}
+
+// takeMessages dequeues n pending payloads and stamps them with final
+// sequence numbers starting at afterSeq+1 and the current round.
+func (e *Engine) takeMessages(n int, afterSeq uint64) []*wire.Data {
+	if n == 0 {
+		return nil
+	}
+	msgs := make([]*wire.Data, n)
+	for i := 0; i < n; i++ {
+		p := e.sendQ[i]
+		msgs[i] = &wire.Data{
+			RingID:  e.cfg.Ring.ID,
+			Seq:     afterSeq + uint64(i) + 1,
+			Sender:  e.cfg.Self,
+			Round:   e.myRound,
+			Service: p.service,
+			Flags:   p.flags,
+			Payload: p.payload,
+		}
+	}
+	// Release references promptly; keep the tail.
+	copy(e.sendQ, e.sendQ[n:])
+	for i := len(e.sendQ) - n; i < len(e.sendQ); i++ {
+		e.sendQ[i] = pending{}
+	}
+	e.sendQ = e.sendQ[:len(e.sendQ)-n]
+	e.counters.Sent += uint64(n)
+	return msgs
+}
+
+// updateAru applies the aru rules of §III-B2. The token's AruID records
+// who lowered the aru; only that participant may raise it again, which
+// realizes "the received token's aru has not changed since the participant
+// lowered it".
+func (e *Engine) updateAru(t *wire.Token, recvAru, recvSeq, newSeq uint64) {
+	myAru := e.buf.Aru()
+	switch {
+	case myAru < recvAru:
+		t.Aru = myAru
+		t.AruID = e.cfg.Self
+	case t.AruID == e.cfg.Self:
+		t.Aru = myAru
+		if t.Aru >= newSeq {
+			t.Aru = newSeq
+			t.AruID = 0
+		}
+	case recvAru == recvSeq:
+		t.Aru = newSeq
+	}
+}
+
+// appendRequests adds this participant's missing sequence numbers to the
+// unanswered requests, respecting the variant's horizon: the previous
+// round's token seq for the accelerated protocol (one round late, so the
+// messages are guaranteed to have been sent), the current token's seq for
+// the original protocol.
+func (e *Engine) appendRequests(remaining []uint64, recvSeq uint64) []uint64 {
+	horizon := recvSeq
+	if e.cfg.DelayedRequests {
+		horizon = e.prevRecvSeq
+	}
+	have := make(map[uint64]struct{}, len(remaining))
+	for _, s := range remaining {
+		have[s] = struct{}{}
+	}
+	before := len(remaining)
+	budget := e.cfg.MaxRtrPerRound
+	for seq := e.buf.Aru() + 1; seq <= horizon && budget > 0; seq++ {
+		if e.buf.Has(seq) {
+			continue
+		}
+		if _, dup := have[seq]; dup {
+			continue
+		}
+		remaining = append(remaining, seq)
+		budget--
+		if len(remaining) >= wire.MaxRtr {
+			break
+		}
+	}
+	e.counters.Requested += uint64(len(remaining) - before)
+	return remaining
+}
+
+// deliverReady delivers messages in strict sequence order: a message is
+// delivered once all lower-sequenced messages are delivered and, for Safe
+// service, once its sequence is at or below the stability line. An
+// undeliverable safe message blocks everything behind it — that is what
+// total order means.
+func (e *Engine) deliverReady() {
+	for {
+		next := e.delivered + 1
+		d := e.buf.Get(next)
+		if d == nil {
+			return
+		}
+		if d.Service.NeedsStability() && next > e.safeLine {
+			return
+		}
+		e.out.Deliver(evs.Message{
+			Seq:     d.Seq,
+			Sender:  d.Sender,
+			Round:   d.Round,
+			Service: d.Service,
+			Config:  e.cfg.Ring.ID,
+			Control: d.Control(),
+			Payload: d.Payload,
+		})
+		e.delivered = next
+		e.counters.Delivered++
+	}
+}
+
+// discardStable drops messages every member has received (seq <= the safe
+// line). deliverReady has always delivered them first: the safe line never
+// exceeds the local aru, below which there are no gaps.
+func (e *Engine) discardStable() {
+	upTo := minU64(e.safeLine, e.delivered)
+	if upTo <= e.buf.Floor() {
+		return
+	}
+	// Discard errors cannot occur: upTo <= safeLine <= aru by construction.
+	_, _ = e.buf.Discard(upTo)
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

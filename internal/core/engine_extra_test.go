@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"accelring/internal/evs"
+	"accelring/internal/wire"
+)
+
+func TestSubmitControlFlagsAndDelivery(t *testing.T) {
+	ring := ringOf(1, 2)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Accelerated(self, ring, 5, 100, 3)
+	})
+	if err := h.engines[1].SubmitControl([]byte{0xCC}); err != nil {
+		t.Fatal(err)
+	}
+	h.submit(1, evs.Agreed, "app")
+	h.round()
+	h.round()
+	for _, id := range ring.Members {
+		ms := h.outs[id].messages()
+		if len(ms) != 2 {
+			t.Fatalf("member %d delivered %d", id, len(ms))
+		}
+		if !ms[0].Control || ms[1].Control {
+			t.Fatalf("control flags wrong: %+v", ms)
+		}
+	}
+	// Oversized control payloads are rejected.
+	if err := h.engines[1].SubmitControl(make([]byte, wire.MaxPayload+1)); err == nil {
+		t.Fatal("oversized control payload accepted")
+	}
+}
+
+func TestTakePending(t *testing.T) {
+	ring := ringOf(1, 2)
+	eng, err := New(Accelerated(1, ring, 5, 100, 3), &testOut{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Submit([]byte("a"), evs.Agreed); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SubmitControl([]byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Submit([]byte("b"), evs.Safe); err != nil {
+		t.Fatal(err)
+	}
+	got := eng.TakePending()
+	if len(got) != 3 {
+		t.Fatalf("pending = %d", len(got))
+	}
+	if string(got[0].Payload) != "a" || got[0].Service != evs.Agreed || got[0].Control {
+		t.Fatalf("pending[0] = %+v", got[0])
+	}
+	if !got[1].Control {
+		t.Fatalf("pending[1] not control: %+v", got[1])
+	}
+	if string(got[2].Payload) != "b" || got[2].Service != evs.Safe {
+		t.Fatalf("pending[2] = %+v", got[2])
+	}
+	if eng.QueueLen() != 0 {
+		t.Fatal("queue not drained")
+	}
+	if len(eng.TakePending()) != 0 {
+		t.Fatal("second TakePending not empty")
+	}
+}
+
+// TestRetransmissionPreservesControlFlag: retransmitted control messages
+// must stay control messages, or membership recovery traffic would leak to
+// applications after a retransmission.
+func TestRetransmissionPreservesControlFlag(t *testing.T) {
+	ring := ringOf(1, 2, 3)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Original(self, ring, 5, 100) // immediate requests: quick test
+	})
+	h.drop = func(from, to evs.ProcID, d *wire.Data) bool {
+		return from == 1 && to == 2 && !d.Retrans()
+	}
+	if err := h.engines[1].SubmitControl([]byte{0x01}); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		h.round()
+	}
+	ms := h.outs[2].messages()
+	if len(ms) != 1 {
+		t.Fatalf("member 2 delivered %d", len(ms))
+	}
+	if !ms[0].Control {
+		t.Fatal("retransmitted message lost its control flag")
+	}
+}
+
+func TestRangeBufferedAndBufferedAccessors(t *testing.T) {
+	ring := ringOf(1, 2)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		// Window large enough that nothing stabilizes/discards during the
+		// single hop below.
+		c := Accelerated(self, ring, 5, 100, 3)
+		return c
+	})
+	h.submit(1, evs.Agreed, "x", "y", "z")
+	h.hop()
+	eng := h.engines[2]
+	if eng.Buffered(1) == nil || eng.Buffered(99) != nil {
+		t.Fatal("Buffered lookup wrong")
+	}
+	var seqs []uint64
+	eng.RangeBuffered(1, 10, func(d *wire.Data) bool {
+		seqs = append(seqs, d.Seq)
+		return true
+	})
+	if fmt.Sprint(seqs) != "[1 2 3]" {
+		t.Fatalf("RangeBuffered = %v", seqs)
+	}
+}
+
+// TestRtrRespectsMaxPerRound: a node missing a large range requests at
+// most MaxRtrPerRound sequence numbers per token.
+func TestRtrRespectsMaxPerRound(t *testing.T) {
+	ring := ringOf(1, 2)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		c := Original(self, ring, 40, 400)
+		c.MaxRtrPerRound = 8
+		return c
+	})
+	// Drop everything from 1 to 2 once (40 messages).
+	lost := true
+	h.drop = func(from, to evs.ProcID, d *wire.Data) bool {
+		return lost && from == 1 && to == 2 && !d.Retrans()
+	}
+	for i := 0; i < 40; i++ {
+		h.submit(1, evs.Agreed, "m")
+	}
+	h.hop() // 1 sends 40
+	lost = false
+	h.hop() // 2 requests: capped at 8
+	if len(h.token.Rtr) != 8 {
+		t.Fatalf("rtr = %d entries, want 8", len(h.token.Rtr))
+	}
+	// Recovery completes over subsequent rounds regardless.
+	for r := 0; r < 8; r++ {
+		h.round()
+	}
+	h.assertTotalOrder()
+	if got := len(h.outs[2].messages()); got != 40 {
+		t.Fatalf("member 2 delivered %d, want 40", got)
+	}
+}
+
+// TestReliableServiceDeliversWithoutStability: Reliable/FIFO/Causal levels
+// share Agreed's delivery timing.
+func TestReliableServiceDeliversWithoutStability(t *testing.T) {
+	ring := ringOf(1, 2, 3)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Accelerated(self, ring, 5, 100, 3)
+	})
+	h.submit(1, evs.Reliable, "r")
+	h.submit(1, evs.FIFO, "f")
+	h.submit(1, evs.Causal, "c")
+	h.hop() // messages reach 2 and 3 immediately
+	for _, id := range []evs.ProcID{2, 3} {
+		if got := len(h.outs[id].messages()); got != 3 {
+			t.Fatalf("member %d delivered %d before any stability", id, got)
+		}
+	}
+}
+
+// TestPerSenderFIFO: one sender's messages are always delivered in
+// submission order (a consequence of total order + in-order sequencing).
+func TestPerSenderFIFO(t *testing.T) {
+	ring := ringOf(1, 2, 3, 4)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Accelerated(self, ring, 3, 50, 2)
+	})
+	const n = 30
+	for i := 0; i < n; i++ {
+		h.submit(2, evs.FIFO, fmt.Sprintf("%04d", i))
+	}
+	for r := 0; r < 15; r++ {
+		h.round()
+	}
+	for _, id := range ring.Members {
+		var prev string
+		count := 0
+		for _, m := range h.outs[id].messages() {
+			if m.Sender != 2 {
+				continue
+			}
+			if string(m.Payload) <= prev {
+				t.Fatalf("member %d: FIFO violated: %q after %q", id, m.Payload, prev)
+			}
+			prev = string(m.Payload)
+			count++
+		}
+		if count != n {
+			t.Fatalf("member %d got %d of %d", id, count, n)
+		}
+	}
+}
+
+// TestTokenRetransmitIdempotent: replaying the last sent token (as the
+// loss-recovery timer does) at every member never disturbs ordering.
+func TestTokenRetransmitIdempotent(t *testing.T) {
+	ring := ringOf(1, 2, 3)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Accelerated(self, ring, 5, 100, 3)
+	})
+	h.submit(1, evs.Agreed, "a")
+	h.submit(2, evs.Safe, "b")
+	for r := 0; r < 3; r++ {
+		h.round()
+		// Replay every engine's last token at its successor.
+		for _, id := range ring.Members {
+			if tok := h.engines[id].LastToken(); tok != nil {
+				cp := *tok
+				h.engines[ring.Successor(id)].HandleToken(&cp)
+			}
+		}
+	}
+	h.round()
+	h.assertTotalOrder()
+	if got := len(h.outs[1].messages()); got != 2 {
+		t.Fatalf("delivered %d, want 2", got)
+	}
+}
+
+// TestEngineAccessorsSteadyState sanity-checks the exported observers.
+func TestEngineAccessorsSteadyState(t *testing.T) {
+	ring := ringOf(1, 2)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Accelerated(self, ring, 5, 100, 3)
+	})
+	h.submit(1, evs.Agreed, "x")
+	for r := 0; r < 4; r++ {
+		h.round()
+	}
+	eng := h.engines[1]
+	if eng.Self() != 1 || !eng.Ring().Equal(ring) {
+		t.Fatal("identity accessors wrong")
+	}
+	if eng.Aru() != eng.High() || eng.Delivered() != eng.High() {
+		t.Fatalf("steady state: aru=%d high=%d delivered=%d", eng.Aru(), eng.High(), eng.Delivered())
+	}
+	if eng.SafeLine() != eng.High() {
+		t.Fatalf("safe line %d != high %d at quiescence", eng.SafeLine(), eng.High())
+	}
+}

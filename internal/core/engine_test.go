@@ -1,0 +1,661 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"accelring/internal/evs"
+	"accelring/internal/wire"
+)
+
+func TestConfigValidation(t *testing.T) {
+	ring := ringOf(1, 2, 3)
+	valid := Accelerated(1, ring, 5, 100, 3)
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero self", func(c *Config) { c.Self = 0 }},
+		{"not a member", func(c *Config) { c.Self = 99 }},
+		{"bad windows", func(c *Config) { c.Windows.Personal = 0 }},
+		{"bad priority", func(c *Config) { c.Priority = 42 }},
+		{"rtr cap too large", func(c *Config) { c.MaxRtrPerRound = wire.MaxRtr + 1 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid
+			tc.mutate(&cfg)
+			if _, err := New(cfg, &testOut{}); err == nil {
+				t.Fatal("New accepted invalid config")
+			}
+		})
+	}
+	if _, err := New(valid, nil); err == nil {
+		t.Fatal("New accepted nil output")
+	}
+	if _, err := New(valid, &testOut{}); err != nil {
+		t.Fatalf("New rejected valid config: %v", err)
+	}
+}
+
+// TestFig1Accelerated reproduces the execution of paper Figure 1b:
+// three participants, Personal window 5, Accelerated window 3, each with
+// five messages queued. Each participant must send two messages, then the
+// token, then three messages, and the token seq must read 5, 10, 15, 20.
+func TestFig1Accelerated(t *testing.T) {
+	ring := ringOf(1, 2, 3)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Accelerated(self, ring, 5, 100, 3)
+	})
+	h.submit(1, evs.Agreed, "a1", "a2", "a3", "a4", "a5")
+	h.submit(2, evs.Agreed, "b1", "b2", "b3", "b4", "b5")
+	h.submit(3, evs.Agreed, "c1", "c2", "c3", "c4", "c5")
+	// Participant 1 will send 16..20 on its second token.
+	wantSeqs := []uint64{5, 10, 15}
+	for i := 0; i < 3; i++ {
+		effects := h.hop()
+		pre, post := splitSends(effects)
+		if len(pre) != 2 || len(post) != 3 {
+			t.Fatalf("hop %d: pre=%d post=%d, want 2/3", i, len(pre), len(post))
+		}
+		if h.token.Seq != wantSeqs[i] {
+			t.Fatalf("hop %d: token seq = %d, want %d", i, h.token.Seq, wantSeqs[i])
+		}
+		// Post-token messages carry the flag; pre-token ones do not.
+		for _, d := range pre {
+			if d.PostToken() {
+				t.Fatalf("pre-token message %d flagged post-token", d.Seq)
+			}
+		}
+		for _, d := range post {
+			if !d.PostToken() {
+				t.Fatalf("post-token message %d not flagged", d.Seq)
+			}
+		}
+	}
+	h.submit(1, evs.Agreed, "a6", "a7", "a8", "a9", "a10")
+	h.hop()
+	if h.token.Seq != 20 {
+		t.Fatalf("round 2 token seq = %d, want 20", h.token.Seq)
+	}
+	// Sequence numbers are assigned contiguously: 1-5 by A, 6-10 by B, etc.
+	msgs := h.outs[2].messages()
+	for i, m := range msgs {
+		if m.Seq != uint64(i+1) {
+			t.Fatalf("delivery %d has seq %d", i, m.Seq)
+		}
+	}
+}
+
+// TestFig1Original reproduces Figure 1a: all five messages precede the
+// token.
+func TestFig1Original(t *testing.T) {
+	ring := ringOf(1, 2, 3)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Original(self, ring, 5, 100)
+	})
+	h.submit(1, evs.Agreed, "a1", "a2", "a3", "a4", "a5")
+	effects := h.hop()
+	pre, post := splitSends(effects)
+	if len(pre) != 5 || len(post) != 0 {
+		t.Fatalf("pre=%d post=%d, want 5/0", len(pre), len(post))
+	}
+	if h.token.Seq != 5 {
+		t.Fatalf("token seq = %d, want 5", h.token.Seq)
+	}
+}
+
+// TestFewerThanAcceleratedAllPost checks the paper's rule that a
+// participant with fewer than Accelerated-window messages sends all of
+// them after the token.
+func TestFewerThanAcceleratedAllPost(t *testing.T) {
+	ring := ringOf(1, 2, 3)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Accelerated(self, ring, 5, 100, 3)
+	})
+	h.submit(1, evs.Agreed, "x", "y")
+	pre, post := splitSends(h.hop())
+	if len(pre) != 0 || len(post) != 2 {
+		t.Fatalf("pre=%d post=%d, want 0/2", len(pre), len(post))
+	}
+}
+
+func TestAgreedTotalOrderNoLoss(t *testing.T) {
+	for _, variant := range []string{"original", "accelerated"} {
+		t.Run(variant, func(t *testing.T) {
+			ring := ringOf(1, 2, 3, 4, 5)
+			h := newHarness(t, ring, func(self evs.ProcID) Config {
+				if variant == "original" {
+					return Original(self, ring, 4, 100)
+				}
+				return Accelerated(self, ring, 4, 100, 2)
+			})
+			total := 0
+			for i := 0; i < 10; i++ {
+				for _, id := range ring.Members {
+					h.submit(id, evs.Agreed, fmt.Sprintf("m-%d-%d", id, i))
+					total++
+				}
+			}
+			for r := 0; r < 20; r++ {
+				h.round()
+			}
+			h.assertTotalOrder()
+			got := len(h.outs[1].messages())
+			if got != total {
+				t.Fatalf("delivered %d messages, want %d", got, total)
+			}
+		})
+	}
+}
+
+func TestSafeDeliveryStability(t *testing.T) {
+	ring := ringOf(1, 2, 3)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Accelerated(self, ring, 5, 100, 3)
+	})
+	h.submit(1, evs.Safe, "safe-1")
+	h.hop() // participant 1 sends seq 1 (safe)
+	// Immediately after the send, nobody may deliver: stability unknown.
+	for _, id := range ring.Members {
+		if n := len(h.outs[id].messages()); n != 0 {
+			t.Fatalf("member %d delivered %d safe messages in round 1", id, n)
+		}
+	}
+	// Within a bounded number of rounds everyone delivers.
+	for r := 0; r < 4; r++ {
+		h.round()
+	}
+	for _, id := range ring.Members {
+		ms := h.outs[id].messages()
+		if len(ms) != 1 || string(ms[0].Payload) != "safe-1" {
+			t.Fatalf("member %d delivered %v", id, ms)
+		}
+	}
+	h.assertTotalOrder()
+}
+
+// TestSafeBlocksLaterAgreed: an undeliverable safe message must delay
+// later agreed messages — delivery is in strict total order.
+func TestSafeBlocksLaterAgreed(t *testing.T) {
+	ring := ringOf(1, 2, 3)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Accelerated(self, ring, 5, 100, 0)
+	})
+	h.submit(1, evs.Safe, "safe")
+	h.submit(2, evs.Agreed, "agreed")
+	h.hop() // 1 sends safe seq 1
+	h.hop() // 2 sends agreed seq 2; seq 1 not yet stable at 2
+	// Participant 3 received both but must not deliver the agreed message
+	// before the safe one.
+	ms := h.outs[3].messages()
+	if len(ms) != 0 {
+		t.Fatalf("member 3 delivered %d messages before stability", len(ms))
+	}
+	for r := 0; r < 4; r++ {
+		h.round()
+	}
+	h.assertTotalOrder()
+	ms = h.outs[3].messages()
+	if len(ms) != 2 || string(ms[0].Payload) != "safe" || string(ms[1].Payload) != "agreed" {
+		t.Fatalf("member 3 delivered %v", ms)
+	}
+}
+
+func TestMixedServicesOrdered(t *testing.T) {
+	ring := ringOf(1, 2, 3, 4)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Accelerated(self, ring, 3, 50, 2)
+	})
+	services := []evs.Service{evs.Reliable, evs.FIFO, evs.Causal, evs.Agreed, evs.Safe}
+	n := 0
+	for i, svc := range services {
+		for _, id := range ring.Members {
+			h.submit(id, svc, fmt.Sprintf("%v-%d-%d", svc, id, i))
+			n++
+		}
+	}
+	for r := 0; r < 12; r++ {
+		h.round()
+	}
+	h.assertTotalOrder()
+	if got := len(h.outs[1].messages()); got != n {
+		t.Fatalf("delivered %d, want %d", got, n)
+	}
+}
+
+// TestRetransmissionOriginalImmediate: in the original protocol a gap is
+// requested on the very next token after it is noticed.
+func TestRetransmissionOriginalImmediate(t *testing.T) {
+	ring := ringOf(1, 2, 3)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Original(self, ring, 5, 100)
+	})
+	// Drop participant 1's messages to participant 2 once.
+	dropped := false
+	h.drop = func(from, to evs.ProcID, d *wire.Data) bool {
+		if from == 1 && to == 2 && !dropped && d.Seq == 2 {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	h.submit(1, evs.Agreed, "m1", "m2", "m3")
+	h.hop() // 1 sends 1..3; 2 misses seq 2
+	h.hop() // 2 must request seq 2 on this token immediately
+	if len(h.token.Rtr) != 1 || h.token.Rtr[0] != 2 {
+		t.Fatalf("token rtr = %v, want [2]", h.token.Rtr)
+	}
+	h.hop() // 3 has seq 2 and retransmits it
+	for r := 0; r < 3; r++ {
+		h.round()
+	}
+	h.assertTotalOrder()
+	if got := len(h.outs[2].messages()); got != 3 {
+		t.Fatalf("member 2 delivered %d, want 3", got)
+	}
+}
+
+// TestRetransmissionAcceleratedDelayed: the accelerated protocol requests
+// a missing message only one round after noticing it (§III-A), because the
+// token may reflect messages still in flight.
+func TestRetransmissionAcceleratedDelayed(t *testing.T) {
+	ring := ringOf(1, 2, 3)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Accelerated(self, ring, 5, 100, 3)
+	})
+	dropped := false
+	h.drop = func(from, to evs.ProcID, d *wire.Data) bool {
+		if from == 1 && to == 2 && !dropped && d.Seq == 2 {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	h.submit(1, evs.Agreed, "m1", "m2", "m3")
+	h.hop() // 1 sends 1..3 (token seq 3); 2 misses seq 2
+	h.hop() // 2 sees the gap but must NOT request yet (horizon = prev seq 0)
+	if len(h.token.Rtr) != 0 {
+		t.Fatalf("round-1 token rtr = %v, want empty (one-round delay)", h.token.Rtr)
+	}
+	h.hop() // 3 passes token back to 1
+	h.hop() // 1 handles; nothing to answer
+	h.hop() // 2's second token: now the gap is within last round's horizon
+	if len(h.token.Rtr) != 1 || h.token.Rtr[0] != 2 {
+		t.Fatalf("round-2 token rtr = %v, want [2]", h.token.Rtr)
+	}
+	for r := 0; r < 3; r++ {
+		h.round()
+	}
+	h.assertTotalOrder()
+	if got := len(h.outs[2].messages()); got != 3 {
+		t.Fatalf("member 2 delivered %d, want 3", got)
+	}
+	// The retransmission was answered exactly once, by a holder of seq 2.
+	var retrans uint64
+	for _, id := range ring.Members {
+		retrans += h.engines[id].Counters().Retransmitted
+	}
+	if retrans != 1 {
+		t.Fatalf("retransmissions = %d, want 1", retrans)
+	}
+}
+
+// TestRetransmissionsSentPreToken: answers to rtr requests must all be
+// multicast before the token is passed (§III-B1).
+func TestRetransmissionsSentPreToken(t *testing.T) {
+	ring := ringOf(1, 2, 3)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Accelerated(self, ring, 5, 100, 5) // fully accelerated
+	})
+	h.drop = func(from, to evs.ProcID, d *wire.Data) bool {
+		return from == 1 && to == 2 && d.Seq == 1 && !d.Retrans()
+	}
+	h.submit(1, evs.Agreed, "m1")
+	for i := 0; i < 4; i++ {
+		h.hop()
+	}
+	// Participant 2 requests seq 1 on its second token; participant 3
+	// holds it and must answer pre-token even though it is fully
+	// accelerated.
+	h.submit(3, evs.Agreed, "n1", "n2")
+	effects := h.hop() // holder 2: requests
+	if len(h.token.Rtr) != 1 {
+		t.Fatalf("rtr = %v, want one request", h.token.Rtr)
+	}
+	effects = h.hop() // holder 3: answers + sends its own messages post-token
+	seenToken := false
+	var retransAfterToken, retransBefore int
+	for _, ef := range effects {
+		switch {
+		case ef.token != nil:
+			seenToken = true
+		case ef.data != nil && ef.data.Retrans():
+			if seenToken {
+				retransAfterToken++
+			} else {
+				retransBefore++
+			}
+		}
+	}
+	if retransBefore != 1 || retransAfterToken != 0 {
+		t.Fatalf("retransmissions before/after token = %d/%d, want 1/0", retransBefore, retransAfterToken)
+	}
+}
+
+func TestGlobalWindowLimitsSending(t *testing.T) {
+	ring := ringOf(1, 2)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		c := Accelerated(self, ring, 10, 12, 5)
+		return c
+	})
+	for i := 0; i < 40; i++ {
+		h.submit(1, evs.Agreed, "x")
+		h.submit(2, evs.Agreed, "y")
+	}
+	h.hop() // 1 sends 10 (personal window)
+	if h.token.Fcc != 10 {
+		t.Fatalf("fcc = %d, want 10", h.token.Fcc)
+	}
+	h.hop() // 2 may send only 2 (global 12 - fcc 10)
+	if h.token.Fcc != 12 {
+		t.Fatalf("fcc = %d, want 12", h.token.Fcc)
+	}
+	if h.token.Seq != 12 {
+		t.Fatalf("seq = %d, want 12", h.token.Seq)
+	}
+	// Steady state: each sends what the other releases.
+	for i := 0; i < 20; i++ {
+		h.hop()
+		if int(h.token.Fcc) > 12 {
+			t.Fatalf("fcc %d exceeded global window", h.token.Fcc)
+		}
+	}
+}
+
+func TestDuplicateTokenDropped(t *testing.T) {
+	ring := ringOf(1, 2, 3)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Accelerated(self, ring, 5, 100, 3)
+	})
+	h.hop()
+	// Replay the token that participant 1 already consumed, as a token
+	// retransmission would.
+	eng := h.engines[1]
+	before := eng.Counters()
+	stale := *h.token
+	stale.TokenSeq = 1 // the initial token seq participant 1 consumed
+	eng.HandleToken(&stale)
+	after := eng.Counters()
+	if after.Rounds != before.Rounds || after.TokensDropped != before.TokensDropped+1 {
+		t.Fatalf("stale token not dropped: %+v -> %+v", before, after)
+	}
+}
+
+func TestForeignRingTrafficDropped(t *testing.T) {
+	ring := ringOf(1, 2, 3)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Accelerated(self, ring, 5, 100, 3)
+	})
+	eng := h.engines[1]
+	foreign := evs.ViewID{Rep: 9, Seq: 9}
+	eng.HandleData(&wire.Data{RingID: foreign, Seq: 1, Sender: 9, Service: evs.Agreed})
+	eng.HandleToken(&wire.Token{RingID: foreign, TokenSeq: 99})
+	c := eng.Counters()
+	if c.DataDropped != 1 || c.TokensDropped != 1 || c.Rounds != 0 {
+		t.Fatalf("foreign traffic not dropped: %+v", c)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	ring := ringOf(1, 2)
+	eng, err := New(Accelerated(1, ring, 5, 100, 3), &testOut{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Submit(make([]byte, wire.MaxPayload+1), evs.Agreed); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	if err := eng.Submit([]byte("x"), evs.Service(0)); err == nil {
+		t.Fatal("invalid service accepted")
+	}
+	if err := eng.Submit([]byte("x"), evs.Safe); err != nil {
+		t.Fatalf("valid submit rejected: %v", err)
+	}
+	if eng.QueueLen() != 1 {
+		t.Fatalf("queue len = %d", eng.QueueLen())
+	}
+}
+
+// TestAruLoweringAndRaising exercises the three aru rules of §III-B2
+// directly against token state.
+func TestAruLoweringAndRaising(t *testing.T) {
+	ring := ringOf(1, 2, 3)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Accelerated(self, ring, 5, 100, 3)
+	})
+	// Participant 2 misses everything from participant 1.
+	blocked := true
+	h.drop = func(from, to evs.ProcID, d *wire.Data) bool {
+		return blocked && from == 1 && to == 2 && !d.Retrans()
+	}
+	h.submit(1, evs.Agreed, "m1", "m2")
+	h.hop() // 1 sends 1,2; aru rises to 2 at the sender (case 3)
+	if h.token.Aru != 2 || h.token.AruID != 0 {
+		t.Fatalf("after hop 1: aru=%d aruID=%d, want 2,0", h.token.Aru, h.token.AruID)
+	}
+	h.hop() // 2 missed both; lowers aru to 0 and owns it
+	if h.token.Aru != 0 || h.token.AruID != 2 {
+		t.Fatalf("after hop 2: aru=%d aruID=%d, want 0,2", h.token.Aru, h.token.AruID)
+	}
+	h.hop() // 3 has everything but must not raise: not the owner
+	if h.token.Aru != 0 || h.token.AruID != 2 {
+		t.Fatalf("after hop 3: aru=%d aruID=%d, want 0,2", h.token.Aru, h.token.AruID)
+	}
+	blocked = false
+	h.hop() // 1: not the owner either
+	if h.token.Aru != 0 {
+		t.Fatalf("after hop 4: aru=%d, want 0", h.token.Aru)
+	}
+	h.hop() // 2 requests 1,2 (accelerated: horizon now covers them)
+	h.hop() // 3 answers; 2 receives
+	h.hop() // 1
+	h.hop() // 2 now has everything: owner raises aru to seq and releases it
+	if h.token.Aru != 2 || h.token.AruID != 0 {
+		t.Fatalf("after recovery: aru=%d aruID=%d, want 2,0", h.token.Aru, h.token.AruID)
+	}
+}
+
+// TestDiscardAfterStability: once messages are stable everywhere, buffers
+// drain to zero.
+func TestDiscardAfterStability(t *testing.T) {
+	ring := ringOf(1, 2, 3)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Accelerated(self, ring, 5, 100, 3)
+	})
+	for i := 0; i < 5; i++ {
+		h.submit(1, evs.Agreed, "x")
+		h.submit(2, evs.Safe, "y")
+	}
+	for r := 0; r < 8; r++ {
+		h.round()
+	}
+	for _, id := range ring.Members {
+		eng := h.engines[id]
+		if eng.Buffered(1) != nil {
+			t.Fatalf("member %d still buffers seq 1 after stability", id)
+		}
+		if eng.SafeLine() < eng.High() {
+			t.Fatalf("member %d safe line %d below high %d after drain", id, eng.SafeLine(), eng.High())
+		}
+	}
+}
+
+// TestPriorityMethodAggressive: any next-round message from the
+// predecessor raises the token's priority.
+func TestPriorityMethodAggressive(t *testing.T) {
+	ring := ringOf(1, 2, 3)
+	cfg := Accelerated(2, ring, 5, 100, 3)
+	eng, err := New(cfg, &testOut{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1 token.
+	tok := NewInitialToken(ring.ID, 0)
+	eng.HandleToken(tok)
+	if !eng.DataPriority() {
+		t.Fatal("data must have priority after token handling")
+	}
+	// A message from a non-predecessor never raises token priority.
+	eng.HandleData(&wire.Data{RingID: ring.ID, Seq: 50, Sender: 3, Round: 2, Service: evs.Agreed})
+	if !eng.DataPriority() {
+		t.Fatal("non-predecessor message raised token priority")
+	}
+	// A current-round message from the predecessor does not either.
+	eng.HandleData(&wire.Data{RingID: ring.ID, Seq: 51, Sender: 1, Round: 1, Service: evs.Agreed})
+	if !eng.DataPriority() {
+		t.Fatal("current-round message raised token priority")
+	}
+	// A next-round message from the predecessor does, even pre-token.
+	eng.HandleData(&wire.Data{RingID: ring.ID, Seq: 52, Sender: 1, Round: 2, Service: evs.Agreed})
+	if eng.DataPriority() {
+		t.Fatal("next-round predecessor message did not raise token priority")
+	}
+}
+
+// TestPriorityMethodConservative: only a post-token next-round message
+// from the predecessor raises the token's priority.
+func TestPriorityMethodConservative(t *testing.T) {
+	ring := ringOf(1, 2, 3)
+	cfg := Accelerated(2, ring, 5, 100, 3)
+	cfg.Priority = PriorityConservative
+	eng, err := New(cfg, &testOut{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.HandleToken(NewInitialToken(ring.ID, 0))
+	// Pre-token next-round message: not enough for method 2.
+	eng.HandleData(&wire.Data{RingID: ring.ID, Seq: 52, Sender: 1, Round: 2, Service: evs.Agreed})
+	if eng.DataPriority() == false {
+		t.Fatal("pre-token message raised priority under conservative method")
+	}
+	// Post-token next-round message raises it.
+	eng.HandleData(&wire.Data{RingID: ring.ID, Seq: 53, Sender: 1, Round: 2,
+		Service: evs.Agreed, Flags: wire.FlagPostToken})
+	if eng.DataPriority() {
+		t.Fatal("post-token message did not raise token priority")
+	}
+}
+
+// TestPriorityRepresentativeRound: the representative's predecessor is the
+// last ring member, whose same-round messages signal the next token.
+func TestPriorityRepresentativeRound(t *testing.T) {
+	ring := ringOf(1, 2, 3)
+	eng, err := New(Accelerated(1, ring, 5, 100, 3), &testOut{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.HandleToken(NewInitialToken(ring.ID, 0))
+	// Member 3 (predecessor of the representative) sending in round 1
+	// signals that the representative's round-2 token is coming.
+	eng.HandleData(&wire.Data{RingID: ring.ID, Seq: 10, Sender: 3, Round: 1, Service: evs.Agreed})
+	if eng.DataPriority() {
+		t.Fatal("predecessor round-1 message did not raise priority at the representative")
+	}
+}
+
+func TestSingleMemberRing(t *testing.T) {
+	ring := ringOf(7)
+	out := &testOut{}
+	eng, err := New(Accelerated(7, ring, 5, 100, 3), out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Submit([]byte("solo"), evs.Safe); err != nil {
+		t.Fatal(err)
+	}
+	tok := NewInitialToken(ring.ID, 0)
+	for i := 0; i < 3; i++ {
+		eng.HandleToken(tok)
+		var next *wire.Token
+		for _, ef := range out.drain() {
+			if ef.token != nil {
+				next = ef.token
+			}
+		}
+		if next == nil {
+			t.Fatal("no token sent")
+		}
+		tok = next
+	}
+	ms := out.messages()
+	if len(ms) != 1 || string(ms[0].Payload) != "solo" {
+		t.Fatalf("delivered %v", ms)
+	}
+}
+
+// TestCausalityAcrossSenders: a reply submitted after delivery of the
+// original message must be ordered after it everywhere.
+func TestCausalityAcrossSenders(t *testing.T) {
+	ring := ringOf(1, 2, 3)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Accelerated(self, ring, 5, 100, 3)
+	})
+	h.submit(1, evs.Agreed, "question")
+	h.hop()
+	// Member 2 has delivered "question"; its reply is causally after.
+	if len(h.outs[2].messages()) != 1 {
+		t.Fatal("member 2 did not deliver the question")
+	}
+	h.submit(2, evs.Agreed, "answer")
+	for r := 0; r < 3; r++ {
+		h.round()
+	}
+	h.assertTotalOrder()
+	ms := h.outs[3].messages()
+	if len(ms) != 2 || string(ms[0].Payload) != "question" || string(ms[1].Payload) != "answer" {
+		t.Fatalf("causal order violated: %v", ms)
+	}
+}
+
+func TestCountersAccounting(t *testing.T) {
+	ring := ringOf(1, 2)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Accelerated(self, ring, 5, 100, 3)
+	})
+	h.submit(1, evs.Agreed, "a", "b", "c")
+	for r := 0; r < 3; r++ {
+		h.round()
+	}
+	c1 := h.engines[1].Counters()
+	if c1.Sent != 3 {
+		t.Fatalf("sent = %d, want 3", c1.Sent)
+	}
+	if c1.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", c1.Rounds)
+	}
+	if c1.Delivered != 3 {
+		t.Fatalf("delivered = %d, want 3", c1.Delivered)
+	}
+}
+
+func TestTokenSeqWraparound(t *testing.T) {
+	ring := ringOf(1, 2)
+	eng, err := New(Accelerated(1, ring, 5, 100, 3), &testOut{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := NewInitialToken(ring.ID, 0)
+	tok.TokenSeq = ^uint32(0) - 1 // about to wrap
+	eng.HandleToken(tok)
+	if eng.Counters().Rounds != 1 {
+		t.Fatal("token near wraparound rejected")
+	}
+	// The next token wraps past zero and must still be accepted.
+	tok2 := NewInitialToken(ring.ID, 0)
+	tok2.TokenSeq = 1 // wrapped
+	eng.HandleToken(tok2)
+	if eng.Counters().Rounds != 2 {
+		t.Fatal("wrapped token seq rejected")
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"accelring/internal/evs"
+	"accelring/internal/wire"
+)
+
+// effect records one output of an engine, preserving interleaving so tests
+// can assert on the pre-token/post-token send pattern.
+type effect struct {
+	token *wire.Token
+	data  *wire.Data
+}
+
+// testOut collects an engine's outputs. Tokens and data are deep-copied via
+// the wire codec, exactly as a real transport would, so later mutation by
+// the engine cannot corrupt recorded effects.
+type testOut struct {
+	effects   []effect
+	delivered []evs.Event
+	// onDeliver, when set, observes each delivery as it happens (used by
+	// invariant checks).
+	onDeliver func(evs.Event)
+}
+
+func (o *testOut) SendToken(t *wire.Token) {
+	cp, err := wire.DecodeToken(t.AppendTo(nil))
+	if err != nil {
+		panic(fmt.Sprintf("token failed wire round trip: %v", err))
+	}
+	o.effects = append(o.effects, effect{token: cp})
+}
+
+func (o *testOut) Multicast(d *wire.Data) {
+	cp, err := wire.DecodeData(d.AppendTo(nil))
+	if err != nil {
+		panic(fmt.Sprintf("data failed wire round trip: %v", err))
+	}
+	o.effects = append(o.effects, effect{data: cp})
+}
+
+func (o *testOut) Deliver(ev evs.Event) {
+	o.delivered = append(o.delivered, ev)
+	if o.onDeliver != nil {
+		o.onDeliver(ev)
+	}
+}
+
+func (o *testOut) drain() []effect {
+	e := o.effects
+	o.effects = nil
+	return e
+}
+
+// messages returns the delivered application messages.
+func (o *testOut) messages() []evs.Message {
+	var ms []evs.Message
+	for _, ev := range o.delivered {
+		if m, ok := ev.(evs.Message); ok {
+			ms = append(ms, m)
+		}
+	}
+	return ms
+}
+
+// harness drives a set of engines over a synchronous lossless "network":
+// every multicast reaches every other member before the next token hop,
+// unless the drop hook discards it.
+type harness struct {
+	t       *testing.T
+	ring    evs.Configuration
+	engines map[evs.ProcID]*Engine
+	outs    map[evs.ProcID]*testOut
+	token   *wire.Token
+	holder  evs.ProcID
+	// drop, when set, discards the multicast from -> to when it returns true.
+	drop func(from, to evs.ProcID, d *wire.Data) bool
+	// undelivered multicasts pending per receiver (normally flushed
+	// immediately; kept for tests that interleave manually).
+	lastEffects map[evs.ProcID][]effect
+}
+
+func ringOf(ids ...evs.ProcID) evs.Configuration {
+	return evs.NewConfiguration(evs.ViewID{Rep: ids[0], Seq: 1}, ids)
+}
+
+// newHarness builds engines with the given config template (Self and Ring
+// are filled per participant).
+func newHarness(t *testing.T, ring evs.Configuration, mk func(self evs.ProcID) Config) *harness {
+	t.Helper()
+	h := &harness{
+		t:           t,
+		ring:        ring,
+		engines:     make(map[evs.ProcID]*Engine),
+		outs:        make(map[evs.ProcID]*testOut),
+		holder:      ring.Members[0],
+		token:       NewInitialToken(ring.ID, 0),
+		lastEffects: make(map[evs.ProcID][]effect),
+	}
+	for _, id := range ring.Members {
+		out := &testOut{}
+		eng, err := New(mk(id), out)
+		if err != nil {
+			t.Fatalf("engine %d: %v", id, err)
+		}
+		h.engines[id] = eng
+		h.outs[id] = out
+	}
+	return h
+}
+
+// hop lets the current holder process the token, distributes its
+// multicasts to all other members, and advances the holder. It returns the
+// effects the holder produced.
+func (h *harness) hop() []effect {
+	h.t.Helper()
+	holder := h.holder
+	eng := h.engines[holder]
+	eng.HandleToken(h.token)
+	effects := h.outs[holder].drain()
+	h.lastEffects[holder] = effects
+	var next *wire.Token
+	for _, ef := range effects {
+		switch {
+		case ef.token != nil:
+			next = ef.token
+		case ef.data != nil:
+			for _, id := range h.ring.Members {
+				if id == holder {
+					continue
+				}
+				if h.drop != nil && h.drop(holder, id, ef.data) {
+					continue
+				}
+				// Fresh decode per receiver, as from the wire.
+				cp, err := wire.DecodeData(ef.data.AppendTo(nil))
+				if err != nil {
+					h.t.Fatalf("re-decode: %v", err)
+				}
+				h.engines[id].HandleData(cp)
+			}
+		}
+	}
+	if next == nil {
+		h.t.Fatalf("participant %d did not send the token", holder)
+	}
+	h.token = next
+	h.holder = h.ring.Successor(holder)
+	return effects
+}
+
+// round performs one full rotation.
+func (h *harness) round() {
+	for range h.ring.Members {
+		h.hop()
+	}
+}
+
+// submit queues payloads at the given member.
+func (h *harness) submit(id evs.ProcID, service evs.Service, payloads ...string) {
+	h.t.Helper()
+	for _, p := range payloads {
+		if err := h.engines[id].Submit([]byte(p), service); err != nil {
+			h.t.Fatalf("submit at %d: %v", id, err)
+		}
+	}
+}
+
+// assertTotalOrder verifies all members delivered identical message
+// sequences (prefix-compatible if lengths differ is NOT accepted here; use
+// assertPrefixOrder for in-flight checks).
+func (h *harness) assertTotalOrder() {
+	h.t.Helper()
+	var ref []evs.Message
+	var refID evs.ProcID
+	for _, id := range h.ring.Members {
+		ms := h.outs[id].messages()
+		if ref == nil {
+			ref, refID = ms, id
+			continue
+		}
+		if len(ms) != len(ref) {
+			h.t.Fatalf("member %d delivered %d messages, member %d delivered %d",
+				id, len(ms), refID, len(ref))
+		}
+		for i := range ms {
+			if ms[i].Seq != ref[i].Seq || ms[i].Sender != ref[i].Sender ||
+				string(ms[i].Payload) != string(ref[i].Payload) {
+				h.t.Fatalf("delivery %d differs: member %d got (seq=%d from %d %q), member %d got (seq=%d from %d %q)",
+					i, id, ms[i].Seq, ms[i].Sender, ms[i].Payload,
+					refID, ref[i].Seq, ref[i].Sender, ref[i].Payload)
+			}
+		}
+	}
+}
+
+// dataSends splits the holder's effects into sends before and after the
+// token, excluding retransmissions.
+func splitSends(effects []effect) (pre, post []*wire.Data) {
+	seenToken := false
+	for _, ef := range effects {
+		switch {
+		case ef.token != nil:
+			seenToken = true
+		case ef.data != nil && !ef.data.Retrans():
+			if seenToken {
+				post = append(post, ef.data)
+			} else {
+				pre = append(pre, ef.data)
+			}
+		}
+	}
+	return pre, post
+}

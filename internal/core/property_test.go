@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"accelring/internal/evs"
+	"accelring/internal/flowcontrol"
+	"accelring/internal/wire"
+)
+
+// TestQuickProtocolInvariants property-tests the ordering protocol end to
+// end: random ring sizes, random window parameters (including the original
+// protocol at Accelerated=0), random service mixes, and random message
+// loss. After the system quiesces it checks:
+//
+//  1. total order — every member delivered exactly seq 1..N in order;
+//  2. safe stability — at the instant a member delivered a Safe message,
+//     every other member had already received it;
+//  3. self delivery — every sender delivered its own messages;
+//  4. flow control — no token ever carried fcc above the Global window.
+func TestQuickProtocolInvariants(t *testing.T) {
+	f := func(seed int64) bool { return runProtocolTrial(t, seed) }
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runProtocolTrial(t *testing.T, seed int64) bool {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(5) // 2..6 members
+	ids := make([]evs.ProcID, n)
+	for i := range ids {
+		ids[i] = evs.ProcID(10 + i*7) // non-contiguous IDs
+	}
+	ring := evs.NewConfiguration(evs.ViewID{Rep: ids[0], Seq: uint64(rng.Intn(100) + 1)}, ids)
+
+	personal := 1 + rng.Intn(8)
+	accel := rng.Intn(personal + 1)
+	global := personal + rng.Intn(personal*4*n)
+	lossPct := rng.Intn(30) // 0..29 % per receiver
+
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		c := Config{
+			Self:            self,
+			Ring:            ring,
+			Windows:         flowcontrol.Windows{Personal: personal, Global: global, Accelerated: accel},
+			DelayedRequests: accel > 0,
+			Priority:        PriorityAggressive,
+		}
+		if rng.Intn(2) == 0 {
+			c.Priority = PriorityConservative
+		}
+		return c
+	})
+
+	lossRng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	healed := false
+	h.drop = func(from, to evs.ProcID, d *wire.Data) bool {
+		if healed {
+			return false
+		}
+		return lossRng.Intn(100) < lossPct
+	}
+
+	// Safe-stability observer.
+	violation := ""
+	for _, id := range ring.Members {
+		id := id
+		h.outs[id].onDeliver = func(ev evs.Event) {
+			m, ok := ev.(evs.Message)
+			if !ok || m.Service != evs.Safe {
+				return
+			}
+			for _, other := range ring.Members {
+				if !h.engines[other].bufHas(m.Seq) {
+					violation = fmt.Sprintf("member %d delivered safe seq %d before member %d received it",
+						id, m.Seq, other)
+				}
+			}
+		}
+	}
+
+	// Random workload, injected over the first rounds.
+	services := []evs.Service{evs.Agreed, evs.Safe, evs.FIFO, evs.Reliable, evs.Causal}
+	total := 0
+	inject := func() {
+		for _, id := range ring.Members {
+			for k := rng.Intn(4); k > 0; k-- {
+				svc := services[rng.Intn(len(services))]
+				h.submit(id, svc, fmt.Sprintf("m-%d-%d", id, total))
+				total++
+			}
+		}
+	}
+	for r := 0; r < 6; r++ {
+		inject()
+		h.round()
+		// The Global window caps new sends; retransmissions are exempt
+		// (they always go out), so fcc may exceed the window only under
+		// loss.
+		if lossPct == 0 && int(h.token.Fcc) > global {
+			t.Logf("seed %d: fcc %d exceeded global window %d without loss",
+				seed, h.token.Fcc, global)
+			return false
+		}
+	}
+	// Drain with loss still active, then heal and finish.
+	for r := 0; r < 60 && !quiesced(h, total); r++ {
+		h.round()
+	}
+	healed = true
+	for r := 0; r < 120 && !quiesced(h, total); r++ {
+		h.round()
+	}
+	if violation != "" {
+		t.Logf("seed %d: %s", seed, violation)
+		return false
+	}
+	if !quiesced(h, total) {
+		t.Logf("seed %d: did not quiesce (n=%d pw=%d aw=%d gw=%d loss=%d%%, want %d msgs; got %v)",
+			seed, n, personal, accel, global, lossPct, total, deliveredCounts(h))
+		return false
+	}
+	// Total order: everyone delivered seq 1..total in order.
+	for _, id := range ring.Members {
+		ms := h.outs[id].messages()
+		if len(ms) != total {
+			t.Logf("seed %d: member %d delivered %d of %d", seed, id, len(ms), total)
+			return false
+		}
+		for i, m := range ms {
+			if m.Seq != uint64(i+1) {
+				t.Logf("seed %d: member %d delivery %d has seq %d", seed, id, i, m.Seq)
+				return false
+			}
+		}
+	}
+	h.assertTotalOrder()
+	// Self delivery.
+	for _, id := range ring.Members {
+		sent := h.engines[id].Counters().Sent
+		var own uint64
+		for _, m := range h.outs[id].messages() {
+			if m.Sender == id {
+				own++
+			}
+		}
+		if own != sent {
+			t.Logf("seed %d: member %d delivered %d of its own %d messages", seed, id, own, sent)
+			return false
+		}
+	}
+	return true
+}
+
+func quiesced(h *harness, total int) bool {
+	for _, id := range h.ring.Members {
+		if h.engines[id].QueueLen() != 0 {
+			return false
+		}
+		if len(h.outs[id].messages()) != total {
+			return false
+		}
+	}
+	return true
+}
+
+func deliveredCounts(h *harness) map[evs.ProcID]int {
+	m := make(map[evs.ProcID]int)
+	for _, id := range h.ring.Members {
+		m[id] = len(h.outs[id].messages())
+	}
+	return m
+}
+
+// bufHas exposes receipt checks to the stability observer.
+func (e *Engine) bufHas(seq uint64) bool { return e.buf.Has(seq) }

@@ -1,0 +1,402 @@
+// Package daemon implements the client-daemon architecture of Spread and
+// of the paper's daemon-based prototype: one daemon per host runs the ring
+// protocol, local clients connect over a stream socket, and the daemon
+// routes totally ordered group messages to the clients that joined the
+// target groups. The architecture gives a clean separation between
+// middleware and application, lets one daemon set serve several
+// applications, and provides open-group semantics (senders need not be
+// members).
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"accelring/internal/evs"
+	"accelring/internal/group"
+	"accelring/internal/membership"
+	"accelring/internal/ringnode"
+	"accelring/internal/session"
+)
+
+// Config configures a daemon.
+type Config struct {
+	// Ring is the protocol configuration (Self, Transport, windows,
+	// timeouts). Its OnEvent field is owned by the daemon.
+	Ring ringnode.Config
+	// Listener accepts client connections (TCP or Unix socket). The
+	// daemon takes ownership and closes it on Stop.
+	Listener net.Listener
+	// ClientBuffer is the per-client outbound frame buffer; a client
+	// that falls this far behind is disconnected (default 1024).
+	ClientBuffer int
+}
+
+// Daemon is one host's ordering daemon.
+type Daemon struct {
+	cfg  Config
+	self evs.ProcID
+	node *ringnode.Node
+	ln   net.Listener
+
+	// table is only touched on the protocol goroutine (OnEvent).
+	table *group.Table
+
+	mu        sync.Mutex
+	clients   map[uint32]*clientConn
+	nextLocal uint32
+	stopped   bool
+
+	wg sync.WaitGroup
+}
+
+type clientConn struct {
+	id     group.ClientID
+	name   string
+	conn   net.Conn
+	sendCh chan session.Frame
+	closed chan struct{}
+	once   sync.Once
+}
+
+// Start launches the protocol node and the client accept loop.
+func Start(cfg Config) (*Daemon, error) {
+	if cfg.Listener == nil {
+		return nil, errors.New("daemon: nil listener")
+	}
+	if cfg.ClientBuffer <= 0 {
+		cfg.ClientBuffer = 1024
+	}
+	d := &Daemon{
+		cfg:     cfg,
+		self:    cfg.Ring.Self,
+		ln:      cfg.Listener,
+		table:   group.NewTable(),
+		clients: make(map[uint32]*clientConn),
+	}
+	ringCfg := cfg.Ring
+	ringCfg.OnEvent = d.onEvent
+	node, err := ringnode.Start(ringCfg)
+	if err != nil {
+		return nil, err
+	}
+	d.node = node
+	d.wg.Add(1)
+	go d.acceptLoop()
+	return d, nil
+}
+
+// Node exposes the underlying protocol node (status inspection).
+func (d *Daemon) Node() *ringnode.Node { return d.node }
+
+// Addr returns the client listener's address.
+func (d *Daemon) Addr() net.Addr { return d.ln.Addr() }
+
+// WaitOperational blocks until the daemon's ring is operational.
+func (d *Daemon) WaitOperational(timeout time.Duration) bool {
+	return d.node.WaitState(membership.StateOperational, timeout)
+}
+
+// Stop disconnects clients, stops the listener and the protocol node.
+func (d *Daemon) Stop() {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.stopped = true
+	clients := make([]*clientConn, 0, len(d.clients))
+	for _, c := range d.clients {
+		clients = append(clients, c)
+	}
+	d.mu.Unlock()
+
+	d.ln.Close()
+	for _, c := range clients {
+		c.close()
+	}
+	d.wg.Wait()
+	d.node.Stop()
+}
+
+func (d *Daemon) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		d.wg.Add(1)
+		go d.serveClient(conn)
+	}
+}
+
+// serveClient handles one client session: handshake, then request loop.
+func (d *Daemon) serveClient(conn net.Conn) {
+	defer d.wg.Done()
+	f, err := session.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	hello, ok := f.(session.Connect)
+	if !ok {
+		_ = session.WriteFrame(conn, session.Error{Msg: "expected connect"})
+		conn.Close()
+		return
+	}
+
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		conn.Close()
+		return
+	}
+	d.nextLocal++
+	c := &clientConn{
+		id:     group.ClientID{Daemon: d.self, Local: d.nextLocal},
+		name:   hello.Name,
+		conn:   conn,
+		sendCh: make(chan session.Frame, d.cfg.ClientBuffer),
+		closed: make(chan struct{}),
+	}
+	d.clients[c.id.Local] = c
+	d.mu.Unlock()
+
+	if err := session.WriteFrame(conn, session.Welcome{Client: c.id}); err != nil {
+		d.dropClient(c)
+		return
+	}
+
+	d.wg.Add(1)
+	go d.clientWriter(c)
+	d.clientReader(c)
+}
+
+// clientReader turns client requests into ordered envelopes.
+func (d *Daemon) clientReader(c *clientConn) {
+	defer d.dropClient(c)
+	for {
+		f, err := session.ReadFrame(c.conn)
+		if err != nil {
+			return
+		}
+		switch req := f.(type) {
+		case session.Join:
+			d.submitEnvelope(c, group.Envelope{
+				Kind: group.OpJoin, Sender: c.id, Groups: []string{req.Group},
+			}, evs.Agreed)
+		case session.Leave:
+			d.submitEnvelope(c, group.Envelope{
+				Kind: group.OpLeave, Sender: c.id, Groups: []string{req.Group},
+			}, evs.Agreed)
+		case session.Send:
+			svc := req.Service
+			if !svc.Valid() {
+				c.push(session.Error{Msg: "invalid service"})
+				continue
+			}
+			d.backpressure()
+			d.submitEnvelope(c, group.Envelope{
+				Kind: group.OpMessage, Sender: c.id, Groups: req.Groups,
+				Payload: req.Payload,
+			}, svc)
+		case session.Private:
+			svc := req.Service
+			if !svc.Valid() {
+				c.push(session.Error{Msg: "invalid service"})
+				continue
+			}
+			d.backpressure()
+			d.submitEnvelope(c, group.Envelope{
+				Kind: group.OpPrivate, Sender: c.id, Target: req.To,
+				Payload: req.Payload,
+			}, svc)
+		default:
+			c.push(session.Error{Msg: fmt.Sprintf("unexpected frame %T", f)})
+		}
+	}
+}
+
+func (d *Daemon) submitEnvelope(c *clientConn, env group.Envelope, svc evs.Service) {
+	enc, err := env.Encode()
+	if err != nil {
+		c.push(session.Error{Msg: err.Error()})
+		return
+	}
+	if err := d.node.Submit(enc, svc); err != nil {
+		c.push(session.Error{Msg: err.Error()})
+	}
+}
+
+// clientWriter drains the client's outbound buffer.
+func (d *Daemon) clientWriter(c *clientConn) {
+	defer d.wg.Done()
+	for {
+		select {
+		case f := <-c.sendCh:
+			if err := session.WriteFrame(c.conn, f); err != nil {
+				c.close()
+				return
+			}
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+// push enqueues a frame; a full buffer disconnects the slow client rather
+// than stalling the ordering daemon.
+func (c *clientConn) push(f session.Frame) {
+	select {
+	case c.sendCh <- f:
+	case <-c.closed:
+	default:
+		c.close()
+	}
+}
+
+func (c *clientConn) close() {
+	c.once.Do(func() {
+		close(c.closed)
+		c.conn.Close()
+	})
+}
+
+// dropClient unregisters a client and announces its departure in order.
+func (d *Daemon) dropClient(c *clientConn) {
+	c.close()
+	d.mu.Lock()
+	_, known := d.clients[c.id.Local]
+	delete(d.clients, c.id.Local)
+	stopped := d.stopped
+	d.mu.Unlock()
+	if !known || stopped {
+		return
+	}
+	env := group.Envelope{Kind: group.OpDisconnect, Sender: c.id}
+	if enc, err := env.Encode(); err == nil {
+		// Best effort: if the ring is down the table is rebuilt from
+		// configuration changes anyway.
+		_ = d.node.Submit(enc, evs.Agreed)
+	}
+}
+
+// localClient looks up a connected client by global ID.
+func (d *Daemon) localClient(id group.ClientID) *clientConn {
+	if id.Daemon != d.self {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.clients[id.Local]
+}
+
+// onEvent runs on the protocol goroutine: it applies ordered envelopes to
+// the replicated group table and routes deliveries to local clients.
+func (d *Daemon) onEvent(ev evs.Event) {
+	switch e := ev.(type) {
+	case evs.Message:
+		env, err := group.DecodeEnvelope(e.Payload)
+		if err != nil {
+			return // not ours; a foreign application on the same ring
+		}
+		d.applyEnvelope(env, e.Service)
+	case evs.ConfigChange:
+		if e.Transitional {
+			return
+		}
+		d.applyConfigChange(e.Config)
+	}
+}
+
+func (d *Daemon) applyEnvelope(env *group.Envelope, svc evs.Service) {
+	switch env.Kind {
+	case group.OpJoin:
+		if err := d.table.Join(env.Sender, env.Groups[0]); err == nil {
+			d.announceView(env.Groups[0])
+		}
+	case group.OpLeave:
+		if err := d.table.Leave(env.Sender, env.Groups[0]); err == nil {
+			d.announceView(env.Groups[0])
+		}
+	case group.OpDisconnect:
+		for _, g := range d.table.Disconnect(env.Sender) {
+			d.announceView(g)
+		}
+	case group.OpMessage:
+		msg := session.Message{
+			Sender:  env.Sender,
+			Service: svc,
+			Groups:  env.Groups,
+			Payload: env.Payload,
+		}
+		for _, rcpt := range d.table.Recipients(env.Groups) {
+			if c := d.localClient(rcpt); c != nil {
+				c.push(msg)
+			}
+		}
+	case group.OpPrivate:
+		if c := d.localClient(env.Target); c != nil {
+			c.push(session.Message{
+				Sender:  env.Sender,
+				Service: svc,
+				Payload: env.Payload,
+			})
+		}
+	}
+}
+
+// backpressure paces client ingestion while the protocol's send queue is
+// deep: not reading from the client socket makes TCP push back on the
+// sender, which is Spread's session flow control in spirit. Without it a
+// flooding client would balloon the daemon's memory. Bounded wait so a
+// wedged ring cannot hang client readers forever.
+func (d *Daemon) backpressure() {
+	const maxQueued = 512
+	for i := 0; i < 2000; i++ {
+		if d.node.Status().QueueLen < maxQueued {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// applyConfigChange drops clients of daemons that left the configuration.
+// Every daemon applies the same change against the same table state, so
+// views remain identical everywhere.
+func (d *Daemon) applyConfigChange(cfg evs.Configuration) {
+	present := make(map[evs.ProcID]bool, len(cfg.Members))
+	for _, m := range cfg.Members {
+		present[m] = true
+	}
+	// Collect daemons referenced by the table.
+	seen := make(map[evs.ProcID]bool)
+	for _, g := range d.table.Groups() {
+		for _, c := range d.table.Members(g) {
+			seen[c.Daemon] = true
+		}
+	}
+	for daemonID := range seen {
+		if present[daemonID] {
+			continue
+		}
+		for _, g := range d.table.DropDaemon(daemonID) {
+			d.announceView(g)
+		}
+	}
+}
+
+// announceView pushes the group's current membership to local members.
+func (d *Daemon) announceView(g string) {
+	members := d.table.Members(g)
+	view := session.View{Group: g, Members: members}
+	for _, m := range members {
+		if c := d.localClient(m); c != nil {
+			c.push(view)
+		}
+	}
+}

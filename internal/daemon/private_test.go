@@ -1,0 +1,110 @@
+package daemon
+
+import (
+	"testing"
+	"time"
+
+	"accelring/internal/evs"
+	"accelring/internal/group"
+)
+
+// TestPrivateMessageDelivery: a private message reaches exactly its
+// target, across daemons, in total order with surrounding group traffic.
+func TestPrivateMessageDelivery(t *testing.T) {
+	daemons := startDaemons(t, 3)
+	alice := dial(t, daemons[0], "alice")
+	bob := dial(t, daemons[1], "bob")
+	eve := dial(t, daemons[2], "eve")
+
+	// Everyone joins a group so that group traffic interleaves with the
+	// private message.
+	for _, c := range []interface{ Join(string) error }{alice, bob, eve} {
+		if err := c.Join("lobby"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for {
+		v := nextView(t, alice, "lobby", 5*time.Second)
+		if len(v.Members) == 3 {
+			break
+		}
+	}
+
+	if err := alice.Multicast(evs.Agreed, []byte("before"), "lobby"); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.SendPrivate(bob.ID(), evs.Agreed, []byte("psst")); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Multicast(evs.Agreed, []byte("after"), "lobby"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bob sees before, psst (no groups), after — in that order.
+	m := nextMessage(t, bob, 5*time.Second)
+	if string(m.Payload) != "before" {
+		t.Fatalf("bob first message: %q", m.Payload)
+	}
+	m = nextMessage(t, bob, 5*time.Second)
+	if string(m.Payload) != "psst" || len(m.Groups) != 0 || m.Sender != alice.ID() {
+		t.Fatalf("bob private message: %+v", m)
+	}
+	m = nextMessage(t, bob, 5*time.Second)
+	if string(m.Payload) != "after" {
+		t.Fatalf("bob third message: %q", m.Payload)
+	}
+
+	// Eve never sees the private message.
+	m = nextMessage(t, eve, 5*time.Second)
+	if string(m.Payload) != "before" {
+		t.Fatalf("eve first message: %q", m.Payload)
+	}
+	m = nextMessage(t, eve, 5*time.Second)
+	if string(m.Payload) != "after" {
+		t.Fatalf("eve leaked the private message: %q", m.Payload)
+	}
+}
+
+func TestPrivateValidation(t *testing.T) {
+	daemons := startDaemons(t, 1)
+	c := dial(t, daemons[0], "v")
+	if err := c.SendPrivate(group.ClientID{}, evs.Agreed, nil); err == nil {
+		t.Fatal("zero target accepted")
+	}
+	if err := c.SendPrivate(c.ID(), evs.Service(0), nil); err == nil {
+		t.Fatal("invalid service accepted")
+	}
+	// Self-private works: ordered loopback.
+	if err := c.SendPrivate(c.ID(), evs.Safe, []byte("note to self")); err != nil {
+		t.Fatal(err)
+	}
+	m := nextMessage(t, c, 5*time.Second)
+	if string(m.Payload) != "note to self" {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+// TestPrivateToDeadClientIsDropped: private messages to disconnected
+// clients vanish silently, like Spread's.
+func TestPrivateToDeadClientIsDropped(t *testing.T) {
+	daemons := startDaemons(t, 2)
+	a := dial(t, daemons[0], "a")
+	b := dial(t, daemons[1], "b")
+	deadID := b.ID()
+	b.Close()
+	time.Sleep(100 * time.Millisecond)
+	if err := a.SendPrivate(deadID, evs.Agreed, []byte("into the void")); err != nil {
+		t.Fatal(err)
+	}
+	// Follow with a marker to prove the ring kept moving.
+	if err := a.Join("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Multicast(evs.Agreed, []byte("marker"), "g"); err != nil {
+		t.Fatal(err)
+	}
+	m := nextMessage(t, a, 5*time.Second)
+	if string(m.Payload) != "marker" {
+		t.Fatalf("got %q", m.Payload)
+	}
+}

@@ -1,0 +1,203 @@
+// Package evs defines the Extended Virtual Synchrony (EVS) model types
+// shared by the ordering protocol, the membership algorithm, and the
+// client-facing layers.
+//
+// EVS (Moser et al., ICDCS 1994) extends Virtual Synchrony to partitionable
+// environments: message delivery and ordering guarantees are stated with
+// respect to a series of configurations. A configuration is a uniquely
+// identified set of connected participants. Regular configurations carry the
+// full guarantees; transitional configurations are delivered during
+// membership changes to the subset of members that continue together, so
+// that messages whose guarantees could not be established in the old
+// configuration can still be delivered with well-defined semantics.
+package evs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ProcID identifies a protocol participant. IDs are compared numerically;
+// the smallest ID in a configuration acts as the ring representative. In
+// deployments the ID is typically derived from the participant's IPv4
+// address. The zero value is reserved and never identifies a participant.
+type ProcID uint32
+
+// ViewID uniquely identifies a configuration. It pairs the representative
+// that formed the configuration with a sequence number that the
+// representative increases every time it forms a new configuration, so two
+// distinct configurations never share a ViewID.
+type ViewID struct {
+	Rep ProcID
+	Seq uint64
+}
+
+// Less orders ViewIDs first by sequence number, then by representative.
+// Membership uses this to pick the larger ring identifier when merging.
+func (v ViewID) Less(o ViewID) bool {
+	if v.Seq != o.Seq {
+		return v.Seq < o.Seq
+	}
+	return v.Rep < o.Rep
+}
+
+// IsZero reports whether v is the zero ViewID (no configuration).
+func (v ViewID) IsZero() bool { return v.Rep == 0 && v.Seq == 0 }
+
+func (v ViewID) String() string { return fmt.Sprintf("view(%d.%d)", v.Rep, v.Seq) }
+
+// Configuration is a set of connected participants with a unique identifier.
+// Members are kept sorted ascending; ring order is member order.
+type Configuration struct {
+	ID      ViewID
+	Members []ProcID
+}
+
+// NewConfiguration builds a configuration with the members sorted into ring
+// order. The caller's slice is copied.
+func NewConfiguration(id ViewID, members []ProcID) Configuration {
+	m := make([]ProcID, len(members))
+	copy(m, members)
+	sort.Slice(m, func(i, j int) bool { return m[i] < m[j] })
+	return Configuration{ID: id, Members: m}
+}
+
+// Index returns the ring position of p, or -1 if p is not a member.
+func (c Configuration) Index(p ProcID) int {
+	for i, m := range c.Members {
+		if m == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether p is a member of the configuration.
+func (c Configuration) Contains(p ProcID) bool { return c.Index(p) >= 0 }
+
+// Successor returns the next member after p in ring order, wrapping around.
+// It returns 0 if p is not a member or the configuration is a singleton.
+func (c Configuration) Successor(p ProcID) ProcID {
+	i := c.Index(p)
+	if i < 0 || len(c.Members) < 2 {
+		if i == 0 && len(c.Members) == 1 {
+			return p
+		}
+		return 0
+	}
+	return c.Members[(i+1)%len(c.Members)]
+}
+
+// Predecessor returns the member before p in ring order, wrapping around.
+// It returns 0 if p is not a member.
+func (c Configuration) Predecessor(p ProcID) ProcID {
+	i := c.Index(p)
+	if i < 0 {
+		return 0
+	}
+	n := len(c.Members)
+	return c.Members[(i-1+n)%n]
+}
+
+// Equal reports whether two configurations have the same ID and members.
+func (c Configuration) Equal(o Configuration) bool {
+	if c.ID != o.ID || len(c.Members) != len(o.Members) {
+		return false
+	}
+	for i := range c.Members {
+		if c.Members[i] != o.Members[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c Configuration) String() string {
+	return fmt.Sprintf("%v%v", c.ID, c.Members)
+}
+
+// Service is the delivery service level requested for a message. The ring
+// protocol totally orders every message regardless of level; the level
+// determines when a message may be delivered to the application.
+type Service uint8
+
+const (
+	// Reliable delivery: the message is delivered reliably in total order
+	// (the ring orders everything), with no additional delivery constraint.
+	Reliable Service = iota + 1
+	// FIFO delivery preserves per-sender order. Latency matches Agreed.
+	FIFO
+	// Causal delivery respects Lamport causality. Latency matches Agreed.
+	Causal
+	// Agreed delivery guarantees all members of a configuration deliver
+	// messages in the same total order, respecting causality. A message is
+	// delivered as soon as all messages ordered before it have been
+	// delivered.
+	Agreed
+	// Safe delivery additionally guarantees stability: a message is
+	// delivered only once every member of the configuration is known to
+	// have received it (so each will deliver it unless it crashes).
+	Safe
+)
+
+// NeedsStability reports whether the service level requires stability
+// (knowledge that all members received the message) before delivery.
+func (s Service) NeedsStability() bool { return s == Safe }
+
+// Valid reports whether s is a defined service level.
+func (s Service) Valid() bool { return s >= Reliable && s <= Safe }
+
+func (s Service) String() string {
+	switch s {
+	case Reliable:
+		return "reliable"
+	case FIFO:
+		return "fifo"
+	case Causal:
+		return "causal"
+	case Agreed:
+		return "agreed"
+	case Safe:
+		return "safe"
+	default:
+		return fmt.Sprintf("service(%d)", uint8(s))
+	}
+}
+
+// Event is a delivery event handed to the application: either a Message or
+// a ConfigChange. Events from one participant are delivered in a single
+// well-defined order.
+type Event interface{ isEvent() }
+
+// Message is an application message delivered in total order.
+type Message struct {
+	// Seq is the message's position in the configuration's total order.
+	Seq uint64
+	// Sender is the participant that initiated the message.
+	Sender ProcID
+	// Round is the token round in which the message was initiated.
+	Round uint64
+	// Service is the delivery level the message was sent with.
+	Service Service
+	// Config identifies the configuration the message is delivered in.
+	Config ViewID
+	// Control marks protocol-internal messages (membership recovery
+	// traffic); the membership layer consumes them before applications
+	// see anything.
+	Control bool
+	// Payload is the application data. The protocol never inspects it.
+	Payload []byte
+}
+
+func (Message) isEvent() {}
+
+// ConfigChange announces a new configuration. A transitional configuration
+// contains the members of the previous regular configuration that continue
+// together; messages delivered after it (and before the next regular
+// configuration) carry guarantees only with respect to that reduced set.
+type ConfigChange struct {
+	Config       Configuration
+	Transitional bool
+}
+
+func (ConfigChange) isEvent() {}

@@ -1,0 +1,145 @@
+package evs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestViewIDLess(t *testing.T) {
+	tests := []struct {
+		a, b ViewID
+		want bool
+	}{
+		{ViewID{1, 1}, ViewID{1, 2}, true},
+		{ViewID{1, 2}, ViewID{1, 1}, false},
+		{ViewID{1, 1}, ViewID{2, 1}, true},
+		{ViewID{2, 1}, ViewID{1, 1}, false},
+		{ViewID{1, 1}, ViewID{1, 1}, false},
+	}
+	for _, tc := range tests {
+		if got := tc.a.Less(tc.b); got != tc.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+	if !(ViewID{}).IsZero() || (ViewID{Rep: 1}).IsZero() {
+		t.Fatal("IsZero misclassifies")
+	}
+}
+
+func TestConfigurationSortsMembers(t *testing.T) {
+	c := NewConfiguration(ViewID{Rep: 1, Seq: 1}, []ProcID{5, 1, 3})
+	want := []ProcID{1, 3, 5}
+	for i, m := range c.Members {
+		if m != want[i] {
+			t.Fatalf("members = %v, want %v", c.Members, want)
+		}
+	}
+}
+
+func TestConfigurationCopiesInput(t *testing.T) {
+	in := []ProcID{2, 1}
+	c := NewConfiguration(ViewID{Rep: 1, Seq: 1}, in)
+	in[0] = 99
+	if c.Members[0] == 99 || c.Members[1] == 99 {
+		t.Fatal("configuration aliases caller's slice")
+	}
+}
+
+func TestRingNavigation(t *testing.T) {
+	c := NewConfiguration(ViewID{Rep: 1, Seq: 1}, []ProcID{1, 2, 3})
+	tests := []struct {
+		p          ProcID
+		succ, pred ProcID
+		idx        int
+	}{
+		{1, 2, 3, 0},
+		{2, 3, 1, 1},
+		{3, 1, 2, 2},
+		{9, 0, 0, -1},
+	}
+	for _, tc := range tests {
+		if got := c.Successor(tc.p); got != tc.succ {
+			t.Errorf("Successor(%d) = %d, want %d", tc.p, got, tc.succ)
+		}
+		if got := c.Predecessor(tc.p); got != tc.pred {
+			t.Errorf("Predecessor(%d) = %d, want %d", tc.p, got, tc.pred)
+		}
+		if got := c.Index(tc.p); got != tc.idx {
+			t.Errorf("Index(%d) = %d, want %d", tc.p, got, tc.idx)
+		}
+	}
+	if !c.Contains(2) || c.Contains(9) {
+		t.Fatal("Contains misclassifies")
+	}
+	// Singleton ring: the successor is the member itself.
+	solo := NewConfiguration(ViewID{Rep: 7, Seq: 1}, []ProcID{7})
+	if solo.Successor(7) != 7 || solo.Predecessor(7) != 7 {
+		t.Fatal("singleton ring navigation broken")
+	}
+}
+
+func TestConfigurationEqual(t *testing.T) {
+	a := NewConfiguration(ViewID{Rep: 1, Seq: 1}, []ProcID{1, 2})
+	b := NewConfiguration(ViewID{Rep: 1, Seq: 1}, []ProcID{2, 1})
+	if !a.Equal(b) {
+		t.Fatal("equal configurations differ")
+	}
+	c := NewConfiguration(ViewID{Rep: 1, Seq: 2}, []ProcID{1, 2})
+	d := NewConfiguration(ViewID{Rep: 1, Seq: 1}, []ProcID{1, 2, 3})
+	if a.Equal(c) || a.Equal(d) {
+		t.Fatal("different configurations compare equal")
+	}
+}
+
+func TestServiceProperties(t *testing.T) {
+	for _, s := range []Service{Reliable, FIFO, Causal, Agreed, Safe} {
+		if !s.Valid() {
+			t.Errorf("%v not valid", s)
+		}
+		if s.NeedsStability() != (s == Safe) {
+			t.Errorf("%v stability = %v", s, s.NeedsStability())
+		}
+		if s.String() == "" {
+			t.Errorf("%v has empty name", s)
+		}
+	}
+	if Service(0).Valid() || Service(6).Valid() {
+		t.Fatal("invalid services pass Valid")
+	}
+}
+
+func TestEventTypes(t *testing.T) {
+	var events []Event
+	events = append(events, Message{Seq: 1}, ConfigChange{})
+	if len(events) != 2 {
+		t.Fatal("event interface not satisfied")
+	}
+}
+
+// TestQuickSuccessorPredecessorInverse: pred(succ(p)) == p on any ring.
+func TestQuickSuccessorPredecessorInverse(t *testing.T) {
+	f := func(raw []uint32) bool {
+		seen := map[ProcID]bool{}
+		var ids []ProcID
+		for _, r := range raw {
+			p := ProcID(r%1000 + 1)
+			if !seen[p] {
+				seen[p] = true
+				ids = append(ids, p)
+			}
+		}
+		if len(ids) == 0 {
+			return true
+		}
+		c := NewConfiguration(ViewID{Rep: ids[0], Seq: 1}, ids)
+		for _, p := range c.Members {
+			if c.Predecessor(c.Successor(p)) != p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

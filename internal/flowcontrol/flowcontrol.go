@@ -1,0 +1,84 @@
+// Package flowcontrol implements the window arithmetic of the ring
+// protocols: the per-participant Personal window, the ring-wide Global
+// window enforced through the token's flow-control count (fcc), and the
+// Accelerated window that decides how much of a round's sending happens
+// after the token is passed.
+package flowcontrol
+
+import "fmt"
+
+// Windows holds the flow-control parameters of a ring.
+type Windows struct {
+	// Personal is the maximum number of new data messages one participant
+	// may initiate in a single token round.
+	Personal int
+	// Global is the maximum number of multicasts (new messages plus
+	// retransmissions) all participants combined may send in one round.
+	Global int
+	// Accelerated is the maximum number of a participant's new messages
+	// that may be multicast after passing the token. Zero reproduces the
+	// original (non-accelerated) Ring protocol's sending pattern.
+	Accelerated int
+}
+
+// Validate checks the parameters for internal consistency.
+func (w Windows) Validate() error {
+	if w.Personal <= 0 {
+		return fmt.Errorf("flowcontrol: personal window %d must be positive", w.Personal)
+	}
+	if w.Global < w.Personal {
+		return fmt.Errorf("flowcontrol: global window %d below personal window %d", w.Global, w.Personal)
+	}
+	if w.Accelerated < 0 {
+		return fmt.Errorf("flowcontrol: accelerated window %d must be non-negative", w.Accelerated)
+	}
+	if w.Accelerated > w.Personal {
+		return fmt.Errorf("flowcontrol: accelerated window %d exceeds personal window %d", w.Accelerated, w.Personal)
+	}
+	return nil
+}
+
+// NumToSend returns how many new data messages the participant may
+// initiate this round: the minimum of its queue length, the Personal
+// window, and the Global window headroom after accounting for last round's
+// traffic (the received token's fcc) and this round's retransmissions.
+func (w Windows) NumToSend(queued, receivedFcc, numRetrans int) int {
+	n := queued
+	if w.Personal < n {
+		n = w.Personal
+	}
+	headroom := w.Global - receivedFcc - numRetrans
+	if headroom < n {
+		n = headroom
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Split divides a round's new messages between the pre-token and
+// post-token multicast phases. At most Accelerated messages are deferred
+// until after the token; if the participant has fewer than that, all of
+// its messages go after the token (maximizing acceleration), exactly as
+// the paper specifies.
+func (w Windows) Split(numToSend int) (pre, post int) {
+	post = numToSend
+	if w.Accelerated < post {
+		post = w.Accelerated
+	}
+	return numToSend - post, post
+}
+
+// NextFcc computes the fcc to place on the outgoing token: the received
+// value minus everything this participant sent last round plus everything
+// it is sending this round (new messages and retransmissions in both
+// cases). The result saturates at zero to tolerate a misbehaving peer
+// rather than wrapping.
+func NextFcc(receivedFcc uint32, lastRoundSent, thisRoundSent int) uint32 {
+	v := int64(receivedFcc) - int64(lastRoundSent) + int64(thisRoundSent)
+	if v < 0 {
+		return 0
+	}
+	return uint32(v)
+}

@@ -1,0 +1,138 @@
+package flowcontrol
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		w       Windows
+		wantErr bool
+	}{
+		{"ok", Windows{Personal: 20, Global: 160, Accelerated: 15}, false},
+		{"accelerated zero (original protocol)", Windows{Personal: 20, Global: 160}, false},
+		{"accelerated equals personal", Windows{Personal: 20, Global: 160, Accelerated: 20}, false},
+		{"zero personal", Windows{Global: 100}, true},
+		{"negative personal", Windows{Personal: -1, Global: 100}, true},
+		{"global below personal", Windows{Personal: 20, Global: 10}, true},
+		{"negative accelerated", Windows{Personal: 20, Global: 100, Accelerated: -1}, true},
+		{"accelerated above personal", Windows{Personal: 20, Global: 100, Accelerated: 21}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.w.Validate(); (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestNumToSend(t *testing.T) {
+	w := Windows{Personal: 10, Global: 50, Accelerated: 5}
+	tests := []struct {
+		name                        string
+		queued, receivedFcc, retrans int
+		want                        int
+	}{
+		{"queue limited", 3, 0, 0, 3},
+		{"personal limited", 100, 0, 0, 10},
+		{"global limited", 100, 45, 0, 5},
+		{"global limited by retrans", 100, 40, 7, 3},
+		{"global exhausted", 100, 50, 0, 0},
+		{"global overdrawn clamps to zero", 100, 60, 10, 0},
+		{"empty queue", 0, 0, 0, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := w.NumToSend(tc.queued, tc.receivedFcc, tc.retrans)
+			if got != tc.want {
+				t.Fatalf("NumToSend(%d,%d,%d) = %d, want %d",
+					tc.queued, tc.receivedFcc, tc.retrans, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSplit(t *testing.T) {
+	tests := []struct {
+		name              string
+		w                 Windows
+		numToSend         int
+		wantPre, wantPost int
+	}{
+		// Paper Fig. 1b: personal 5, accelerated 3 -> 2 before, 3 after.
+		{"paper example", Windows{Personal: 5, Global: 100, Accelerated: 3}, 5, 2, 3},
+		// Paper: "If a participant in Figure 1b only had two messages to
+		// send, it would send both after the token."
+		{"fewer than accelerated all post", Windows{Personal: 5, Global: 100, Accelerated: 3}, 2, 0, 2},
+		{"original protocol all pre", Windows{Personal: 5, Global: 100, Accelerated: 0}, 5, 5, 0},
+		{"fully accelerated all post", Windows{Personal: 5, Global: 100, Accelerated: 5}, 5, 0, 5},
+		{"nothing to send", Windows{Personal: 5, Global: 100, Accelerated: 3}, 0, 0, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			pre, post := tc.w.Split(tc.numToSend)
+			if pre != tc.wantPre || post != tc.wantPost {
+				t.Fatalf("Split(%d) = (%d, %d), want (%d, %d)",
+					tc.numToSend, pre, post, tc.wantPre, tc.wantPost)
+			}
+		})
+	}
+}
+
+func TestNextFcc(t *testing.T) {
+	tests := []struct {
+		name                    string
+		fcc                     uint32
+		lastRound, thisRound    int
+		want                    uint32
+	}{
+		{"steady state", 40, 10, 10, 40},
+		{"ramping up", 0, 0, 10, 10},
+		{"draining", 40, 10, 0, 30},
+		{"saturates at zero", 5, 10, 0, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := NextFcc(tc.fcc, tc.lastRound, tc.thisRound); got != tc.want {
+				t.Fatalf("NextFcc(%d,%d,%d) = %d, want %d",
+					tc.fcc, tc.lastRound, tc.thisRound, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestQuickWindowBounds property-tests that NumToSend never exceeds any of
+// its three bounds and Split never defers more than the Accelerated window.
+func TestQuickWindowBounds(t *testing.T) {
+	f := func(personal, global, accel uint8, queued, fcc, retrans uint16) bool {
+		w := Windows{
+			Personal:    int(personal%64) + 1,
+			Global:      int(global),
+			Accelerated: int(accel),
+		}
+		if w.Global < w.Personal {
+			w.Global = w.Personal * 8
+		}
+		if w.Accelerated > w.Personal {
+			w.Accelerated = w.Personal
+		}
+		if err := w.Validate(); err != nil {
+			return false
+		}
+		n := w.NumToSend(int(queued), int(fcc), int(retrans))
+		if n < 0 || n > int(queued) || n > w.Personal {
+			return false
+		}
+		if n+int(fcc)+int(retrans) > w.Global && n != 0 {
+			return false
+		}
+		pre, post := w.Split(n)
+		return pre >= 0 && post >= 0 && pre+post == n && post <= w.Accelerated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+package group
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"accelring/internal/evs"
+)
+
+// OpKind is the kind of a daemon-level operation carried on the ring.
+type OpKind uint8
+
+const (
+	// OpJoin adds the sender to Groups[0].
+	OpJoin OpKind = iota + 1
+	// OpLeave removes the sender from Groups[0].
+	OpLeave
+	// OpDisconnect removes the sender from every group.
+	OpDisconnect
+	// OpMessage delivers Payload to the members of all Groups.
+	OpMessage
+	// OpPrivate delivers Payload to exactly one client (Target), still in
+	// the ring's total order relative to everything else — Spread's
+	// private messages.
+	OpPrivate
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpJoin:
+		return "join"
+	case OpLeave:
+		return "leave"
+	case OpDisconnect:
+		return "disconnect"
+	case OpMessage:
+		return "message"
+	case OpPrivate:
+		return "private"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Envelope is the daemon-level message multicast on the ring. Because
+// envelopes ride the totally ordered stream, every daemon applies joins,
+// leaves, and deliveries in exactly the same order — that is what makes
+// group views agreed and multi-group multicast consistent across groups.
+type Envelope struct {
+	Kind   OpKind
+	Sender ClientID
+	// Target is the destination client of a Private message.
+	Target ClientID
+	// Groups are the target groups (one for Join/Leave, up to MaxGroups
+	// for Message).
+	Groups []string
+	// Payload is the application data of a Message or Private.
+	Payload []byte
+}
+
+// Validate checks structural constraints before encoding.
+func (e *Envelope) Validate() error {
+	switch e.Kind {
+	case OpJoin, OpLeave:
+		if len(e.Groups) != 1 {
+			return fmt.Errorf("group: %v needs exactly one group", e.Kind)
+		}
+	case OpMessage:
+		if len(e.Groups) == 0 || len(e.Groups) > MaxGroups {
+			return fmt.Errorf("group: message needs 1..%d groups", MaxGroups)
+		}
+	case OpDisconnect:
+		if len(e.Groups) != 0 {
+			return fmt.Errorf("group: disconnect carries no groups")
+		}
+	case OpPrivate:
+		if len(e.Groups) != 0 {
+			return fmt.Errorf("group: private message carries no groups")
+		}
+		if e.Target == (ClientID{}) {
+			return fmt.Errorf("group: private message needs a target")
+		}
+	default:
+		return fmt.Errorf("group: unknown op %d", e.Kind)
+	}
+	for _, g := range e.Groups {
+		if !ValidGroupName(g) {
+			return fmt.Errorf("group: invalid group name %q", g)
+		}
+	}
+	return nil
+}
+
+// Encode serializes the envelope.
+func (e *Envelope) Encode() ([]byte, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	n := 1 + 4 + 4 + 1
+	for _, g := range e.Groups {
+		n += 1 + len(g)
+	}
+	n += 4 + len(e.Payload)
+	b := make([]byte, 0, n+8)
+	b = append(b, byte(e.Kind))
+	b = binary.BigEndian.AppendUint32(b, uint32(e.Sender.Daemon))
+	b = binary.BigEndian.AppendUint32(b, e.Sender.Local)
+	b = binary.BigEndian.AppendUint32(b, uint32(e.Target.Daemon))
+	b = binary.BigEndian.AppendUint32(b, e.Target.Local)
+	b = append(b, byte(len(e.Groups)))
+	for _, g := range e.Groups {
+		b = append(b, byte(len(g)))
+		b = append(b, g...)
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(e.Payload)))
+	b = append(b, e.Payload...)
+	return b, nil
+}
+
+// DecodeEnvelope parses an encoded envelope.
+func DecodeEnvelope(b []byte) (*Envelope, error) {
+	fail := func() (*Envelope, error) { return nil, fmt.Errorf("group: truncated envelope") }
+	if len(b) < 18 {
+		return fail()
+	}
+	var e Envelope
+	e.Kind = OpKind(b[0])
+	e.Sender.Daemon = evs.ProcID(binary.BigEndian.Uint32(b[1:]))
+	e.Sender.Local = binary.BigEndian.Uint32(b[5:])
+	e.Target.Daemon = evs.ProcID(binary.BigEndian.Uint32(b[9:]))
+	e.Target.Local = binary.BigEndian.Uint32(b[13:])
+	ng := int(b[17])
+	off := 18
+	if ng > MaxGroups {
+		return nil, fmt.Errorf("group: %d groups exceeds %d", ng, MaxGroups)
+	}
+	for i := 0; i < ng; i++ {
+		if off >= len(b) {
+			return fail()
+		}
+		gl := int(b[off])
+		off++
+		if off+gl > len(b) {
+			return fail()
+		}
+		e.Groups = append(e.Groups, string(b[off:off+gl]))
+		off += gl
+	}
+	if off+4 > len(b) {
+		return fail()
+	}
+	pl := int(binary.BigEndian.Uint32(b[off:]))
+	off += 4
+	if off+pl != len(b) {
+		return nil, fmt.Errorf("group: envelope length mismatch")
+	}
+	if pl > 0 {
+		e.Payload = b[off : off+pl : off+pl]
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}

@@ -1,0 +1,215 @@
+// Package group implements the Spread-like group-messaging layer on top of
+// the totally ordered ring: named groups with open-group semantics (a
+// client need not join a group to send to it), multi-group multicast (one
+// message to the members of several groups, ordered consistently across
+// groups), and agreed group views. Group joins and leaves travel as
+// ordered messages themselves, so every daemon applies them at the same
+// point in the total order and group views are identical everywhere.
+package group
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"accelring/internal/evs"
+)
+
+// MaxGroupName bounds group name length, as Spread bounds its descriptive
+// group names.
+const MaxGroupName = 32
+
+// MaxGroups bounds the groups of one multi-group multicast.
+const MaxGroups = 16
+
+// ClientID identifies a client globally: the daemon it is attached to and
+// a daemon-local identifier.
+type ClientID struct {
+	Daemon evs.ProcID
+	Local  uint32
+}
+
+func (c ClientID) String() string { return fmt.Sprintf("%d#%d", c.Daemon, c.Local) }
+
+// less orders clients for deterministic view listings.
+func (c ClientID) less(o ClientID) bool {
+	if c.Daemon != o.Daemon {
+		return c.Daemon < o.Daemon
+	}
+	return c.Local < o.Local
+}
+
+// ValidGroupName reports whether a group name is usable.
+func ValidGroupName(g string) bool {
+	return len(g) > 0 && len(g) <= MaxGroupName
+}
+
+// Table is each daemon's replica of the data center's group membership.
+// It must only be mutated by applying totally ordered operations, so every
+// daemon's table stays identical.
+type Table struct {
+	// groups maps group name -> member set.
+	groups map[string]map[ClientID]struct{}
+	// byClient maps client -> joined group names.
+	byClient map[ClientID]map[string]struct{}
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{
+		groups:   make(map[string]map[ClientID]struct{}),
+		byClient: make(map[ClientID]map[string]struct{}),
+	}
+}
+
+// Errors returned by Table operations.
+var (
+	ErrBadGroup  = errors.New("group: invalid group name")
+	ErrNotMember = errors.New("group: client is not a member")
+)
+
+// Join adds a client to a group. Joining twice is a no-op.
+func (t *Table) Join(c ClientID, g string) error {
+	if !ValidGroupName(g) {
+		return ErrBadGroup
+	}
+	members := t.groups[g]
+	if members == nil {
+		members = make(map[ClientID]struct{})
+		t.groups[g] = members
+	}
+	members[c] = struct{}{}
+	gs := t.byClient[c]
+	if gs == nil {
+		gs = make(map[string]struct{})
+		t.byClient[c] = gs
+	}
+	gs[g] = struct{}{}
+	return nil
+}
+
+// Leave removes a client from a group.
+func (t *Table) Leave(c ClientID, g string) error {
+	if !ValidGroupName(g) {
+		return ErrBadGroup
+	}
+	members := t.groups[g]
+	if _, ok := members[c]; !ok {
+		return ErrNotMember
+	}
+	delete(members, c)
+	if len(members) == 0 {
+		delete(t.groups, g)
+	}
+	if gs := t.byClient[c]; gs != nil {
+		delete(gs, g)
+		if len(gs) == 0 {
+			delete(t.byClient, c)
+		}
+	}
+	return nil
+}
+
+// Disconnect removes a client from every group and returns the groups it
+// left, sorted.
+func (t *Table) Disconnect(c ClientID) []string {
+	gs := t.byClient[c]
+	if len(gs) == 0 {
+		delete(t.byClient, c)
+		return nil
+	}
+	left := make([]string, 0, len(gs))
+	for g := range gs {
+		left = append(left, g)
+		members := t.groups[g]
+		delete(members, c)
+		if len(members) == 0 {
+			delete(t.groups, g)
+		}
+	}
+	delete(t.byClient, c)
+	sort.Strings(left)
+	return left
+}
+
+// DropDaemon disconnects every client of the given daemon (used when a
+// daemon leaves the configuration) and returns the affected groups.
+func (t *Table) DropDaemon(d evs.ProcID) []string {
+	var clients []ClientID
+	for c := range t.byClient {
+		if c.Daemon == d {
+			clients = append(clients, c)
+		}
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i].less(clients[j]) })
+	affected := make(map[string]struct{})
+	for _, c := range clients {
+		for _, g := range t.Disconnect(c) {
+			affected[g] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(affected))
+	for g := range affected {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Members returns the sorted membership of a group (nil if empty).
+func (t *Table) Members(g string) []ClientID {
+	members := t.groups[g]
+	if len(members) == 0 {
+		return nil
+	}
+	out := make([]ClientID, 0, len(members))
+	for c := range members {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
+	return out
+}
+
+// GroupsOf returns the sorted groups a client has joined.
+func (t *Table) GroupsOf(c ClientID) []string {
+	gs := t.byClient[c]
+	if len(gs) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(gs))
+	for g := range gs {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Recipients returns the deduplicated, sorted union of the members of the
+// given groups — the delivery set of a multi-group multicast.
+func (t *Table) Recipients(groups []string) []ClientID {
+	set := make(map[ClientID]struct{})
+	for _, g := range groups {
+		for c := range t.groups[g] {
+			set[c] = struct{}{}
+		}
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]ClientID, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
+	return out
+}
+
+// Groups returns all group names, sorted.
+func (t *Table) Groups() []string {
+	out := make([]string, 0, len(t.groups))
+	for g := range t.groups {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,130 @@
+package membership
+
+import (
+	"testing"
+	"time"
+
+	"accelring/internal/evs"
+	"accelring/internal/wire"
+)
+
+// TestGatherDeclaresNonConvergentFailed: a participant whose join sets
+// never converge with ours (here: a ghost that always claims to be alone)
+// is declared failed after the gather window, and the ring forms without
+// it.
+func TestGatherDeclaresNonConvergentFailed(t *testing.T) {
+	h := newMemHarness(t, 1, 2)
+	// The ghost (id 9) is not a real machine: we inject its joins by hand
+	// so it can never converge.
+	ghostJoin := func() []byte {
+		j := wire.Join{Sender: 9, Alive: []evs.ProcID{9}, Attempt: 1}
+		return j.AppendTo(nil)
+	}
+	// Feed ghost joins to both machines every tick while they gather.
+	stop := h.now.Add(2 * time.Second)
+	for h.now.Before(stop) {
+		for _, id := range []evs.ProcID{1, 2} {
+			if h.machines[id].State() == StateGather {
+				h.machines[id].HandleDataFrame(ghostJoin(), h.now)
+			}
+		}
+		h.advance(10 * time.Millisecond)
+		if h.machines[1].State() == StateOperational &&
+			h.machines[2].State() == StateOperational {
+			break
+		}
+	}
+	ring := h.machines[1].Ring()
+	if h.machines[1].State() != StateOperational || len(ring.Members) != 2 {
+		t.Fatalf("ring did not form around the ghost: state=%v ring=%v",
+			h.machines[1].State(), ring)
+	}
+	if ring.Contains(9) {
+		t.Fatalf("non-convergent ghost joined the ring: %v", ring)
+	}
+	// The machines recorded the failure.
+	if !newIDSet(h.machines[1].failed...).contains(9) {
+		t.Fatalf("ghost not declared failed: %v", h.machines[1].failed)
+	}
+}
+
+// TestStaleCommitIgnored: a commit token for an older configuration must
+// not disturb an installed newer ring.
+func TestStaleCommitIgnored(t *testing.T) {
+	h := newMemHarness(t, 1, 2)
+	h.waitOperational(3 * time.Second)
+	m := h.machines[1]
+	ring := m.Ring()
+	installs := m.Counters().Installs
+
+	stale := &wire.Commit{
+		NewRing:  evs.NewConfiguration(evs.ViewID{Rep: 1, Seq: ring.ID.Seq - 0}, []evs.ProcID{1}),
+		Rotation: 2,
+		Info:     []wire.CommitInfo{{PID: 1}},
+	}
+	// Same seq as current (not newer) — must be ignored.
+	m.HandleTokenFrame(stale.AppendTo(nil), h.now)
+	if m.Counters().Installs != installs || !m.Ring().Equal(ring) {
+		t.Fatalf("stale commit disturbed the ring: %v", m.Ring())
+	}
+	// A commit that does not include us is ignored too.
+	foreign := &wire.Commit{
+		NewRing:  evs.NewConfiguration(evs.ViewID{Rep: 7, Seq: ring.ID.Seq + 10}, []evs.ProcID{7, 8}),
+		Rotation: 2,
+		Info:     []wire.CommitInfo{{PID: 7}, {PID: 8}},
+	}
+	m.HandleTokenFrame(foreign.AppendTo(nil), h.now)
+	if m.Counters().Installs != installs {
+		t.Fatal("foreign commit installed")
+	}
+}
+
+// TestMalformedFramesIgnored: garbage on either channel must not crash or
+// disturb the machine.
+func TestMalformedFramesIgnored(t *testing.T) {
+	h := newMemHarness(t, 1, 2)
+	h.waitOperational(3 * time.Second)
+	m := h.machines[1]
+	before := m.Ring()
+	for _, b := range [][]byte{nil, {1, 2, 3}, {0xAC, 0x47, 1, 99}, {0xAC, 0x47, 9, 1}} {
+		m.HandleDataFrame(b, h.now)
+		m.HandleTokenFrame(b, h.now)
+	}
+	// A data frame that decodes but is for an unknown ring: dropped.
+	d := wire.Data{RingID: evs.ViewID{Rep: 77, Seq: 1}, Seq: 1, Sender: 77, Service: evs.Agreed}
+	m.HandleTokenFrame(d.AppendTo(nil), h.now) // wrong channel: ignored
+	if !m.Ring().Equal(before) || m.State() != StateOperational {
+		t.Fatalf("malformed frames disturbed the machine: %v %v", m.State(), m.Ring())
+	}
+}
+
+// TestCommitTimeoutFallsBackToGather: if the commit token vanishes (its
+// carrier died), members return to gather and eventually form a ring.
+func TestCommitTimeoutFallsBackToGather(t *testing.T) {
+	h := newMemHarness(t, 1, 2, 3)
+	// Drop every commit frame so the commit phase always times out, then
+	// heal; the machines must recover on the next attempt.
+	attempts := 0
+	h.drop = func(from, to evs.ProcID, token bool, frame []byte) bool {
+		if !token {
+			return false
+		}
+		ft, _ := wire.PeekType(frame)
+		if ft == wire.FrameCommit && attempts < 3 {
+			attempts++
+			return true
+		}
+		return false
+	}
+	h.waitOperational(10 * time.Second)
+	if attempts == 0 {
+		t.Fatal("no commit frames were dropped; test is vacuous")
+	}
+	var timeouts uint64
+	for _, m := range h.machines {
+		timeouts += m.Counters().CommitTimeouts
+	}
+	if timeouts == 0 {
+		t.Fatal("commit drops healed without any commit timeout")
+	}
+}

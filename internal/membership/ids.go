@@ -1,0 +1,75 @@
+package membership
+
+import (
+	"sort"
+
+	"accelring/internal/evs"
+)
+
+// idSet is a sorted, duplicate-free set of participant IDs. The zero value
+// is the empty set. Operations return new sets; idSet values are treated
+// as immutable once built.
+type idSet []evs.ProcID
+
+func newIDSet(ids ...evs.ProcID) idSet {
+	s := append(idSet(nil), ids...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:0]
+	var last evs.ProcID
+	for _, p := range s {
+		if p != last {
+			out = append(out, p)
+			last = p
+		}
+	}
+	return out
+}
+
+func (s idSet) contains(p evs.ProcID) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= p })
+	return i < len(s) && s[i] == p
+}
+
+func (s idSet) with(p evs.ProcID) idSet {
+	if s.contains(p) {
+		return s
+	}
+	return newIDSet(append(append(idSet(nil), s...), p)...)
+}
+
+func (s idSet) union(o idSet) idSet {
+	if len(o) == 0 {
+		return s
+	}
+	return newIDSet(append(append(idSet(nil), s...), o...)...)
+}
+
+func (s idSet) minus(o idSet) idSet {
+	out := make(idSet, 0, len(s))
+	for _, p := range s {
+		if !o.contains(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (s idSet) equal(o idSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// min returns the smallest member, or 0 for the empty set.
+func (s idSet) min() evs.ProcID {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[0]
+}

@@ -1,0 +1,100 @@
+package membership
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"accelring/internal/evs"
+)
+
+func TestIDSetBasics(t *testing.T) {
+	s := newIDSet(3, 1, 2, 3, 1)
+	if len(s) != 3 || s[0] != 1 || s[1] != 2 || s[2] != 3 {
+		t.Fatalf("newIDSet dedupe/sort failed: %v", s)
+	}
+	if !s.contains(2) || s.contains(4) {
+		t.Fatal("contains wrong")
+	}
+	if s.min() != 1 {
+		t.Fatalf("min = %d", s.min())
+	}
+	var empty idSet
+	if empty.min() != 0 || empty.contains(1) {
+		t.Fatal("empty set misbehaves")
+	}
+}
+
+func TestIDSetOperations(t *testing.T) {
+	a := newIDSet(1, 2, 3)
+	b := newIDSet(3, 4)
+
+	if got := a.with(2); !got.equal(a) {
+		t.Fatalf("with existing = %v", got)
+	}
+	if got := a.with(5); !got.equal(newIDSet(1, 2, 3, 5)) {
+		t.Fatalf("with new = %v", got)
+	}
+	if got := a.union(b); !got.equal(newIDSet(1, 2, 3, 4)) {
+		t.Fatalf("union = %v", got)
+	}
+	if got := a.union(nil); !got.equal(a) {
+		t.Fatalf("union nil = %v", got)
+	}
+	if got := a.minus(b); !got.equal(newIDSet(1, 2)) {
+		t.Fatalf("minus = %v", got)
+	}
+	if a.equal(b) || !a.equal(newIDSet(3, 2, 1)) {
+		t.Fatal("equal wrong")
+	}
+}
+
+// TestQuickIDSetLaws property-tests algebraic laws of the set type.
+func TestQuickIDSetLaws(t *testing.T) {
+	gen := func(rng *rand.Rand) idSet {
+		n := rng.Intn(10)
+		ids := make([]evs.ProcID, n)
+		for i := range ids {
+			ids[i] = evs.ProcID(rng.Intn(8) + 1)
+		}
+		return newIDSet(ids...)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := gen(rng), gen(rng)
+		// Commutativity of union.
+		if !a.union(b).equal(b.union(a)) {
+			return false
+		}
+		// union ⊇ both.
+		u := a.union(b)
+		for _, p := range a {
+			if !u.contains(p) {
+				return false
+			}
+		}
+		// minus removes exactly b's members.
+		d := a.minus(b)
+		for _, p := range d {
+			if b.contains(p) {
+				return false
+			}
+		}
+		for _, p := range a {
+			if !b.contains(p) && !d.contains(p) {
+				return false
+			}
+		}
+		// with is idempotent.
+		if len(a) > 0 {
+			p := a[rng.Intn(len(a))]
+			if !a.with(p).equal(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

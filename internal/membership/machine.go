@@ -1,0 +1,603 @@
+// Package membership implements the ring's membership algorithm in the
+// style of Totem/Spread, which the paper's Accelerated Ring protocol reuses
+// unchanged (§II): token-loss detection, a join/gather phase that reaches
+// agreement on the set of connected participants, a two-rotation commit
+// token that forms the new ring, and an Extended Virtual Synchrony recovery
+// phase that exchanges old-ring messages among survivors and delivers
+// transitional and regular configuration changes.
+//
+// The Machine is a deterministic state machine: the driver feeds it
+// received frames, explicit time, and periodic ticks; it produces frames
+// and delivery events through its Output. It owns the ordering engine for
+// the currently installed ring and replaces it on each membership change.
+package membership
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"accelring/internal/core"
+	"accelring/internal/evs"
+	"accelring/internal/flowcontrol"
+	"accelring/internal/wire"
+)
+
+// State is the machine's phase.
+type State int
+
+const (
+	// StateGather: broadcasting joins, collecting the connected set.
+	StateGather State = iota + 1
+	// StateCommit: a commit token is circulating the agreed membership.
+	StateCommit
+	// StateRecover: the new ring is installed; survivors are exchanging
+	// old-ring messages before normal operation resumes.
+	StateRecover
+	// StateOperational: the ordering protocol is running normally.
+	StateOperational
+)
+
+func (s State) String() string {
+	switch s {
+	case StateGather:
+		return "gather"
+	case StateCommit:
+		return "commit"
+	case StateRecover:
+		return "recover"
+	case StateOperational:
+		return "operational"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Timeouts are the membership algorithm's timing parameters.
+type Timeouts struct {
+	// JoinInterval is how often joins are rebroadcast while gathering.
+	JoinInterval time.Duration
+	// Gather bounds one gather attempt before the machine forces progress
+	// (extending twice, then declaring unresponsive participants failed).
+	Gather time.Duration
+	// Commit bounds the commit token's circulation before falling back to
+	// gather.
+	Commit time.Duration
+	// TokenLoss is how long the operational ring may go without a token
+	// before membership is rerun.
+	TokenLoss time.Duration
+	// TokenRetransmit is how long a participant waits before resending
+	// the last token it sent (duplicates are suppressed by token seq).
+	TokenRetransmit time.Duration
+	// Beacon is how often an operational ring multicasts a presence
+	// announcement so that foreign (partitioned or newly started) rings
+	// discover each other and merge. Zero defaults to TokenLoss.
+	Beacon time.Duration
+}
+
+// DefaultTimeouts returns production defaults for a LAN.
+func DefaultTimeouts() Timeouts {
+	return Timeouts{
+		JoinInterval:    100 * time.Millisecond,
+		Gather:          1 * time.Second,
+		Commit:          1 * time.Second,
+		TokenLoss:       1 * time.Second,
+		TokenRetransmit: 250 * time.Millisecond,
+	}
+}
+
+func (t *Timeouts) validate() error {
+	if t.JoinInterval <= 0 || t.Gather <= 0 || t.Commit <= 0 ||
+		t.TokenLoss <= 0 || t.TokenRetransmit <= 0 {
+		return errors.New("membership: all timeouts must be positive")
+	}
+	if t.Beacon == 0 {
+		t.Beacon = t.TokenLoss
+	}
+	if t.Beacon < 0 {
+		return errors.New("membership: beacon interval must be positive")
+	}
+	return nil
+}
+
+// beaconAttempt marks a join frame as an operational presence beacon
+// rather than a membership attempt.
+const beaconAttempt = 0
+
+// Config parameterizes a Machine.
+type Config struct {
+	// Self is this participant.
+	Self evs.ProcID
+	// Windows are the ordering protocol's flow-control parameters, used
+	// for every ring the machine installs.
+	Windows flowcontrol.Windows
+	// Priority is the token-priority method for installed rings.
+	Priority core.PriorityMethod
+	// DelayedRequests selects the accelerated retransmission rule.
+	DelayedRequests bool
+	// Timeouts are the membership timing parameters (defaults applied
+	// when zero).
+	Timeouts Timeouts
+}
+
+// Output receives the machine's effects. Multicast frames are data-class;
+// Unicast frames are token-class. Deliver receives the application's event
+// stream: messages and configuration changes in EVS order.
+type Output interface {
+	Multicast(frame []byte)
+	Unicast(to evs.ProcID, frame []byte)
+	Deliver(ev evs.Event)
+}
+
+// ErrNotOperational is returned by Submit before a ring is installed.
+var ErrNotOperational = errors.New("membership: no ring installed yet")
+
+// Machine is the membership + ordering protocol for one participant.
+// It is not safe for concurrent use; a single driver goroutine owns it.
+type Machine struct {
+	cfg Config
+	out Output
+
+	state State
+	// ring is the installed regular configuration (zero before the first).
+	ring evs.Configuration
+	eng  *core.Engine
+	// ringSeqHigh is the highest configuration sequence seen anywhere.
+	ringSeqHigh uint64
+	attempt     uint32
+
+	// gather state
+	joins            map[evs.ProcID]*wire.Join
+	failed           idSet
+	joinResendAt     time.Time
+	gatherDeadline   time.Time
+	gatherExtensions int
+	// consensusFloor delays ring formation briefly so that slow members'
+	// joins (e.g. a member still draining its data backlog) are heard
+	// before a smaller ring is committed.
+	consensusFloor time.Time
+
+	// commit state
+	commitDeadline time.Time
+	installedRing  evs.ViewID
+	ringStarted    bool
+
+	// recovery state
+	rec *recovery
+
+	// operational timers
+	lastTokenAt   time.Time
+	lastRetransAt time.Time
+	beaconAt      time.Time
+	// prevRingID suppresses foreign-traffic triggers from frames of the
+	// ring we just left.
+	prevRingID evs.ViewID
+
+	counters Counters
+}
+
+// Counters exposes membership activity.
+type Counters struct {
+	// Installs counts rings installed.
+	Installs uint64
+	// GatherEntries counts transitions into the gather state.
+	GatherEntries uint64
+	// TokenRetransmits counts token retransmissions.
+	TokenRetransmits uint64
+	// CommitTimeouts counts commit phases that fell back to gather.
+	CommitTimeouts uint64
+}
+
+// New creates a machine. It starts in the gather state; call Tick (and
+// feed frames) to drive it. now is the current time.
+func New(cfg Config, out Output, now time.Time) (*Machine, error) {
+	if cfg.Self == 0 {
+		return nil, errors.New("membership: config requires Self")
+	}
+	if err := cfg.Windows.Validate(); err != nil {
+		return nil, err
+	}
+	var zero Timeouts
+	if cfg.Timeouts == zero {
+		cfg.Timeouts = DefaultTimeouts()
+	}
+	if err := cfg.Timeouts.validate(); err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, errors.New("membership: nil Output")
+	}
+	m := &Machine{cfg: cfg, out: out}
+	m.enterGather(now)
+	return m, nil
+}
+
+// State returns the current phase.
+func (m *Machine) State() State { return m.state }
+
+// Ring returns the installed configuration (zero before the first).
+func (m *Machine) Ring() evs.Configuration { return m.ring }
+
+// Counters returns a snapshot of membership counters.
+func (m *Machine) Counters() Counters { return m.counters }
+
+// Engine returns the ordering engine of the installed ring, or nil.
+// Exposed for tests and stats only.
+func (m *Machine) Engine() *core.Engine { return m.eng }
+
+// DataPriority reports whether data-class frames should be processed
+// before token-class frames right now (§III-D). Drivers with both classes
+// pending consult it.
+func (m *Machine) DataPriority() bool {
+	return m.eng != nil && m.eng.DataPriority()
+}
+
+// Submit queues an application payload for totally ordered multicast.
+// It fails before the first ring is installed; during membership changes
+// messages queue in the engine and flow once the ring re-forms.
+func (m *Machine) Submit(payload []byte, service evs.Service) error {
+	if m.eng == nil {
+		return ErrNotOperational
+	}
+	return m.eng.Submit(payload, service)
+}
+
+// alive returns the current gather candidate set: self plus everyone whose
+// join was heard this attempt, minus the failed set.
+func (m *Machine) alive() idSet {
+	s := newIDSet(m.cfg.Self)
+	for p := range m.joins {
+		s = s.with(p)
+	}
+	return s.minus(m.failed)
+}
+
+// enterGather (re)starts the membership algorithm.
+func (m *Machine) enterGather(now time.Time) {
+	if m.state == StateOperational || m.state == StateRecover || m.state == 0 {
+		// A fresh membership incident: forget old failure declarations.
+		// They were only ever a device to force the PREVIOUS gather to
+		// converge; carrying them over would permanently exclude healthy
+		// peers and livelock merges (each side keeps re-forming without
+		// the other).
+		m.failed = nil
+	}
+	m.state = StateGather
+	m.counters.GatherEntries++
+	m.attempt++
+	m.joins = make(map[evs.ProcID]*wire.Join)
+	m.gatherExtensions = 0
+	if !m.ring.ID.IsZero() && m.ring.ID.Seq > m.ringSeqHigh {
+		m.ringSeqHigh = m.ring.ID.Seq
+	}
+	m.broadcastJoin(now)
+	m.gatherDeadline = now.Add(m.cfg.Timeouts.Gather)
+	m.consensusFloor = now.Add(2 * m.cfg.Timeouts.JoinInterval)
+}
+
+func (m *Machine) broadcastJoin(now time.Time) {
+	j := wire.Join{
+		Sender:  m.cfg.Self,
+		Alive:   m.alive(),
+		Failed:  m.failed,
+		RingSeq: m.ringSeqHigh,
+		Attempt: m.attempt,
+	}
+	m.out.Multicast(j.AppendTo(nil))
+	m.joinResendAt = now.Add(m.cfg.Timeouts.JoinInterval)
+}
+
+// HandleDataFrame processes a frame received on the data channel: an
+// application data message or a membership join.
+func (m *Machine) HandleDataFrame(frame []byte, now time.Time) {
+	t, err := wire.PeekType(frame)
+	if err != nil {
+		return
+	}
+	switch t {
+	case wire.FrameJoin:
+		j, err := wire.DecodeJoin(frame)
+		if err != nil {
+			return
+		}
+		m.handleJoin(j, now)
+	case wire.FrameData:
+		if m.eng == nil || (m.state != StateOperational && m.state != StateRecover) {
+			return
+		}
+		d, err := wire.DecodeData(frame)
+		if err != nil {
+			return
+		}
+		if d.RingID != m.ring.ID {
+			// Foreign traffic: another ring is reachable. Ignore frames
+			// from the ring we just left; anything else means a merge is
+			// due (Totem's foreign-message rule).
+			if m.state == StateOperational && d.RingID != m.prevRingID {
+				m.enterGather(now)
+			}
+			return
+		}
+		m.eng.HandleData(d)
+	}
+}
+
+// HandleTokenFrame processes a frame received on the token channel: a
+// regular token or a membership commit token.
+func (m *Machine) HandleTokenFrame(frame []byte, now time.Time) {
+	t, err := wire.PeekType(frame)
+	if err != nil {
+		return
+	}
+	switch t {
+	case wire.FrameToken:
+		if m.eng == nil || (m.state != StateOperational && m.state != StateRecover) {
+			return
+		}
+		tok, err := wire.DecodeToken(frame)
+		if err != nil {
+			return
+		}
+		before := m.eng.Counters().Rounds
+		m.eng.HandleToken(tok)
+		if m.eng.Counters().Rounds > before {
+			m.lastTokenAt = now
+		}
+	case wire.FrameCommit:
+		c, err := wire.DecodeCommit(frame)
+		if err != nil {
+			return
+		}
+		m.handleCommit(c, now)
+	}
+}
+
+func (m *Machine) handleJoin(j *wire.Join, now time.Time) {
+	if j.Sender == m.cfg.Self {
+		return
+	}
+	if j.RingSeq > m.ringSeqHigh {
+		m.ringSeqHigh = j.RingSeq
+	}
+	if j.Attempt == beaconAttempt {
+		// A presence beacon from an operational ring. If the sender is
+		// not in our ring, two rings can reach each other: merge.
+		if m.state == StateOperational && !m.ring.Contains(j.Sender) {
+			m.enterGather(now)
+		}
+		return
+	}
+	switch m.state {
+	case StateOperational:
+		// A join while operational means a member lost the ring or an
+		// outsider wants to merge: rerun membership.
+		m.enterGather(now)
+	case StateCommit, StateRecover:
+		// Let the current formation finish (or time out); the joiner will
+		// keep retrying.
+		return
+	}
+	prevAlive := m.alive()
+	m.joins[j.Sender] = j
+	// Adopt failure declarations about anyone but ourselves.
+	newFailed := m.failed.union(newIDSet(j.Failed...).minus(newIDSet(m.cfg.Self)))
+	changed := !newFailed.equal(m.failed) || !m.alive().equal(prevAlive)
+	m.failed = newFailed
+	if changed {
+		m.broadcastJoin(now)
+	}
+	m.checkConsensus(now)
+}
+
+// checkConsensus declares the gather complete when every candidate has
+// announced exactly our candidate and failed sets. The lowest-ID member
+// then forms the ring with a commit token.
+func (m *Machine) checkConsensus(now time.Time) {
+	if m.state != StateGather {
+		return
+	}
+	if now.Before(m.consensusFloor) {
+		// Too early: more joins may be in flight. Tick re-checks.
+		return
+	}
+	alive := m.alive()
+	if len(alive) == 1 && m.gatherExtensions < 2 {
+		// Never conclude we are alone before the full gather window has
+		// run: peers' joins may merely be delayed, and a hasty singleton
+		// ring causes endless churn of form-and-merge.
+		return
+	}
+	for _, p := range alive {
+		if p == m.cfg.Self {
+			continue
+		}
+		j := m.joins[p]
+		if j == nil || !newIDSet(j.Alive...).equal(alive) || !newIDSet(j.Failed...).equal(m.failed) {
+			return
+		}
+	}
+	if alive.min() != m.cfg.Self {
+		// Wait for the representative's commit token.
+		m.state = StateCommit
+		m.commitDeadline = now.Add(m.cfg.Timeouts.Commit)
+		return
+	}
+	m.sendFirstCommit(alive, now)
+}
+
+// sendFirstCommit builds the rotation-1 commit token, fills our own entry,
+// and sends it to our successor on the new ring.
+func (m *Machine) sendFirstCommit(alive idSet, now time.Time) {
+	id := evs.ViewID{Rep: m.cfg.Self, Seq: m.ringSeqHigh + 1}
+	c := &wire.Commit{
+		NewRing:  evs.NewConfiguration(id, alive),
+		Rotation: 1,
+		Info:     make([]wire.CommitInfo, len(alive)),
+	}
+	for i, p := range c.NewRing.Members {
+		c.Info[i].PID = p
+	}
+	m.fillCommitInfo(c)
+	m.state = StateCommit
+	m.commitDeadline = now.Add(m.cfg.Timeouts.Commit)
+	m.forwardCommit(c)
+}
+
+func (m *Machine) fillCommitInfo(c *wire.Commit) {
+	for i := range c.Info {
+		if c.Info[i].PID != m.cfg.Self {
+			continue
+		}
+		in := &c.Info[i]
+		in.Received = true
+		if m.eng != nil && !m.ring.ID.IsZero() {
+			in.OldRing = m.ring.ID
+			in.Aru = m.eng.Aru()
+			in.HighSeq = m.eng.High()
+			in.HighDelivered = m.eng.Delivered()
+		}
+		return
+	}
+}
+
+func (m *Machine) forwardCommit(c *wire.Commit) {
+	c.Seq++
+	m.out.Unicast(c.NewRing.Successor(m.cfg.Self), c.AppendTo(nil))
+}
+
+func allReceived(c *wire.Commit) bool {
+	for i := range c.Info {
+		if !c.Info[i].Received {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Machine) handleCommit(c *wire.Commit, now time.Time) {
+	if !c.NewRing.Contains(m.cfg.Self) {
+		return
+	}
+	if len(c.Info) != len(c.NewRing.Members) {
+		return
+	}
+	if c.NewRing.ID == m.installedRing {
+		// Rotation-2 token completing its loop back to the
+		// representative: time to start the ring's first regular token.
+		if c.NewRing.ID.Rep == m.cfg.Self && !m.ringStarted {
+			m.startRing()
+		}
+		return
+	}
+	if !m.ring.ID.IsZero() && c.NewRing.ID.Seq <= m.ring.ID.Seq {
+		return // stale commit for a ring we've moved past
+	}
+	if c.NewRing.ID.Seq > m.ringSeqHigh {
+		m.ringSeqHigh = c.NewRing.ID.Seq
+	}
+	switch c.Rotation {
+	case 1:
+		m.fillCommitInfo(c)
+		if c.NewRing.ID.Rep == m.cfg.Self && allReceived(c) {
+			// The gathering rotation is complete: promote and install.
+			c.Rotation = 2
+			m.install(c, now)
+			m.forwardCommit(c)
+			return
+		}
+		m.state = StateCommit
+		m.commitDeadline = now.Add(m.cfg.Timeouts.Commit)
+		m.forwardCommit(c)
+	case 2:
+		m.install(c, now)
+		m.forwardCommit(c)
+	}
+}
+
+// startRing injects the new ring's first regular token, addressed to
+// ourselves (the representative), through the normal token path.
+func (m *Machine) startRing() {
+	m.ringStarted = true
+	tok := core.NewInitialToken(m.ring.ID, 0)
+	m.out.Unicast(m.cfg.Self, tok.AppendTo(nil))
+}
+
+// Tick drives the machine's timers. Call it periodically (a few times per
+// JoinInterval) and after handling frames.
+func (m *Machine) Tick(now time.Time) {
+	switch m.state {
+	case StateGather:
+		if now.After(m.joinResendAt) || now.Equal(m.joinResendAt) {
+			m.broadcastJoin(now)
+		}
+		m.checkConsensus(now)
+		if m.state == StateGather && now.After(m.gatherDeadline) {
+			m.gatherTimeout(now)
+		}
+	case StateCommit:
+		if now.After(m.commitDeadline) {
+			m.counters.CommitTimeouts++
+			m.enterGather(now)
+		}
+	case StateOperational, StateRecover:
+		m.tokenTimers(now)
+		if m.state == StateOperational && now.After(m.beaconAt) {
+			b := wire.Join{
+				Sender:  m.cfg.Self,
+				Alive:   m.ring.Members,
+				RingSeq: m.ring.ID.Seq,
+				Attempt: beaconAttempt,
+			}
+			m.out.Multicast(b.AppendTo(nil))
+			m.beaconAt = now.Add(m.cfg.Timeouts.Beacon)
+		}
+	}
+}
+
+func (m *Machine) gatherTimeout(now time.Time) {
+	if m.gatherExtensions < 2 {
+		// Give slow joiners more time before declaring failures.
+		m.gatherExtensions++
+		m.gatherDeadline = now.Add(m.cfg.Timeouts.Gather)
+		m.broadcastJoin(now)
+		return
+	}
+	// Declare everyone who has not converged with us failed and retry.
+	alive := m.alive()
+	for _, p := range alive {
+		if p == m.cfg.Self {
+			continue
+		}
+		j := m.joins[p]
+		if j == nil || !newIDSet(j.Alive...).equal(alive) {
+			m.failed = m.failed.with(p)
+		}
+	}
+	m.joins = make(map[evs.ProcID]*wire.Join)
+	m.gatherExtensions = 0
+	m.gatherDeadline = now.Add(m.cfg.Timeouts.Gather)
+	m.attempt++
+	m.broadcastJoin(now)
+	m.checkConsensus(now)
+}
+
+func (m *Machine) tokenTimers(now time.Time) {
+	if m.lastTokenAt.IsZero() {
+		m.lastTokenAt = now
+		return
+	}
+	since := now.Sub(m.lastTokenAt)
+	if since >= m.cfg.Timeouts.TokenLoss {
+		// The ring is broken: rerun membership. The engine is frozen and
+		// its buffered messages survive into recovery.
+		m.enterGather(now)
+		return
+	}
+	if since >= m.cfg.Timeouts.TokenRetransmit && now.Sub(m.lastRetransAt) >= m.cfg.Timeouts.TokenRetransmit {
+		if tok := m.eng.LastToken(); tok != nil {
+			m.out.Unicast(m.ring.Successor(m.cfg.Self), tok.AppendTo(nil))
+			m.lastRetransAt = now
+			m.counters.TokenRetransmits++
+		}
+	}
+}

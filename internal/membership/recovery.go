@@ -1,0 +1,235 @@
+package membership
+
+import (
+	"math"
+	"time"
+
+	"accelring/internal/core"
+	"accelring/internal/evs"
+	"accelring/internal/wire"
+)
+
+// Recovery control payload kinds (first payload byte of control messages).
+const (
+	recFlood byte = 1 // rest of payload: wire-encoded old-ring data frame
+	recDone  byte = 2 // sender finished flooding
+)
+
+// recovery tracks the EVS recovery of one membership change: survivors of
+// the same previous ring re-multicast every unstable old-ring message on
+// the new ring (as totally ordered control messages), then deliver the
+// old ring's tail, the transitional configuration, and finally the new
+// regular configuration, in the order Extended Virtual Synchrony requires.
+type recovery struct {
+	// oldEng/oldRing are the dissolved ring (nil/zero for a fresh start).
+	oldEng  *core.Engine
+	oldRing evs.Configuration
+	// oldDelivered is where application delivery stopped on the old ring.
+	oldDelivered uint64
+	// survivors are old-ring members continuing into the new ring.
+	survivors idSet
+	// low is the minimum old-ring aru among survivors: everything at or
+	// below it is known received by every survivor.
+	low uint64
+	// high is the maximum old-ring sequence any survivor holds.
+	high uint64
+	// recBuf holds flooded old-ring messages this participant lacked.
+	recBuf map[uint64]*wire.Data
+	// doneFrom tracks which new-ring members finished flooding.
+	doneFrom map[evs.ProcID]bool
+	// members is the new ring's membership (all must send done).
+	members idSet
+	// holdback defers new-ring application deliveries until recovery
+	// completes, preserving EVS delivery order.
+	holdback []evs.Event
+}
+
+// engineOut adapts the ordering engine's effects to the machine.
+type engineOut struct{ m *Machine }
+
+func (o engineOut) Multicast(d *wire.Data) {
+	o.m.out.Multicast(d.AppendTo(nil))
+}
+
+func (o engineOut) SendToken(t *wire.Token) {
+	o.m.out.Unicast(o.m.ring.Successor(o.m.cfg.Self), t.AppendTo(nil))
+}
+
+func (o engineOut) Deliver(ev evs.Event) { o.m.onEngineDeliver(ev) }
+
+// install replaces the engine with one for the committed ring and begins
+// recovery.
+func (m *Machine) install(c *wire.Commit, now time.Time) {
+	rec := &recovery{
+		members:  newIDSet(c.NewRing.Members...),
+		doneFrom: make(map[evs.ProcID]bool),
+		recBuf:   make(map[uint64]*wire.Data),
+	}
+	var pending []core.PendingSubmission
+	if m.eng != nil && !m.ring.ID.IsZero() {
+		rec.oldEng = m.eng
+		rec.oldRing = m.ring
+		rec.oldDelivered = m.eng.Delivered()
+		low := uint64(math.MaxUint64)
+		var high uint64
+		for i := range c.Info {
+			in := &c.Info[i]
+			if in.OldRing != m.ring.ID {
+				continue
+			}
+			rec.survivors = rec.survivors.with(in.PID)
+			if in.Aru < low {
+				low = in.Aru
+			}
+			if in.HighSeq > high {
+				high = in.HighSeq
+			}
+		}
+		rec.low, rec.high = low, high
+		pending = m.eng.TakePending()
+	}
+	m.rec = rec
+
+	eng, err := core.New(core.Config{
+		Self:            m.cfg.Self,
+		Ring:            c.NewRing,
+		Windows:         m.cfg.Windows,
+		Priority:        m.cfg.Priority,
+		DelayedRequests: m.cfg.DelayedRequests,
+	}, engineOut{m})
+	if err != nil {
+		// The committed ring came from our own gather logic; a config
+		// error here is a programming bug, not a runtime condition.
+		panic("membership: install: " + err.Error())
+	}
+	m.eng = eng
+	m.prevRingID = m.ring.ID
+	m.ring = c.NewRing
+	m.installedRing = c.NewRing.ID
+	m.ringStarted = false
+	m.state = StateRecover
+	m.lastTokenAt = now
+	m.lastRetransAt = time.Time{}
+	m.counters.Installs++
+
+	// Flood every unstable old-ring message we hold, then the done
+	// marker, then any application messages that never got sequence
+	// numbers on the old ring. Submission order is per-sender FIFO in the
+	// new ring's total order, so a member's done marker proves its flood
+	// has been delivered.
+	if rec.oldEng != nil {
+		rec.oldEng.RangeBuffered(rec.low+1, rec.high, func(d *wire.Data) bool {
+			buf := make([]byte, 0, 1+d.EncodedLen())
+			buf = append(buf, recFlood)
+			// Engine enforces wire.MaxPayload on submissions; recovery
+			// frames of accepted messages always fit.
+			_ = m.eng.SubmitControl(d.AppendTo(buf))
+			return true
+		})
+	}
+	_ = m.eng.SubmitControl([]byte{recDone})
+	for _, p := range pending {
+		if p.Control {
+			continue // stale recovery traffic from an aborted change
+		}
+		_ = m.eng.Submit(p.Payload, p.Service)
+	}
+}
+
+// onEngineDeliver filters the engine's delivery stream: recovery control
+// messages are consumed, application events are held back during recovery
+// and passed through afterwards.
+func (m *Machine) onEngineDeliver(ev evs.Event) {
+	if msg, ok := ev.(evs.Message); ok && msg.Control {
+		m.handleRecoveryControl(msg)
+		return
+	}
+	if m.state == StateRecover && m.rec != nil {
+		m.rec.holdback = append(m.rec.holdback, ev)
+		return
+	}
+	m.out.Deliver(ev)
+}
+
+func (m *Machine) handleRecoveryControl(msg evs.Message) {
+	rec := m.rec
+	if rec == nil || len(msg.Payload) == 0 {
+		return
+	}
+	switch msg.Payload[0] {
+	case recFlood:
+		if rec.oldEng == nil {
+			return
+		}
+		inner, err := wire.DecodeData(msg.Payload[1:])
+		if err != nil {
+			return
+		}
+		if inner.RingID != rec.oldRing.ID ||
+			inner.Seq <= rec.oldDelivered || inner.Seq > rec.high {
+			return
+		}
+		if rec.oldEng.Buffered(inner.Seq) == nil {
+			if _, dup := rec.recBuf[inner.Seq]; !dup {
+				rec.recBuf[inner.Seq] = inner
+			}
+		}
+	case recDone:
+		rec.doneFrom[msg.Sender] = true
+		if len(rec.doneFrom) == len(rec.members) {
+			m.finalizeRecovery()
+		}
+	}
+}
+
+// finalizeRecovery delivers the EVS tail of the old configuration: the
+// messages every survivor is known to have (through the old-ring delivery
+// point `low`), then the transitional configuration, then the remaining
+// recovered messages, then the new regular configuration, then the
+// held-back new-ring traffic.
+func (m *Machine) finalizeRecovery() {
+	rec := m.rec
+	m.rec = nil
+	if rec.oldEng != nil {
+		emit := func(seq uint64) {
+			d := rec.oldEng.Buffered(seq)
+			if d == nil {
+				d = rec.recBuf[seq]
+			}
+			if d == nil || d.Control() {
+				// A hole: no survivor holds this message (its sender
+				// departed before anyone received it), or internal
+				// traffic of the old ring.
+				return
+			}
+			m.out.Deliver(evs.Message{
+				Seq:     d.Seq,
+				Sender:  d.Sender,
+				Round:   d.Round,
+				Service: d.Service,
+				Config:  rec.oldRing.ID,
+				Payload: d.Payload,
+			})
+		}
+		for seq := rec.oldDelivered + 1; seq <= rec.low && seq <= rec.high; seq++ {
+			emit(seq)
+		}
+		transitional := evs.Configuration{
+			ID:      evs.ViewID{Rep: rec.survivors.min(), Seq: m.ring.ID.Seq},
+			Members: rec.survivors,
+		}
+		m.out.Deliver(evs.ConfigChange{Config: transitional, Transitional: true})
+		start := rec.oldDelivered
+		if rec.low > start {
+			start = rec.low
+		}
+		for seq := start + 1; seq <= rec.high; seq++ {
+			emit(seq)
+		}
+	}
+	m.out.Deliver(evs.ConfigChange{Config: m.ring})
+	for _, ev := range rec.holdback {
+		m.out.Deliver(ev)
+	}
+	m.state = StateOperational
+}

@@ -1,0 +1,27 @@
+package pack
+
+import "testing"
+
+// FuzzUnpack: bundles from arbitrary bytes must never panic, and any
+// bundle that unpacks must repack to the same messages.
+func FuzzUnpack(f *testing.F) {
+	p := NewPacker(0)
+	p.Add([]byte("one"))
+	p.Add([]byte("two"))
+	f.Add(p.Flush())
+	f.Add([]byte{Magic, 0, 1, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		msgs, err := Unpack(b)
+		if err != nil {
+			return
+		}
+		bundles, err := PackAll(len(b)+16, msgs)
+		if err != nil || len(bundles) != 1 {
+			t.Fatalf("repack: %v (%d bundles)", err, len(bundles))
+		}
+		again, err := Unpack(bundles[0])
+		if err != nil || len(again) != len(msgs) {
+			t.Fatalf("re-unpack: %v", err)
+		}
+	})
+}

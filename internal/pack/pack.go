@@ -1,0 +1,165 @@
+// Package pack implements small-message packing, the Spread facility the
+// paper's §IV discussion describes: many small application messages are
+// coalesced into one protocol packet sized to fit a single network frame,
+// amortizing per-packet protocol and processing costs. The inverse side
+// unpacks a bundle back into the original messages, preserving order.
+//
+// A bundle is laid out as:
+//
+//	magic(1) count(2) { len(4) payload }*
+//
+// Bundles are self-describing, so a receiver can distinguish them from
+// bare payloads by the magic byte chosen by the embedding protocol layer
+// (callers that also send unpacked payloads must frame accordingly; the
+// daemon layer uses distinct envelope kinds).
+package pack
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Magic is the first byte of every encoded bundle.
+const Magic byte = 0xB5
+
+// Limits.
+const (
+	// DefaultLimit fits a bundle into a 1500-byte MTU frame alongside the
+	// ring protocol's headers, like Spread's default packet size.
+	DefaultLimit = 1350
+	// MaxMessages bounds messages per bundle.
+	MaxMessages = 1024
+	headerLen   = 3
+	perMsgLen   = 4
+)
+
+// Errors.
+var (
+	ErrTooLarge = errors.New("pack: message larger than bundle limit")
+	ErrCorrupt  = errors.New("pack: corrupt bundle")
+)
+
+// Packer accumulates messages into bundles up to a byte limit. The zero
+// value is not usable; create one with NewPacker. Not safe for concurrent
+// use.
+type Packer struct {
+	limit int
+	buf   []byte
+	count int
+}
+
+// NewPacker returns a packer producing bundles of at most limit bytes
+// (DefaultLimit if limit <= 0).
+func NewPacker(limit int) *Packer {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	p := &Packer{limit: limit}
+	p.reset()
+	return p
+}
+
+func (p *Packer) reset() {
+	p.buf = append(p.buf[:0], Magic, 0, 0)
+	p.count = 0
+}
+
+// Limit returns the bundle size limit.
+func (p *Packer) Limit() int { return p.limit }
+
+// Count returns the number of messages in the open bundle.
+func (p *Packer) Count() int { return p.count }
+
+// Size returns the encoded size of the open bundle.
+func (p *Packer) Size() int { return len(p.buf) }
+
+// Fits reports whether a payload of n bytes can join the open bundle.
+func (p *Packer) Fits(n int) bool {
+	return p.count < MaxMessages && len(p.buf)+perMsgLen+n <= p.limit
+}
+
+// Add appends a message to the open bundle. It returns ErrTooLarge if the
+// message can never fit in an empty bundle, and false (with nil error) if
+// the caller should Flush first because the open bundle is full.
+func (p *Packer) Add(payload []byte) (bool, error) {
+	if headerLen+perMsgLen+len(payload) > p.limit {
+		return false, fmt.Errorf("%w: %d bytes, limit %d", ErrTooLarge, len(payload), p.limit)
+	}
+	if !p.Fits(len(payload)) {
+		return false, nil
+	}
+	p.buf = binary.BigEndian.AppendUint32(p.buf, uint32(len(payload)))
+	p.buf = append(p.buf, payload...)
+	p.count++
+	return true, nil
+}
+
+// Flush returns the encoded bundle (nil if empty) and starts a new one.
+// The returned slice is owned by the caller.
+func (p *Packer) Flush() []byte {
+	if p.count == 0 {
+		return nil
+	}
+	binary.BigEndian.PutUint16(p.buf[1:], uint16(p.count))
+	out := make([]byte, len(p.buf))
+	copy(out, p.buf)
+	p.reset()
+	return out
+}
+
+// IsBundle reports whether b looks like an encoded bundle.
+func IsBundle(b []byte) bool { return len(b) >= headerLen && b[0] == Magic }
+
+// Unpack splits a bundle into its messages, in packing order. The
+// returned slices alias b.
+func Unpack(b []byte) ([][]byte, error) {
+	if len(b) < headerLen || b[0] != Magic {
+		return nil, ErrCorrupt
+	}
+	count := int(binary.BigEndian.Uint16(b[1:]))
+	if count == 0 || count > MaxMessages {
+		return nil, fmt.Errorf("%w: count %d", ErrCorrupt, count)
+	}
+	out := make([][]byte, 0, count)
+	off := headerLen
+	for i := 0; i < count; i++ {
+		if off+perMsgLen > len(b) {
+			return nil, fmt.Errorf("%w: truncated length at message %d", ErrCorrupt, i)
+		}
+		n := int(binary.BigEndian.Uint32(b[off:]))
+		off += perMsgLen
+		if n < 0 || off+n > len(b) {
+			return nil, fmt.Errorf("%w: truncated payload at message %d", ErrCorrupt, i)
+		}
+		out = append(out, b[off:off+n:off+n])
+		off += n
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b)-off)
+	}
+	return out, nil
+}
+
+// PackAll greedily packs the payloads into as few bundles as possible,
+// preserving order. Messages larger than the limit are rejected.
+func PackAll(limit int, payloads [][]byte) ([][]byte, error) {
+	p := NewPacker(limit)
+	var bundles [][]byte
+	for _, m := range payloads {
+		ok, err := p.Add(m)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			bundles = append(bundles, p.Flush())
+			if ok, err = p.Add(m); err != nil || !ok {
+				return nil, fmt.Errorf("pack: message rejected after flush: %w", err)
+			}
+		}
+	}
+	if b := p.Flush(); b != nil {
+		bundles = append(bundles, b)
+	}
+	return bundles, nil
+}

@@ -1,0 +1,330 @@
+// Package ringnode is the real-time driver for the protocol stack: it runs
+// a membership.Machine (which owns the ordering engine) on a single
+// goroutine over a transport.Transport, implementing the paper's
+// token/data socket priority scheme, the membership timers, and a
+// synchronous submission API.
+//
+// The single protocol goroutine mirrors the paper's single-threaded
+// daemons: the ordering service deliberately consumes at most one core.
+package ringnode
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"accelring/internal/core"
+	"accelring/internal/evs"
+	"accelring/internal/flowcontrol"
+	"accelring/internal/membership"
+	"accelring/internal/transport"
+)
+
+// Config configures a node.
+type Config struct {
+	// Self is this participant's ID.
+	Self evs.ProcID
+	// Transport moves frames; the node takes ownership and closes it on
+	// Stop.
+	Transport transport.Transport
+	// Windows are the protocol's flow-control parameters.
+	Windows flowcontrol.Windows
+	// Priority is the token-priority method (defaults to aggressive).
+	Priority core.PriorityMethod
+	// DelayedRequests selects the accelerated retransmission rule.
+	DelayedRequests bool
+	// Timeouts are the membership timing parameters (defaults applied).
+	Timeouts membership.Timeouts
+	// TickInterval drives timers; zero derives a sensible value from the
+	// timeouts.
+	TickInterval time.Duration
+	// OnEvent receives the delivery stream (messages and configuration
+	// changes) on the protocol goroutine. It must not block for long and
+	// must not call back into the Node except Submit-from-another-
+	// goroutine.
+	OnEvent func(evs.Event)
+}
+
+// Accelerated returns a Config for the Accelerated Ring protocol.
+func Accelerated(self evs.ProcID, tr transport.Transport, personal, global, accelerated int) Config {
+	return Config{
+		Self:      self,
+		Transport: tr,
+		Windows: flowcontrol.Windows{
+			Personal: personal, Global: global, Accelerated: accelerated,
+		},
+		Priority:        core.PriorityAggressive,
+		DelayedRequests: true,
+	}
+}
+
+// Original returns a Config for the original Ring protocol.
+func Original(self evs.ProcID, tr transport.Transport, personal, global int) Config {
+	return Config{
+		Self:      self,
+		Transport: tr,
+		Windows:   flowcontrol.Windows{Personal: personal, Global: global},
+		Priority:  core.PriorityConservative,
+	}
+}
+
+// ErrStopped is returned by Submit after Stop.
+var ErrStopped = errors.New("ringnode: node stopped")
+
+type submitReq struct {
+	payload []byte
+	service evs.Service
+	reply   chan error
+}
+
+// Status is a snapshot of the node's protocol state.
+type Status struct {
+	State membership.State
+	Ring  evs.Configuration
+	// Engine holds the ordering engine's counters for the current ring
+	// (zero before the first ring forms).
+	Engine core.Counters
+	// Membership holds the membership algorithm's counters.
+	Membership membership.Counters
+	// QueueLen is the number of submissions waiting for a token; callers
+	// can use it for backpressure.
+	QueueLen int
+}
+
+// Node runs the protocol for one participant.
+type Node struct {
+	cfg      Config
+	machine  *membership.Machine
+	submitCh chan submitReq
+	stopCh   chan struct{}
+	done     chan struct{}
+	status   atomic.Value // Status
+}
+
+// Start creates the node and launches its protocol goroutine. The node
+// begins in the gather state and forms (or joins) a ring on its own.
+func Start(cfg Config) (*Node, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("ringnode: nil transport")
+	}
+	n := &Node{
+		cfg:      cfg,
+		submitCh: make(chan submitReq),
+		stopCh:   make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	m, err := membership.New(membership.Config{
+		Self:            cfg.Self,
+		Windows:         cfg.Windows,
+		Priority:        cfg.Priority,
+		DelayedRequests: cfg.DelayedRequests,
+		Timeouts:        cfg.Timeouts,
+	}, machineOut{n}, time.Now())
+	if err != nil {
+		return nil, err
+	}
+	n.machine = m
+	n.publishStatus()
+	go n.run()
+	return n, nil
+}
+
+// machineOut adapts the membership machine's effects to the transport and
+// the application callback.
+type machineOut struct{ n *Node }
+
+func (o machineOut) Multicast(frame []byte) {
+	// Transport errors are UDP-like losses; the protocol recovers.
+	_ = o.n.cfg.Transport.Multicast(frame)
+}
+
+func (o machineOut) Unicast(to evs.ProcID, frame []byte) {
+	_ = o.n.cfg.Transport.Unicast(to, frame)
+}
+
+func (o machineOut) Deliver(ev evs.Event) {
+	if o.n.cfg.OnEvent != nil {
+		o.n.cfg.OnEvent(ev)
+	}
+}
+
+func (n *Node) publishStatus() {
+	st := Status{
+		State:      n.machine.State(),
+		Ring:       n.machine.Ring(),
+		Membership: n.machine.Counters(),
+	}
+	if eng := n.machine.Engine(); eng != nil {
+		st.Engine = eng.Counters()
+		st.QueueLen = eng.QueueLen()
+	}
+	n.status.Store(st)
+}
+
+// Status returns a snapshot of the node's state. Safe for any goroutine.
+func (n *Node) Status() Status { return n.status.Load().(Status) }
+
+// WaitState blocks until the node reaches the given state (with any ring)
+// or the timeout elapses. It returns whether the state was reached.
+func (n *Node) WaitState(st membership.State, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if n.Status().State == st {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return n.Status().State == st
+}
+
+// Submit multicasts a payload with the given delivery service, in total
+// order. Safe for any goroutine. The payload must not be mutated after
+// the call. It fails with membership.ErrNotOperational before the first
+// ring forms and with ErrStopped after Stop.
+func (n *Node) Submit(payload []byte, service evs.Service) error {
+	req := submitReq{payload: payload, service: service, reply: make(chan error, 1)}
+	select {
+	case n.submitCh <- req:
+	case <-n.done:
+		return ErrStopped
+	}
+	select {
+	case err := <-req.reply:
+		return err
+	case <-n.done:
+		return ErrStopped
+	}
+}
+
+// Stop terminates the protocol goroutine and closes the transport.
+func (n *Node) Stop() {
+	select {
+	case <-n.stopCh:
+		return // already stopping
+	default:
+	}
+	close(n.stopCh)
+	<-n.done
+}
+
+func (n *Node) tickInterval() time.Duration {
+	if n.cfg.TickInterval > 0 {
+		return n.cfg.TickInterval
+	}
+	t := n.machineTimeouts()
+	d := t.JoinInterval
+	if t.TokenRetransmit < d {
+		d = t.TokenRetransmit
+	}
+	d /= 4
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	return d
+}
+
+func (n *Node) machineTimeouts() membership.Timeouts {
+	var zero membership.Timeouts
+	if n.cfg.Timeouts == zero {
+		return membership.DefaultTimeouts()
+	}
+	return n.cfg.Timeouts
+}
+
+// run is the protocol loop. Frame classes are prioritized per §III-D/E:
+// the preferred class's channel is polled first; the other is read only
+// when the preferred one is empty.
+func (n *Node) run() {
+	defer close(n.done)
+	defer n.cfg.Transport.Close()
+
+	ticker := time.NewTicker(n.tickInterval())
+	defer ticker.Stop()
+
+	dataCh := n.cfg.Transport.Data()
+	tokenCh := n.cfg.Transport.Token()
+
+	handleData := func(f []byte, ok bool) bool {
+		if !ok {
+			dataCh = nil
+			return false
+		}
+		n.machine.HandleDataFrame(f, time.Now())
+		return true
+	}
+	handleToken := func(f []byte, ok bool) bool {
+		if !ok {
+			tokenCh = nil
+			return false
+		}
+		n.machine.HandleTokenFrame(f, time.Now())
+		return true
+	}
+
+	for {
+		// Service control events without blocking: a busy ring (e.g. a
+		// singleton whose token loops back instantly) may never reach the
+		// blocking select below, and must still honor Stop, submissions,
+		// and timers.
+		select {
+		case <-n.stopCh:
+			return
+		case req := <-n.submitCh:
+			req.reply <- n.machine.Submit(req.payload, req.service)
+		case <-ticker.C:
+			n.machine.Tick(time.Now())
+		default:
+		}
+
+		// Priority pass: drain the preferred class without blocking.
+		if n.machine.DataPriority() {
+			select {
+			case f, ok := <-dataCh:
+				handleData(f, ok)
+				n.publishStatus()
+				continue
+			default:
+			}
+			select {
+			case f, ok := <-tokenCh:
+				handleToken(f, ok)
+				n.publishStatus()
+				continue
+			default:
+			}
+		} else {
+			select {
+			case f, ok := <-tokenCh:
+				handleToken(f, ok)
+				n.publishStatus()
+				continue
+			default:
+			}
+			select {
+			case f, ok := <-dataCh:
+				handleData(f, ok)
+				n.publishStatus()
+				continue
+			default:
+			}
+		}
+
+		// Nothing pending in the preferred order: block on everything.
+		select {
+		case f, ok := <-dataCh:
+			handleData(f, ok)
+		case f, ok := <-tokenCh:
+			handleToken(f, ok)
+		case req := <-n.submitCh:
+			req.reply <- n.machine.Submit(req.payload, req.service)
+		case <-ticker.C:
+			n.machine.Tick(time.Now())
+		case <-n.stopCh:
+			return
+		}
+		n.publishStatus()
+	}
+}

@@ -1,0 +1,145 @@
+// Package seqbuf provides the sequence-ordered receive buffer used by the
+// ring protocol. It stores data messages keyed by their total-order
+// sequence number, tracks the local all-received-up-to (aru) value, lists
+// gaps for retransmission requests, and discards stable prefixes.
+package seqbuf
+
+import (
+	"fmt"
+
+	"accelring/internal/wire"
+)
+
+// Buffer is a sequence-ordered message store. The zero value is not usable;
+// create one with New. Buffer is not safe for concurrent use: the protocol
+// engine is single-threaded by design.
+type Buffer struct {
+	msgs map[uint64]*wire.Data
+	// floor: every message with seq <= floor has been received and since
+	// discarded. aru never falls below floor.
+	floor uint64
+	// aru is the highest sequence number such that every message with a
+	// sequence number at or below it has been received.
+	aru uint64
+	// high is the highest sequence number ever inserted.
+	high uint64
+}
+
+// New returns a buffer whose aru starts at initial: every sequence number
+// at or below initial is treated as already received and discarded.
+// Rings start message numbering at initial+1.
+func New(initial uint64) *Buffer {
+	return &Buffer{
+		msgs:  make(map[uint64]*wire.Data),
+		floor: initial,
+		aru:   initial,
+		high:  initial,
+	}
+}
+
+// Insert adds a message to the buffer and advances the aru across any
+// newly contiguous prefix. It returns false if the message is a duplicate
+// or precedes the discarded prefix (both are normal under retransmission).
+func (b *Buffer) Insert(d *wire.Data) bool {
+	if d.Seq <= b.floor {
+		return false
+	}
+	if _, dup := b.msgs[d.Seq]; dup {
+		return false
+	}
+	b.msgs[d.Seq] = d
+	if d.Seq > b.high {
+		b.high = d.Seq
+	}
+	if d.Seq == b.aru+1 {
+		b.aru++
+		for {
+			if _, ok := b.msgs[b.aru+1]; !ok {
+				break
+			}
+			b.aru++
+		}
+	}
+	return true
+}
+
+// Get returns the message with the given sequence number, or nil if the
+// buffer does not hold it (never received, or already discarded).
+func (b *Buffer) Get(seq uint64) *wire.Data { return b.msgs[seq] }
+
+// Has reports whether the message has been received (including messages
+// already discarded as stable).
+func (b *Buffer) Has(seq uint64) bool {
+	if seq <= b.floor {
+		return true
+	}
+	_, ok := b.msgs[seq]
+	return ok
+}
+
+// Aru returns the local all-received-up-to value: the highest sequence
+// number such that all messages at or below it have been received.
+func (b *Buffer) Aru() uint64 { return b.aru }
+
+// High returns the highest sequence number received so far.
+func (b *Buffer) High() uint64 { return b.high }
+
+// Floor returns the highest discarded sequence number.
+func (b *Buffer) Floor() uint64 { return b.floor }
+
+// Len returns the number of messages currently held.
+func (b *Buffer) Len() int { return len(b.msgs) }
+
+// Missing appends to dst the sequence numbers in (aru, to] that have not
+// been received, up to max entries, and returns the extended slice.
+// A non-positive max means no limit.
+func (b *Buffer) Missing(dst []uint64, to uint64, max int) []uint64 {
+	for seq := b.aru + 1; seq <= to; seq++ {
+		if _, ok := b.msgs[seq]; ok {
+			continue
+		}
+		dst = append(dst, seq)
+		if max > 0 && len(dst) >= max {
+			break
+		}
+	}
+	return dst
+}
+
+// Discard drops every message with a sequence number at or below upTo and
+// returns how many were dropped. Discarding beyond the aru is a protocol
+// bug — it would throw away knowledge of what has been received — so it
+// returns an error instead.
+func (b *Buffer) Discard(upTo uint64) (int, error) {
+	if upTo > b.aru {
+		return 0, fmt.Errorf("seqbuf: discard to %d beyond aru %d", upTo, b.aru)
+	}
+	n := 0
+	for seq := b.floor + 1; seq <= upTo; seq++ {
+		if _, ok := b.msgs[seq]; ok {
+			delete(b.msgs, seq)
+			n++
+		}
+	}
+	if upTo > b.floor {
+		b.floor = upTo
+	}
+	return n, nil
+}
+
+// Range calls fn for each held message with sequence number in [from, to],
+// in ascending order, skipping holes. It stops early if fn returns false.
+func (b *Buffer) Range(from, to uint64, fn func(*wire.Data) bool) {
+	if from <= b.floor {
+		from = b.floor + 1
+	}
+	for seq := from; seq <= to; seq++ {
+		d, ok := b.msgs[seq]
+		if !ok {
+			continue
+		}
+		if !fn(d) {
+			return
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package seqbuf
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"accelring/internal/wire"
+)
+
+func msg(seq uint64) *wire.Data { return &wire.Data{Seq: seq} }
+
+func TestInsertAdvancesAru(t *testing.T) {
+	b := New(0)
+	if b.Aru() != 0 {
+		t.Fatalf("initial aru = %d", b.Aru())
+	}
+	if !b.Insert(msg(1)) {
+		t.Fatal("insert 1 rejected")
+	}
+	if b.Aru() != 1 {
+		t.Fatalf("aru = %d, want 1", b.Aru())
+	}
+	// Out-of-order inserts: aru holds at the gap.
+	b.Insert(msg(3))
+	b.Insert(msg(4))
+	if b.Aru() != 1 {
+		t.Fatalf("aru = %d, want 1 (gap at 2)", b.Aru())
+	}
+	if b.High() != 4 {
+		t.Fatalf("high = %d, want 4", b.High())
+	}
+	// Filling the gap advances across the contiguous run.
+	b.Insert(msg(2))
+	if b.Aru() != 4 {
+		t.Fatalf("aru = %d, want 4", b.Aru())
+	}
+}
+
+func TestInsertDuplicate(t *testing.T) {
+	b := New(0)
+	if !b.Insert(msg(1)) || b.Insert(msg(1)) {
+		t.Fatal("duplicate insert accepted")
+	}
+	if b.Len() != 1 {
+		t.Fatalf("len = %d, want 1", b.Len())
+	}
+}
+
+func TestInsertBelowFloor(t *testing.T) {
+	b := New(10)
+	if b.Insert(msg(5)) || b.Insert(msg(10)) {
+		t.Fatal("insert at or below floor accepted")
+	}
+	if !b.Insert(msg(11)) {
+		t.Fatal("insert above floor rejected")
+	}
+	if b.Aru() != 11 {
+		t.Fatalf("aru = %d, want 11", b.Aru())
+	}
+}
+
+func TestHas(t *testing.T) {
+	b := New(5)
+	b.Insert(msg(7))
+	tests := []struct {
+		seq  uint64
+		want bool
+	}{{3, true}, {5, true}, {6, false}, {7, true}, {8, false}}
+	for _, tc := range tests {
+		if got := b.Has(tc.seq); got != tc.want {
+			t.Errorf("Has(%d) = %v, want %v", tc.seq, got, tc.want)
+		}
+	}
+}
+
+func TestMissing(t *testing.T) {
+	b := New(0)
+	for _, s := range []uint64{1, 2, 5, 7} {
+		b.Insert(msg(s))
+	}
+	got := b.Missing(nil, 8, 0)
+	want := []uint64{3, 4, 6, 8}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Missing = %v, want %v", got, want)
+	}
+	// Capped.
+	got = b.Missing(nil, 8, 2)
+	if !reflect.DeepEqual(got, []uint64{3, 4}) {
+		t.Fatalf("Missing capped = %v", got)
+	}
+	// Appends to dst.
+	got = b.Missing([]uint64{99}, 4, 0)
+	if !reflect.DeepEqual(got, []uint64{99, 3, 4}) {
+		t.Fatalf("Missing append = %v", got)
+	}
+	// Nothing missing up to aru.
+	if got := b.Missing(nil, b.Aru(), 0); len(got) != 0 {
+		t.Fatalf("Missing to aru = %v, want empty", got)
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	b := New(0)
+	for s := uint64(1); s <= 6; s++ {
+		b.Insert(msg(s))
+	}
+	n, err := b.Discard(4)
+	if err != nil || n != 4 {
+		t.Fatalf("Discard = (%d, %v), want (4, nil)", n, err)
+	}
+	if b.Floor() != 4 || b.Len() != 2 {
+		t.Fatalf("floor = %d len = %d", b.Floor(), b.Len())
+	}
+	if b.Get(3) != nil {
+		t.Fatal("discarded message still retrievable")
+	}
+	if !b.Has(3) {
+		t.Fatal("Has must remain true for discarded messages")
+	}
+	// Discard beyond aru is rejected.
+	if _, err := b.Discard(b.Aru() + 1); err == nil {
+		t.Fatal("discard beyond aru succeeded")
+	}
+	// Re-discarding an already discarded prefix is a no-op.
+	n, err = b.Discard(2)
+	if err != nil || n != 0 {
+		t.Fatalf("re-discard = (%d, %v)", n, err)
+	}
+}
+
+func TestRange(t *testing.T) {
+	b := New(0)
+	for _, s := range []uint64{1, 2, 4, 5} {
+		b.Insert(msg(s))
+	}
+	var seen []uint64
+	b.Range(1, 5, func(d *wire.Data) bool {
+		seen = append(seen, d.Seq)
+		return true
+	})
+	if !reflect.DeepEqual(seen, []uint64{1, 2, 4, 5}) {
+		t.Fatalf("Range = %v", seen)
+	}
+	// Early stop.
+	seen = seen[:0]
+	b.Range(1, 5, func(d *wire.Data) bool {
+		seen = append(seen, d.Seq)
+		return d.Seq < 2
+	})
+	if !reflect.DeepEqual(seen, []uint64{1, 2}) {
+		t.Fatalf("Range early stop = %v", seen)
+	}
+	// Range below floor is clamped.
+	if _, err := b.Discard(2); err != nil {
+		t.Fatal(err)
+	}
+	seen = seen[:0]
+	b.Range(0, 5, func(d *wire.Data) bool {
+		seen = append(seen, d.Seq)
+		return true
+	})
+	if !reflect.DeepEqual(seen, []uint64{4, 5}) {
+		t.Fatalf("Range after discard = %v", seen)
+	}
+}
+
+// TestQuickAruInvariant property-tests that after any insertion order, the
+// aru equals the length of the contiguous received prefix and Missing
+// reports exactly the holes.
+func TestQuickAruInvariant(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		total := int(n%64) + 1
+		perm := rng.Perm(total)
+		b := New(0)
+		received := make(map[uint64]bool)
+		for _, i := range perm {
+			// Skip some messages to create persistent holes.
+			if rng.Intn(4) == 0 {
+				continue
+			}
+			seq := uint64(i + 1)
+			b.Insert(msg(seq))
+			received[seq] = true
+		}
+		// Model aru.
+		wantAru := uint64(0)
+		for received[wantAru+1] {
+			wantAru++
+		}
+		if b.Aru() != wantAru {
+			return false
+		}
+		// Model missing.
+		var wantMissing []uint64
+		for s := wantAru + 1; s <= uint64(total); s++ {
+			if !received[s] {
+				wantMissing = append(wantMissing, s)
+			}
+		}
+		gotMissing := b.Missing(nil, uint64(total), 0)
+		if len(gotMissing) != len(wantMissing) {
+			return false
+		}
+		for i := range gotMissing {
+			if gotMissing[i] != wantMissing[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDiscardKeepsInvariants property-tests that interleaved inserts
+// and discards keep Has/aru consistent.
+func TestQuickDiscardKeepsInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := New(0)
+		next := uint64(1)
+		received := make(map[uint64]bool)
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(3) {
+			case 0, 1: // insert a message within a small window ahead
+				seq := next + uint64(rng.Intn(8))
+				if b.Insert(msg(seq)) {
+					received[seq] = true
+				}
+				for received[next] {
+					next++
+				}
+			case 2: // discard a random stable prefix
+				if b.Aru() > b.Floor() {
+					upTo := b.Floor() + 1 + uint64(rng.Intn(int(b.Aru()-b.Floor())))
+					if _, err := b.Discard(upTo); err != nil {
+						return false
+					}
+				}
+			}
+			// Invariants: aru is the contiguous prefix; Has matches model.
+			wantAru := uint64(0)
+			for received[wantAru+1] {
+				wantAru++
+			}
+			if b.Aru() != wantAru {
+				return false
+			}
+			for s := uint64(1); s < next+8; s++ {
+				if b.Has(s) != received[s] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

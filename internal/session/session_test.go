@@ -1,0 +1,142 @@
+package session
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+
+	"accelring/internal/evs"
+	"accelring/internal/group"
+)
+
+func TestFrameRoundTrips(t *testing.T) {
+	frames := []Frame{
+		Connect{Name: "client-a"},
+		Connect{},
+		Join{Group: "chat"},
+		Leave{Group: "chat"},
+		Send{Service: evs.Agreed, Groups: []string{"a", "b"}, Payload: []byte("hello")},
+		Send{Service: evs.Safe, Groups: []string{"x"}},
+		Welcome{Client: group.ClientID{Daemon: 3, Local: 9}},
+		Message{Sender: group.ClientID{Daemon: 1, Local: 2}, Service: evs.Agreed,
+			Groups: []string{"g"}, Payload: bytes.Repeat([]byte{7}, 1350)},
+		View{Group: "g", Members: []group.ClientID{
+			{Daemon: 1, Local: 1}, {Daemon: 2, Local: 5}}},
+		View{Group: "empty"},
+		Error{Msg: "bad request"},
+	}
+	for _, in := range frames {
+		enc, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%T): %v", in, err)
+		}
+		out, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%T): %v", in, err)
+		}
+		// Normalize empty slices for comparison.
+		if !framesEqual(in, out) {
+			t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", out, in)
+		}
+	}
+}
+
+func framesEqual(a, b Frame) bool {
+	norm := func(f Frame) Frame {
+		switch v := f.(type) {
+		case Send:
+			if len(v.Groups) == 0 {
+				v.Groups = nil
+			}
+			if len(v.Payload) == 0 {
+				v.Payload = nil
+			}
+			return v
+		case Message:
+			if len(v.Groups) == 0 {
+				v.Groups = nil
+			}
+			if len(v.Payload) == 0 {
+				v.Payload = nil
+			}
+			return v
+		case View:
+			if len(v.Members) == 0 {
+				v.Members = nil
+			}
+			return v
+		}
+		return f
+	}
+	return reflect.DeepEqual(norm(a), norm(b))
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("decoded empty frame")
+	}
+	if _, err := Decode([]byte{99}); err == nil {
+		t.Fatal("decoded unknown kind")
+	}
+	// Truncations never panic and always error.
+	enc, err := Encode(Message{Sender: group.ClientID{Daemon: 1, Local: 1}, Service: evs.Agreed,
+		Groups: []string{"g1", "g2"}, Payload: []byte("xyz")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(enc); i++ {
+		if _, err := Decode(enc[:i]); err == nil {
+			t.Fatalf("decoded %d-byte prefix", i)
+		}
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		if len(b) > 0 {
+			b[0] = byte(1 + rng.Intn(8))
+		}
+		Decode(b)
+	}
+}
+
+func TestEncodeLimits(t *testing.T) {
+	if _, err := Encode(Connect{Name: string(bytes.Repeat([]byte("n"), MaxClientName+1))}); err == nil {
+		t.Fatal("oversized client name accepted")
+	}
+	if _, err := Encode(Send{Service: evs.Agreed, Groups: []string{"g"},
+		Payload: bytes.Repeat([]byte{0}, MaxFrame)}); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestReadWriteFrameOverPipe(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	want := Send{Service: evs.Safe, Groups: []string{"grp"}, Payload: []byte("data")}
+	errCh := make(chan error, 1)
+	go func() { errCh <- WriteFrame(a, want) }()
+	got, err := ReadFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if !framesEqual(want, got) {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+func TestReadFrameRejectsHugeLength(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go a.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(b); err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}

@@ -1,0 +1,201 @@
+package simnet
+
+import (
+	"testing"
+
+	"accelring/internal/wire"
+)
+
+type delivery struct {
+	to NodeID
+	at Time
+	p  *Packet
+}
+
+func testFabric(nodes int) Config {
+	return Config{
+		Nodes:          nodes,
+		LinkBitsPerSec: 1e9, // 1 Gb: 8 ns per byte
+		PropDelay:      100,
+		SwitchLatency:  50,
+		PortBufBytes:   10000,
+	}
+}
+
+func collectNet(t *testing.T, cfg Config) (*Sim, *Network, *[]delivery) {
+	t.Helper()
+	sim := NewSim()
+	var got []delivery
+	net, err := NewNetwork(sim, cfg, func(to NodeID, p *Packet) {
+		got = append(got, delivery{to: to, at: sim.Now(), p: p})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, net, &got
+}
+
+func pkt(from NodeID, size int) *Packet {
+	return &Packet{From: from, Kind: wire.FrameData, Wire: size}
+}
+
+func TestUnicastTiming(t *testing.T) {
+	sim, net, got := collectNet(t, testFabric(3))
+	// 1000 bytes at 1 Gb/s = 8000 ns serialization, twice (NIC + port),
+	// plus 2 props and switch latency.
+	net.Unicast(0, 1, pkt(0, 1000))
+	sim.Drain(0)
+	if len(*got) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(*got))
+	}
+	want := Time(8000 + 100 + 50 + 8000 + 100)
+	if (*got)[0].at != want || (*got)[0].to != 1 {
+		t.Fatalf("delivered to %d at %v, want node 1 at %v", (*got)[0].to, (*got)[0].at, want)
+	}
+}
+
+func TestMulticastReachesAllButSender(t *testing.T) {
+	sim, net, got := collectNet(t, testFabric(5))
+	net.Multicast(2, pkt(2, 100))
+	sim.Drain(0)
+	if len(*got) != 4 {
+		t.Fatalf("deliveries = %d, want 4", len(*got))
+	}
+	seen := map[NodeID]bool{}
+	for _, d := range *got {
+		if d.to == 2 {
+			t.Fatal("multicast looped back to sender")
+		}
+		seen[d.to] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("destinations = %v", seen)
+	}
+	// One serialization at the sender: stats count the multicast once.
+	if s := net.Stats(); s.Sent != 1 || s.Delivered != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestNICSerializesSequentially(t *testing.T) {
+	sim, net, got := collectNet(t, testFabric(2))
+	// Two back-to-back packets from node 0: the second waits for the
+	// first's serialization.
+	net.Unicast(0, 1, pkt(0, 1000))
+	net.Unicast(0, 1, pkt(0, 1000))
+	sim.Drain(0)
+	if len(*got) != 2 {
+		t.Fatalf("deliveries = %d", len(*got))
+	}
+	gap := (*got)[1].at - (*got)[0].at
+	if gap != 8000 {
+		t.Fatalf("inter-arrival gap = %v, want 8µs (line rate)", gap)
+	}
+}
+
+// TestSwitchOutputContention: two senders bursting at one receiver share
+// the receiver's port at line rate — the switch buffer absorbs the burst,
+// which is the property the Accelerated Ring protocol exploits.
+func TestSwitchOutputContention(t *testing.T) {
+	sim, net, got := collectNet(t, testFabric(3))
+	net.Unicast(0, 2, pkt(0, 1000))
+	net.Unicast(1, 2, pkt(1, 1000))
+	sim.Drain(0)
+	if len(*got) != 2 {
+		t.Fatalf("deliveries = %d", len(*got))
+	}
+	if s := net.Stats(); s.SwitchDrops != 0 {
+		t.Fatalf("unexpected switch drops: %+v", s)
+	}
+	// Both NICs serialize in parallel (same finish), but the output port
+	// serializes one after the other.
+	gap := (*got)[1].at - (*got)[0].at
+	if gap != 8000 {
+		t.Fatalf("port serialization gap = %v, want 8µs", gap)
+	}
+}
+
+func TestSwitchBufferOverflowDrops(t *testing.T) {
+	cfg := testFabric(3)
+	cfg.PortBufBytes = 2500 // room for two 1000-byte packets + slack
+	sim, net, got := collectNet(t, cfg)
+	// Three packets arrive at node 2's port nearly simultaneously from two
+	// senders; the third overflows the 2500-byte buffer.
+	net.Unicast(0, 2, pkt(0, 1000))
+	net.Unicast(0, 2, pkt(0, 1000))
+	net.Unicast(1, 2, pkt(1, 1000))
+	sim.Drain(0)
+	s := net.Stats()
+	if s.SwitchDrops != 1 {
+		t.Fatalf("switch drops = %d, want 1 (stats %+v)", s.SwitchDrops, s)
+	}
+	if len(*got) != 2 {
+		t.Fatalf("deliveries = %d, want 2", len(*got))
+	}
+}
+
+func TestIngressFilterDrops(t *testing.T) {
+	sim, net, got := collectNet(t, testFabric(4))
+	net.SetIngressFilter(func(to NodeID, p *Packet) bool { return to == 1 })
+	net.Multicast(0, pkt(0, 100))
+	sim.Drain(0)
+	for _, d := range *got {
+		if d.to == 1 {
+			t.Fatal("filtered packet delivered")
+		}
+	}
+	if len(*got) != 2 {
+		t.Fatalf("deliveries = %d, want 2", len(*got))
+	}
+	if s := net.Stats(); s.FilterDrops != 1 {
+		t.Fatalf("filter drops = %d, want 1", s.FilterDrops)
+	}
+}
+
+func TestTokenOvertakesQueuedData(t *testing.T) {
+	// A small token sent right after a large data burst from ANOTHER host
+	// can arrive at the destination while the burst is still draining:
+	// separate NICs, shared output port. Here we check the opposite
+	// ordering property too: packets from one NIC stay in order.
+	sim, net, got := collectNet(t, testFabric(3))
+	big := pkt(0, 9000)
+	small := &Packet{From: 0, Kind: wire.FrameToken, Wire: 100}
+	net.Multicast(0, big)
+	net.Unicast(0, 1, small)
+	sim.Drain(0)
+	var kinds []wire.FrameType
+	for _, d := range *got {
+		if d.to == 1 {
+			kinds = append(kinds, d.p.Kind)
+		}
+	}
+	if len(kinds) != 2 || kinds[0] != wire.FrameData || kinds[1] != wire.FrameToken {
+		t.Fatalf("arrival order at node 1 = %v, want [data token]", kinds)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"gigabit preset", GigabitFabric(8), true},
+		{"ten gig preset", TenGigFabric(8), true},
+		{"zero nodes", Config{LinkBitsPerSec: 1e9, PortBufBytes: 1}, false},
+		{"zero rate", Config{Nodes: 2, PortBufBytes: 1}, false},
+		{"zero buffer", Config{Nodes: 2, LinkBitsPerSec: 1e9}, false},
+		{"negative delay", Config{Nodes: 2, LinkBitsPerSec: 1e9, PortBufBytes: 1, PropDelay: -1}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if (err == nil) != tc.ok {
+				t.Fatalf("Validate() = %v, ok = %v", err, tc.ok)
+			}
+		})
+	}
+	if _, err := NewNetwork(NewSim(), GigabitFabric(2), nil); err == nil {
+		t.Fatal("nil deliver accepted")
+	}
+}

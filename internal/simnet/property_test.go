@@ -1,0 +1,95 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"accelring/internal/wire"
+)
+
+// TestQuickConservation property-tests the fabric's accounting: with
+// random traffic, deliveries + switch drops + filter drops exactly equals
+// the per-receiver replication of everything sent, and per-receiver
+// arrival order from a single sender is FIFO.
+func TestQuickConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 2 + rng.Intn(6)
+		cfg := Config{
+			Nodes:          nodes,
+			LinkBitsPerSec: 1e9,
+			PropDelay:      Time(rng.Intn(5000)),
+			SwitchLatency:  Time(rng.Intn(5000)),
+			PortBufBytes:   2000 + rng.Intn(100000),
+		}
+		sim := NewSim()
+		type arrival struct {
+			from NodeID
+			id   int
+		}
+		arrivals := make(map[NodeID][]arrival)
+		var net *Network
+		var err error
+		net, err = NewNetwork(sim, cfg, func(to NodeID, p *Packet) {
+			arrivals[to] = append(arrivals[to], arrival{from: p.From, id: int(p.Wire)})
+		})
+		if err != nil {
+			return false
+		}
+		dropEvery := 0
+		if rng.Intn(2) == 0 {
+			dropEvery = 2 + rng.Intn(5)
+			count := 0
+			net.SetIngressFilter(func(to NodeID, p *Packet) bool {
+				count++
+				return count%dropEvery == 0
+			})
+		}
+		expected := uint64(0)
+		sends := 20 + rng.Intn(200)
+		for i := 0; i < sends; i++ {
+			from := NodeID(rng.Intn(nodes))
+			p := &Packet{From: from, Kind: wire.FrameData, Wire: 100 + i}
+			if rng.Intn(4) == 0 && nodes > 1 {
+				to := NodeID(rng.Intn(nodes))
+				for to == from {
+					to = NodeID(rng.Intn(nodes))
+				}
+				net.Unicast(from, to, p)
+				expected++
+			} else {
+				net.Multicast(from, p)
+				expected += uint64(nodes - 1)
+			}
+			// Occasionally let the network drain partially.
+			if rng.Intn(10) == 0 {
+				sim.Drain(rng.Intn(100))
+			}
+		}
+		sim.Drain(0)
+		s := net.Stats()
+		if s.Delivered+s.SwitchDrops+s.FilterDrops != expected {
+			t.Logf("seed %d: delivered %d + swdrop %d + fdrop %d != expected %d",
+				seed, s.Delivered, s.SwitchDrops, s.FilterDrops, expected)
+			return false
+		}
+		// FIFO per (sender, receiver) pair: Wire encodes the send index,
+		// monotonically increasing per sender.
+		for to, list := range arrivals {
+			last := make(map[NodeID]int)
+			for _, a := range list {
+				if prev, ok := last[a.from]; ok && a.id <= prev {
+					t.Logf("seed %d: reorder at node %d from %d: %d after %d",
+						seed, to, a.from, a.id, prev)
+					return false
+				}
+				last[a.from] = a.id
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

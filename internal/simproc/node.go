@@ -1,0 +1,297 @@
+package simproc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"accelring/internal/core"
+	"accelring/internal/evs"
+	"accelring/internal/simnet"
+	"accelring/internal/wire"
+)
+
+// TraceEvent is one entry of a node's protocol trace, used to reproduce
+// the paper's Figure 1 execution schedule.
+type TraceEvent struct {
+	At   simnet.Time
+	Node simnet.NodeID
+	// Kind is one of "send-data", "send-token", "recv-data", "recv-token",
+	// "deliver".
+	Kind string
+	// Seq is the data sequence number, or the token's seq field for token
+	// events.
+	Seq uint64
+	// PostToken marks data sent after the token in its round.
+	PostToken bool
+}
+
+// TraceFn observes trace events.
+type TraceFn func(TraceEvent)
+
+// DeliverFn observes application deliveries at a node. at is the instant
+// the daemon finished delivering (before the client IPC hop).
+type DeliverFn func(node simnet.NodeID, m evs.Message, at simnet.Time)
+
+// NodeStats counts node-level activity.
+type NodeStats struct {
+	// DataSockDrops counts data packets dropped at a full data socket.
+	DataSockDrops uint64
+	// TokenSockDrops counts tokens dropped at a full token socket.
+	TokenSockDrops uint64
+	// Submitted counts client messages ingested into the engine.
+	Submitted uint64
+	// Delivered counts messages delivered to clients.
+	Delivered uint64
+}
+
+type submission struct {
+	payload []byte
+	service evs.Service
+}
+
+type pktQueue struct {
+	items []*simnet.Packet
+	bytes int
+	cap   int
+}
+
+func (q *pktQueue) push(p *simnet.Packet) bool {
+	if q.bytes+p.Wire > q.cap {
+		return false
+	}
+	q.items = append(q.items, p)
+	q.bytes += p.Wire
+	return true
+}
+
+func (q *pktQueue) pop() *simnet.Packet {
+	p := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	q.bytes -= p.Wire
+	// Reclaim the backing array periodically.
+	if len(q.items) == 0 {
+		q.items = nil
+	}
+	return p
+}
+
+// Node is one simulated participant: a single-core process running the
+// protocol engine, with separate token and data sockets and a local client
+// queue, exactly like the paper's daemons.
+type Node struct {
+	id   simnet.NodeID
+	pid  evs.ProcID
+	sim  *simnet.Sim
+	net  *simnet.Network
+	prof Profile
+	eng  *core.Engine
+	succ simnet.NodeID
+
+	tokenQ  pktQueue
+	dataQ   pktQueue
+	clientQ []submission
+	// submitHighWater pauses client ingestion while the engine's send
+	// queue is at or above it (session-level flow control).
+	submitHighWater int
+
+	busyUntil   simnet.Time
+	wakePending bool
+	// cursor charges CPU time to the effects the engine emits during a
+	// handler call.
+	cursor simnet.Time
+
+	onDeliver DeliverFn
+	trace     TraceFn
+	stats     NodeStats
+}
+
+var _ core.Output = (*Node)(nil)
+
+// ID returns the node's fabric address.
+func (n *Node) ID() simnet.NodeID { return n.id }
+
+// PID returns the node's protocol participant ID.
+func (n *Node) PID() evs.ProcID { return n.pid }
+
+// Engine exposes the node's protocol engine (read-only use).
+func (n *Node) Engine() *core.Engine { return n.eng }
+
+// Stats returns a snapshot of node-level counters.
+func (n *Node) Stats() NodeStats { return n.stats }
+
+// SetTrace installs a trace observer (nil clears).
+func (n *Node) SetTrace(fn TraceFn) { n.trace = fn }
+
+// Submit injects a message from this node's local sending client. The
+// payload should carry a timestamp (see StampPayload) if latency is being
+// measured. The client IPC hop is charged before the daemon sees it.
+func (n *Node) Submit(payload []byte, service evs.Service) {
+	n.sim.After(n.prof.ClientHop, func() {
+		n.clientQ = append(n.clientQ, submission{payload: payload, service: service})
+		n.wake()
+	})
+}
+
+// ingress accepts a packet from the network into the matching socket.
+func (n *Node) ingress(p *simnet.Packet) {
+	switch p.Kind {
+	case wire.FrameToken:
+		if !n.tokenQ.push(p) {
+			n.stats.TokenSockDrops++
+			return
+		}
+	default:
+		if !n.dataQ.push(p) {
+			n.stats.DataSockDrops++
+			return
+		}
+	}
+	n.wake()
+}
+
+// wake schedules the CPU loop when the core is (or becomes) free.
+func (n *Node) wake() {
+	if n.wakePending {
+		return
+	}
+	n.wakePending = true
+	at := n.busyUntil
+	if now := n.sim.Now(); at < now {
+		at = now
+	}
+	n.sim.At(at, n.step)
+}
+
+// hasWork reports whether the CPU has anything runnable.
+func (n *Node) hasWork() bool {
+	if len(n.tokenQ.items) > 0 || len(n.dataQ.items) > 0 {
+		return true
+	}
+	return len(n.clientQ) > 0 && n.eng.QueueLen() < n.submitHighWater
+}
+
+// step runs one work item on the node's core, then reschedules itself if
+// more work is pending. Item selection implements the paper's priority
+// scheme: the class (token or data) with priority is drained first; the
+// other is read only when the preferred socket is empty. Client messages
+// are ingested last, and only while the engine queue is below the
+// session high-water mark.
+func (n *Node) step() {
+	n.wakePending = false
+	now := n.sim.Now()
+
+	dataFirst := n.eng.DataPriority()
+	switch {
+	case dataFirst && len(n.dataQ.items) > 0:
+		n.processData(now, n.dataQ.pop())
+	case len(n.tokenQ.items) > 0:
+		n.processToken(now, n.tokenQ.pop())
+	case len(n.dataQ.items) > 0:
+		n.processData(now, n.dataQ.pop())
+	case len(n.clientQ) > 0 && n.eng.QueueLen() < n.submitHighWater:
+		sub := n.clientQ[0]
+		n.clientQ[0] = submission{}
+		n.clientQ = n.clientQ[1:]
+		n.cursor = now + n.prof.submitCost(len(sub.payload))
+		if err := n.eng.Submit(sub.payload, sub.service); err == nil {
+			n.stats.Submitted++
+		}
+	default:
+		return
+	}
+	n.busyUntil = n.cursor
+	if n.hasWork() {
+		n.wake()
+	}
+}
+
+func (n *Node) processData(now simnet.Time, p *simnet.Packet) {
+	n.cursor = now + n.prof.recvDataCost(p.Wire)
+	d, err := wire.DecodeData(p.Frame)
+	if err != nil {
+		// Corrupt frames cannot occur in the simulator; fail loudly.
+		panic(fmt.Sprintf("simproc: bad data frame: %v", err))
+	}
+	n.traceEvent("recv-data", d.Seq, d.PostToken())
+	n.eng.HandleData(d)
+}
+
+func (n *Node) processToken(now simnet.Time, p *simnet.Packet) {
+	n.cursor = now + n.prof.RecvTokenFixed
+	t, err := wire.DecodeToken(p.Frame)
+	if err != nil {
+		panic(fmt.Sprintf("simproc: bad token frame: %v", err))
+	}
+	n.traceEvent("recv-token", t.Seq, false)
+	n.eng.HandleToken(t)
+}
+
+// Multicast implements core.Output: charge the send syscall, then hand the
+// packet to the NIC at the syscall's completion time.
+func (n *Node) Multicast(d *wire.Data) {
+	wireBytes := n.prof.dataWire(len(d.Payload))
+	n.cursor += n.prof.sendCost(wireBytes)
+	pkt := &simnet.Packet{
+		From:  n.id,
+		Kind:  wire.FrameData,
+		Wire:  wireBytes,
+		Frame: d.AppendTo(make([]byte, 0, d.EncodedLen())),
+	}
+	n.traceEvent("send-data", d.Seq, d.PostToken())
+	n.sim.At(n.cursor, func() { n.net.Multicast(n.id, pkt) })
+}
+
+// SendToken implements core.Output.
+func (n *Node) SendToken(t *wire.Token) {
+	wireBytes := n.prof.tokenWire(len(t.Rtr))
+	n.cursor += n.prof.sendCost(wireBytes)
+	pkt := &simnet.Packet{
+		From:  n.id,
+		Kind:  wire.FrameToken,
+		Wire:  wireBytes,
+		Frame: t.AppendTo(make([]byte, 0, t.EncodedLen())),
+	}
+	n.traceEvent("send-token", t.Seq, false)
+	succ := n.succ
+	n.sim.At(n.cursor, func() { n.net.Unicast(n.id, succ, pkt) })
+}
+
+// Deliver implements core.Output: charge the client delivery cost and
+// report the delivery to the observer.
+func (n *Node) Deliver(ev evs.Event) {
+	m, ok := ev.(evs.Message)
+	if !ok {
+		return
+	}
+	n.cursor += n.prof.deliverCost(len(m.Payload))
+	n.stats.Delivered++
+	n.traceEvent("deliver", m.Seq, false)
+	if n.onDeliver != nil {
+		n.onDeliver(n.id, m, n.cursor)
+	}
+}
+
+func (n *Node) traceEvent(kind string, seq uint64, post bool) {
+	if n.trace == nil {
+		return
+	}
+	n.trace(TraceEvent{At: n.cursor, Node: n.id, Kind: kind, Seq: seq, PostToken: post})
+}
+
+// StampPayload writes the injection timestamp into the payload's first
+// eight bytes. Payloads shorter than eight bytes cannot carry a stamp.
+func StampPayload(payload []byte, at simnet.Time) {
+	if len(payload) >= 8 {
+		binary.BigEndian.PutUint64(payload, uint64(at))
+	}
+}
+
+// PayloadStamp extracts the injection timestamp, or -1 if the payload is
+// too short.
+func PayloadStamp(payload []byte) simnet.Time {
+	if len(payload) < 8 {
+		return -1
+	}
+	return simnet.Time(binary.BigEndian.Uint64(payload))
+}

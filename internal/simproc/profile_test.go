@@ -1,0 +1,60 @@
+package simproc
+
+import (
+	"testing"
+
+	"accelring/internal/simnet"
+)
+
+// TestProfileOrdering encodes the paper's implementation hierarchy: the
+// library prototype is lighter than the daemon prototype, which is lighter
+// than production Spread, in every cost dimension that shapes the results.
+func TestProfileOrdering(t *testing.T) {
+	lib, dmn, spr := Library(), Daemon(), Spread()
+	type dim struct {
+		name string
+		get  func(*Profile) simnet.Time
+	}
+	dims := []dim{
+		{"recv data 1350B", func(p *Profile) simnet.Time { return p.recvDataCost(p.dataWire(1350)) }},
+		{"recv token", func(p *Profile) simnet.Time { return p.RecvTokenFixed }},
+		{"send 1350B", func(p *Profile) simnet.Time { return p.sendCost(p.dataWire(1350)) }},
+		{"deliver 1350B", func(p *Profile) simnet.Time { return p.deliverCost(1350) }},
+		{"submit 1350B", func(p *Profile) simnet.Time { return p.submitCost(1350) }},
+		{"client hop", func(p *Profile) simnet.Time { return p.ClientHop }},
+	}
+	for _, d := range dims {
+		l, m, s := d.get(&lib), d.get(&dmn), d.get(&spr)
+		if !(l <= m && m <= s) {
+			t.Errorf("%s: library %v, daemon %v, spread %v — not monotone", d.name, l, m, s)
+		}
+	}
+	if !(lib.HeaderBytes <= dmn.HeaderBytes && dmn.HeaderBytes <= spr.HeaderBytes) {
+		t.Error("header overhead not monotone across profiles")
+	}
+}
+
+// TestProfileCostsScaleWithSize: per-byte terms must make big messages
+// cost more but less per byte (amortization, the §IV-A3 premise).
+func TestProfileCostsScaleWithSize(t *testing.T) {
+	for _, p := range []Profile{Library(), Daemon(), Spread()} {
+		small := p.recvDataCost(p.dataWire(1350)) + p.deliverCost(1350)
+		big := p.recvDataCost(p.dataWire(8850)) + p.deliverCost(8850)
+		if big <= small {
+			t.Errorf("%s: 8850B (%v) not more expensive than 1350B (%v)", p.Name, big, small)
+		}
+		perByteSmall := float64(small) / 1350
+		perByteBig := float64(big) / 8850
+		if perByteBig >= perByteSmall {
+			t.Errorf("%s: no amortization: %.3f vs %.3f ns/B", p.Name, perByteBig, perByteSmall)
+		}
+	}
+}
+
+// TestTokenWireGrowsWithRtr: retransmission requests enlarge the token.
+func TestTokenWireGrowsWithRtr(t *testing.T) {
+	p := Daemon()
+	if p.tokenWire(10) != p.tokenWire(0)+80 {
+		t.Fatalf("token wire with 10 rtr = %d, base %d", p.tokenWire(10), p.tokenWire(0))
+	}
+}

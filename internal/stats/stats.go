@@ -1,0 +1,131 @@
+// Package stats provides the measurement primitives of the benchmark
+// harness: a latency recorder with percentile and worst-fraction summaries
+// (the paper reports averages and the average of the worst 5% of messages
+// per sender), and a simple rate meter.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Latency accumulates latency samples in nanoseconds. The zero value is
+// ready to use. Not safe for concurrent use.
+type Latency struct {
+	samples []int64
+	sorted  bool
+	sum     int64
+}
+
+// Add records one sample.
+func (l *Latency) Add(ns int64) {
+	l.samples = append(l.samples, ns)
+	l.sorted = false
+	l.sum += ns
+}
+
+// Count returns the number of samples.
+func (l *Latency) Count() int { return len(l.samples) }
+
+// Mean returns the average sample, or 0 with no samples.
+func (l *Latency) Mean() float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	return float64(l.sum) / float64(len(l.samples))
+}
+
+func (l *Latency) sort() {
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank, or 0 with no samples.
+func (l *Latency) Percentile(p float64) int64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sort()
+	rank := int(math.Ceil(p / 100 * float64(len(l.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(l.samples) {
+		rank = len(l.samples)
+	}
+	return l.samples[rank-1]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (l *Latency) Max() int64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sort()
+	return l.samples[len(l.samples)-1]
+}
+
+// WorstMean returns the mean of the worst (largest) fraction frac of the
+// samples — e.g. WorstMean(0.05) is the paper's "average latency over the
+// worst 5% of messages". It returns 0 with no samples.
+func (l *Latency) WorstMean(frac float64) float64 {
+	n := len(l.samples)
+	if n == 0 || frac <= 0 {
+		return 0
+	}
+	k := int(math.Ceil(frac * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	l.sort()
+	var sum int64
+	for _, v := range l.samples[n-k:] {
+		sum += v
+	}
+	return float64(sum) / float64(k)
+}
+
+// Merge adds all of o's samples into l.
+func (l *Latency) Merge(o *Latency) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	l.samples = append(l.samples, o.samples...)
+	l.sum += o.sum
+	l.sorted = false
+}
+
+// Reset discards all samples.
+func (l *Latency) Reset() {
+	l.samples = l.samples[:0]
+	l.sum = 0
+	l.sorted = true
+}
+
+// String summarizes the distribution in microseconds.
+func (l *Latency) String() string {
+	if len(l.samples) == 0 {
+		return "latency{empty}"
+	}
+	return fmt.Sprintf("latency{n=%d mean=%.1fµs p50=%.1fµs p99=%.1fµs max=%.1fµs}",
+		l.Count(), l.Mean()/1e3, float64(l.Percentile(50))/1e3,
+		float64(l.Percentile(99))/1e3, float64(l.Max())/1e3)
+}
+
+// Rate converts a byte count over a duration into bits per second.
+func Rate(bytes uint64, ns int64) float64 {
+	if ns <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / (float64(ns) / 1e9)
+}
+
+// Mbps formats a bits-per-second value as whole megabits.
+func Mbps(bps float64) float64 { return bps / 1e6 }

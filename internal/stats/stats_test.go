@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencyEmpty(t *testing.T) {
+	var l Latency
+	if l.Count() != 0 || l.Mean() != 0 || l.Percentile(50) != 0 || l.Max() != 0 || l.WorstMean(0.05) != 0 {
+		t.Fatal("empty recorder returned non-zero summaries")
+	}
+	if l.String() != "latency{empty}" {
+		t.Fatalf("String = %q", l.String())
+	}
+}
+
+func TestLatencySummaries(t *testing.T) {
+	var l Latency
+	for i := int64(1); i <= 100; i++ {
+		l.Add(i * 1000)
+	}
+	if l.Count() != 100 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if got := l.Mean(); got != 50500 {
+		t.Fatalf("mean = %v, want 50500", got)
+	}
+	if got := l.Percentile(50); got != 50000 {
+		t.Fatalf("p50 = %d, want 50000", got)
+	}
+	if got := l.Percentile(99); got != 99000 {
+		t.Fatalf("p99 = %d, want 99000", got)
+	}
+	if got := l.Max(); got != 100000 {
+		t.Fatalf("max = %d", got)
+	}
+	// Worst 5% of 1..100 ms = mean of 96..100.
+	if got := l.WorstMean(0.05); got != 98000 {
+		t.Fatalf("worst 5%% mean = %v, want 98000", got)
+	}
+	// WorstMean(1.0) equals the mean.
+	if got := l.WorstMean(1.0); got != l.Mean() {
+		t.Fatalf("worst 100%% mean = %v, want %v", got, l.Mean())
+	}
+}
+
+func TestAddAfterSortedQuery(t *testing.T) {
+	var l Latency
+	l.Add(5)
+	l.Add(1)
+	if l.Max() != 5 {
+		t.Fatal("max before second add")
+	}
+	l.Add(10)
+	if l.Max() != 10 {
+		t.Fatal("recorder did not re-sort after Add")
+	}
+}
+
+func TestMergeAndReset(t *testing.T) {
+	var a, b Latency
+	a.Add(10)
+	b.Add(20)
+	b.Add(30)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Mean() != 20 {
+		t.Fatalf("after merge: n=%d mean=%v", a.Count(), a.Mean())
+	}
+	a.Merge(nil)
+	if a.Count() != 3 {
+		t.Fatal("merge(nil) changed recorder")
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Mean() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestRate(t *testing.T) {
+	// 125 MB over 1 s = 1 Gb/s.
+	if got := Rate(125_000_000, 1e9); got != 1e9 {
+		t.Fatalf("rate = %v", got)
+	}
+	if got := Rate(100, 0); got != 0 {
+		t.Fatalf("rate with zero duration = %v", got)
+	}
+	if got := Mbps(1e9); got != 1000 {
+		t.Fatalf("Mbps = %v", got)
+	}
+}
+
+// TestQuickPercentileBounds property-tests that percentiles are actual
+// samples, ordered, and bracketed by min/max.
+func TestQuickPercentileBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var l Latency
+		n := 1 + rng.Intn(500)
+		min, max := int64(math.MaxInt64), int64(math.MinInt64)
+		present := make(map[int64]bool)
+		for i := 0; i < n; i++ {
+			v := rng.Int63n(1_000_000)
+			l.Add(v)
+			present[v] = true
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		p50, p95, p99 := l.Percentile(50), l.Percentile(95), l.Percentile(99)
+		if !present[p50] || !present[p95] || !present[p99] {
+			return false
+		}
+		if p50 > p95 || p95 > p99 || p99 > l.Max() {
+			return false
+		}
+		if l.Max() != max || l.Percentile(0.0001) < min {
+			return false
+		}
+		wm := l.WorstMean(0.05)
+		return wm >= l.Mean()-1e-9 && wm <= float64(max)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accelring/internal/evs"
+)
+
+// Hub is an in-process switch connecting Endpoints. It is safe for
+// concurrent use. An optional DropFn injects loss; an optional per-frame
+// copy keeps senders and receivers from sharing buffers.
+type Hub struct {
+	mu      sync.RWMutex
+	eps     map[evs.ProcID]*Endpoint
+	dropFn  func(from, to evs.ProcID, token bool, frame []byte) bool
+	delayFn func(from, to evs.ProcID, token bool) time.Duration
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{eps: make(map[evs.ProcID]*Endpoint)}
+}
+
+// SetDrop installs a loss-injection hook (nil clears). The hook runs on
+// sender goroutines and must be safe for concurrent use.
+func (h *Hub) SetDrop(fn func(from, to evs.ProcID, token bool, frame []byte) bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.dropFn = fn
+}
+
+// SetDelay installs a per-frame delivery delay hook (nil clears). A
+// positive delay delivers the frame asynchronously after it elapses, which
+// lets frames overtake each other — UDP reordering for stress tests. The
+// hook runs on sender goroutines and must be safe for concurrent use.
+func (h *Hub) SetDelay(fn func(from, to evs.ProcID, token bool) time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.delayFn = fn
+}
+
+// push delivers a frame to one endpoint's channel, honoring the delay
+// hook (passed in by the caller, which read it under the hub lock).
+func push(delayFn func(from, to evs.ProcID, token bool) time.Duration,
+	from evs.ProcID, peer *Endpoint, token bool, frame []byte) {
+	ch := peer.dataCh
+	cnt := &peer.dataDrop
+	if token {
+		ch = peer.tokenCh
+		cnt = &peer.tokenDrop
+	}
+	deliver := func() {
+		if peer.closed.Load() {
+			return
+		}
+		select {
+		case ch <- frame:
+		default:
+			cnt.Add(1)
+		}
+	}
+	if delayFn != nil {
+		if d := delayFn(from, peer.id, token); d > 0 {
+			time.AfterFunc(d, deliver)
+			return
+		}
+	}
+	deliver()
+}
+
+// Endpoint attaches a new participant with the given receive-channel
+// capacities (frames, not bytes). It returns an error if the ID is taken.
+func (h *Hub) Endpoint(id evs.ProcID, dataCap, tokenCap int) (*Endpoint, error) {
+	if dataCap <= 0 {
+		dataCap = 4096
+	}
+	if tokenCap <= 0 {
+		tokenCap = 16
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, taken := h.eps[id]; taken {
+		return nil, fmt.Errorf("transport: endpoint %d already attached", id)
+	}
+	ep := &Endpoint{
+		hub:     h,
+		id:      id,
+		dataCh:  make(chan []byte, dataCap),
+		tokenCh: make(chan []byte, tokenCap),
+	}
+	h.eps[id] = ep
+	return ep, nil
+}
+
+// detach removes an endpoint.
+func (h *Hub) detach(id evs.ProcID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.eps, id)
+}
+
+// Endpoint is one participant's view of a Hub.
+type Endpoint struct {
+	hub     *Hub
+	id      evs.ProcID
+	dataCh  chan []byte
+	tokenCh chan []byte
+
+	closed    atomic.Bool
+	dataDrop  atomic.Uint64
+	tokenDrop atomic.Uint64
+}
+
+var _ Transport = (*Endpoint)(nil)
+
+// ID returns the endpoint's participant ID.
+func (e *Endpoint) ID() evs.ProcID { return e.id }
+
+// Multicast implements Transport: the frame is copied once and delivered
+// to every other attached endpoint's data channel. Full channels drop
+// (like a full UDP socket buffer).
+func (e *Endpoint) Multicast(frame []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	cp := append([]byte(nil), frame...)
+	e.hub.mu.RLock()
+	drop := e.hub.dropFn
+	delay := e.hub.delayFn
+	for id, peer := range e.hub.eps {
+		if id == e.id || peer.closed.Load() {
+			continue
+		}
+		if drop != nil && drop(e.id, id, false, cp) {
+			continue
+		}
+		push(delay, e.id, peer, false, cp)
+	}
+	e.hub.mu.RUnlock()
+	return nil
+}
+
+// Unicast implements Transport: the frame is copied and delivered to the
+// peer's token channel. Sending to an unknown peer is not an error (the
+// peer may have crashed); the frame is silently dropped, as UDP would.
+func (e *Endpoint) Unicast(to evs.ProcID, frame []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	cp := append([]byte(nil), frame...)
+	e.hub.mu.RLock()
+	peer := e.hub.eps[to]
+	drop := e.hub.dropFn
+	delay := e.hub.delayFn
+	e.hub.mu.RUnlock()
+	if peer == nil || peer.closed.Load() {
+		return nil
+	}
+	if drop != nil && drop(e.id, to, true, cp) {
+		return nil
+	}
+	push(delay, e.id, peer, true, cp)
+	return nil
+}
+
+// Data implements Transport.
+func (e *Endpoint) Data() <-chan []byte { return e.dataCh }
+
+// Token implements Transport.
+func (e *Endpoint) Token() <-chan []byte { return e.tokenCh }
+
+// Drops returns receiver-side overflow counts.
+func (e *Endpoint) Drops() Drops {
+	return Drops{Data: e.dataDrop.Load(), Token: e.tokenDrop.Load()}
+}
+
+// Close detaches the endpoint. Receive channels are NOT closed (senders
+// may hold references); readers should stop via their own signal.
+func (e *Endpoint) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	e.hub.detach(e.id)
+	return nil
+}

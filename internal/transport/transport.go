@@ -1,0 +1,48 @@
+// Package transport moves encoded protocol frames between participants.
+//
+// The ring protocol uses two logical channels per participant, exactly as
+// the paper's implementations do (§III-E): data messages (and membership
+// join messages) arrive on the data channel, tokens (and membership commit
+// tokens) on the token channel. Keeping them separate lets the driver
+// implement the token/data priority scheme and makes token loss rare — a
+// participant needs to buffer only one token at a time.
+//
+// Two implementations are provided: an in-process Hub for tests, examples,
+// and single-process deployments, and a UDP transport for real networks
+// (IP unicast fan-out standing in for IP-multicast, which the paper notes
+// Spread also supports as a fallback).
+package transport
+
+import (
+	"errors"
+
+	"accelring/internal/evs"
+)
+
+// Transport is the frame mover for one participant. Implementations must
+// be safe for one sender goroutine and deliver received frames into the
+// channels returned by Data and Token. Frames passed to Multicast and
+// Unicast must not be mutated afterwards.
+type Transport interface {
+	// Multicast sends a frame to every other participant's data channel.
+	Multicast(frame []byte) error
+	// Unicast sends a frame to one participant's token channel.
+	Unicast(to evs.ProcID, frame []byte) error
+	// Data returns the channel of received data-class frames.
+	Data() <-chan []byte
+	// Token returns the channel of received token-class frames.
+	Token() <-chan []byte
+	// Close releases resources and stops delivery. Whether the receive
+	// channels are closed is implementation-defined; drivers must also
+	// have their own stop signal.
+	Close() error
+}
+
+// ErrClosed is returned by sends on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// Drops reports receiver-side drops for transports that count them
+// (channel/socket overflow).
+type Drops struct {
+	Data, Token uint64
+}

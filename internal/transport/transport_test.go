@@ -1,0 +1,239 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"accelring/internal/evs"
+)
+
+func recvFrame(t *testing.T, ch <-chan []byte) []byte {
+	t.Helper()
+	select {
+	case f := <-ch:
+		return f
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for frame")
+		return nil
+	}
+}
+
+func expectNone(t *testing.T, ch <-chan []byte) {
+	t.Helper()
+	select {
+	case f := <-ch:
+		t.Fatalf("unexpected frame %q", f)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestHubMulticast(t *testing.T) {
+	hub := NewHub()
+	var eps []*Endpoint
+	for i := evs.ProcID(1); i <= 3; i++ {
+		ep, err := hub.Endpoint(i, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps = append(eps, ep)
+	}
+	if err := eps[0].Multicast([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range eps[1:] {
+		if got := recvFrame(t, ep.Data()); string(got) != "hello" {
+			t.Fatalf("got %q", got)
+		}
+	}
+	expectNone(t, eps[0].Data()) // no loopback
+}
+
+func TestHubUnicastTokenChannel(t *testing.T) {
+	hub := NewHub()
+	a, _ := hub.Endpoint(1, 0, 0)
+	b, _ := hub.Endpoint(2, 0, 0)
+	if err := a.Unicast(2, []byte("tok")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvFrame(t, b.Token()); string(got) != "tok" {
+		t.Fatalf("got %q", got)
+	}
+	expectNone(t, b.Data())
+	// Unicast to an unknown peer is not an error (peer may have died).
+	if err := a.Unicast(99, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHubFrameIsolation(t *testing.T) {
+	hub := NewHub()
+	a, _ := hub.Endpoint(1, 0, 0)
+	b, _ := hub.Endpoint(2, 0, 0)
+	frame := []byte("mutable")
+	if err := a.Multicast(frame); err != nil {
+		t.Fatal(err)
+	}
+	frame[0] = 'X'
+	if got := recvFrame(t, b.Data()); string(got) != "mutable" {
+		t.Fatalf("receiver saw sender's mutation: %q", got)
+	}
+}
+
+func TestHubDropInjection(t *testing.T) {
+	hub := NewHub()
+	a, _ := hub.Endpoint(1, 0, 0)
+	b, _ := hub.Endpoint(2, 0, 0)
+	c, _ := hub.Endpoint(3, 0, 0)
+	hub.SetDrop(func(from, to evs.ProcID, token bool, frame []byte) bool {
+		return to == 2
+	})
+	a.Multicast([]byte("m"))
+	expectNone(t, b.Data())
+	if got := recvFrame(t, c.Data()); string(got) != "m" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestHubOverflowDrops(t *testing.T) {
+	hub := NewHub()
+	a, _ := hub.Endpoint(1, 0, 0)
+	b, _ := hub.Endpoint(2, 2, 0) // data capacity 2
+	for i := 0; i < 5; i++ {
+		a.Multicast([]byte{byte(i)})
+	}
+	if d := b.Drops(); d.Data != 3 {
+		t.Fatalf("drops = %+v, want 3 data drops", d)
+	}
+}
+
+func TestHubClose(t *testing.T) {
+	hub := NewHub()
+	a, _ := hub.Endpoint(1, 0, 0)
+	b, _ := hub.Endpoint(2, 0, 0)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Multicast([]byte("x")); err != nil {
+		t.Fatal(err) // sending into a hub with a closed peer is fine
+	}
+	if err := b.Multicast([]byte("x")); err != ErrClosed {
+		t.Fatalf("send on closed endpoint = %v, want ErrClosed", err)
+	}
+	// Re-attach under the same ID works after Close.
+	if _, err := hub.Endpoint(2, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate attach fails.
+	if _, err := hub.Endpoint(1, 0, 0); err == nil {
+		t.Fatal("duplicate endpoint accepted")
+	}
+}
+
+func newUDPPair(t *testing.T) (*UDP, *UDP) {
+	t.Helper()
+	a, err := NewUDP(UDPConfig{
+		Self:   1,
+		Listen: UDPPeer{Data: "127.0.0.1:0", Token: "127.0.0.1:0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := NewUDP(UDPConfig{
+		Self:   2,
+		Listen: UDPPeer{Data: "127.0.0.1:0", Token: "127.0.0.1:0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	if err := a.AddPeer(2, b.LocalAddrs()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer(1, a.LocalAddrs()); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	a, b := newUDPPair(t)
+	payload := bytes.Repeat([]byte{0xAB}, 1350)
+	if err := a.Multicast(payload); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvFrame(t, b.Data()); !bytes.Equal(got, payload) {
+		t.Fatalf("data frame corrupted: %d bytes", len(got))
+	}
+	if err := b.Unicast(1, []byte("token")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvFrame(t, a.Token()); string(got) != "token" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestUDPCloseUnblocksReaders(t *testing.T) {
+	a, b := newUDPPair(t)
+	done := make(chan struct{})
+	go func() {
+		// Drain until channel closes.
+		for range b.Data() {
+		}
+		close(done)
+	}()
+	a.Multicast([]byte("x"))
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader did not stop after Close")
+	}
+	if err := b.Multicast([]byte("x")); err != ErrClosed {
+		t.Fatalf("send after close = %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("double close = %v", err)
+	}
+}
+
+func TestUDPUnknownPeer(t *testing.T) {
+	a, _ := newUDPPair(t)
+	if err := a.Unicast(77, []byte("t")); err != nil {
+		t.Fatalf("unicast to unknown peer = %v, want nil (UDP semantics)", err)
+	}
+}
+
+func TestUDPConfigValidation(t *testing.T) {
+	if _, err := NewUDP(UDPConfig{Listen: UDPPeer{Data: "127.0.0.1:0", Token: "127.0.0.1:0"}}); err == nil {
+		t.Fatal("zero Self accepted")
+	}
+	if _, err := NewUDP(UDPConfig{Self: 1, Listen: UDPPeer{Data: "bogus::addr::", Token: "127.0.0.1:0"}}); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}
+
+func TestUDPManyFrames(t *testing.T) {
+	a, b := newUDPPair(t)
+	const count = 200
+	go func() {
+		for i := 0; i < count; i++ {
+			frame := []byte(fmt.Sprintf("frame-%03d", i))
+			a.Multicast(frame)
+		}
+	}()
+	seen := 0
+	deadline := time.After(5 * time.Second)
+	for seen < count/2 { // UDP may drop; require at least half on loopback
+		select {
+		case <-b.Data():
+			seen++
+		case <-deadline:
+			t.Fatalf("received only %d/%d frames", seen, count)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"accelring/internal/evs"
+	"accelring/internal/wire"
+)
+
+// UDPPeer holds a participant's two receive addresses.
+type UDPPeer struct {
+	// Data is the host:port receiving data-class frames.
+	Data string
+	// Token is the host:port receiving token-class frames.
+	Token string
+}
+
+// UDPConfig configures a UDP transport.
+type UDPConfig struct {
+	// Self is the local participant.
+	Self evs.ProcID
+	// Listen holds the local listen addresses.
+	Listen UDPPeer
+	// Peers maps every other participant to its addresses. Self may be
+	// present and is ignored.
+	Peers map[evs.ProcID]UDPPeer
+	// DataChanCap and TokenChanCap size the receive channels in frames
+	// (defaults 8192 and 16).
+	DataChanCap, TokenChanCap int
+}
+
+// UDP is the real-network transport: one socket per frame class, exactly
+// as the paper's implementations separate token and data traffic. IP
+// multicast is emulated by unicast fan-out, the fallback the paper notes
+// Spread provides where multicast is unavailable.
+type UDP struct {
+	self     evs.ProcID
+	dataConn *net.UDPConn
+	tokConn  *net.UDPConn
+
+	mu    sync.RWMutex
+	peers map[evs.ProcID]*udpPeerAddrs
+
+	dataCh  chan []byte
+	tokenCh chan []byte
+
+	closed    atomic.Bool
+	dataDrop  atomic.Uint64
+	tokenDrop atomic.Uint64
+	wg        sync.WaitGroup
+}
+
+type udpPeerAddrs struct {
+	data, token *net.UDPAddr
+}
+
+var _ Transport = (*UDP)(nil)
+
+// NewUDP opens the sockets and starts the reader goroutines.
+func NewUDP(cfg UDPConfig) (*UDP, error) {
+	if cfg.Self == 0 {
+		return nil, fmt.Errorf("transport: udp requires Self")
+	}
+	if cfg.DataChanCap <= 0 {
+		cfg.DataChanCap = 8192
+	}
+	if cfg.TokenChanCap <= 0 {
+		cfg.TokenChanCap = 16
+	}
+	dataConn, err := listenUDP(cfg.Listen.Data)
+	if err != nil {
+		return nil, fmt.Errorf("transport: data socket: %w", err)
+	}
+	tokConn, err := listenUDP(cfg.Listen.Token)
+	if err != nil {
+		dataConn.Close()
+		return nil, fmt.Errorf("transport: token socket: %w", err)
+	}
+	// Large receive buffers, as production Spread configures. Errors are
+	// non-fatal: the OS may clamp.
+	_ = dataConn.SetReadBuffer(4 << 20)
+	_ = tokConn.SetReadBuffer(256 << 10)
+
+	u := &UDP{
+		self:     cfg.Self,
+		dataConn: dataConn,
+		tokConn:  tokConn,
+		peers:    make(map[evs.ProcID]*udpPeerAddrs, len(cfg.Peers)),
+		dataCh:   make(chan []byte, cfg.DataChanCap),
+		tokenCh:  make(chan []byte, cfg.TokenChanCap),
+	}
+	// Register ourselves: the membership representative starts a new ring
+	// by unicasting the initial token to itself.
+	if err := u.AddPeer(cfg.Self, u.LocalAddrs()); err != nil {
+		u.Close()
+		return nil, err
+	}
+	for id, p := range cfg.Peers {
+		if id == cfg.Self {
+			continue
+		}
+		if err := u.AddPeer(id, p); err != nil {
+			u.Close()
+			return nil, err
+		}
+	}
+	u.wg.Add(2)
+	go u.readLoop(dataConn, u.dataCh, &u.dataDrop)
+	go u.readLoop(tokConn, u.tokenCh, &u.tokenDrop)
+	return u, nil
+}
+
+func listenUDP(addr string) (*net.UDPConn, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return net.ListenUDP("udp", ua)
+}
+
+// AddPeer registers (or updates) a peer's addresses. Membership changes
+// may add peers at runtime.
+func (u *UDP) AddPeer(id evs.ProcID, p UDPPeer) error {
+	da, err := net.ResolveUDPAddr("udp", p.Data)
+	if err != nil {
+		return fmt.Errorf("transport: peer %d data addr: %w", id, err)
+	}
+	ta, err := net.ResolveUDPAddr("udp", p.Token)
+	if err != nil {
+		return fmt.Errorf("transport: peer %d token addr: %w", id, err)
+	}
+	u.mu.Lock()
+	u.peers[id] = &udpPeerAddrs{data: da, token: ta}
+	u.mu.Unlock()
+	return nil
+}
+
+// LocalAddrs returns the bound listen addresses (useful with :0 ports).
+func (u *UDP) LocalAddrs() UDPPeer {
+	return UDPPeer{
+		Data:  u.dataConn.LocalAddr().String(),
+		Token: u.tokConn.LocalAddr().String(),
+	}
+}
+
+func (u *UDP) readLoop(conn *net.UDPConn, ch chan []byte, drops *atomic.Uint64) {
+	defer u.wg.Done()
+	buf := make([]byte, wire.MaxPayload+1024)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			// Socket closed (or fatal error): stop delivering.
+			close(ch)
+			return
+		}
+		frame := append([]byte(nil), buf[:n]...)
+		select {
+		case ch <- frame:
+		default:
+			drops.Add(1)
+		}
+	}
+}
+
+// Multicast implements Transport by unicast fan-out to every peer's data
+// address. Send errors to individual peers are ignored, as UDP loss would
+// be; the protocol's retransmission machinery recovers.
+func (u *UDP) Multicast(frame []byte) error {
+	if u.closed.Load() {
+		return ErrClosed
+	}
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	for id, p := range u.peers {
+		if id == u.self {
+			// No loopback: the protocol self-receives its own messages
+			// at send time.
+			continue
+		}
+		_, _ = u.dataConn.WriteToUDP(frame, p.data)
+	}
+	return nil
+}
+
+// Unicast implements Transport: send to the peer's token address.
+func (u *UDP) Unicast(to evs.ProcID, frame []byte) error {
+	if u.closed.Load() {
+		return ErrClosed
+	}
+	u.mu.RLock()
+	p := u.peers[to]
+	u.mu.RUnlock()
+	if p == nil {
+		// Unknown peer: drop, like the network would for a dead host.
+		return nil
+	}
+	_, _ = u.tokConn.WriteToUDP(frame, p.token)
+	return nil
+}
+
+// Data implements Transport.
+func (u *UDP) Data() <-chan []byte { return u.dataCh }
+
+// Token implements Transport.
+func (u *UDP) Token() <-chan []byte { return u.tokenCh }
+
+// Drops returns receiver-side channel overflow counts.
+func (u *UDP) Drops() Drops {
+	return Drops{Data: u.dataDrop.Load(), Token: u.tokenDrop.Load()}
+}
+
+// Close shuts both sockets down and waits for the readers to exit. The
+// receive channels are closed.
+func (u *UDP) Close() error {
+	if u.closed.Swap(true) {
+		return nil
+	}
+	err1 := u.dataConn.Close()
+	err2 := u.tokConn.Close()
+	u.wg.Wait()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"accelring/internal/evs"
+)
+
+// Fuzz targets: decoders must never panic, and anything that decodes must
+// re-encode to a frame that decodes identically (canonical round trip).
+
+func FuzzDecodeToken(f *testing.F) {
+	seed := Token{
+		RingID: evs.ViewID{Rep: 1, Seq: 2}, TokenSeq: 3, Round: 4,
+		Seq: 5, Aru: 4, AruID: 1, Fcc: 6, Rtr: []uint64{1, 2},
+	}
+	f.Add(seed.AppendTo(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0xAC, 0x47, 1, 1})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		tok, err := DecodeToken(b)
+		if err != nil {
+			return
+		}
+		re, err := DecodeToken(tok.AppendTo(nil))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if re.Seq != tok.Seq || re.Aru != tok.Aru || re.RingID != tok.RingID ||
+			re.Fcc != tok.Fcc || len(re.Rtr) != len(tok.Rtr) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", re, tok)
+		}
+	})
+}
+
+func FuzzDecodeData(f *testing.F) {
+	seed := Data{
+		RingID: evs.ViewID{Rep: 1, Seq: 2}, Seq: 3, Sender: 4, Round: 5,
+		Service: evs.Agreed, Flags: FlagPostToken, Payload: []byte("payload"),
+	}
+	f.Add(seed.AppendTo(nil))
+	f.Add([]byte{0xAC, 0x47, 1, 2})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		d, err := DecodeData(b)
+		if err != nil {
+			return
+		}
+		re, err := DecodeData(d.AppendTo(nil))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if re.Seq != d.Seq || re.Sender != d.Sender || re.Service != d.Service ||
+			re.Flags != d.Flags || !bytes.Equal(re.Payload, d.Payload) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+func FuzzDecodeJoin(f *testing.F) {
+	seed := Join{Sender: 1, Alive: []evs.ProcID{1, 2}, Failed: []evs.ProcID{3},
+		RingSeq: 9, Attempt: 2}
+	f.Add(seed.AppendTo(nil))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		j, err := DecodeJoin(b)
+		if err != nil {
+			return
+		}
+		re, err := DecodeJoin(j.AppendTo(nil))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if re.Sender != j.Sender || re.RingSeq != j.RingSeq ||
+			len(re.Alive) != len(j.Alive) || len(re.Failed) != len(j.Failed) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+func FuzzDecodeCommit(f *testing.F) {
+	seed := Commit{
+		NewRing:  evs.NewConfiguration(evs.ViewID{Rep: 1, Seq: 3}, []evs.ProcID{1, 2}),
+		Seq:      4,
+		Rotation: 1,
+		Info: []CommitInfo{
+			{PID: 1, OldRing: evs.ViewID{Rep: 1, Seq: 2}, Aru: 5, HighSeq: 6, Received: true},
+			{PID: 2},
+		},
+	}
+	f.Add(seed.AppendTo(nil))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		c, err := DecodeCommit(b)
+		if err != nil {
+			return
+		}
+		re, err := DecodeCommit(c.AppendTo(nil))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if re.NewRing.ID != c.NewRing.ID || re.Rotation != c.Rotation ||
+			len(re.Info) != len(c.Info) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

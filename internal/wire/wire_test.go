@@ -1,0 +1,338 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"accelring/internal/evs"
+)
+
+func TestTokenRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		tok  Token
+	}{
+		{"zero", Token{}},
+		{"basic", Token{
+			RingID:   evs.ViewID{Rep: 7, Seq: 3},
+			TokenSeq: 42,
+			Round:    9,
+			Seq:      1000,
+			Aru:      950,
+			AruID:    7,
+			Fcc:      120,
+		}},
+		{"with rtr", Token{
+			RingID: evs.ViewID{Rep: 1, Seq: 1},
+			Seq:    55,
+			Rtr:    []uint64{3, 9, 12, 40},
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			enc := tc.tok.AppendTo(nil)
+			if len(enc) != tc.tok.EncodedLen() {
+				t.Fatalf("EncodedLen = %d, actual %d", tc.tok.EncodedLen(), len(enc))
+			}
+			got, err := DecodeToken(enc)
+			if err != nil {
+				t.Fatalf("DecodeToken: %v", err)
+			}
+			if !reflect.DeepEqual(*got, tc.tok) && !(len(got.Rtr) == 0 && len(tc.tok.Rtr) == 0) {
+				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", *got, tc.tok)
+			}
+		})
+	}
+}
+
+func TestTokenAppendToReusesBuffer(t *testing.T) {
+	tok := Token{Seq: 5}
+	prefix := []byte("prefix")
+	out := tok.AppendTo(prefix)
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("AppendTo did not preserve prefix")
+	}
+	if _, err := DecodeToken(out[len(prefix):]); err != nil {
+		t.Fatalf("decode after prefix: %v", err)
+	}
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		d    Data
+	}{
+		{"agreed", Data{
+			RingID: evs.ViewID{Rep: 3, Seq: 8}, Seq: 17, Sender: 3,
+			Round: 4, Service: evs.Agreed, Payload: []byte("hello"),
+		}},
+		{"safe post-token retrans", Data{
+			RingID: evs.ViewID{Rep: 1, Seq: 1}, Seq: 1, Sender: 9,
+			Round: 1, Service: evs.Safe, Flags: FlagPostToken | FlagRetrans,
+			Payload: bytes.Repeat([]byte{0xAB}, 1350),
+		}},
+		{"empty payload", Data{
+			RingID: evs.ViewID{Rep: 1, Seq: 1}, Seq: 2, Sender: 1,
+			Round: 1, Service: evs.Reliable,
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			enc := tc.d.AppendTo(nil)
+			if len(enc) != tc.d.EncodedLen() {
+				t.Fatalf("EncodedLen = %d, actual %d", tc.d.EncodedLen(), len(enc))
+			}
+			if len(enc) != DataOverhead+len(tc.d.Payload) {
+				t.Fatalf("DataOverhead mismatch: %d vs %d", len(enc), DataOverhead+len(tc.d.Payload))
+			}
+			got, err := DecodeData(enc)
+			if err != nil {
+				t.Fatalf("DecodeData: %v", err)
+			}
+			if got.Seq != tc.d.Seq || got.Sender != tc.d.Sender || got.Round != tc.d.Round ||
+				got.Service != tc.d.Service || got.Flags != tc.d.Flags ||
+				got.RingID != tc.d.RingID || !bytes.Equal(got.Payload, tc.d.Payload) {
+				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", *got, tc.d)
+			}
+		})
+	}
+}
+
+func TestDataFlags(t *testing.T) {
+	d := Data{Flags: FlagPostToken}
+	if !d.PostToken() || d.Retrans() {
+		t.Fatalf("flags: post=%v retrans=%v", d.PostToken(), d.Retrans())
+	}
+	d.Flags = FlagRetrans
+	if d.PostToken() || !d.Retrans() {
+		t.Fatalf("flags: post=%v retrans=%v", d.PostToken(), d.Retrans())
+	}
+}
+
+func TestJoinRoundTrip(t *testing.T) {
+	j := Join{
+		Sender:  5,
+		Alive:   []evs.ProcID{1, 2, 5},
+		Failed:  []evs.ProcID{9},
+		RingSeq: 77,
+		Attempt: 3,
+	}
+	got, err := DecodeJoin(j.AppendTo(nil))
+	if err != nil {
+		t.Fatalf("DecodeJoin: %v", err)
+	}
+	if !reflect.DeepEqual(*got, j) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", *got, j)
+	}
+}
+
+func TestJoinEmptySets(t *testing.T) {
+	j := Join{Sender: 1}
+	got, err := DecodeJoin(j.AppendTo(nil))
+	if err != nil {
+		t.Fatalf("DecodeJoin: %v", err)
+	}
+	if len(got.Alive) != 0 || len(got.Failed) != 0 {
+		t.Fatalf("expected empty sets, got %+v", *got)
+	}
+}
+
+func TestCommitRoundTrip(t *testing.T) {
+	c := Commit{
+		NewRing:  evs.NewConfiguration(evs.ViewID{Rep: 1, Seq: 10}, []evs.ProcID{1, 2, 3}),
+		Seq:      6,
+		Rotation: 2,
+		Info: []CommitInfo{
+			{PID: 1, OldRing: evs.ViewID{Rep: 1, Seq: 9}, Aru: 100, HighSeq: 110, HighDelivered: 100, Received: true},
+			{PID: 2, OldRing: evs.ViewID{Rep: 1, Seq: 9}, Aru: 90, HighSeq: 110, HighDelivered: 88},
+			{PID: 3, OldRing: evs.ViewID{Rep: 3, Seq: 4}, Aru: 5, HighSeq: 5, HighDelivered: 5, Received: true},
+		},
+	}
+	got, err := DecodeCommit(c.AppendTo(nil))
+	if err != nil {
+		t.Fatalf("DecodeCommit: %v", err)
+	}
+	if !reflect.DeepEqual(*got, c) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", *got, c)
+	}
+}
+
+func TestPeekType(t *testing.T) {
+	tok := (&Token{}).AppendTo(nil)
+	d := (&Data{Service: evs.Agreed}).AppendTo(nil)
+	j := (&Join{}).AppendTo(nil)
+	c := (&Commit{}).AppendTo(nil)
+	for _, tc := range []struct {
+		b    []byte
+		want FrameType
+	}{{tok, FrameToken}, {d, FrameData}, {j, FrameJoin}, {c, FrameCommit}} {
+		got, err := PeekType(tc.b)
+		if err != nil {
+			t.Fatalf("PeekType: %v", err)
+		}
+		if got != tc.want {
+			t.Fatalf("PeekType = %v, want %v", got, tc.want)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid := (&Token{Rtr: []uint64{1, 2}}).AppendTo(nil)
+
+	t.Run("truncated header", func(t *testing.T) {
+		if _, err := PeekType(valid[:3]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("err = %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[0] = 0xFF
+		if _, err := DecodeToken(b); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[2] = 99
+		if _, err := DecodeToken(b); !errors.Is(err, ErrVersion) {
+			t.Fatalf("err = %v, want ErrVersion", err)
+		}
+	})
+	t.Run("wrong type", func(t *testing.T) {
+		if _, err := DecodeData(valid); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("err = %v, want ErrBadFrame", err)
+		}
+	})
+	t.Run("truncated body", func(t *testing.T) {
+		for i := headerLen; i < len(valid); i++ {
+			if _, err := DecodeToken(valid[:i]); err == nil {
+				t.Fatalf("decode of %d-byte prefix succeeded", i)
+			}
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		b := append(append([]byte(nil), valid...), 0)
+		if _, err := DecodeToken(b); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("err = %v, want ErrBadFrame", err)
+		}
+	})
+	t.Run("huge rtr count", func(t *testing.T) {
+		tok := Token{}
+		b := tok.AppendTo(nil)
+		// Patch the rtr count (last 4 bytes) to exceed MaxRtr.
+		b[len(b)-1] = 0xFF
+		b[len(b)-2] = 0xFF
+		if _, err := DecodeToken(b); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("err = %v, want ErrBadFrame", err)
+		}
+	})
+	t.Run("invalid service", func(t *testing.T) {
+		d := Data{Service: evs.Service(99)}
+		if _, err := DecodeData(d.AppendTo(nil)); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("err = %v, want ErrBadFrame", err)
+		}
+	})
+	t.Run("oversized payload length", func(t *testing.T) {
+		d := Data{Service: evs.Agreed, Payload: []byte("x")}
+		b := d.AppendTo(nil)
+		// Payload length field sits 5 bytes before the end (4-byte len + 1 payload byte).
+		b[len(b)-5] = 0xFF
+		b[len(b)-4] = 0xFF
+		if _, err := DecodeData(b); err == nil {
+			t.Fatal("decode with corrupt payload length succeeded")
+		}
+	})
+}
+
+// TestTokenQuickRoundTrip property-tests the token codec on random values.
+func TestTokenQuickRoundTrip(t *testing.T) {
+	f := func(rep uint32, ringSeq, round, seq, aru uint64, tokSeq, fcc uint32, aruID uint32, rtr []uint64) bool {
+		if len(rtr) > MaxRtr {
+			rtr = rtr[:MaxRtr]
+		}
+		in := Token{
+			RingID:   evs.ViewID{Rep: evs.ProcID(rep), Seq: ringSeq},
+			TokenSeq: tokSeq, Round: round, Seq: seq, Aru: aru,
+			AruID: evs.ProcID(aruID), Fcc: fcc, Rtr: rtr,
+		}
+		out, err := DecodeToken(in.AppendTo(nil))
+		if err != nil {
+			return false
+		}
+		if len(in.Rtr) == 0 {
+			return len(out.Rtr) == 0 && out.RingID == in.RingID && out.Seq == in.Seq &&
+				out.Aru == in.Aru && out.AruID == in.AruID && out.Fcc == in.Fcc
+		}
+		return reflect.DeepEqual(*out, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDataQuickRoundTrip property-tests the data codec on random values.
+func TestDataQuickRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(rep uint32, ringSeq, seq, round uint64, sender uint32, flags uint8, n uint16) bool {
+		payload := make([]byte, int(n))
+		rng.Read(payload)
+		in := Data{
+			RingID: evs.ViewID{Rep: evs.ProcID(rep), Seq: ringSeq},
+			Seq:    seq, Sender: evs.ProcID(sender), Round: round,
+			Service: evs.Service(1 + rng.Intn(5)), Flags: flags, Payload: payload,
+		}
+		out, err := DecodeData(in.AppendTo(nil))
+		if err != nil {
+			return false
+		}
+		return out.Seq == in.Seq && out.Sender == in.Sender && out.Round == in.Round &&
+			out.Service == in.Service && out.Flags == in.Flags &&
+			out.RingID == in.RingID && bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeRandomGarbage ensures decoders never panic on arbitrary bytes.
+func TestDecodeRandomGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		b := make([]byte, rng.Intn(256))
+		rng.Read(b)
+		// Occasionally plant a valid header so body parsing is exercised.
+		if len(b) >= 4 && rng.Intn(2) == 0 {
+			b[0], b[1], b[2], b[3] = 0xAC, 0x47, 1, byte(1+rng.Intn(4))
+		}
+		DecodeToken(b)
+		DecodeData(b)
+		DecodeJoin(b)
+		DecodeCommit(b)
+	}
+}
+
+func BenchmarkEncodeData1350(b *testing.B) {
+	d := Data{RingID: evs.ViewID{Rep: 1, Seq: 1}, Seq: 1, Sender: 1, Round: 1,
+		Service: evs.Agreed, Payload: make([]byte, 1350)}
+	buf := make([]byte, 0, d.EncodedLen())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = d.AppendTo(buf[:0])
+	}
+}
+
+func BenchmarkDecodeData1350(b *testing.B) {
+	d := Data{RingID: evs.ViewID{Rep: 1, Seq: 1}, Seq: 1, Sender: 1, Round: 1,
+		Service: evs.Agreed, Payload: make([]byte, 1350)}
+	enc := d.AppendTo(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeData(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

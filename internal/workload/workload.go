@@ -1,0 +1,80 @@
+// Package workload generates the benchmark traffic of the paper's
+// evaluation: sending clients that inject fixed-size payloads at a fixed
+// aggregate rate (for the latency-vs-throughput profiles) or as fast as
+// flow control allows (for maximum-throughput measurements).
+package workload
+
+import (
+	"math/rand"
+
+	"accelring/internal/evs"
+	"accelring/internal/simnet"
+	"accelring/internal/simproc"
+)
+
+// Generator injects messages into simulated cluster nodes.
+type Generator struct {
+	// Sim is the cluster's scheduler.
+	Sim *simnet.Sim
+	// Rng drives Poisson arrival jitter. Required.
+	Rng *rand.Rand
+	// PayloadSize is the application payload per message (1350 or 8850 in
+	// the paper). Must be at least 8 to carry the latency stamp.
+	PayloadSize int
+	// Service is the delivery level to request.
+	Service evs.Service
+}
+
+// RunRate starts a Poisson stream of msgsPerSec submissions at the node,
+// stopping at the given virtual time. Each payload is stamped with its
+// injection time for latency measurement.
+func (g *Generator) RunRate(node *simproc.Node, msgsPerSec float64, until simnet.Time) {
+	if msgsPerSec <= 0 {
+		return
+	}
+	meanGap := 1e9 / msgsPerSec // ns
+	var tick func()
+	tick = func() {
+		if g.Sim.Now() >= until {
+			return
+		}
+		payload := make([]byte, g.PayloadSize)
+		simproc.StampPayload(payload, g.Sim.Now())
+		node.Submit(payload, g.Service)
+		gap := simnet.Time(g.Rng.ExpFloat64() * meanGap)
+		if gap < 1 {
+			gap = 1
+		}
+		g.Sim.After(gap, tick)
+	}
+	// Desynchronize senders with a random initial phase.
+	g.Sim.After(simnet.Time(g.Rng.ExpFloat64()*meanGap), tick)
+}
+
+// RunSaturating keeps the node's client queue topped up so the protocol
+// sends as fast as flow control allows: batch submissions are scheduled at
+// the refill interval until the given virtual time.
+func (g *Generator) RunSaturating(node *simproc.Node, batch int, every simnet.Time, until simnet.Time) {
+	var tick func()
+	tick = func() {
+		if g.Sim.Now() >= until {
+			return
+		}
+		for i := 0; i < batch; i++ {
+			payload := make([]byte, g.PayloadSize)
+			simproc.StampPayload(payload, g.Sim.Now())
+			node.Submit(payload, g.Service)
+		}
+		g.Sim.After(every, tick)
+	}
+	g.Sim.After(0, tick)
+}
+
+// SpreadRate divides an aggregate payload goodput (bits/s) into a
+// per-node message rate for the given payload size.
+func SpreadRate(aggregateBps float64, payloadBytes, nodes int) float64 {
+	if nodes == 0 || payloadBytes == 0 {
+		return 0
+	}
+	return aggregateBps / 8 / float64(payloadBytes) / float64(nodes)
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"accelring/internal/evs"
+	"accelring/internal/simnet"
+	"accelring/internal/simproc"
+)
+
+func testCluster(t *testing.T) *simproc.Cluster {
+	t.Helper()
+	c, err := simproc.NewCluster(simproc.AcceleratedOptions(
+		simnet.GigabitFabric(3), simproc.Library(), 20, 160, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRunRateApproximatesRate(t *testing.T) {
+	c := testCluster(t)
+	g := &Generator{
+		Sim:         c.Sim,
+		Rng:         rand.New(rand.NewSource(7)),
+		PayloadSize: 200,
+		Service:     evs.Agreed,
+	}
+	const rate = 5000.0 // msgs/s
+	horizon := 500 * simnet.Millisecond
+	g.RunRate(c.Nodes[0], rate, horizon)
+	c.Sim.RunUntil(horizon + 50*simnet.Millisecond)
+	got := float64(c.Nodes[0].Stats().Submitted)
+	want := rate * float64(horizon) / 1e9
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("submitted %v messages, want about %v", got, want)
+	}
+}
+
+func TestRunRateZeroIsNoop(t *testing.T) {
+	c := testCluster(t)
+	g := &Generator{Sim: c.Sim, Rng: rand.New(rand.NewSource(1)), PayloadSize: 64, Service: evs.Agreed}
+	g.RunRate(c.Nodes[0], 0, simnet.Second)
+	c.Sim.RunUntil(10 * simnet.Millisecond)
+	if c.Nodes[0].Stats().Submitted != 0 {
+		t.Fatal("zero rate submitted messages")
+	}
+}
+
+func TestRunSaturatingKeepsQueueFed(t *testing.T) {
+	c := testCluster(t)
+	g := &Generator{Sim: c.Sim, Rng: rand.New(rand.NewSource(1)), PayloadSize: 1350, Service: evs.Agreed}
+	for _, n := range c.Nodes {
+		g.RunSaturating(n, 20, 100*simnet.Microsecond, 50*simnet.Millisecond)
+	}
+	c.Sim.RunUntil(60 * simnet.Millisecond)
+	// Every node must have sent a personal window's worth many times over.
+	for i, n := range c.Nodes {
+		if sent := n.Engine().Counters().Sent; sent < 200 {
+			t.Fatalf("node %d sent only %d messages under saturation", i, sent)
+		}
+	}
+}
+
+func TestPayloadsAreStamped(t *testing.T) {
+	c := testCluster(t)
+	g := &Generator{Sim: c.Sim, Rng: rand.New(rand.NewSource(3)), PayloadSize: 64, Service: evs.Agreed}
+	var stamps []simnet.Time
+	c.SetDeliverHook(func(node simnet.NodeID, m evs.Message, at simnet.Time) {
+		if node != 0 {
+			return
+		}
+		ts := simproc.PayloadStamp(m.Payload)
+		if ts < 0 || ts > at {
+			t.Errorf("stamp %v outside [0, %v]", ts, at)
+		}
+		stamps = append(stamps, ts)
+	})
+	g.RunRate(c.Nodes[1], 2000, 50*simnet.Millisecond)
+	c.Sim.RunUntil(100 * simnet.Millisecond)
+	if len(stamps) == 0 {
+		t.Fatal("no stamped deliveries")
+	}
+}
+
+func TestSpreadRate(t *testing.T) {
+	// 1 Gb/s of 1350-byte payloads over 8 nodes ≈ 11574 msgs/s/node.
+	got := SpreadRate(1e9, 1350, 8)
+	if math.Abs(got-11574) > 1 {
+		t.Fatalf("SpreadRate = %v", got)
+	}
+	if SpreadRate(1e9, 0, 8) != 0 || SpreadRate(1e9, 1350, 0) != 0 {
+		t.Fatal("degenerate SpreadRate not zero")
+	}
+}
