@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: ci vet build test race chaos
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The transports and the fault injector are the concurrency hot spots;
+# keep them under the race detector even when the full -race run is too
+# slow for the inner loop.
+race:
+	$(GO) test -race ./internal/transport/... ./internal/faults/...
+
+# Replay one chaos seed: make chaos FAULTS_SEED=17
+chaos:
+	$(GO) test -v -run TestChaosRandomPlans ./internal/faults/chaos/

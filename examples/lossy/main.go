@@ -3,22 +3,23 @@
 //
 //	go run ./examples/lossy
 //
-// Three participants run over the in-memory transport while one of them
-// randomly drops 30% of incoming data frames. The token's rtr field
-// requests the missing sequence numbers — immediately in the original
-// protocol, one round later in the Accelerated Ring protocol (so messages
-// that are merely still in flight are not requested needlessly) — and
-// every message is still delivered everywhere in total order.
+// Three participants run over the in-memory transport while a fault
+// injector drops 30% of the application data frames addressed to one of
+// them. The token's rtr field requests the missing sequence numbers —
+// immediately in the original protocol, one round later in the
+// Accelerated Ring protocol (so messages that are merely still in flight
+// are not requested needlessly) — and every message is still delivered
+// everywhere in total order.
 package main
 
 import (
 	"fmt"
 	"log"
-	"math/rand"
 	"sync"
 	"time"
 
 	"accelring/internal/evs"
+	"accelring/internal/faults"
 	"accelring/internal/membership"
 	"accelring/internal/ringnode"
 	"accelring/internal/transport"
@@ -33,25 +34,21 @@ func run(accelerated bool) {
 	fmt.Printf("=== %s protocol, 30%% loss at participant 3 ===\n", name)
 
 	hub := transport.NewHub()
-	rng := rand.New(rand.NewSource(99))
-	var rmu sync.Mutex
-	dropped := 0
-	hub.SetDrop(func(from, to evs.ProcID, token bool, frame []byte) bool {
-		if token || to != 3 {
-			return false
-		}
-		// Only drop application data frames, not membership joins.
-		if t, err := wire.PeekType(frame); err != nil || t != wire.FrameData {
-			return false
-		}
-		rmu.Lock()
-		defer rmu.Unlock()
-		if rng.Intn(100) < 30 {
-			dropped++
-			return true
-		}
-		return false
+	// Drop 30% of application data frames addressed to participant 3.
+	// Membership joins (and tokens) pass untouched, so the ring can form.
+	var plan faults.Plan
+	plan.Add(faults.Rule{
+		Name:    "loss-at-3",
+		To:      3,
+		Classes: faults.ClassData,
+		Match: func(p faults.Packet) bool {
+			t, err := wire.PeekType(p.Frame)
+			return err == nil && t == wire.FrameData
+		},
+		Model: faults.Loss{P: 0.3},
 	})
+	inj := faults.New(99, plan)
+	hub.SetInjector(inj)
 
 	var mu sync.Mutex
 	delivered := make(map[evs.ProcID][]uint64)
@@ -121,9 +118,11 @@ func run(accelerated bool) {
 		fmt.Sprint(delivered[2]) == fmt.Sprint(delivered[3])
 	mu.Unlock()
 
-	rmu.Lock()
+	var dropped uint64
+	for _, c := range inj.Counters() {
+		dropped += c.Dropped
+	}
 	fmt.Printf("frames dropped at participant 3: %d\n", dropped)
-	rmu.Unlock()
 	for id := evs.ProcID(1); id <= 3; id++ {
 		st := nodes[id].Status()
 		fmt.Printf("participant %d: delivered=%d retransmitted=%d rtr-requests=%d rounds=%d\n",

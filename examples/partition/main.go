@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"accelring/internal/evs"
+	"accelring/internal/faults"
 	"accelring/internal/membership"
 	"accelring/internal/ringnode"
 	"accelring/internal/transport"
@@ -31,15 +32,12 @@ func main() {
 	const n = 5
 	hub := transport.NewHub()
 
-	// The partition map: participants on different sides cannot hear each
-	// other while the partition is up.
-	var pmu sync.Mutex
-	sideOf := map[evs.ProcID]int{}
-	hub.SetDrop(func(from, to evs.ProcID, token bool, frame []byte) bool {
-		pmu.Lock()
-		defer pmu.Unlock()
-		return sideOf[from] != sideOf[to]
-	})
+	// The partition model: participants on different sides cannot hear
+	// each other while the partition is up.
+	part := faults.NewPartition()
+	var plan faults.Plan
+	plan.Add(faults.Rule{Name: "partition", Model: part})
+	hub.SetInjector(faults.New(1, plan))
 
 	type record struct {
 		config evs.ViewID
@@ -92,9 +90,7 @@ func main() {
 	time.Sleep(300 * time.Millisecond)
 
 	fmt.Println("\n--- PARTITION: {1,2,3} | {4,5} ---")
-	pmu.Lock()
-	sideOf[4], sideOf[5] = 1, 1
-	pmu.Unlock()
+	part.Split(map[evs.ProcID]int{4: 1, 5: 1})
 	waitRings(nodes, map[evs.ProcID]int{1: 3, 2: 3, 3: 3, 4: 2, 5: 2})
 	fmt.Println("both sides operational — ordering continues on BOTH (no quorum needed)")
 	nodes[1].Submit([]byte("majority side says hi"), evs.Agreed)
@@ -102,9 +98,7 @@ func main() {
 	time.Sleep(300 * time.Millisecond)
 
 	fmt.Println("\n--- HEAL: sides merge ---")
-	pmu.Lock()
-	sideOf[4], sideOf[5] = 0, 0
-	pmu.Unlock()
+	part.Heal()
 	waitRings(nodes, map[evs.ProcID]int{1: n, 2: n, 3: n, 4: n, 5: n})
 	nodes[3].Submit([]byte("back together"), evs.Agreed)
 	time.Sleep(500 * time.Millisecond)

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"accelring/internal/evs"
+)
+
+// TestDuplicateFramesNoDoubleDelivery runs a full ring with EVERY data
+// frame and EVERY token delivered twice, as a duplicating network would
+// produce. The engines must discard the copies: total order holds, no
+// (sender, seq) is delivered twice, and the duplicate counters account
+// for the discarded frames.
+func TestDuplicateFramesNoDoubleDelivery(t *testing.T) {
+	ring := ringOf(1, 2, 3, 4)
+	h := newHarness(t, ring, func(self evs.ProcID) Config {
+		return Accelerated(self, ring, 5, 100, 3)
+	})
+	h.dupData = true
+	h.dupToken = true
+
+	for round := 0; round < 5; round++ {
+		for _, id := range ring.Members {
+			h.submit(id, evs.Agreed, fmt.Sprintf("m-%d-%d", id, round))
+		}
+		h.round()
+	}
+	h.round() // flush
+
+	h.assertTotalOrder()
+	for _, id := range ring.Members {
+		seen := make(map[string]bool)
+		ms := h.outs[id].messages()
+		if len(ms) != 4*5 {
+			t.Fatalf("member %d delivered %d messages, want 20", id, len(ms))
+		}
+		for _, m := range ms {
+			k := fmt.Sprintf("%d/%d", m.Sender, m.Seq)
+			if seen[k] {
+				t.Fatalf("member %d delivered %s twice", id, k)
+			}
+			seen[k] = true
+		}
+		c := h.engines[id].Counters()
+		if c.DataDropped == 0 {
+			t.Errorf("member %d discarded no duplicate data frames", id)
+		}
+		if c.TokensDropped == 0 {
+			t.Errorf("member %d discarded no duplicate tokens", id)
+		}
+	}
+}

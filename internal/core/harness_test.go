@@ -78,6 +78,10 @@ type harness struct {
 	holder  evs.ProcID
 	// drop, when set, discards the multicast from -> to when it returns true.
 	drop func(from, to evs.ProcID, d *wire.Data) bool
+	// dupData and dupToken, when set, deliver every data frame / token
+	// twice, as a faulty network would.
+	dupData  bool
+	dupToken bool
 	// undelivered multicasts pending per receiver (normally flushed
 	// immediately; kept for tests that interleave manually).
 	lastEffects map[evs.ProcID][]effect
@@ -119,7 +123,15 @@ func (h *harness) hop() []effect {
 	h.t.Helper()
 	holder := h.holder
 	eng := h.engines[holder]
+	raw := h.token.AppendTo(nil)
 	eng.HandleToken(h.token)
+	if h.dupToken {
+		cp, err := wire.DecodeToken(raw)
+		if err != nil {
+			h.t.Fatalf("token re-decode: %v", err)
+		}
+		eng.HandleToken(cp)
+	}
 	effects := h.outs[holder].drain()
 	h.lastEffects[holder] = effects
 	var next *wire.Token
@@ -136,11 +148,17 @@ func (h *harness) hop() []effect {
 					continue
 				}
 				// Fresh decode per receiver, as from the wire.
-				cp, err := wire.DecodeData(ef.data.AppendTo(nil))
-				if err != nil {
-					h.t.Fatalf("re-decode: %v", err)
+				copies := 1
+				if h.dupData {
+					copies = 2
 				}
-				h.engines[id].HandleData(cp)
+				for c := 0; c < copies; c++ {
+					cp, err := wire.DecodeData(ef.data.AppendTo(nil))
+					if err != nil {
+						h.t.Fatalf("re-decode: %v", err)
+					}
+					h.engines[id].HandleData(cp)
+				}
 			}
 		}
 	}

@@ -28,7 +28,13 @@ func fastTimeouts() membership.Timeouts {
 // listeners, and waits for the ring to form.
 func startDaemons(t *testing.T, n int) []*Daemon {
 	t.Helper()
-	hub := transport.NewHub()
+	return startDaemonsOnHub(t, n, transport.NewHub())
+}
+
+// startDaemonsOnHub is startDaemons on a caller-provided hub, so tests
+// can attach a fault injector before the daemons come up.
+func startDaemonsOnHub(t *testing.T, n int, hub *transport.Hub) []*Daemon {
+	t.Helper()
 	daemons := make([]*Daemon, n)
 	for i := 0; i < n; i++ {
 		id := evs.ProcID(i + 1)

@@ -1,0 +1,43 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"accelring/internal/evs"
+)
+
+// TestDebugDumpLogs prints the full per-incarnation delivery logs for one
+// seed. Only runs when CHAOS_DUMP is set; a scratch tool, not a test.
+func TestDebugDumpLogs(t *testing.T) {
+	v := os.Getenv("CHAOS_DUMP")
+	if v == "" {
+		t.Skip("set CHAOS_DUMP=<seed> to dump logs")
+	}
+	seed, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, h := runForDebug(Options{Seed: seed})
+	for _, v := range res.Violations {
+		fmt.Printf("VIOLATION %s: %s\n", v.Invariant, v.Detail)
+	}
+	for _, log := range h.logs {
+		fmt.Printf("=== member %s (crashed=%v) ===\n", log.name(), log.crashed)
+		for i, ev := range log.events {
+			switch e := ev.(type) {
+			case evs.ConfigChange:
+				kind := "REG "
+				if e.Transitional {
+					kind = "TRAN"
+				}
+				fmt.Printf("  %3d %s %v members=%v\n", i, kind, e.Config.ID, e.Config.Members)
+			case evs.Message:
+				fmt.Printf("  %3d msg  cfg=%v seq=%d sender=%d svc=%v %s\n",
+					i, e.Config, e.Seq, e.Sender, e.Service, e.Payload)
+			}
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"accelring/internal/evs"
+)
+
+func decideN(in *Injector, n int, p Packet) []Decision {
+	out := make([]Decision, n)
+	for i := range out {
+		out[i] = in.Decide(time.Duration(i)*time.Millisecond, p)
+	}
+	return out
+}
+
+func equalDecisions(a, b []Decision) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Drop != b[i].Drop || a[i].Delay != b[i].Delay || len(a[i].Extra) != len(b[i].Extra) {
+			return false
+		}
+		for j := range a[i].Extra {
+			if a[i].Extra[j] != b[i].Extra[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestSeedDeterminism: the same seed and packet sequence must yield the
+// same decision sequence; a different seed must diverge.
+func TestSeedDeterminism(t *testing.T) {
+	plan := Plan{}
+	plan.Add(Rule{Name: "loss", Model: Loss{P: 0.5}})
+	plan.Add(Rule{Name: "dup", Model: Duplicate{P: 0.5, Spread: time.Millisecond}})
+	plan.Add(Rule{Name: "delay", Model: Delay{Min: time.Millisecond, Max: 5 * time.Millisecond}})
+	p := Packet{From: 1, To: 2}
+
+	a := decideN(New(7, plan), 500, p)
+	b := decideN(New(7, plan), 500, p)
+	if !equalDecisions(a, b) {
+		t.Fatal("same seed produced different decision sequences")
+	}
+	c := decideN(New(8, plan), 500, p)
+	if equalDecisions(a, c) {
+		t.Fatal("different seeds produced identical decision sequences")
+	}
+}
+
+func TestRuleMatching(t *testing.T) {
+	var plan Plan
+	plan.Add(Rule{
+		Name: "targeted", From: 1, To: 3, Classes: ClassData,
+		After: 10 * time.Millisecond, Until: 20 * time.Millisecond,
+		Model: Loss{P: 1},
+	})
+	in := New(1, plan)
+
+	cases := []struct {
+		name string
+		now  time.Duration
+		p    Packet
+		drop bool
+	}{
+		{"in window", 15 * time.Millisecond, Packet{From: 1, To: 3}, true},
+		{"before window", 5 * time.Millisecond, Packet{From: 1, To: 3}, false},
+		{"after window", 25 * time.Millisecond, Packet{From: 1, To: 3}, false},
+		{"wrong sender", 15 * time.Millisecond, Packet{From: 2, To: 3}, false},
+		{"wrong receiver", 15 * time.Millisecond, Packet{From: 1, To: 2}, false},
+		{"token class", 15 * time.Millisecond, Packet{From: 1, To: 3, Token: true}, false},
+	}
+	for _, tc := range cases {
+		if got := in.Decide(tc.now, tc.p).Drop; got != tc.drop {
+			t.Errorf("%s: drop=%v, want %v", tc.name, got, tc.drop)
+		}
+	}
+}
+
+// TestGilbertElliottBursts: with a strongly bursty parameterization, the
+// loss pattern must be correlated — the count of drop runs of length ≥ 3
+// must far exceed what i.i.d. loss at the same rate produces.
+func TestGilbertElliottBursts(t *testing.T) {
+	const n = 20000
+	runs := func(in *Injector) (drops, longRuns int) {
+		cur := 0
+		for i := 0; i < n; i++ {
+			if in.Decide(0, Packet{From: 1, To: 2}).Drop {
+				drops++
+				cur++
+			} else {
+				if cur >= 3 {
+					longRuns++
+				}
+				cur = 0
+			}
+		}
+		return
+	}
+	var ge Plan
+	ge.Add(Rule{Model: &GilbertElliott{PGoodBad: 0.02, PBadGood: 0.25, LossBad: 0.95}})
+	geDrops, geRuns := runs(New(3, ge))
+	rate := float64(geDrops) / n
+
+	var iid Plan
+	iid.Add(Rule{Model: Loss{P: rate}})
+	_, iidRuns := runs(New(3, iid))
+
+	if geDrops == 0 {
+		t.Fatal("Gilbert–Elliott produced no loss")
+	}
+	if geRuns < 3*iidRuns {
+		t.Fatalf("GE loss not bursty: %d long runs vs %d for i.i.d. at rate %.3f",
+			geRuns, iidRuns, rate)
+	}
+}
+
+func TestPartitionSymmetricAndAsymmetric(t *testing.T) {
+	pa := NewPartition()
+	var plan Plan
+	plan.Add(Rule{Name: "part", Model: pa})
+	in := New(1, plan)
+
+	cross := func(from, to evs.ProcID) bool {
+		return in.Decide(0, Packet{From: from, To: to}).Drop
+	}
+	if cross(1, 2) {
+		t.Fatal("healed partition dropped a packet")
+	}
+	pa.Split(map[evs.ProcID]int{1: 0, 2: 0, 3: 1})
+	if cross(1, 2) || !cross(1, 3) || !cross(3, 2) {
+		t.Fatal("split sides not enforced")
+	}
+	pa.Heal()
+	if cross(1, 3) {
+		t.Fatal("heal did not reconnect")
+	}
+	pa.Block(1, 2)
+	if !cross(1, 2) || cross(2, 1) {
+		t.Fatal("asymmetric cut must drop only the blocked direction")
+	}
+	pa.Unblock(1, 2)
+	if cross(1, 2) {
+		t.Fatal("unblock did not lift the cut")
+	}
+}
+
+func TestDropShortCircuitsAndClearsExtras(t *testing.T) {
+	var plan Plan
+	plan.Add(Rule{Name: "dup", Model: Duplicate{P: 1}})
+	plan.Add(Rule{Name: "kill", Model: Loss{P: 1}})
+	plan.Add(Rule{Name: "delay", Model: Delay{Min: time.Second, Max: time.Second}})
+	in := New(1, plan)
+	d := in.Decide(0, Packet{From: 1, To: 2})
+	if !d.Drop || len(d.Extra) != 0 || d.Delay != 0 {
+		t.Fatalf("dropped packet kept side effects: %+v", d)
+	}
+	counts := in.Counters()
+	if counts[2].Matched != 0 {
+		t.Fatal("rule after a drop still evaluated")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var plan Plan
+	plan.Add(Rule{Name: "dup", Model: Duplicate{P: 1, Copies: 2}})
+	plan.Add(Rule{Name: "delay", Model: Delay{Min: time.Millisecond, Max: time.Millisecond}})
+	in := New(1, plan)
+	for i := 0; i < 10; i++ {
+		in.Decide(0, Packet{From: 1, To: 2})
+	}
+	c := in.Counters()
+	if c[0].Matched != 10 || c[0].Duplicated != 20 {
+		t.Fatalf("dup counters wrong: %+v", c[0])
+	}
+	if c[1].Delayed != 10 {
+		t.Fatalf("delay counters wrong: %+v", c[1])
+	}
+}
+
+func TestSeedsEnvOverride(t *testing.T) {
+	t.Setenv(SeedEnv, "")
+	got := Seeds(1, 2, 3)
+	if len(got) != 3 || got[0] != 1 {
+		t.Fatalf("defaults not returned: %v", got)
+	}
+	t.Setenv(SeedEnv, "42, 7")
+	got = Seeds(1, 2, 3)
+	if len(got) != 2 || got[0] != 42 || got[1] != 7 {
+		t.Fatalf("override not parsed: %v", got)
+	}
+	t.Setenv(SeedEnv, "bogus")
+	got = Seeds(1, 2)
+	if len(got) != 2 || got[0] != 1 {
+		t.Fatalf("unparseable override must fall back to defaults: %v", got)
+	}
+}

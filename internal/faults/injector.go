@@ -1,0 +1,109 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"math/rand"
+
+	"accelring/internal/stats"
+)
+
+// Injector applies a Plan's rules to packets. It is safe for concurrent
+// use; every decision is made under one lock so stateful models and the
+// per-rule random streams stay consistent.
+//
+// The injector has two clocks. Paths with a virtual clock (simnet, the
+// chaos harness) call Decide with their own elapsed time, keeping runs
+// fully deterministic. Real-time paths (transport.Hub, transport.UDP)
+// call DecideWall, which measures elapsed wall time since New.
+type Injector struct {
+	seed int64
+
+	mu     sync.Mutex
+	rules  []Rule
+	rngs   []*rand.Rand
+	counts []stats.FaultCounter
+
+	wallStart time.Time
+}
+
+// New builds an injector for plan. Each rule gets an independent random
+// stream derived from seed and the rule's index, so decisions are a pure
+// function of (seed, packet sequence) per rule.
+func New(seed int64, plan Plan) *Injector {
+	in := &Injector{
+		seed:      seed,
+		rules:     append([]Rule(nil), plan.Rules...),
+		rngs:      make([]*rand.Rand, len(plan.Rules)),
+		counts:    make([]stats.FaultCounter, len(plan.Rules)),
+		wallStart: time.Now(),
+	}
+	for i := range in.rules {
+		// Distinct, seed-determined stream per rule: splitmix-style odd
+		// multipliers keep streams uncorrelated across small indices.
+		in.rngs[i] = rand.New(rand.NewSource(seed*0x9E3779B9 + int64(i)*0x85EBCA6B + 1))
+		name := in.rules[i].Name
+		if name == "" {
+			name = fmt.Sprintf("rule%d", i)
+		}
+		in.counts[i].Rule = name
+	}
+	return in
+}
+
+// Seed returns the injector's seed.
+func (in *Injector) Seed() int64 { return in.seed }
+
+// Decide evaluates the plan against p at elapsed time now and returns the
+// combined decision. Rules apply in plan order; once a rule drops the
+// packet, later rules are skipped.
+func (in *Injector) Decide(now time.Duration, p Packet) Decision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var d Decision
+	for i := range in.rules {
+		r := &in.rules[i]
+		if !r.matches(now, p) {
+			continue
+		}
+		c := &in.counts[i]
+		c.Matched++
+		prevDelay, prevExtra := d.Delay, len(d.Extra)
+		d = r.Model.Apply(in.rngs[i], p, d)
+		if d.Drop {
+			c.Dropped++
+			d.Delay, d.Extra = 0, nil
+			break
+		}
+		if n := len(d.Extra) - prevExtra; n > 0 {
+			c.Duplicated += uint64(n)
+		}
+		if d.Delay > prevDelay {
+			c.Delayed++
+		}
+	}
+	return d
+}
+
+// DecideWall is Decide with elapsed wall-clock time since New, for
+// real-time packet paths.
+func (in *Injector) DecideWall(p Packet) Decision {
+	return in.Decide(time.Since(in.wallStart), p)
+}
+
+// RestartClock resets the wall clock rule windows are measured against,
+// e.g. after a setup phase that should not consume the windows.
+func (in *Injector) RestartClock() {
+	in.mu.Lock()
+	in.wallStart = time.Now()
+	in.mu.Unlock()
+}
+
+// Counters returns a snapshot of the per-rule activity counters.
+func (in *Injector) Counters() []stats.FaultCounter {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]stats.FaultCounter(nil), in.counts...)
+}

@@ -1,0 +1,59 @@
+package faults
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// SeedEnv is the environment variable that overrides the seeds chaos
+// tests run. It holds one or more comma-separated int64 seeds:
+//
+//	FAULTS_SEED=42 go test -run TestChaos ./...
+//
+// letting a seed printed by a CI failure replay deterministically on a
+// developer machine.
+const SeedEnv = "FAULTS_SEED"
+
+// TB is the subset of testing.TB the seed utilities need; *testing.T and
+// *testing.B satisfy it. Declaring the subset here keeps package faults
+// (linked into examples and binaries) from importing package testing.
+type TB interface {
+	Helper()
+	Logf(format string, args ...any)
+}
+
+// Seeds returns the seeds a chaos test should run: the SeedEnv override
+// when set and parseable, otherwise the given defaults.
+func Seeds(defaults ...int64) []int64 {
+	v := os.Getenv(SeedEnv)
+	if v == "" {
+		return defaults
+	}
+	var out []int64
+	for _, f := range strings.Split(v, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		s, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return defaults
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return defaults
+	}
+	return out
+}
+
+// ReplaySeed records how to replay the chaos run driven by seed and
+// returns the seed unchanged. Call it at the top of every seeded subtest
+// so a failure's log carries its own reproduction command.
+func ReplaySeed(tb TB, seed int64) int64 {
+	tb.Helper()
+	tb.Logf("faults: seed %d (replay locally with %s=%d go test -run <TestName>)",
+		seed, SeedEnv, seed)
+	return seed
+}

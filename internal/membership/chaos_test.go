@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"accelring/internal/evs"
+	"accelring/internal/faults"
 )
 
 // TestChaosRandomFaultSchedules drives random kill/partition/heal/submit
@@ -20,15 +21,17 @@ import (
 //  2. self delivery — no member delivers its own message twice;
 //  3. convergence — after faults stop and the network heals, all live
 //     machines end operational on one shared ring.
+// Seeds come from faults.Seeds, so a failing schedule can be replayed
+// with FAULTS_SEED=<seed>.
 func TestChaosRandomFaultSchedules(t *testing.T) {
-	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
-	if testing.Short() {
+	seeds := faults.Seeds(1, 2, 3, 4, 5, 6, 7, 8)
+	if testing.Short() && len(seeds) > 2 {
 		seeds = seeds[:2]
 	}
 	for _, seed := range seeds {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runChaos(t, seed)
+			runChaos(t, faults.ReplaySeed(t, seed))
 		})
 	}
 }

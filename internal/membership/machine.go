@@ -378,11 +378,28 @@ func (m *Machine) handleJoin(j *wire.Join, now time.Time) {
 		return
 	}
 	prevAlive := m.alive()
+	prevFailed := m.failed
 	m.joins[j.Sender] = j
-	// Adopt failure declarations about anyone but ourselves.
-	newFailed := m.failed.union(newIDSet(j.Failed...).minus(newIDSet(m.cfg.Self)))
-	changed := !newFailed.equal(m.failed) || !m.alive().equal(prevAlive)
-	m.failed = newFailed
+	// A join is proof of life: drop any failure declaration about its
+	// sender. Declarations exist to force convergence past UNRESPONSIVE
+	// processors; one we are hearing from is not unresponsive. Without
+	// this, declarations made during a network incident persist after it
+	// heals — every gathering machine rebroadcasts its failed set and
+	// re-adopts its peers', so the all-mutually-failed state is a stable
+	// fixed point in which every machine forms singleton rings forever.
+	m.failed = m.failed.minus(newIDSet(j.Sender))
+	// Adopt failure declarations about anyone but ourselves — except
+	// processors whose own joins we are hearing this attempt: direct
+	// evidence of life outranks gossip.
+	adopt := idSet(nil)
+	for _, q := range j.Failed {
+		if q == m.cfg.Self || m.joins[q] != nil {
+			continue
+		}
+		adopt = adopt.with(q)
+	}
+	m.failed = m.failed.union(adopt)
+	changed := !m.failed.equal(prevFailed) || !m.alive().equal(prevAlive)
 	if changed {
 		m.broadcastJoin(now)
 	}
@@ -450,11 +467,18 @@ func (m *Machine) fillCommitInfo(c *wire.Commit) {
 		}
 		in := &c.Info[i]
 		in.Received = true
-		if m.eng != nil && !m.ring.ID.IsZero() {
-			in.OldRing = m.ring.ID
-			in.Aru = m.eng.Aru()
-			in.HighSeq = m.eng.High()
-			in.HighDelivered = m.eng.Delivered()
+		// Report the ring still owed recovery: if a previous recovery was
+		// aborted by this membership change, that is the recovery's old
+		// ring, not the intermediate ring the application never installed.
+		eng, ring := m.eng, m.ring
+		if m.rec != nil && m.rec.oldEng != nil {
+			eng, ring = m.rec.oldEng, m.rec.oldRing
+		}
+		if eng != nil && !ring.ID.IsZero() {
+			in.OldRing = ring.ID
+			in.Aru = eng.Aru()
+			in.HighSeq = eng.High()
+			in.HighDelivered = eng.Delivered()
 		}
 		return
 	}

@@ -65,16 +65,40 @@ func (m *Machine) install(c *wire.Commit, now time.Time) {
 		doneFrom: make(map[evs.ProcID]bool),
 		recBuf:   make(map[uint64]*wire.Data),
 	}
+	// The EVS old ring advances only when a recovery COMPLETES. If the
+	// previous recovery was cut short by another membership change, the
+	// application never installed that ring: its configuration was never
+	// delivered, so the ring still owed recovery is the one the aborted
+	// attempt was recovering — not the aborted intermediate ring, whose
+	// engine carries no application history. Dropping the unfinished
+	// recovery here would silently lose old-ring messages this member
+	// received (some possibly already safe-delivered by old-ring peers
+	// that partitioned away), violating safe delivery and virtual
+	// synchrony.
+	oldEng, oldRing := m.eng, m.ring
+	var oldDelivered uint64
+	if m.eng != nil {
+		oldDelivered = m.eng.Delivered()
+	}
+	if m.rec != nil {
+		oldEng, oldRing, oldDelivered = m.rec.oldEng, m.rec.oldRing, m.rec.oldDelivered
+		for seq, d := range m.rec.recBuf {
+			rec.recBuf[seq] = d
+		}
+	}
 	var pending []core.PendingSubmission
-	if m.eng != nil && !m.ring.ID.IsZero() {
-		rec.oldEng = m.eng
-		rec.oldRing = m.ring
-		rec.oldDelivered = m.eng.Delivered()
+	if m.eng != nil {
+		pending = m.eng.TakePending()
+	}
+	if oldEng != nil && !oldRing.ID.IsZero() {
+		rec.oldEng = oldEng
+		rec.oldRing = oldRing
+		rec.oldDelivered = oldDelivered
 		low := uint64(math.MaxUint64)
 		var high uint64
 		for i := range c.Info {
 			in := &c.Info[i]
-			if in.OldRing != m.ring.ID {
+			if in.OldRing != oldRing.ID {
 				continue
 			}
 			rec.survivors = rec.survivors.with(in.PID)
@@ -86,7 +110,6 @@ func (m *Machine) install(c *wire.Commit, now time.Time) {
 			}
 		}
 		rec.low, rec.high = low, high
-		pending = m.eng.TakePending()
 	}
 	m.rec = rec
 
@@ -118,14 +141,25 @@ func (m *Machine) install(c *wire.Commit, now time.Time) {
 	// new ring's total order, so a member's done marker proves its flood
 	// has been delivered.
 	if rec.oldEng != nil {
-		rec.oldEng.RangeBuffered(rec.low+1, rec.high, func(d *wire.Data) bool {
+		flood := func(d *wire.Data) {
 			buf := make([]byte, 0, 1+d.EncodedLen())
 			buf = append(buf, recFlood)
 			// Engine enforces wire.MaxPayload on submissions; recovery
 			// frames of accepted messages always fit.
 			_ = m.eng.SubmitControl(d.AppendTo(buf))
+		}
+		rec.oldEng.RangeBuffered(rec.low+1, rec.high, func(d *wire.Data) bool {
+			flood(d)
 			return true
 		})
+		// Messages flooded to us during an aborted recovery attempt are
+		// part of our old-ring holdings too; the new ring's members may
+		// lack them.
+		for seq, d := range rec.recBuf {
+			if seq > rec.low && seq <= rec.high && rec.oldEng.Buffered(seq) == nil {
+				flood(d)
+			}
+		}
 	}
 	_ = m.eng.SubmitControl([]byte{recDone})
 	for _, p := range pending {
@@ -211,7 +245,25 @@ func (m *Machine) finalizeRecovery() {
 				Payload: d.Payload,
 			})
 		}
-		for seq := rec.oldDelivered + 1; seq <= rec.low && seq <= rec.high; seq++ {
+		// The pre-transitional part may only contain messages whose full
+		// guarantees held on the old ring. For a Safe message that means
+		// the old engine's stability line — proof that EVERY old-ring
+		// member received it — not merely `low`, which is agreement among
+		// the survivors present here. An unstable Safe message blocks
+		// everything behind it (delivery is strictly in sequence order),
+		// so the regular part stops at the first one and the rest of the
+		// tail is delivered after the transitional configuration, which
+		// is exactly the cut-down guarantee the transitional signals.
+		stable := rec.oldEng.SafeLine()
+		seq := rec.oldDelivered + 1
+		for ; seq <= rec.low && seq <= rec.high; seq++ {
+			d := rec.oldEng.Buffered(seq)
+			if d == nil {
+				d = rec.recBuf[seq]
+			}
+			if d != nil && d.Service.NeedsStability() && seq > stable {
+				break
+			}
 			emit(seq)
 		}
 		transitional := evs.Configuration{
@@ -219,11 +271,7 @@ func (m *Machine) finalizeRecovery() {
 			Members: rec.survivors,
 		}
 		m.out.Deliver(evs.ConfigChange{Config: transitional, Transitional: true})
-		start := rec.oldDelivered
-		if rec.low > start {
-			start = rec.low
-		}
-		for seq := start + 1; seq <= rec.high; seq++ {
+		for ; seq <= rec.high; seq++ {
 			emit(seq)
 		}
 	}

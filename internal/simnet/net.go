@@ -2,7 +2,10 @@ package simnet
 
 import (
 	"fmt"
+	"time"
 
+	"accelring/internal/evs"
+	"accelring/internal/faults"
 	"accelring/internal/wire"
 )
 
@@ -99,9 +102,15 @@ type Stats struct {
 	// SwitchDrops counts packets dropped at full switch output ports
 	// (per destination).
 	SwitchDrops uint64
-	// FilterDrops counts packets dropped by the ingress filter
-	// (injected loss).
+	// FilterDrops counts packets dropped by the ingress filter or the
+	// fault injector (injected loss).
 	FilterDrops uint64
+	// InjectedDups counts extra per-receiver copies created by the fault
+	// injector.
+	InjectedDups uint64
+	// InjectedDelays counts per-receiver deliveries the fault injector
+	// deferred.
+	InjectedDelays uint64
 	// BytesDelivered sums the wire size of delivered packets.
 	BytesDelivered uint64
 }
@@ -112,6 +121,8 @@ type Network struct {
 	cfg     Config
 	deliver DeliverFn
 	filter  IngressFilter
+	inj     *faults.Injector
+	pid     func(NodeID) evs.ProcID
 
 	// nicFree[i] is when host i's egress link is next idle.
 	nicFree []Time
@@ -144,6 +155,19 @@ func NewNetwork(sim *Sim, cfg Config, deliver DeliverFn) (*Network, error) {
 
 // SetIngressFilter installs f as the per-receiver drop hook (nil clears).
 func (n *Network) SetIngressFilter(f IngressFilter) { n.filter = f }
+
+// SetInjector installs a fault injector at the per-receiver ingress point
+// (nil clears), generalizing the drop-only filter: rules can also delay
+// (reordering) and duplicate packets, all in deterministic virtual time.
+// pid maps fabric hosts to protocol participant IDs; nil uses the
+// simproc convention (node i → participant i+1).
+func (n *Network) SetInjector(in *faults.Injector, pid func(NodeID) evs.ProcID) {
+	if pid == nil {
+		pid = func(id NodeID) evs.ProcID { return evs.ProcID(id + 1) }
+	}
+	n.inj = in
+	n.pid = pid
+}
 
 // Stats returns a snapshot of the network counters.
 func (n *Network) Stats() Stats { return n.stats }
@@ -222,8 +246,46 @@ func (n *Network) enqueuePort(d NodeID, p *Packet) {
 			n.stats.FilterDrops++
 			return
 		}
+		if n.inj != nil {
+			dec := n.inj.Decide(time.Duration(n.sim.Now()), faults.Packet{
+				From:  n.pid(p.From),
+				To:    n.pid(d),
+				Token: p.Kind == wire.FrameToken,
+				Size:  p.Wire,
+				Frame: p.Frame,
+			})
+			if dec.Drop {
+				n.stats.FilterDrops++
+				return
+			}
+			if dec.Delay > 0 || len(dec.Extra) > 0 {
+				n.deliverCopy(d, p, dec.Delay)
+				for _, extra := range dec.Extra {
+					n.stats.InjectedDups++
+					n.deliverCopy(d, p, extra)
+				}
+				return
+			}
+		}
 		n.stats.Delivered++
 		n.stats.BytesDelivered += uint64(p.Wire)
 		n.deliver(d, p)
 	})
+}
+
+// deliverCopy completes one (possibly deferred) delivery of p to d.
+// Delayed copies are rescheduled on the event queue, so they arrive after
+// packets already in flight — injected reordering.
+func (n *Network) deliverCopy(d NodeID, p *Packet, delay time.Duration) {
+	emit := func() {
+		n.stats.Delivered++
+		n.stats.BytesDelivered += uint64(p.Wire)
+		n.deliver(d, p)
+	}
+	if delay <= 0 {
+		emit()
+		return
+	}
+	n.stats.InjectedDelays++
+	n.sim.After(Time(delay), emit)
 }

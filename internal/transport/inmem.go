@@ -7,14 +7,17 @@ import (
 	"time"
 
 	"accelring/internal/evs"
+	"accelring/internal/faults"
 )
 
 // Hub is an in-process switch connecting Endpoints. It is safe for
-// concurrent use. An optional DropFn injects loss; an optional per-frame
-// copy keeps senders and receivers from sharing buffers.
+// concurrent use. Loss, delay, duplication, and partitions are injected
+// through a faults.Injector (or the legacy SetDrop/SetDelay hooks); a
+// per-frame copy keeps senders and receivers from sharing buffers.
 type Hub struct {
 	mu      sync.RWMutex
 	eps     map[evs.ProcID]*Endpoint
+	inj     *faults.Injector
 	dropFn  func(from, to evs.ProcID, token bool, frame []byte) bool
 	delayFn func(from, to evs.ProcID, token bool) time.Duration
 }
@@ -42,10 +45,32 @@ func (h *Hub) SetDelay(fn func(from, to evs.ProcID, token bool) time.Duration) {
 	h.delayFn = fn
 }
 
-// push delivers a frame to one endpoint's channel, honoring the delay
-// hook (passed in by the caller, which read it under the hub lock).
-func push(delayFn func(from, to evs.ProcID, token bool) time.Duration,
-	from evs.ProcID, peer *Endpoint, token bool, frame []byte) {
+// SetInjector installs a fault injector on every frame path through the
+// hub (nil clears). The injector runs after the legacy SetDrop hook and
+// can drop, delay (reordering), and duplicate frames. Decisions use the
+// injector's wall clock.
+func (h *Hub) SetInjector(in *faults.Injector) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.inj = in
+}
+
+// push delivers every surviving copy of a frame to one endpoint's channel
+// per the injector decision: the primary copy after d.Delay, one extra
+// copy per d.Extra entry.
+func push(peer *Endpoint, token bool, frame []byte, d faults.Decision) {
+	if d.Drop {
+		return
+	}
+	deliverAfter(peer, token, frame, d.Delay)
+	for _, extra := range d.Extra {
+		deliverAfter(peer, token, frame, extra)
+	}
+}
+
+// deliverAfter delivers one copy, asynchronously when delayed (which lets
+// frames overtake each other, like UDP).
+func deliverAfter(peer *Endpoint, token bool, frame []byte, delay time.Duration) {
 	ch := peer.dataCh
 	cnt := &peer.dataDrop
 	if token {
@@ -62,11 +87,9 @@ func push(delayFn func(from, to evs.ProcID, token bool) time.Duration,
 			cnt.Add(1)
 		}
 	}
-	if delayFn != nil {
-		if d := delayFn(from, peer.id, token); d > 0 {
-			time.AfterFunc(d, deliver)
-			return
-		}
+	if delay > 0 {
+		time.AfterFunc(delay, deliver)
+		return
 	}
 	deliver()
 }
@@ -130,6 +153,7 @@ func (e *Endpoint) Multicast(frame []byte) error {
 	e.hub.mu.RLock()
 	drop := e.hub.dropFn
 	delay := e.hub.delayFn
+	inj := e.hub.inj
 	for id, peer := range e.hub.eps {
 		if id == e.id || peer.closed.Load() {
 			continue
@@ -137,10 +161,30 @@ func (e *Endpoint) Multicast(frame []byte) error {
 		if drop != nil && drop(e.id, id, false, cp) {
 			continue
 		}
-		push(delay, e.id, peer, false, cp)
+		push(peer, false, cp, e.decide(inj, delay, id, false, cp))
 	}
 	e.hub.mu.RUnlock()
 	return nil
+}
+
+// decide combines the fault injector's verdict with the legacy delay hook
+// (injector delay wins when both are set).
+func (e *Endpoint) decide(inj *faults.Injector,
+	delayFn func(from, to evs.ProcID, token bool) time.Duration,
+	to evs.ProcID, token bool, frame []byte) faults.Decision {
+	var d faults.Decision
+	if inj != nil {
+		d = inj.DecideWall(faults.Packet{
+			From: e.id, To: to, Token: token, Size: len(frame), Frame: frame,
+		})
+		if d.Drop {
+			return d
+		}
+	}
+	if d.Delay == 0 && delayFn != nil {
+		d.Delay = delayFn(e.id, to, token)
+	}
+	return d
 }
 
 // Unicast implements Transport: the frame is copied and delivered to the
@@ -155,6 +199,7 @@ func (e *Endpoint) Unicast(to evs.ProcID, frame []byte) error {
 	peer := e.hub.eps[to]
 	drop := e.hub.dropFn
 	delay := e.hub.delayFn
+	inj := e.hub.inj
 	e.hub.mu.RUnlock()
 	if peer == nil || peer.closed.Load() {
 		return nil
@@ -162,7 +207,7 @@ func (e *Endpoint) Unicast(to evs.ProcID, frame []byte) error {
 	if drop != nil && drop(e.id, to, true, cp) {
 		return nil
 	}
-	push(delay, e.id, peer, true, cp)
+	push(peer, true, cp, e.decide(inj, delay, to, true, cp))
 	return nil
 }
 

@@ -5,8 +5,10 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"accelring/internal/evs"
+	"accelring/internal/faults"
 	"accelring/internal/wire"
 )
 
@@ -43,6 +45,7 @@ type UDP struct {
 
 	mu    sync.RWMutex
 	peers map[evs.ProcID]*udpPeerAddrs
+	inj   *faults.Injector
 
 	dataCh  chan []byte
 	tokenCh chan []byte
@@ -138,6 +141,42 @@ func (u *UDP) AddPeer(id evs.ProcID, p UDPPeer) error {
 	return nil
 }
 
+// SetInjector installs a fault injector on the send path (nil clears):
+// every outgoing frame is decided per destination, so loss, delay
+// (reordering), duplication, and partitions behave per-receiver exactly as
+// on the other transports. Emulating faults at the sender keeps the
+// receive path a plain socket read.
+func (u *UDP) SetInjector(in *faults.Injector) {
+	u.mu.Lock()
+	u.inj = in
+	u.mu.Unlock()
+}
+
+// sendFaulty writes every surviving copy of frame per the injector
+// decision; delayed copies are written from timer goroutines (writes on a
+// closed socket then fail silently, like loss).
+func (u *UDP) sendFaulty(conn *net.UDPConn, frame []byte, addr *net.UDPAddr, d faults.Decision) {
+	if d.Drop {
+		return
+	}
+	write := func() {
+		if !u.closed.Load() {
+			_, _ = conn.WriteToUDP(frame, addr)
+		}
+	}
+	writeAfter := func(delay time.Duration) {
+		if delay > 0 {
+			time.AfterFunc(delay, write)
+			return
+		}
+		write()
+	}
+	writeAfter(d.Delay)
+	for _, extra := range d.Extra {
+		writeAfter(extra)
+	}
+}
+
 // LocalAddrs returns the bound listen addresses (useful with :0 ports).
 func (u *UDP) LocalAddrs() UDPPeer {
 	return UDPPeer{
@@ -180,6 +219,13 @@ func (u *UDP) Multicast(frame []byte) error {
 			// at send time.
 			continue
 		}
+		if u.inj != nil {
+			d := u.inj.DecideWall(faults.Packet{
+				From: u.self, To: id, Size: len(frame), Frame: frame,
+			})
+			u.sendFaulty(u.dataConn, frame, p.data, d)
+			continue
+		}
 		_, _ = u.dataConn.WriteToUDP(frame, p.data)
 	}
 	return nil
@@ -192,9 +238,17 @@ func (u *UDP) Unicast(to evs.ProcID, frame []byte) error {
 	}
 	u.mu.RLock()
 	p := u.peers[to]
+	inj := u.inj
 	u.mu.RUnlock()
 	if p == nil {
 		// Unknown peer: drop, like the network would for a dead host.
+		return nil
+	}
+	if inj != nil {
+		d := inj.DecideWall(faults.Packet{
+			From: u.self, To: to, Token: true, Size: len(frame), Frame: frame,
+		})
+		u.sendFaulty(u.tokConn, frame, p.token, d)
 		return nil
 	}
 	_, _ = u.tokConn.WriteToUDP(frame, p.token)
