@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race chaos
+.PHONY: ci vet build test race race-full bench-smoke chaos
 
 ci: vet build test race
 
@@ -18,6 +18,16 @@ test:
 # slow for the inner loop.
 race:
 	$(GO) test -race ./internal/transport/... ./internal/faults/...
+
+# The full suite under the race detector (CI runs this as its own job).
+race-full:
+	$(GO) test -race ./...
+
+# One-iteration benchmark pass over two figures and the core engine, as a
+# cheap regression tripwire (CI runs this as its own job).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Fig0[13]' -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchtime 100x ./internal/core
 
 # Replay one chaos seed: make chaos FAULTS_SEED=17
 chaos:

@@ -1,0 +1,461 @@
+package accelring
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accelring/internal/evs"
+	"accelring/internal/group"
+	"accelring/internal/membership"
+	"accelring/internal/obs"
+	"accelring/internal/ringnode"
+)
+
+// Event is a delivery to the application: a *Message, a *GroupView, or a
+// *ViewChange. Events arrive in the ring's total order.
+type Event interface{ isEvent() }
+
+// Message is a totally ordered group message.
+type Message struct {
+	// Sender is the node that sent the message.
+	Sender ClientID
+	// Service is the delivery level it was sent with.
+	Service Service
+	// Groups are the destination groups.
+	Groups []string
+	// Payload is the application data.
+	Payload []byte
+}
+
+func (*Message) isEvent() {}
+
+// GroupView is a group's agreed membership after a join or leave, or after
+// a ring membership change removed nodes. Every surviving member receives
+// identical views at the same point in the total order.
+type GroupView struct {
+	Group   string
+	Members []ClientID
+}
+
+func (*GroupView) isEvent() {}
+
+// ViewChange announces a new ring configuration. A transitional view
+// contains the members of the previous ring that continue together;
+// messages delivered between it and the next regular view carry
+// guarantees only with respect to that reduced set (extended virtual
+// synchrony).
+type ViewChange struct {
+	View         ViewID
+	Members      []ProcID
+	Transitional bool
+}
+
+func (*ViewChange) isEvent() {}
+
+// Node is one ring participant with a single group-messaging endpoint. It
+// embeds the daemon role: the protocol stack runs in-process, and the
+// node is its own (only) client.
+type Node struct {
+	cfg    Config
+	rn     *ringnode.Node
+	self   ClientID
+	tracer *obs.RingTracer
+	events chan Event
+
+	mu       sync.Mutex
+	table    *group.Table
+	lastView ViewID
+	ready    bool
+	closed   bool
+
+	failed    atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Open starts a node from the given options. The returned node is already
+// running membership: it forms a singleton ring or merges with reachable
+// peers on its own. Use WaitReady to block until the first ring forms; the
+// submission methods return ErrNotReady before that. ctx only bounds the
+// setup itself (it is checked before sockets are opened); cancelling it
+// afterwards has no effect — use Close.
+func Open(ctx context.Context, opts ...Option) (*Node, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return OpenConfig(ctx, cfg)
+}
+
+// OpenConfig is Open with an explicit Config.
+func OpenConfig(ctx context.Context, cfg Config) (*Node, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := cfg.openTransport()
+	if err != nil {
+		return nil, err
+	}
+
+	n := &Node{
+		cfg:    cfg,
+		self:   ClientID{Daemon: cfg.Self, Local: 1},
+		events: make(chan Event, cfg.EventBuffer),
+		table:  group.NewTable(),
+	}
+
+	rc := cfg.ringConfig()
+	rc.Transport = tr
+	rc.OnEvent = n.onEvent
+	if cfg.Observer != nil {
+		n.tracer = obs.NewRingTracer(cfg.TraceDepth)
+		rc.Observer = &obs.RingObserver{Reg: cfg.Observer, Tracer: n.tracer}
+	}
+
+	rn, err := ringnode.Start(rc)
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	n.rn = rn
+	return n, nil
+}
+
+// ID returns this node's group-messaging endpoint identity, as it appears
+// in GroupView member lists on every node.
+func (n *Node) ID() ClientID { return n.self }
+
+// Events returns the delivery stream. The channel is closed by Close or
+// on terminal failure; Err explains why.
+func (n *Node) Events() <-chan Event { return n.events }
+
+// Receive returns the next event, blocking until one arrives, the context
+// is done, or the node closes (ErrClosed; see Err for the cause).
+func (n *Node) Receive(ctx context.Context) (Event, error) {
+	select {
+	case ev, ok := <-n.events:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return ev, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// WaitReady blocks until the first ring configuration is installed (after
+// which Join/Leave/Send work) or the context is done.
+func (n *Node) WaitReady(ctx context.Context) error {
+	for {
+		n.mu.Lock()
+		ready, closed := n.ready, n.closed
+		n.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		if ready {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// View returns the current ring view (zero before the first ring forms).
+func (n *Node) View() ViewID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastView
+}
+
+// Members returns the agreed membership of a group as of the events
+// processed so far (nil if empty or unknown).
+func (n *Node) Members(groupName string) []ClientID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.table.Members(groupName)
+}
+
+// Groups returns the groups this node has joined.
+func (n *Node) Groups() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.table.GroupsOf(n.self)
+}
+
+// Tracer returns the node's token-round tracer for DebugServer.AddTracer
+// (nil unless the node was opened with WithObserver).
+func (n *Node) Tracer() *RingTracer { return n.tracer }
+
+// Join adds this node to a group. The resulting agreed view arrives as a
+// *GroupView event, in total order with all traffic.
+func (n *Node) Join(groupName string) error {
+	if !group.ValidGroupName(groupName) {
+		return ErrBadGroup
+	}
+	return n.submit(&group.Envelope{
+		Kind: group.OpJoin, Sender: n.self, Groups: []string{groupName},
+	}, Agreed)
+}
+
+// Leave removes this node from a group it previously joined. Leaving a
+// group this node is not in fails with ErrNotMember.
+func (n *Node) Leave(groupName string) error {
+	if !group.ValidGroupName(groupName) {
+		return ErrBadGroup
+	}
+	n.mu.Lock()
+	member := memberOf(n.table.Members(groupName), n.self)
+	n.mu.Unlock()
+	if !member {
+		return ErrNotMember
+	}
+	return n.submit(&group.Envelope{
+		Kind: group.OpLeave, Sender: n.self, Groups: []string{groupName},
+	}, Agreed)
+}
+
+// Send multicasts payload to the members of the given groups with the
+// given service level, in total order across all groups. The sender need
+// not be a member (open-group semantics); if it is, it receives its own
+// message in order like everyone else.
+func (n *Node) Send(service Service, payload []byte, groups ...string) error {
+	if len(groups) == 0 || len(groups) > group.MaxGroups {
+		return ErrBadGroupCount
+	}
+	for _, g := range groups {
+		if !group.ValidGroupName(g) {
+			return ErrBadGroup
+		}
+	}
+	if !service.Valid() {
+		return ErrInvalidService
+	}
+	return n.submit(&group.Envelope{
+		Kind: group.OpMessage, Sender: n.self, Groups: groups, Payload: payload,
+	}, service)
+}
+
+// submit encodes the envelope and hands it to the ring, translating the
+// driver's errors into the public sentinels.
+func (n *Node) submit(env *group.Envelope, svc Service) error {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	enc, err := env.Encode()
+	if err != nil {
+		return err
+	}
+	err = n.rn.Submit(enc, svc)
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ringnode.ErrStopped):
+		return ErrClosed
+	case errors.Is(err, membership.ErrNotOperational):
+		n.mu.Lock()
+		last := n.lastView
+		n.mu.Unlock()
+		if last.IsZero() {
+			return ErrNotReady
+		}
+		// The ring this node was operating in dissolved and the new one
+		// is still forming.
+		return &MembershipChangedError{OldView: last}
+	default:
+		return err
+	}
+}
+
+// Err returns the terminal error after the event stream is closed (nil on
+// clean Close, ErrSlowConsumer if the consumer fell behind).
+func (n *Node) Err() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.closed {
+		return nil
+	}
+	return n.closeErr
+}
+
+// Close stops the protocol, closes the transport, and closes Events. It
+// is idempotent and safe from any goroutine.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() {
+		n.mu.Lock()
+		n.closed = true
+		n.mu.Unlock()
+		// Stop waits for the protocol goroutine to exit, so no onEvent
+		// call can race the channel close below.
+		n.rn.Stop()
+		close(n.events)
+	})
+	return nil
+}
+
+// fail records a terminal error and tears the node down asynchronously
+// (it runs on the protocol goroutine, which Close must wait for).
+func (n *Node) fail(err error) {
+	if n.failed.Swap(true) {
+		return
+	}
+	n.mu.Lock()
+	n.closeErr = err
+	n.mu.Unlock()
+	go n.Close()
+}
+
+// emit forwards an event without ever blocking the protocol goroutine: a
+// consumer that lets the buffer fill is disconnected (ErrSlowConsumer),
+// the same policy Spread applies to slow daemon clients.
+func (n *Node) emit(ev Event) {
+	if n.failed.Load() {
+		return
+	}
+	select {
+	case n.events <- ev:
+	default:
+		n.fail(ErrSlowConsumer)
+	}
+}
+
+// onEvent runs on the protocol goroutine: it applies the totally ordered
+// stream to the group table and forwards application-visible events.
+func (n *Node) onEvent(ev evs.Event) {
+	switch e := ev.(type) {
+	case evs.Message:
+		env, err := group.DecodeEnvelope(e.Payload)
+		if err != nil {
+			return // not ours: a foreign application on the same ring
+		}
+		n.applyEnvelope(env, e.Service)
+	case evs.ConfigChange:
+		n.applyConfigChange(e)
+	}
+}
+
+func (n *Node) applyEnvelope(env *group.Envelope, svc Service) {
+	switch env.Kind {
+	case group.OpJoin:
+		n.mu.Lock()
+		err := n.table.Join(env.Sender, env.Groups[0])
+		n.mu.Unlock()
+		if err == nil {
+			n.announceView(env.Groups[0], env.Sender)
+		}
+	case group.OpLeave:
+		n.mu.Lock()
+		err := n.table.Leave(env.Sender, env.Groups[0])
+		n.mu.Unlock()
+		if err == nil {
+			n.announceView(env.Groups[0], env.Sender)
+		}
+	case group.OpDisconnect:
+		n.mu.Lock()
+		left := n.table.Disconnect(env.Sender)
+		n.mu.Unlock()
+		for _, g := range left {
+			n.announceView(g, env.Sender)
+		}
+	case group.OpMessage:
+		n.mu.Lock()
+		deliver := memberOf(n.table.Recipients(env.Groups), n.self)
+		n.mu.Unlock()
+		if deliver {
+			n.emit(&Message{
+				Sender: env.Sender, Service: svc,
+				Groups: env.Groups, Payload: env.Payload,
+			})
+		}
+	case group.OpPrivate:
+		if env.Target == n.self {
+			n.emit(&Message{Sender: env.Sender, Service: svc, Payload: env.Payload})
+		}
+	}
+}
+
+// announceView emits the group's agreed view if this node is a member —
+// or if the change was its own (so a leaver sees its final, self-less
+// view, Spread's self-leave notification).
+func (n *Node) announceView(groupName string, cause ClientID) {
+	n.mu.Lock()
+	members := n.table.Members(groupName)
+	n.mu.Unlock()
+	if cause == n.self || memberOf(members, n.self) {
+		n.emit(&GroupView{Group: groupName, Members: members})
+	}
+}
+
+// applyConfigChange installs a ring view: on a regular view, endpoints of
+// departed nodes are dropped from every group (the same deterministic
+// change every surviving node applies), then the affected group views are
+// announced.
+func (n *Node) applyConfigChange(e evs.ConfigChange) {
+	n.emit(&ViewChange{
+		View:         e.Config.ID,
+		Members:      append([]ProcID(nil), e.Config.Members...),
+		Transitional: e.Transitional,
+	})
+	if e.Transitional {
+		return
+	}
+
+	present := make(map[ProcID]bool, len(e.Config.Members))
+	for _, m := range e.Config.Members {
+		present[m] = true
+	}
+	n.mu.Lock()
+	var affected []string
+	seen := make(map[ProcID]bool)
+	for _, g := range n.table.Groups() {
+		for _, c := range n.table.Members(g) {
+			seen[c.Daemon] = true
+		}
+	}
+	for d := range seen {
+		if !present[d] {
+			affected = append(affected, n.table.DropDaemon(d)...)
+		}
+	}
+	n.lastView = e.Config.ID
+	n.ready = true
+	n.mu.Unlock()
+
+	for _, g := range dedupe(affected) {
+		// Zero cause: announce only to groups this node belongs to.
+		n.announceView(g, ClientID{})
+	}
+}
+
+func memberOf(members []ClientID, c ClientID) bool {
+	for _, m := range members {
+		if m == c {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupe(ss []string) []string {
+	seen := make(map[string]struct{}, len(ss))
+	out := ss[:0]
+	for _, s := range ss {
+		if _, ok := seen[s]; !ok {
+			seen[s] = struct{}{}
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -29,6 +29,7 @@ import (
 
 	"accelring/internal/daemon"
 	"accelring/internal/evs"
+	"accelring/internal/obs"
 	"accelring/internal/ringnode"
 	"accelring/internal/transport"
 )
@@ -51,11 +52,26 @@ func run(args []string) error {
 	personal := fs.Int("personal", 20, "personal window (messages per participant per round)")
 	global := fs.Int("global", 160, "global window (messages per round, ring-wide)")
 	accel := fs.Int("accelerated", 15, "accelerated window (post-token messages per round)")
+	obsAddr := fs.String("obs", "", "serve /debug/vars, /debug/ring and /debug/pprof on this address (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *id == 0 {
 		return fmt.Errorf("-id is required and must be non-zero")
+	}
+
+	var reg *obs.Registry
+	var tracer *obs.RingTracer
+	if *obsAddr != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewRingTracer(obs.DefaultTraceDepth)
+		srv, err := obs.StartServer(*obsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		srv.AddTracer(fmt.Sprintf("daemon%d", *id), tracer)
+		log.Printf("observability: http://%s/debug/vars", srv.Addr())
 	}
 
 	peers, err := parsePeers(*peerSpec)
@@ -66,6 +82,7 @@ func run(args []string) error {
 		Self:   evs.ProcID(*id),
 		Listen: transport.UDPPeer{Data: *dataAddr, Token: *tokenAddr},
 		Peers:  peers,
+		Obs:    reg,
 	})
 	if err != nil {
 		return err
@@ -77,6 +94,9 @@ func run(args []string) error {
 	} else {
 		ringCfg = ringnode.Accelerated(evs.ProcID(*id), tr, *personal, *global, *accel)
 	}
+	if reg != nil {
+		ringCfg.Observer = &obs.RingObserver{Reg: reg, Tracer: tracer}
+	}
 
 	ln, err := listen(*clientAddr)
 	if err != nil {
@@ -84,7 +104,7 @@ func run(args []string) error {
 		return err
 	}
 
-	d, err := daemon.Start(daemon.Config{Ring: ringCfg, Listener: ln})
+	d, err := daemon.Start(daemon.Config{Ring: ringCfg, Listener: ln, Obs: reg})
 	if err != nil {
 		ln.Close()
 		return err

@@ -18,12 +18,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"accelring/internal/bench"
 	"accelring/internal/evs"
 	"accelring/internal/faults"
+	"accelring/internal/obs"
 	"accelring/internal/simnet"
 	"accelring/internal/simproc"
 	"accelring/internal/stats"
@@ -44,11 +46,12 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "fault plan seed (with -faults)")
 	nodes := fs.Int("nodes", 4, "cluster size (with -faults)")
 	msgs := fs.Int("msgs", 200, "messages per node (with -faults)")
+	obsAddr := fs.String("obs", "", "with -faults: serve the run's metrics and round traces on this address afterwards (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *withFaults {
-		return runFaults(*seed, *nodes, *msgs)
+		return runFaults(*seed, *nodes, *msgs, *obsAddr)
 	}
 
 	for _, variant := range []struct {
@@ -81,7 +84,7 @@ func run(args []string) error {
 // runFaults drives the Accelerated Ring cluster through a fixed fault
 // plan in virtual time and reports per-rule injection counters alongside
 // the engines' recovery counters.
-func runFaults(seed int64, nodes, msgs int) error {
+func runFaults(seed int64, nodes, msgs int, obsAddr string) error {
 	var plan faults.Plan
 	plan.Add(faults.Rule{Name: "iid-loss", Classes: faults.ClassData,
 		Model: faults.Loss{P: 0.05}})
@@ -92,8 +95,25 @@ func runFaults(seed int64, nodes, msgs int) error {
 		Model: faults.Delay{Max: 200 * time.Microsecond}})
 	inj := faults.New(seed, plan)
 
-	c, err := simproc.NewCluster(simproc.AcceleratedOptions(
-		simnet.GigabitFabric(nodes), simproc.Daemon(), 20, 200, 10))
+	// With -obs, observe node 0 (metrics + round traces). The observer's
+	// Clock stays nil so the simulation remains deterministic.
+	var reg *obs.Registry
+	var tracer *obs.RingTracer
+	opts := simproc.AcceleratedOptions(
+		simnet.GigabitFabric(nodes), simproc.Daemon(), 20, 200, 10)
+	if obsAddr != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewRingTracer(obs.DefaultTraceDepth)
+		inj.PublishTo(reg)
+		opts.Observer = func(node int) *obs.RingObserver {
+			if node != 0 {
+				return nil
+			}
+			return &obs.RingObserver{Reg: reg, Tracer: tracer}
+		}
+	}
+
+	c, err := simproc.NewCluster(opts)
 	if err != nil {
 		return err
 	}
@@ -132,6 +152,19 @@ func runFaults(seed int64, nodes, msgs int) error {
 		return fmt.Errorf("not all messages delivered; replay with -faults -seed %d", seed)
 	}
 	fmt.Println("all messages delivered everywhere in total order despite injected faults")
+
+	if reg != nil {
+		srv, err := obs.StartServer(obsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		srv.AddTracer("node1", tracer)
+		fmt.Printf("\nrun metrics at http://%s/debug/vars and /debug/ring (Ctrl-C to exit)\n", srv.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+	}
 	return nil
 }
 

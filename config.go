@@ -1,0 +1,247 @@
+package accelring
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"accelring/internal/core"
+	"accelring/internal/flowcontrol"
+	"accelring/internal/membership"
+	"accelring/internal/obs"
+	"accelring/internal/ringnode"
+	"accelring/internal/transport"
+)
+
+// Protocol selects the ring protocol variant.
+type Protocol int
+
+const (
+	// ProtocolAccelerated is the paper's Accelerated Ring protocol:
+	// messages are multicast both before and after passing the token, so
+	// they circulate while the token is still in flight.
+	ProtocolAccelerated Protocol = iota
+	// ProtocolOriginal is the original Totem-style Ring protocol: all
+	// sending happens while holding the token.
+	ProtocolOriginal
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolAccelerated:
+		return "accelerated"
+	case ProtocolOriginal:
+		return "original"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// Default window sizes, matching the daemon's defaults (paper §VI uses
+// comparable settings for the 10-Gig evaluation).
+const (
+	DefaultPersonalWindow    = 20
+	DefaultGlobalWindow      = 160
+	DefaultAcceleratedWindow = 15
+	// DefaultEventBuffer is the default capacity of the Events channel.
+	DefaultEventBuffer = 1024
+)
+
+// Config configures a Node. The zero value plus a Self ID and a Transport
+// (or UDP addresses) is usable: Validate fills in documented defaults.
+type Config struct {
+	// Self is this participant's unique nonzero identifier.
+	Self ProcID
+
+	// Protocol selects Accelerated (default) or Original.
+	Protocol Protocol
+
+	// PersonalWindow bounds how many new messages one participant may
+	// introduce per token round (default DefaultPersonalWindow).
+	PersonalWindow int
+	// GlobalWindow bounds new messages introduced ring-wide per round
+	// (default DefaultGlobalWindow). Must be at least PersonalWindow.
+	GlobalWindow int
+	// AcceleratedWindow bounds how many of the personal-window messages
+	// are multicast before passing the token (default
+	// DefaultAcceleratedWindow, capped at PersonalWindow; ignored by
+	// ProtocolOriginal). Must not exceed PersonalWindow.
+	AcceleratedWindow int
+
+	// Timeouts are the membership timing parameters; zero fields take
+	// membership defaults.
+	Timeouts Timeouts
+
+	// Transport, when non-nil, carries frames (e.g. a Hub endpoint for
+	// tests). The node takes ownership and closes it on Close.
+	Transport Transport
+	// Listen and Peers configure a UDP transport when Transport is nil:
+	// Listen holds this node's data/token listen addresses, Peers the
+	// other participants'. Addresses must resolve as UDP host:ports.
+	Listen UDPAddrs
+	Peers map[ProcID]UDPAddrs
+
+	// EventBuffer is the Events channel capacity (default
+	// DefaultEventBuffer). A consumer that falls this far behind is
+	// disconnected with ErrSlowConsumer rather than allowed to stall the
+	// ring.
+	EventBuffer int
+
+	// Observer, when non-nil, receives protocol metrics (counters,
+	// gauges, latency histograms) under ring.*, membership.* and
+	// transport.* names. Serve it with StartDebugServer.
+	Observer *Registry
+	// TraceDepth is how many token-round traces the node retains for
+	// /debug/ring (default obs.DefaultTraceDepth; only used when
+	// Observer is set).
+	TraceDepth int
+}
+
+// Validation errors returned by Config.Validate (wrapped with context;
+// branch with errors.Is).
+var (
+	ErrNoSelf        = errors.New("accelring: config needs a nonzero Self ID")
+	ErrNoTransport   = errors.New("accelring: config needs a Transport or UDP Listen addresses")
+	ErrBadWindow     = errors.New("accelring: invalid flow-control window")
+	ErrBadTimeout    = errors.New("accelring: timeouts must be non-negative")
+	ErrBadAddress    = errors.New("accelring: bad UDP address")
+	ErrBadProtocol   = errors.New("accelring: unknown protocol variant")
+	ErrBadBufferSize = errors.New("accelring: buffer sizes must be non-negative")
+)
+
+// Validate fills in documented defaults for zero fields, then checks the
+// configuration, returning the first problem found. Open calls it for
+// you; call it directly to check a config without starting a node.
+func (c *Config) Validate() error {
+	if c.Self == 0 {
+		return ErrNoSelf
+	}
+	if c.Protocol != ProtocolAccelerated && c.Protocol != ProtocolOriginal {
+		return fmt.Errorf("%w: %d", ErrBadProtocol, int(c.Protocol))
+	}
+
+	// Defaults.
+	if c.PersonalWindow == 0 {
+		c.PersonalWindow = DefaultPersonalWindow
+	}
+	if c.GlobalWindow == 0 {
+		c.GlobalWindow = DefaultGlobalWindow
+	}
+	if c.Protocol == ProtocolAccelerated && c.AcceleratedWindow == 0 {
+		c.AcceleratedWindow = DefaultAcceleratedWindow
+		if c.AcceleratedWindow > c.PersonalWindow {
+			c.AcceleratedWindow = c.PersonalWindow
+		}
+	}
+	if c.Protocol == ProtocolOriginal {
+		c.AcceleratedWindow = 0
+	}
+	if c.EventBuffer == 0 {
+		c.EventBuffer = DefaultEventBuffer
+	}
+	if c.TraceDepth == 0 {
+		c.TraceDepth = obs.DefaultTraceDepth
+	}
+
+	// Windows.
+	if c.PersonalWindow < 0 || c.GlobalWindow < 0 || c.AcceleratedWindow < 0 {
+		return fmt.Errorf("%w: windows must be non-negative", ErrBadWindow)
+	}
+	if c.GlobalWindow < c.PersonalWindow {
+		return fmt.Errorf("%w: global window %d < personal window %d",
+			ErrBadWindow, c.GlobalWindow, c.PersonalWindow)
+	}
+	if c.AcceleratedWindow > c.PersonalWindow {
+		return fmt.Errorf("%w: accelerated window %d > personal window %d",
+			ErrBadWindow, c.AcceleratedWindow, c.PersonalWindow)
+	}
+
+	// Timeouts: zero fields take membership defaults, negatives are bugs.
+	def := membership.DefaultTimeouts()
+	for _, f := range []struct {
+		d   *time.Duration
+		def time.Duration
+	}{
+		{&c.Timeouts.JoinInterval, def.JoinInterval},
+		{&c.Timeouts.Gather, def.Gather},
+		{&c.Timeouts.Commit, def.Commit},
+		{&c.Timeouts.TokenLoss, def.TokenLoss},
+		{&c.Timeouts.TokenRetransmit, def.TokenRetransmit},
+		{&c.Timeouts.Beacon, def.Beacon}, // zero: membership derives it
+	} {
+		if *f.d < 0 {
+			return fmt.Errorf("%w: got %v", ErrBadTimeout, *f.d)
+		}
+		if *f.d == 0 {
+			*f.d = f.def
+		}
+	}
+
+	if c.EventBuffer < 0 || c.TraceDepth < 0 {
+		return ErrBadBufferSize
+	}
+
+	// Transport.
+	if c.Transport == nil {
+		if c.Listen.Data == "" || c.Listen.Token == "" {
+			return ErrNoTransport
+		}
+		if err := checkUDPAddrs("listen", c.Listen); err != nil {
+			return err
+		}
+		for id, p := range c.Peers {
+			if id == 0 {
+				return fmt.Errorf("%w: peer with zero ID", ErrBadAddress)
+			}
+			if err := checkUDPAddrs(fmt.Sprintf("peer %d", id), p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func checkUDPAddrs(who string, p UDPAddrs) error {
+	for _, a := range []string{p.Data, p.Token} {
+		if _, err := net.ResolveUDPAddr("udp", a); err != nil {
+			return fmt.Errorf("%w: %s %q: %v", ErrBadAddress, who, a, err)
+		}
+	}
+	return nil
+}
+
+// ringConfig derives the internal driver configuration. The caller wires
+// Transport, OnEvent and Observer afterwards.
+func (c *Config) ringConfig() ringnode.Config {
+	rc := ringnode.Config{
+		Self: c.Self,
+		Windows: flowcontrol.Windows{
+			Personal:    c.PersonalWindow,
+			Global:      c.GlobalWindow,
+			Accelerated: c.AcceleratedWindow,
+		},
+		Timeouts: c.Timeouts,
+	}
+	if c.Protocol == ProtocolOriginal {
+		rc.Priority = core.PriorityConservative
+	} else {
+		rc.Priority = core.PriorityAggressive
+		rc.DelayedRequests = true
+	}
+	return rc
+}
+
+// openTransport returns the configured transport, creating a UDP one from
+// Listen/Peers when Transport is nil. Validate must have passed.
+func (c *Config) openTransport() (Transport, error) {
+	if c.Transport != nil {
+		return c.Transport, nil
+	}
+	return transport.NewUDP(transport.UDPConfig{
+		Self:   c.Self,
+		Listen: c.Listen,
+		Peers:  c.Peers,
+		Obs:    c.Observer,
+	})
+}

@@ -1,0 +1,123 @@
+package accelring
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func validUDPConfig() Config {
+	return Config{
+		Self:   1,
+		Listen: UDPAddrs{Data: "127.0.0.1:7400", Token: "127.0.0.1:7401"},
+		Peers: map[ProcID]UDPAddrs{
+			2: {Data: "127.0.0.1:7410", Token: "127.0.0.1:7411"},
+		},
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr error
+	}{
+		{"valid defaults", func(c *Config) {}, nil},
+		{"explicit windows", func(c *Config) {
+			c.PersonalWindow, c.GlobalWindow, c.AcceleratedWindow = 10, 100, 7
+		}, nil},
+		{"original protocol", func(c *Config) { c.Protocol = ProtocolOriginal }, nil},
+		{"hub transport", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			ep, _ := NewHub().Endpoint(1, 16, 16)
+			c.Transport = ep // any non-nil Transport satisfies Validate
+		}, nil},
+
+		{"zero self", func(c *Config) { c.Self = 0 }, ErrNoSelf},
+		{"unknown protocol", func(c *Config) { c.Protocol = Protocol(9) }, ErrBadProtocol},
+		{"no transport at all", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+		}, ErrNoTransport},
+		{"missing token address", func(c *Config) {
+			c.Listen.Token = ""
+		}, ErrNoTransport},
+		{"accelerated exceeds personal", func(c *Config) {
+			c.PersonalWindow, c.GlobalWindow, c.AcceleratedWindow = 10, 100, 11
+		}, ErrBadWindow},
+		{"global below personal", func(c *Config) {
+			c.PersonalWindow, c.GlobalWindow = 40, 30
+		}, ErrBadWindow},
+		{"negative window", func(c *Config) {
+			c.PersonalWindow = -1
+		}, ErrBadWindow},
+		{"negative timeout", func(c *Config) {
+			c.Timeouts.TokenLoss = -time.Second
+		}, ErrBadTimeout},
+		{"negative event buffer", func(c *Config) {
+			c.EventBuffer = -1
+		}, ErrBadBufferSize},
+		{"bad listen address", func(c *Config) {
+			c.Listen.Data = "not a udp address:::"
+		}, ErrBadAddress},
+		{"bad peer address", func(c *Config) {
+			c.Peers[2] = UDPAddrs{Data: "127.0.0.1:7410", Token: "host:notaport"}
+		}, ErrBadAddress},
+		{"peer with zero id", func(c *Config) {
+			c.Peers[0] = UDPAddrs{Data: "127.0.0.1:1", Token: "127.0.0.1:2"}
+		}, ErrBadAddress},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := validUDPConfig()
+			tt.mutate(&cfg)
+			err := cfg.Validate()
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("Validate() = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestConfigValidateAppliesDefaults(t *testing.T) {
+	cfg := validUDPConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PersonalWindow != DefaultPersonalWindow ||
+		cfg.GlobalWindow != DefaultGlobalWindow ||
+		cfg.AcceleratedWindow != DefaultAcceleratedWindow {
+		t.Fatalf("windows = %d/%d/%d, want defaults %d/%d/%d",
+			cfg.PersonalWindow, cfg.GlobalWindow, cfg.AcceleratedWindow,
+			DefaultPersonalWindow, DefaultGlobalWindow, DefaultAcceleratedWindow)
+	}
+	if cfg.EventBuffer != DefaultEventBuffer {
+		t.Fatalf("EventBuffer = %d, want %d", cfg.EventBuffer, DefaultEventBuffer)
+	}
+
+	// The original protocol never pre-sends: accelerated window pins to 0.
+	cfg = validUDPConfig()
+	cfg.Protocol = ProtocolOriginal
+	cfg.AcceleratedWindow = 5
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.AcceleratedWindow != 0 {
+		t.Fatalf("original protocol AcceleratedWindow = %d, want 0", cfg.AcceleratedWindow)
+	}
+
+	// A small personal window caps the default accelerated window.
+	cfg = validUDPConfig()
+	cfg.PersonalWindow, cfg.GlobalWindow = 4, 40
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.AcceleratedWindow != 4 {
+		t.Fatalf("capped AcceleratedWindow = %d, want 4", cfg.AcceleratedWindow)
+	}
+}

@@ -1,0 +1,40 @@
+package accelring
+
+import (
+	"errors"
+	"fmt"
+
+	"accelring/internal/evs"
+	"accelring/internal/group"
+)
+
+// Sentinel errors returned by the public API. Branch with errors.Is; for
+// membership transitions use errors.As with *MembershipChangedError.
+var (
+	// ErrClosed is returned by every method after Close (or after the
+	// node failed terminally; Err explains why).
+	ErrClosed = errors.New("accelring: node closed")
+	// ErrNotReady is returned by Join/Leave/Send before the first ring
+	// has formed. Wait with WaitReady or for the first ViewChange event.
+	ErrNotReady = errors.New("accelring: ring not formed yet")
+	// ErrSlowConsumer terminates a node whose application stopped
+	// draining Events; a blocked consumer must not stall the ordering
+	// protocol (the same policy Spread applies to slow clients).
+	ErrSlowConsumer = errors.New("accelring: event consumer too slow")
+	// ErrNotMember is returned by Leave for a group the node never
+	// joined, and by operations requiring membership.
+	ErrNotMember = group.ErrNotMember
+	// ErrBadGroup rejects an invalid group name (empty or too long).
+	ErrBadGroup = group.ErrBadGroup
+	// ErrInvalidService rejects an undefined delivery service level.
+	ErrInvalidService = errors.New("accelring: invalid service level")
+	// ErrBadGroupCount rejects a Send with zero or too many groups.
+	ErrBadGroupCount = fmt.Errorf("accelring: need 1..%d groups", group.MaxGroups)
+)
+
+// MembershipChangedError is returned by Join/Leave/Send while the ring is
+// re-forming after a partition, merge, or crash: the view the operation
+// was issued in no longer exists. Detect it with errors.As, wait for the
+// next ViewChange event, and retry. NewView is zero while the replacement
+// configuration is still being agreed on.
+type MembershipChangedError = evs.MembershipChangedError

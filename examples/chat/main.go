@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"net"
@@ -20,12 +21,31 @@ import (
 	"accelring/internal/daemon"
 	"accelring/internal/evs"
 	"accelring/internal/membership"
+	"accelring/internal/obs"
 	"accelring/internal/ringnode"
 	"accelring/internal/transport"
 )
 
 func main() {
 	const hosts = 3
+
+	obsAddr := flag.String("obs", "", "serve /debug/vars, /debug/ring and /debug/pprof on this address (e.g. :6060)")
+	flag.Parse()
+
+	// One registry for all three daemons (this demo hosts them in one
+	// process; a real deployment passes -obs to each ringdaemon).
+	var reg *obs.Registry
+	var dbg *obs.Server
+	if *obsAddr != "" {
+		reg = obs.NewRegistry()
+		var err error
+		dbg, err = obs.StartServer(*obsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("observability: http://%s/debug/vars\n", dbg.Addr())
+	}
 
 	// Open the UDP transports first so every daemon can learn the
 	// others' ports, then interconnect them (in a real deployment these
@@ -35,6 +55,7 @@ func main() {
 		u, err := transport.NewUDP(transport.UDPConfig{
 			Self:   evs.ProcID(i + 1),
 			Listen: transport.UDPPeer{Data: "127.0.0.1:0", Token: "127.0.0.1:0"},
+			Obs:    reg,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -66,7 +87,12 @@ func main() {
 			TokenLoss:       300 * time.Millisecond,
 			TokenRetransmit: 75 * time.Millisecond,
 		}
-		d, err := daemon.Start(daemon.Config{Ring: ringCfg, Listener: ln})
+		if reg != nil {
+			tracer := obs.NewRingTracer(obs.DefaultTraceDepth)
+			ringCfg.Observer = &obs.RingObserver{Reg: reg, Tracer: tracer}
+			dbg.AddTracer(fmt.Sprintf("daemon%d", i+1), tracer)
+		}
+		d, err := daemon.Start(daemon.Config{Ring: ringCfg, Listener: ln, Obs: reg})
 		if err != nil {
 			log.Fatal(err)
 		}

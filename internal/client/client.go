@@ -41,8 +41,27 @@ type View struct {
 
 func (*View) isEvent() {}
 
-// ErrClosed is returned after the connection is closed.
-var ErrClosed = errors.New("client: connection closed")
+// Rejection is a daemon-reported, request-scoped failure that does not
+// terminate the session (e.g. leaving a group this client never joined).
+// Err is typed: branch with errors.Is (group.ErrNotMember,
+// session.ErrInvalidService, session.ErrNotReady) or errors.As
+// (*evs.MembershipChangedError). Protocol-level daemon errors remain
+// fatal and surface through Client.Err instead.
+type Rejection struct{ Err error }
+
+func (*Rejection) isEvent() {}
+
+// Sentinel errors returned by the request methods.
+var (
+	// ErrClosed is returned after the connection is closed.
+	ErrClosed = errors.New("client: connection closed")
+	// ErrInvalidService rejects an unknown service level.
+	ErrInvalidService = errors.New("client: invalid service level")
+	// ErrNeedTarget rejects a private message without a destination.
+	ErrNeedTarget = errors.New("client: private message needs a target")
+	// ErrBadGroupCount rejects a multicast with zero or too many groups.
+	ErrBadGroupCount = fmt.Errorf("client: need 1..%d groups", group.MaxGroups)
+)
 
 // Client is a connection to an ordering daemon.
 type Client struct {
@@ -128,8 +147,15 @@ func (c *Client) readLoop() {
 		case session.View:
 			c.events <- &View{Group: v.Group, Members: v.Members}
 		case session.Error:
-			c.shutdown(fmt.Errorf("client: daemon error: %s", v.Msg))
-			return
+			switch v.Code {
+			case session.CodeInvalidService, session.CodeNotMember,
+				session.CodeNotReady, session.CodeMembershipChanged:
+				// Request-scoped: the session stays up.
+				c.events <- &Rejection{Err: v.Err()}
+			default:
+				c.shutdown(fmt.Errorf("client: daemon error: %w", v.Err()))
+				return
+			}
 		}
 	}
 }
@@ -179,10 +205,10 @@ func (c *Client) Leave(groupName string) error {
 // ClientID is learned from group views.
 func (c *Client) SendPrivate(to group.ClientID, service evs.Service, payload []byte) error {
 	if to == (group.ClientID{}) {
-		return errors.New("client: private message needs a target")
+		return ErrNeedTarget
 	}
 	if !service.Valid() {
-		return fmt.Errorf("client: invalid service %d", service)
+		return ErrInvalidService
 	}
 	return c.write(session.Private{To: to, Service: service, Payload: payload})
 }
@@ -192,7 +218,7 @@ func (c *Client) SendPrivate(to group.ClientID, service evs.Service, payload []b
 // it is, it receives its own message in order like everyone else.
 func (c *Client) Multicast(service evs.Service, payload []byte, groups ...string) error {
 	if len(groups) == 0 || len(groups) > group.MaxGroups {
-		return fmt.Errorf("client: need 1..%d groups", group.MaxGroups)
+		return ErrBadGroupCount
 	}
 	for _, g := range groups {
 		if !group.ValidGroupName(g) {
@@ -200,7 +226,7 @@ func (c *Client) Multicast(service evs.Service, payload []byte, groups ...string
 		}
 	}
 	if !service.Valid() {
-		return fmt.Errorf("client: invalid service %d", service)
+		return ErrInvalidService
 	}
 	return c.write(session.Send{Service: service, Groups: groups, Payload: payload})
 }

@@ -21,9 +21,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"accelring/internal/evs"
 	"accelring/internal/flowcontrol"
+	"accelring/internal/obs"
 	"accelring/internal/seqbuf"
 	"accelring/internal/wire"
 )
@@ -81,6 +83,10 @@ type Config struct {
 	// MaxRtrPerRound caps how many retransmission requests this
 	// participant adds to one token. Defaults to 512.
 	MaxRtrPerRound int
+	// Observer receives one RoundTrace per token visit plus delivery
+	// metrics. Nil disables observation at the cost of one nil check per
+	// hook site.
+	Observer *obs.RingObserver
 }
 
 // Original returns a Config for the original Totem-style Ring protocol:
@@ -178,6 +184,9 @@ type pending struct {
 	payload []byte
 	service evs.Service
 	flags   uint8
+	// at is the submit time when the observer has a wall clock (zero
+	// otherwise); it feeds the per-service delivery-latency histogram.
+	at time.Time
 }
 
 // Engine runs the ordering protocol for one participant on one ring.
@@ -219,6 +228,12 @@ type Engine struct {
 
 	counters Counters
 	lastSent *wire.Token
+
+	obs *obs.RingObserver
+	// submitAt maps assigned seq -> submit time for self-initiated
+	// messages still awaiting delivery (only populated when the observer
+	// has a clock).
+	submitAt map[uint64]time.Time
 }
 
 // New creates an engine. The configuration is validated; the ring must
@@ -242,6 +257,7 @@ func New(cfg Config, out Output) (*Engine, error) {
 		aruSentPrev: cfg.InitialSeq,
 		delivered:   cfg.InitialSeq,
 		safeLine:    cfg.InitialSeq,
+		obs:         cfg.Observer,
 	}
 	return e, nil
 }
@@ -314,7 +330,7 @@ func (e *Engine) Submit(payload []byte, service evs.Service) error {
 	if !service.Valid() {
 		return fmt.Errorf("core: invalid service %d", service)
 	}
-	e.sendQ = append(e.sendQ, pending{payload: payload, service: service})
+	e.sendQ = append(e.sendQ, pending{payload: payload, service: service, at: e.obs.Now()})
 	return nil
 }
 
@@ -325,7 +341,7 @@ func (e *Engine) SubmitControl(payload []byte) error {
 	if len(payload) > wire.MaxPayload {
 		return ErrPayloadTooLarge
 	}
-	e.sendQ = append(e.sendQ, pending{payload: payload, service: evs.Agreed, flags: wire.FlagControl})
+	e.sendQ = append(e.sendQ, pending{payload: payload, service: evs.Agreed, flags: wire.FlagControl, at: e.obs.Now()})
 	return nil
 }
 
@@ -415,6 +431,9 @@ func (e *Engine) HandleToken(t *wire.Token) {
 	recvSeq := t.Seq
 	recvAru := t.Aru
 	recvFcc := int(t.Fcc)
+	recvTokenSeq := t.TokenSeq
+	tokStart := e.obs.Now()
+	requestedBefore := e.counters.Requested
 
 	// Phase 1 (§III-B1): answer retransmission requests. All of them must
 	// go out pre-token or they could be requested again.
@@ -450,6 +469,10 @@ func (e *Engine) HandleToken(t *wire.Token) {
 	e.aruSentThis = t.Aru
 	e.lastSent = t
 	e.out.SendToken(t)
+	var hold time.Duration
+	if !tokStart.IsZero() {
+		hold = e.obs.Now().Sub(tokStart)
+	}
 
 	// Phase 3 (§III-B3): post-token multicasting.
 	for _, m := range newMsgs[pre:] {
@@ -467,6 +490,24 @@ func (e *Engine) HandleToken(t *wire.Token) {
 	e.lastRoundSent = numToSend + numRetrans
 	e.prevRecvSeq = recvSeq
 	e.dataPriority = true
+
+	if e.obs != nil {
+		e.obs.OnRound(obs.RoundTrace{
+			At:            tokStart,
+			Round:         e.myRound,
+			TokenSeq:      recvTokenSeq,
+			RecvSeq:       recvSeq,
+			SentSeq:       newSeq,
+			Aru:           t.Aru,
+			Fcc:           t.Fcc,
+			New:           numToSend,
+			Pre:           pre,
+			Post:          numToSend - pre,
+			Retransmitted: numRetrans,
+			Requested:     int(e.counters.Requested - requestedBefore),
+			Hold:          hold,
+		})
+	}
 }
 
 // answerRetransmissions multicasts every requested message this
@@ -507,6 +548,12 @@ func (e *Engine) takeMessages(n int, afterSeq uint64) []*wire.Data {
 	msgs := make([]*wire.Data, n)
 	for i := 0; i < n; i++ {
 		p := e.sendQ[i]
+		if !p.at.IsZero() {
+			if e.submitAt == nil {
+				e.submitAt = make(map[uint64]time.Time)
+			}
+			e.submitAt[afterSeq+uint64(i)+1] = p.at
+		}
 		msgs[i] = &wire.Data{
 			RingID:  e.cfg.Ring.ID,
 			Seq:     afterSeq + uint64(i) + 1,
@@ -607,6 +654,14 @@ func (e *Engine) deliverReady() {
 		})
 		e.delivered = next
 		e.counters.Delivered++
+		if e.obs != nil {
+			var lat time.Duration
+			if at, ok := e.submitAt[next]; ok {
+				delete(e.submitAt, next)
+				lat = e.obs.Now().Sub(at)
+			}
+			e.obs.OnDeliver(d.Service.String(), lat)
+		}
 	}
 }
 

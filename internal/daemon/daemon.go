@@ -18,6 +18,7 @@ import (
 	"accelring/internal/evs"
 	"accelring/internal/group"
 	"accelring/internal/membership"
+	"accelring/internal/obs"
 	"accelring/internal/ringnode"
 	"accelring/internal/session"
 )
@@ -33,6 +34,9 @@ type Config struct {
 	// ClientBuffer is the per-client outbound frame buffer; a client
 	// that falls this far behind is disconnected (default 1024).
 	ClientBuffer int
+	// Obs, when non-nil, receives daemon.* session metrics. The ring
+	// protocol's own metrics are wired through Ring.Observer.
+	Obs *obs.Registry
 }
 
 // Daemon is one host's ordering daemon.
@@ -51,6 +55,31 @@ type Daemon struct {
 	stopped   bool
 
 	wg sync.WaitGroup
+	dm daemonMetrics
+}
+
+// daemonMetrics caches the daemon's session-layer metric handles (all
+// nil-safe; a nil Config.Obs costs one nil check per update).
+type daemonMetrics struct {
+	clients       *obs.Gauge
+	sessions      *obs.Counter
+	submits       *obs.Counter
+	errorsSent    *obs.Counter
+	slowDisconns  *obs.Counter
+	framesRouted  *obs.Counter
+	viewsAnnounce *obs.Counter
+}
+
+func newDaemonMetrics(reg *obs.Registry) daemonMetrics {
+	return daemonMetrics{
+		clients:       reg.Gauge("daemon.clients"),
+		sessions:      reg.Counter("daemon.sessions_total"),
+		submits:       reg.Counter("daemon.submits"),
+		errorsSent:    reg.Counter("daemon.errors_sent"),
+		slowDisconns:  reg.Counter("daemon.slow_disconnects"),
+		framesRouted:  reg.Counter("daemon.frames_routed"),
+		viewsAnnounce: reg.Counter("daemon.views_announced"),
+	}
 }
 
 type clientConn struct {
@@ -60,6 +89,8 @@ type clientConn struct {
 	sendCh chan session.Frame
 	closed chan struct{}
 	once   sync.Once
+	// slowDrop counts disconnects for falling behind (nil-safe handle).
+	slowDrop *obs.Counter
 }
 
 // Start launches the protocol node and the client accept loop.
@@ -76,6 +107,7 @@ func Start(cfg Config) (*Daemon, error) {
 		ln:      cfg.Listener,
 		table:   group.NewTable(),
 		clients: make(map[uint32]*clientConn),
+		dm:      newDaemonMetrics(cfg.Obs),
 	}
 	ringCfg := cfg.Ring
 	ringCfg.OnEvent = d.onEvent
@@ -144,7 +176,7 @@ func (d *Daemon) serveClient(conn net.Conn) {
 	}
 	hello, ok := f.(session.Connect)
 	if !ok {
-		_ = session.WriteFrame(conn, session.Error{Msg: "expected connect"})
+		_ = session.WriteFrame(conn, session.Error{Code: session.CodeBadRequest, Msg: "expected connect"})
 		conn.Close()
 		return
 	}
@@ -157,14 +189,17 @@ func (d *Daemon) serveClient(conn net.Conn) {
 	}
 	d.nextLocal++
 	c := &clientConn{
-		id:     group.ClientID{Daemon: d.self, Local: d.nextLocal},
-		name:   hello.Name,
-		conn:   conn,
-		sendCh: make(chan session.Frame, d.cfg.ClientBuffer),
-		closed: make(chan struct{}),
+		id:       group.ClientID{Daemon: d.self, Local: d.nextLocal},
+		name:     hello.Name,
+		conn:     conn,
+		sendCh:   make(chan session.Frame, d.cfg.ClientBuffer),
+		closed:   make(chan struct{}),
+		slowDrop: d.dm.slowDisconns,
 	}
 	d.clients[c.id.Local] = c
 	d.mu.Unlock()
+	d.dm.sessions.Inc()
+	d.dm.clients.Add(1)
 
 	if err := session.WriteFrame(conn, session.Welcome{Client: c.id}); err != nil {
 		d.dropClient(c)
@@ -196,7 +231,7 @@ func (d *Daemon) clientReader(c *clientConn) {
 		case session.Send:
 			svc := req.Service
 			if !svc.Valid() {
-				c.push(session.Error{Msg: "invalid service"})
+				d.pushError(c, session.Error{Code: session.CodeInvalidService, Msg: "invalid service"})
 				continue
 			}
 			d.backpressure()
@@ -207,7 +242,7 @@ func (d *Daemon) clientReader(c *clientConn) {
 		case session.Private:
 			svc := req.Service
 			if !svc.Valid() {
-				c.push(session.Error{Msg: "invalid service"})
+				d.pushError(c, session.Error{Code: session.CodeInvalidService, Msg: "invalid service"})
 				continue
 			}
 			d.backpressure()
@@ -216,20 +251,32 @@ func (d *Daemon) clientReader(c *clientConn) {
 				Payload: req.Payload,
 			}, svc)
 		default:
-			c.push(session.Error{Msg: fmt.Sprintf("unexpected frame %T", f)})
+			d.pushError(c, session.Error{Code: session.CodeBadRequest, Msg: fmt.Sprintf("unexpected frame %T", f)})
 		}
 	}
+}
+
+// pushError sends an Error frame and counts it.
+func (d *Daemon) pushError(c *clientConn, e session.Error) {
+	d.dm.errorsSent.Inc()
+	c.push(e)
 }
 
 func (d *Daemon) submitEnvelope(c *clientConn, env group.Envelope, svc evs.Service) {
 	enc, err := env.Encode()
 	if err != nil {
-		c.push(session.Error{Msg: err.Error()})
+		d.pushError(c, session.Error{Code: session.CodeBadRequest, Msg: err.Error()})
 		return
 	}
 	if err := d.node.Submit(enc, svc); err != nil {
-		c.push(session.Error{Msg: err.Error()})
+		code := session.CodeGeneric
+		if errors.Is(err, membership.ErrNotOperational) {
+			code = session.CodeNotReady
+		}
+		d.pushError(c, session.Error{Code: code, Msg: err.Error()})
+		return
 	}
+	d.dm.submits.Inc()
 }
 
 // clientWriter drains the client's outbound buffer.
@@ -255,6 +302,7 @@ func (c *clientConn) push(f session.Frame) {
 	case c.sendCh <- f:
 	case <-c.closed:
 	default:
+		c.slowDrop.Inc()
 		c.close()
 	}
 }
@@ -277,6 +325,7 @@ func (d *Daemon) dropClient(c *clientConn) {
 	if !known || stopped {
 		return
 	}
+	d.dm.clients.Add(-1)
 	env := group.Envelope{Kind: group.OpDisconnect, Sender: c.id}
 	if enc, err := env.Encode(); err == nil {
 		// Best effort: if the ring is down the table is rebuilt from
@@ -318,10 +367,15 @@ func (d *Daemon) applyEnvelope(env *group.Envelope, svc evs.Service) {
 	case group.OpJoin:
 		if err := d.table.Join(env.Sender, env.Groups[0]); err == nil {
 			d.announceView(env.Groups[0])
+		} else if c := d.localClient(env.Sender); c != nil {
+			d.pushError(c, session.Error{Code: session.CodeBadRequest, Msg: err.Error()})
 		}
 	case group.OpLeave:
 		if err := d.table.Leave(env.Sender, env.Groups[0]); err == nil {
 			d.announceView(env.Groups[0])
+		} else if c := d.localClient(env.Sender); c != nil {
+			// Ordered rejection: the client left a group it is not in.
+			d.pushError(c, session.Error{Code: session.CodeNotMember, Msg: err.Error()})
 		}
 	case group.OpDisconnect:
 		for _, g := range d.table.Disconnect(env.Sender) {
@@ -337,6 +391,7 @@ func (d *Daemon) applyEnvelope(env *group.Envelope, svc evs.Service) {
 		for _, rcpt := range d.table.Recipients(env.Groups) {
 			if c := d.localClient(rcpt); c != nil {
 				c.push(msg)
+				d.dm.framesRouted.Inc()
 			}
 		}
 	case group.OpPrivate:
@@ -346,6 +401,7 @@ func (d *Daemon) applyEnvelope(env *group.Envelope, svc evs.Service) {
 				Service: svc,
 				Payload: env.Payload,
 			})
+			d.dm.framesRouted.Inc()
 		}
 	}
 }
@@ -394,6 +450,7 @@ func (d *Daemon) applyConfigChange(cfg evs.Configuration) {
 func (d *Daemon) announceView(g string) {
 	members := d.table.Members(g)
 	view := session.View{Group: g, Members: members}
+	d.dm.viewsAnnounce.Inc()
 	for _, m := range members {
 		if c := d.localClient(m); c != nil {
 			c.push(view)

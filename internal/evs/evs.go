@@ -201,3 +201,20 @@ type ConfigChange struct {
 }
 
 func (ConfigChange) isEvent() {}
+
+// MembershipChangedError reports that an operation could not complete in
+// the configuration it was issued in because the membership changed
+// underneath it. Callers detect it with errors.As, wait for the next
+// ConfigChange event, and retry in the new view. NewView is zero while
+// the replacement configuration is still forming.
+type MembershipChangedError struct {
+	OldView ViewID
+	NewView ViewID
+}
+
+func (e *MembershipChangedError) Error() string {
+	if e.NewView.IsZero() {
+		return fmt.Sprintf("membership changed: %v dissolved, new view forming", e.OldView)
+	}
+	return fmt.Sprintf("membership changed: %v superseded by %v", e.OldView, e.NewView)
+}

@@ -20,6 +20,7 @@ import (
 	"accelring/internal/core"
 	"accelring/internal/evs"
 	"accelring/internal/flowcontrol"
+	"accelring/internal/obs"
 	"accelring/internal/wire"
 )
 
@@ -118,6 +119,10 @@ type Config struct {
 	// Timeouts are the membership timing parameters (defaults applied
 	// when zero).
 	Timeouts Timeouts
+	// Observer receives membership metrics (state gauge, install counts,
+	// gather/recovery durations) and is handed to every installed ring's
+	// ordering engine for round tracing. Nil disables observation.
+	Observer *obs.RingObserver
 }
 
 // Output receives the machine's effects. Multicast frames are data-class;
@@ -174,6 +179,11 @@ type Machine struct {
 	prevRingID evs.ViewID
 
 	counters Counters
+	// stateSince is when the current phase was entered; lastNow is the
+	// most recent driver time, for transitions that happen inside
+	// callbacks without a now parameter (finalizeRecovery).
+	stateSince time.Time
+	lastNow    time.Time
 }
 
 // Counters exposes membership activity.
@@ -242,6 +252,34 @@ func (m *Machine) Submit(payload []byte, service evs.Service) error {
 	return m.eng.Submit(payload, service)
 }
 
+// obsReg returns the observer's registry, or nil. Registry handles are
+// nil-safe, so metric updates can be written unconditionally against it.
+func (m *Machine) obsReg() *obs.Registry {
+	if m.cfg.Observer == nil {
+		return nil
+	}
+	return m.cfg.Observer.Reg
+}
+
+// setState transitions the machine's phase, recording for the observer the
+// membership.state gauge and — on leaving gather or recover — how long the
+// phase lasted. now is driver time (wall or simulated).
+func (m *Machine) setState(s State, now time.Time) {
+	if reg := m.obsReg(); reg != nil && m.state != s {
+		if !now.IsZero() && !m.stateSince.IsZero() {
+			switch m.state {
+			case StateGather:
+				reg.Histogram("membership.gather_ns", obs.DurationBuckets()).ObserveDuration(now.Sub(m.stateSince))
+			case StateRecover:
+				reg.Histogram("membership.recovery_ns", obs.DurationBuckets()).ObserveDuration(now.Sub(m.stateSince))
+			}
+		}
+		reg.Gauge("membership.state").Set(int64(s))
+	}
+	m.state = s
+	m.stateSince = now
+}
+
 // alive returns the current gather candidate set: self plus everyone whose
 // join was heard this attempt, minus the failed set.
 func (m *Machine) alive() idSet {
@@ -262,8 +300,9 @@ func (m *Machine) enterGather(now time.Time) {
 		// the other).
 		m.failed = nil
 	}
-	m.state = StateGather
+	m.setState(StateGather, now)
 	m.counters.GatherEntries++
+	m.obsReg().Counter("membership.gather_entries").Inc()
 	m.attempt++
 	m.joins = make(map[evs.ProcID]*wire.Join)
 	m.gatherExtensions = 0
@@ -290,6 +329,7 @@ func (m *Machine) broadcastJoin(now time.Time) {
 // HandleDataFrame processes a frame received on the data channel: an
 // application data message or a membership join.
 func (m *Machine) HandleDataFrame(frame []byte, now time.Time) {
+	m.lastNow = now
 	t, err := wire.PeekType(frame)
 	if err != nil {
 		return
@@ -325,6 +365,7 @@ func (m *Machine) HandleDataFrame(frame []byte, now time.Time) {
 // HandleTokenFrame processes a frame received on the token channel: a
 // regular token or a membership commit token.
 func (m *Machine) HandleTokenFrame(frame []byte, now time.Time) {
+	m.lastNow = now
 	t, err := wire.PeekType(frame)
 	if err != nil {
 		return
@@ -435,7 +476,7 @@ func (m *Machine) checkConsensus(now time.Time) {
 	}
 	if alive.min() != m.cfg.Self {
 		// Wait for the representative's commit token.
-		m.state = StateCommit
+		m.setState(StateCommit, now)
 		m.commitDeadline = now.Add(m.cfg.Timeouts.Commit)
 		return
 	}
@@ -455,7 +496,7 @@ func (m *Machine) sendFirstCommit(alive idSet, now time.Time) {
 		c.Info[i].PID = p
 	}
 	m.fillCommitInfo(c)
-	m.state = StateCommit
+	m.setState(StateCommit, now)
 	m.commitDeadline = now.Add(m.cfg.Timeouts.Commit)
 	m.forwardCommit(c)
 }
@@ -529,7 +570,7 @@ func (m *Machine) handleCommit(c *wire.Commit, now time.Time) {
 			m.forwardCommit(c)
 			return
 		}
-		m.state = StateCommit
+		m.setState(StateCommit, now)
 		m.commitDeadline = now.Add(m.cfg.Timeouts.Commit)
 		m.forwardCommit(c)
 	case 2:
@@ -549,6 +590,7 @@ func (m *Machine) startRing() {
 // Tick drives the machine's timers. Call it periodically (a few times per
 // JoinInterval) and after handling frames.
 func (m *Machine) Tick(now time.Time) {
+	m.lastNow = now
 	switch m.state {
 	case StateGather:
 		if now.After(m.joinResendAt) || now.Equal(m.joinResendAt) {
@@ -561,6 +603,7 @@ func (m *Machine) Tick(now time.Time) {
 	case StateCommit:
 		if now.After(m.commitDeadline) {
 			m.counters.CommitTimeouts++
+			m.obsReg().Counter("membership.commit_timeouts").Inc()
 			m.enterGather(now)
 		}
 	case StateOperational, StateRecover:
@@ -622,6 +665,7 @@ func (m *Machine) tokenTimers(now time.Time) {
 			m.out.Unicast(m.ring.Successor(m.cfg.Self), tok.AppendTo(nil))
 			m.lastRetransAt = now
 			m.counters.TokenRetransmits++
+			m.obsReg().Counter("membership.token_retransmits").Inc()
 		}
 	}
 }

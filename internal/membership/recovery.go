@@ -119,6 +119,7 @@ func (m *Machine) install(c *wire.Commit, now time.Time) {
 		Windows:         m.cfg.Windows,
 		Priority:        m.cfg.Priority,
 		DelayedRequests: m.cfg.DelayedRequests,
+		Observer:        m.cfg.Observer,
 	}, engineOut{m})
 	if err != nil {
 		// The committed ring came from our own gather logic; a config
@@ -130,10 +131,11 @@ func (m *Machine) install(c *wire.Commit, now time.Time) {
 	m.ring = c.NewRing
 	m.installedRing = c.NewRing.ID
 	m.ringStarted = false
-	m.state = StateRecover
+	m.setState(StateRecover, now)
 	m.lastTokenAt = now
 	m.lastRetransAt = time.Time{}
 	m.counters.Installs++
+	m.obsReg().Counter("membership.installs").Inc()
 
 	// Flood every unstable old-ring message we hold, then the done
 	// marker, then any application messages that never got sequence
@@ -279,5 +281,5 @@ func (m *Machine) finalizeRecovery() {
 	for _, ev := range rec.holdback {
 		m.out.Deliver(ev)
 	}
-	m.state = StateOperational
+	m.setState(StateOperational, m.lastNow)
 }

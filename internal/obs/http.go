@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Server is the optional HTTP debug endpoint. It serves
+//
+//	/debug/vars   the registry snapshot as JSON (expvar-style)
+//	/debug/ring   the last N token-round traces per registered tracer
+//	/debug/pprof  the standard net/http/pprof profiles
+//
+// Tracers may be added while the server runs (rings come and go with
+// membership changes; nodes are added as they start).
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+
+	mu      sync.Mutex
+	tracers map[string]*RingTracer
+}
+
+// StartServer listens on addr (e.g. ":6060" or "127.0.0.1:0") and serves
+// the debug endpoints for reg in a background goroutine. Close shuts it
+// down.
+func StartServer(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{reg: reg, ln: ln, tracers: make(map[string]*RingTracer)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", s.handleVars)
+	mux.HandleFunc("/debug/ring", s.handleRing)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// AddTracer registers a round tracer under name (e.g. "node1"); its
+// traces appear in /debug/ring. A nil tracer removes the name.
+func (s *Server) AddTracer(name string, t *RingTracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t == nil {
+		delete(s.tracers, name)
+		return
+	}
+	s.tracers[name] = t
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = s.reg.WriteJSON(w)
+}
+
+// handleRing renders the last ?n= traces (default: everything buffered)
+// of every tracer, keyed by name, oldest first.
+func (s *Server) handleRing(w http.ResponseWriter, r *http.Request) {
+	max := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil {
+			max = v
+		}
+	}
+	s.mu.Lock()
+	names := make([]string, 0, len(s.tracers))
+	for name := range s.tracers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make(map[string][]RoundTrace, len(names))
+	for _, name := range names {
+		out[name] = s.tracers[name].Snapshot(max)
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ring.rounds").Add(42)
+	s, err := StartServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	tr := NewRingTracer(4)
+	tr.Record(RoundTrace{Round: 1, SentSeq: 3})
+	tr.Record(RoundTrace{Round: 2, SentSeq: 6})
+	s.AddTracer("node1", tr)
+
+	base := "http://" + s.Addr()
+
+	var vars map[string]any
+	if err := json.Unmarshal(get(t, base+"/debug/vars"), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars["ring.rounds"] != float64(42) {
+		t.Fatalf("ring.rounds = %v, want 42", vars["ring.rounds"])
+	}
+
+	var ring map[string][]RoundTrace
+	if err := json.Unmarshal(get(t, base+"/debug/ring"), &ring); err != nil {
+		t.Fatal(err)
+	}
+	if len(ring["node1"]) != 2 || ring["node1"][1].Round != 2 {
+		t.Fatalf("ring traces = %+v", ring["node1"])
+	}
+
+	if err := json.Unmarshal(get(t, fmt.Sprintf("%s/debug/ring?n=1", base)), &ring); err != nil {
+		t.Fatal(err)
+	}
+	if len(ring["node1"]) != 1 || ring["node1"][0].Round != 2 {
+		t.Fatalf("ring?n=1 = %+v", ring["node1"])
+	}
+
+	// pprof index answers.
+	if body := get(t, base+"/debug/pprof/"); len(body) == 0 {
+		t.Fatal("empty pprof index")
+	}
+}

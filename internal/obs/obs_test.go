@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsFree(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter should stay zero")
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge should stay zero")
+	}
+	h := r.Histogram("z", DurationBuckets())
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram should stay empty")
+	}
+	r.Publish("f", func() any { return 1 })
+	if len(r.Snapshot()) != 0 {
+		t.Fatal("nil registry snapshot should be empty")
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(9)
+	if got := c.Value(); got != 10 {
+		t.Fatalf("counter = %d, want 10", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("counter lookup not idempotent")
+	}
+	g := r.Gauge("g")
+	g.Set(-4)
+	g.Add(1)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("gauge = %d, want -3", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{10, 100})
+	for _, v := range []float64{1, 5, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Sum != 1066 {
+		t.Fatalf("sum = %v, want 1066", s.Sum)
+	}
+	want := map[float64]uint64{10: 3, 100: 1, math.Inf(1): 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+	for _, b := range s.Buckets {
+		if want[b.Le] != b.N {
+			t.Fatalf("bucket le=%v n=%d, want %d", b.Le, b.N, want[b.Le])
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{0.5})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 || s.Sum != 8000 {
+		t.Fatalf("count=%d sum=%v, want 8000/8000", s.Count, s.Sum)
+	}
+}
+
+func TestSnapshotAndPublish(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(2)
+	r.Gauge("g").Set(7)
+	r.Publish("v", func() any { return "hello" })
+	s := r.Snapshot()
+	if s["c"] != uint64(2) {
+		t.Fatalf("c = %v", s["c"])
+	}
+	if s["g"] != int64(7) {
+		t.Fatalf("g = %v", s["g"])
+	}
+	if s["v"] != "hello" {
+		t.Fatalf("v = %v", s["v"])
+	}
+	if _, ok := s["uptime_seconds"]; !ok {
+		t.Fatal("missing uptime_seconds")
+	}
+}

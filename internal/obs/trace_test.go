@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRingTracerBounded(t *testing.T) {
+	tr := NewRingTracer(4)
+	for i := 1; i <= 10; i++ {
+		tr.Record(RoundTrace{Round: uint64(i)})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+	got := tr.Snapshot(0)
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	for i, want := range []uint64{7, 8, 9, 10} {
+		if got[i].Round != want {
+			t.Fatalf("snapshot[%d].Round = %d, want %d (oldest first)", i, got[i].Round, want)
+		}
+	}
+	if last := tr.Snapshot(2); len(last) != 2 || last[0].Round != 9 || last[1].Round != 10 {
+		t.Fatalf("Snapshot(2) = %+v", last)
+	}
+}
+
+func TestRingTracerNil(t *testing.T) {
+	var tr *RingTracer
+	tr.Record(RoundTrace{})
+	if tr.Snapshot(0) != nil || tr.Total() != 0 {
+		t.Fatal("nil tracer should be inert")
+	}
+}
+
+func TestRingObserverNil(t *testing.T) {
+	var o *RingObserver
+	o.OnRound(RoundTrace{Round: 1})
+	o.OnDeliver("agreed", time.Millisecond)
+	if !o.Now().IsZero() {
+		t.Fatal("nil observer Now should be zero")
+	}
+}
+
+func TestRingObserverMetrics(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewRingTracer(8)
+	o := &RingObserver{Reg: reg, Tracer: tr}
+	o.OnRound(RoundTrace{Round: 1, SentSeq: 12, Aru: 10, Fcc: 5,
+		New: 4, Pre: 3, Post: 1, Retransmitted: 2, Requested: 1,
+		Hold: 3 * time.Microsecond})
+	o.OnRound(RoundTrace{Round: 2, SentSeq: 20, Aru: 12, Fcc: 6, New: 2, Pre: 1, Post: 1})
+	o.OnDeliver("agreed", 50*time.Microsecond)
+	o.OnDeliver("agreed", 0)
+	o.OnDeliver("safe", 0)
+
+	if got := reg.Counter("ring.rounds").Value(); got != 2 {
+		t.Fatalf("rounds = %d, want 2", got)
+	}
+	if got := reg.Counter("ring.sent_pre_token").Value(); got != 4 {
+		t.Fatalf("sent_pre_token = %d, want 4", got)
+	}
+	if got := reg.Counter("ring.sent_post_token").Value(); got != 2 {
+		t.Fatalf("sent_post_token = %d, want 2", got)
+	}
+	if got := reg.Counter("ring.retransmitted").Value(); got != 2 {
+		t.Fatalf("retransmitted = %d, want 2", got)
+	}
+	if got := reg.Gauge("ring.seq").Value(); got != 20 {
+		t.Fatalf("seq gauge = %d, want 20", got)
+	}
+	if got := reg.Gauge("ring.aru").Value(); got != 12 {
+		t.Fatalf("aru gauge = %d, want 12", got)
+	}
+	if got := reg.Counter("ring.delivered.agreed").Value(); got != 2 {
+		t.Fatalf("delivered.agreed = %d, want 2", got)
+	}
+	if got := reg.Counter("ring.delivered.safe").Value(); got != 1 {
+		t.Fatalf("delivered.safe = %d, want 1", got)
+	}
+	if s := reg.Histogram("ring.delivery_ns.agreed", nil).Snapshot(); s.Count != 1 {
+		t.Fatalf("delivery latency count = %d, want 1 (untimed deliveries not sampled)", s.Count)
+	}
+	if got := tr.Total(); got != 2 {
+		t.Fatalf("tracer total = %d, want 2", got)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"accelring/internal/evs"
 	"accelring/internal/flowcontrol"
 	"accelring/internal/membership"
+	"accelring/internal/obs"
 	"accelring/internal/transport"
 )
 
@@ -43,6 +44,10 @@ type Config struct {
 	// must not call back into the Node except Submit-from-another-
 	// goroutine.
 	OnEvent func(evs.Event)
+	// Observer receives protocol metrics and round traces. If set and its
+	// Clock is nil, the node installs time.Now so hold times and delivery
+	// latencies are measured. Nil disables observation.
+	Observer *obs.RingObserver
 }
 
 // Accelerated returns a Config for the Accelerated Ring protocol.
@@ -113,12 +118,16 @@ func Start(cfg Config) (*Node, error) {
 		stopCh:   make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	if cfg.Observer != nil && cfg.Observer.Clock == nil {
+		cfg.Observer.Clock = time.Now
+	}
 	m, err := membership.New(membership.Config{
 		Self:            cfg.Self,
 		Windows:         cfg.Windows,
 		Priority:        cfg.Priority,
 		DelayedRequests: cfg.DelayedRequests,
 		Timeouts:        cfg.Timeouts,
+		Observer:        cfg.Observer,
 	}, machineOut{n}, time.Now())
 	if err != nil {
 		return nil, err

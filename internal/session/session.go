@@ -49,9 +49,30 @@ const (
 
 // Errors shared by codec users.
 var (
-	ErrTruncated = errors.New("session: truncated frame")
-	ErrTooLarge  = errors.New("session: frame exceeds limit")
-	ErrBadFrame  = errors.New("session: malformed frame")
+	ErrTruncated   = errors.New("session: truncated frame")
+	ErrTooLarge    = errors.New("session: frame exceeds limit")
+	ErrBadFrame    = errors.New("session: malformed frame")
+	ErrNameTooLong = fmt.Errorf("session: client name exceeds %d bytes", MaxClientName)
+)
+
+// ErrorCode classifies a daemon-reported failure so the client library can
+// map Error frames back to typed errors (errors.Is/As).
+type ErrorCode uint8
+
+const (
+	// CodeGeneric is an unclassified failure; only Msg describes it.
+	CodeGeneric ErrorCode = iota
+	// CodeInvalidService rejects an unknown service level.
+	CodeInvalidService
+	// CodeNotMember rejects an operation requiring group membership.
+	CodeNotMember
+	// CodeNotReady means the daemon's ring has not formed yet.
+	CodeNotReady
+	// CodeMembershipChanged means the operation was interrupted by a
+	// daemon membership change; OldView/NewView carry the transition.
+	CodeMembershipChanged
+	// CodeBadRequest rejects a malformed or unexpected request frame.
+	CodeBadRequest
 )
 
 // Connect opens a session.
@@ -90,8 +111,41 @@ type View struct {
 	Members []group.ClientID
 }
 
-// Error reports a failed request.
-type Error struct{ Msg string }
+// Error reports a failed request. OldView/NewView are carried only for
+// CodeMembershipChanged.
+type Error struct {
+	Code ErrorCode
+	Msg  string
+	// OldView and NewView describe a membership transition
+	// (CodeMembershipChanged only). NewView may be zero while the new
+	// configuration is still forming.
+	OldView, NewView evs.ViewID
+}
+
+// Sentinel errors the daemon reports through Error frames; Err maps codes
+// back to them so callers can branch with errors.Is/As.
+var (
+	ErrInvalidService = errors.New("session: invalid service level")
+	ErrNotReady       = errors.New("session: ring not operational yet")
+)
+
+// Err converts the frame into a typed error: sentinels for the fixed
+// codes, *evs.MembershipChangedError for membership transitions, and a
+// plain error wrapping Msg otherwise.
+func (e Error) Err() error {
+	switch e.Code {
+	case CodeInvalidService:
+		return ErrInvalidService
+	case CodeNotReady:
+		return ErrNotReady
+	case CodeNotMember:
+		return group.ErrNotMember
+	case CodeMembershipChanged:
+		return &evs.MembershipChangedError{OldView: e.OldView, NewView: e.NewView}
+	default:
+		return errors.New(e.Msg)
+	}
+}
 
 // Private sends Payload to exactly one client, in total order.
 type Private struct {
@@ -131,13 +185,18 @@ func appendClientID(b []byte, c group.ClientID) []byte {
 	return binary.BigEndian.AppendUint32(b, c.Local)
 }
 
+func appendViewID(b []byte, v evs.ViewID) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(v.Rep))
+	return binary.BigEndian.AppendUint64(b, v.Seq)
+}
+
 // Encode serializes a frame body (without the length prefix).
 func Encode(f Frame) ([]byte, error) {
 	b := []byte{byte(f.kind())}
 	switch v := f.(type) {
 	case Connect:
 		if len(v.Name) > MaxClientName {
-			return nil, fmt.Errorf("session: client name too long")
+			return nil, ErrNameTooLong
 		}
 		b = appendString8(b, v.Name)
 	case Join:
@@ -164,7 +223,12 @@ func Encode(f Frame) ([]byte, error) {
 			b = appendClientID(b, m)
 		}
 	case Error:
+		b = append(b, byte(v.Code))
 		b = appendString8(b, v.Msg)
+		if v.Code == CodeMembershipChanged {
+			b = appendViewID(b, v.OldView)
+			b = appendViewID(b, v.NewView)
+		}
 	case Private:
 		b = appendClientID(b, v.To)
 		b = append(b, byte(v.Service))
@@ -245,6 +309,22 @@ func (c *cursor) clientID() group.ClientID {
 	return group.ClientID{Daemon: evs.ProcID(d), Local: l}
 }
 
+func (c *cursor) u64() uint64 {
+	if c.err != nil || c.off+8 > len(c.b) {
+		c.err = ErrTruncated
+		return 0
+	}
+	v := binary.BigEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *cursor) viewID() evs.ViewID {
+	rep := c.u32()
+	seq := c.u64()
+	return evs.ViewID{Rep: evs.ProcID(rep), Seq: seq}
+}
+
 func (c *cursor) payload() []byte {
 	n := int(c.u32())
 	if c.err != nil || n > MaxFrame || c.off+n > len(c.b) {
@@ -298,7 +378,12 @@ func Decode(b []byte) (Frame, error) {
 		}
 		f = View{Group: g, Members: members}
 	case KindError:
-		f = Error{Msg: c.string8()}
+		e := Error{Code: ErrorCode(c.u8()), Msg: c.string8()}
+		if e.Code == CodeMembershipChanged {
+			e.OldView = c.viewID()
+			e.NewView = c.viewID()
+		}
+		f = e
 	case KindPrivate:
 		to := c.clientID()
 		svc := evs.Service(c.u8())

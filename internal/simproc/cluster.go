@@ -6,6 +6,7 @@ import (
 	"accelring/internal/core"
 	"accelring/internal/evs"
 	"accelring/internal/flowcontrol"
+	"accelring/internal/obs"
 	"accelring/internal/simnet"
 	"accelring/internal/wire"
 )
@@ -31,6 +32,12 @@ type Options struct {
 	// SubmitHighWater pauses client ingestion while the engine queue is at
 	// or above it (default 4× Personal window).
 	SubmitHighWater int
+	// Observer, when non-nil, supplies a per-node RingObserver for round
+	// tracing and metrics (node is the zero-based cluster index; return
+	// nil to leave that node unobserved). Observers must have a nil Clock
+	// to keep the simulation deterministic: durations read as zero, but
+	// counts and traces are exact.
+	Observer func(node int) *obs.RingObserver
 }
 
 // AcceleratedOptions returns Options for the Accelerated Ring protocol on
@@ -120,6 +127,9 @@ func NewCluster(opts Options) (*Cluster, error) {
 			Windows:         opts.Windows,
 			Priority:        opts.Priority,
 			DelayedRequests: opts.DelayedRequests,
+		}
+		if opts.Observer != nil {
+			cfg.Observer = opts.Observer(i)
 		}
 		eng, err := core.New(cfg, node)
 		if err != nil {

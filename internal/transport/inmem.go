@@ -8,6 +8,7 @@ import (
 
 	"accelring/internal/evs"
 	"accelring/internal/faults"
+	"accelring/internal/obs"
 )
 
 // Hub is an in-process switch connecting Endpoints. It is safe for
@@ -20,6 +21,7 @@ type Hub struct {
 	inj     *faults.Injector
 	dropFn  func(from, to evs.ProcID, token bool, frame []byte) bool
 	delayFn func(from, to evs.ProcID, token bool) time.Duration
+	nm      *netMetrics
 }
 
 // NewHub returns an empty hub.
@@ -55,22 +57,30 @@ func (h *Hub) SetInjector(in *faults.Injector) {
 	h.inj = in
 }
 
+// SetObserver directs transport.inmem.* frame/byte counters for every
+// frame through the hub into reg (nil clears).
+func (h *Hub) SetObserver(reg *obs.Registry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nm = newNetMetrics(reg, "transport.inmem.")
+}
+
 // push delivers every surviving copy of a frame to one endpoint's channel
 // per the injector decision: the primary copy after d.Delay, one extra
 // copy per d.Extra entry.
-func push(peer *Endpoint, token bool, frame []byte, d faults.Decision) {
+func push(peer *Endpoint, token bool, frame []byte, d faults.Decision, nm *netMetrics) {
 	if d.Drop {
 		return
 	}
-	deliverAfter(peer, token, frame, d.Delay)
+	deliverAfter(peer, token, frame, d.Delay, nm)
 	for _, extra := range d.Extra {
-		deliverAfter(peer, token, frame, extra)
+		deliverAfter(peer, token, frame, extra, nm)
 	}
 }
 
 // deliverAfter delivers one copy, asynchronously when delayed (which lets
 // frames overtake each other, like UDP).
-func deliverAfter(peer *Endpoint, token bool, frame []byte, delay time.Duration) {
+func deliverAfter(peer *Endpoint, token bool, frame []byte, delay time.Duration, nm *netMetrics) {
 	ch := peer.dataCh
 	cnt := &peer.dataDrop
 	if token {
@@ -83,8 +93,10 @@ func deliverAfter(peer *Endpoint, token bool, frame []byte, delay time.Duration)
 		}
 		select {
 		case ch <- frame:
+			nm.rx(token, len(frame))
 		default:
 			cnt.Add(1)
+			nm.rxDrop()
 		}
 	}
 	if delay > 0 {
@@ -154,6 +166,7 @@ func (e *Endpoint) Multicast(frame []byte) error {
 	drop := e.hub.dropFn
 	delay := e.hub.delayFn
 	inj := e.hub.inj
+	nm := e.hub.nm
 	for id, peer := range e.hub.eps {
 		if id == e.id || peer.closed.Load() {
 			continue
@@ -161,7 +174,8 @@ func (e *Endpoint) Multicast(frame []byte) error {
 		if drop != nil && drop(e.id, id, false, cp) {
 			continue
 		}
-		push(peer, false, cp, e.decide(inj, delay, id, false, cp))
+		nm.tx(false, len(cp))
+		push(peer, false, cp, e.decide(inj, delay, id, false, cp), nm)
 	}
 	e.hub.mu.RUnlock()
 	return nil
@@ -200,6 +214,7 @@ func (e *Endpoint) Unicast(to evs.ProcID, frame []byte) error {
 	drop := e.hub.dropFn
 	delay := e.hub.delayFn
 	inj := e.hub.inj
+	nm := e.hub.nm
 	e.hub.mu.RUnlock()
 	if peer == nil || peer.closed.Load() {
 		return nil
@@ -207,7 +222,8 @@ func (e *Endpoint) Unicast(to evs.ProcID, frame []byte) error {
 	if drop != nil && drop(e.id, to, true, cp) {
 		return nil
 	}
-	push(peer, true, cp, e.decide(inj, delay, to, true, cp))
+	nm.tx(true, len(cp))
+	push(peer, true, cp, e.decide(inj, delay, to, true, cp), nm)
 	return nil
 }
 

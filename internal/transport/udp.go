@@ -9,6 +9,7 @@ import (
 
 	"accelring/internal/evs"
 	"accelring/internal/faults"
+	"accelring/internal/obs"
 	"accelring/internal/wire"
 )
 
@@ -32,6 +33,8 @@ type UDPConfig struct {
 	// DataChanCap and TokenChanCap size the receive channels in frames
 	// (defaults 8192 and 16).
 	DataChanCap, TokenChanCap int
+	// Obs, when non-nil, receives transport.udp.* frame/byte counters.
+	Obs *obs.Registry
 }
 
 // UDP is the real-network transport: one socket per frame class, exactly
@@ -54,6 +57,7 @@ type UDP struct {
 	dataDrop  atomic.Uint64
 	tokenDrop atomic.Uint64
 	wg        sync.WaitGroup
+	nm        *netMetrics
 }
 
 type udpPeerAddrs struct {
@@ -94,6 +98,7 @@ func NewUDP(cfg UDPConfig) (*UDP, error) {
 		peers:    make(map[evs.ProcID]*udpPeerAddrs, len(cfg.Peers)),
 		dataCh:   make(chan []byte, cfg.DataChanCap),
 		tokenCh:  make(chan []byte, cfg.TokenChanCap),
+		nm:       newNetMetrics(cfg.Obs, "transport.udp."),
 	}
 	// Register ourselves: the membership representative starts a new ring
 	// by unicasting the initial token to itself.
@@ -111,8 +116,8 @@ func NewUDP(cfg UDPConfig) (*UDP, error) {
 		}
 	}
 	u.wg.Add(2)
-	go u.readLoop(dataConn, u.dataCh, &u.dataDrop)
-	go u.readLoop(tokConn, u.tokenCh, &u.tokenDrop)
+	go u.readLoop(dataConn, u.dataCh, &u.dataDrop, false)
+	go u.readLoop(tokConn, u.tokenCh, &u.tokenDrop, true)
 	return u, nil
 }
 
@@ -185,7 +190,7 @@ func (u *UDP) LocalAddrs() UDPPeer {
 	}
 }
 
-func (u *UDP) readLoop(conn *net.UDPConn, ch chan []byte, drops *atomic.Uint64) {
+func (u *UDP) readLoop(conn *net.UDPConn, ch chan []byte, drops *atomic.Uint64, token bool) {
 	defer u.wg.Done()
 	buf := make([]byte, wire.MaxPayload+1024)
 	for {
@@ -198,8 +203,10 @@ func (u *UDP) readLoop(conn *net.UDPConn, ch chan []byte, drops *atomic.Uint64) 
 		frame := append([]byte(nil), buf[:n]...)
 		select {
 		case ch <- frame:
+			u.nm.rx(token, n)
 		default:
 			drops.Add(1)
+			u.nm.rxDrop()
 		}
 	}
 }
@@ -219,6 +226,7 @@ func (u *UDP) Multicast(frame []byte) error {
 			// at send time.
 			continue
 		}
+		u.nm.tx(false, len(frame))
 		if u.inj != nil {
 			d := u.inj.DecideWall(faults.Packet{
 				From: u.self, To: id, Size: len(frame), Frame: frame,
@@ -244,6 +252,7 @@ func (u *UDP) Unicast(to evs.ProcID, frame []byte) error {
 		// Unknown peer: drop, like the network would for a dead host.
 		return nil
 	}
+	u.nm.tx(true, len(frame))
 	if inj != nil {
 		d := inj.DecideWall(faults.Packet{
 			From: u.self, To: to, Token: true, Size: len(frame), Frame: frame,

@@ -1,0 +1,252 @@
+package accelring
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fastTimeouts keeps membership rounds short for tests.
+func fastTimeouts() Timeouts {
+	return Timeouts{
+		JoinInterval:    10 * time.Millisecond,
+		Gather:          50 * time.Millisecond,
+		Commit:          100 * time.Millisecond,
+		TokenLoss:       250 * time.Millisecond,
+		TokenRetransmit: 60 * time.Millisecond,
+	}
+}
+
+// openCluster starts n facade nodes on one Hub and waits for the ring.
+func openCluster(t *testing.T, nn int, opts ...Option) []*Node {
+	t.Helper()
+	hub := NewHub()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	nodes := make([]*Node, nn)
+	for i := 0; i < nn; i++ {
+		ep, err := hub.Endpoint(ProcID(i+1), 4096, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := append([]Option{
+			WithSelf(ProcID(i + 1)),
+			WithTransport(ep),
+			WithWindows(10, 100, 7),
+			WithTimeouts(fastTimeouts()),
+		}, opts...)
+		n, err := Open(ctx, all...)
+		if err != nil {
+			t.Fatalf("Open node %d: %v", i+1, err)
+		}
+		nodes[i] = n
+		t.Cleanup(func() { n.Close() })
+	}
+	for _, n := range nodes {
+		if err := n.WaitReady(ctx); err != nil {
+			t.Fatalf("node %v WaitReady: %v", n.ID(), err)
+		}
+	}
+	return nodes
+}
+
+// nextEvent pulls events until one matches the wanted type.
+func nextEvent[T Event](t *testing.T, n *Node) T {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for {
+		ev, err := n.Receive(ctx)
+		if err != nil {
+			var zero T
+			t.Fatalf("node %v: waiting for %T: %v", n.ID(), zero, err)
+		}
+		if want, ok := ev.(T); ok {
+			return want
+		}
+	}
+}
+
+func TestClusterOrderedDelivery(t *testing.T) {
+	nodes := openCluster(t, 3)
+
+	// Everyone joins; each node sees the view grow to all three members.
+	for _, n := range nodes {
+		if err := n.Join("chat"); err != nil {
+			t.Fatalf("join: %v", err)
+		}
+	}
+	for _, n := range nodes {
+		for {
+			v := nextEvent[*GroupView](t, n)
+			if v.Group == "chat" && len(v.Members) == 3 {
+				break
+			}
+		}
+	}
+
+	// Concurrent sends from all nodes, including one Safe message.
+	const per = 5
+	for i, n := range nodes {
+		for j := 0; j < per; j++ {
+			svc := Agreed
+			if j == per-1 {
+				svc = Safe
+			}
+			msg := []byte(fmt.Sprintf("n%d-%d", i+1, j))
+			if err := n.Send(svc, msg, "chat"); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+		}
+	}
+
+	// All nodes deliver the same messages in the same total order.
+	var sequences [3][]string
+	for i, n := range nodes {
+		for len(sequences[i]) < 3*per {
+			m := nextEvent[*Message](t, n)
+			sequences[i] = append(sequences[i], fmt.Sprintf("%v:%s", m.Sender, m.Payload))
+		}
+	}
+	for i := 1; i < 3; i++ {
+		for j := range sequences[0] {
+			if sequences[i][j] != sequences[0][j] {
+				t.Fatalf("node %d delivered %q at %d, node 1 delivered %q",
+					i+1, sequences[i][j], j, sequences[0][j])
+			}
+		}
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	nodes := openCluster(t, 2)
+	n := nodes[0]
+
+	// Leave of a never-joined group: ErrNotMember, locally, typed.
+	if err := n.Leave("ghost"); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("Leave(ghost) = %v, want ErrNotMember", err)
+	}
+	// Bad group names and service levels are rejected before submission.
+	if err := n.Join(""); !errors.Is(err, ErrBadGroup) {
+		t.Fatalf("Join(empty) = %v, want ErrBadGroup", err)
+	}
+	if err := n.Send(Service(99), []byte("x"), "g"); !errors.Is(err, ErrInvalidService) {
+		t.Fatalf("Send bad service = %v, want ErrInvalidService", err)
+	}
+	if err := n.Send(Agreed, []byte("x")); !errors.Is(err, ErrBadGroupCount) {
+		t.Fatalf("Send no groups = %v, want ErrBadGroupCount", err)
+	}
+
+	// After Close, everything is ErrClosed.
+	n.Close()
+	if err := n.Join("chat"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Join after close = %v, want ErrClosed", err)
+	}
+	// Receive drains any buffered events, then reports ErrClosed.
+	for {
+		_, err := n.Receive(context.Background())
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Receive after close = %v, want ErrClosed", err)
+		}
+		break
+	}
+	if err := n.Err(); err != nil {
+		t.Fatalf("Err after clean close = %v, want nil", err)
+	}
+}
+
+func TestNotReadyBeforeRing(t *testing.T) {
+	// A lone node with a long gather timeout has no ring yet.
+	hub := NewHub()
+	ep, err := hub.Endpoint(1, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to := fastTimeouts()
+	to.JoinInterval = 2 * time.Second
+	to.Gather = 10 * time.Second
+	n, err := Open(context.Background(), WithSelf(1), WithTransport(ep), WithTimeouts(to))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.Send(Agreed, []byte("x"), "g"); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("Send before ring = %v, want ErrNotReady", err)
+	}
+}
+
+func TestMembershipChangeSurfacesTypedError(t *testing.T) {
+	nodes := openCluster(t, 2)
+	oldView := nodes[0].View()
+	if oldView.IsZero() {
+		t.Fatal("ready node has zero view")
+	}
+
+	// Kill node 2; node 1 loses the ring and re-forms a singleton one.
+	nodes[1].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	var mce *MembershipChangedError
+	for time.Now().Before(deadline) {
+		err := nodes[0].Send(Agreed, []byte("x"), "g")
+		if errors.As(err, &mce) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if mce == nil {
+		t.Skip("ring re-formed between token loss and send; nothing to assert")
+	}
+	if mce.OldView != oldView {
+		t.Fatalf("MembershipChangedError.OldView = %v, want %v", mce.OldView, oldView)
+	}
+	if !mce.NewView.IsZero() {
+		t.Fatalf("NewView = %v, want zero while re-forming", mce.NewView)
+	}
+
+	// The survivor eventually installs a singleton ring and can send again.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for {
+		err := nodes[0].Send(Agreed, []byte("y"), "g")
+		if err == nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("survivor never recovered: last err %v", err)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if v := nodes[0].View(); v == oldView || v.IsZero() {
+		t.Fatalf("view after re-formation = %v, want a new view", v)
+	}
+}
+
+func TestObserverWiring(t *testing.T) {
+	reg := NewRegistry()
+	nodes := openCluster(t, 2, WithObserver(reg))
+	if nodes[0].Tracer() == nil {
+		t.Fatal("Tracer() = nil with WithObserver")
+	}
+	if err := nodes[0].Join("g"); err != nil {
+		t.Fatal(err)
+	}
+	nextEvent[*GroupView](t, nodes[0])
+
+	// Both nodes share the registry; the ring counters must be live.
+	deadline := time.Now().Add(3 * time.Second)
+	for reg.Counter("ring.rounds").Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if reg.Counter("ring.rounds").Value() == 0 {
+		t.Fatal("ring.rounds never incremented")
+	}
+	if nodes[0].Tracer().Total() == 0 {
+		t.Fatal("tracer recorded no rounds")
+	}
+}

@@ -1,0 +1,69 @@
+package accelring
+
+// Option mutates a Config inside Open. Options are applied in order, so a
+// later option overrides an earlier one; Validate then fills defaults and
+// rejects inconsistent results.
+type Option func(*Config)
+
+// WithSelf sets this participant's unique nonzero ID.
+func WithSelf(id ProcID) Option {
+	return func(c *Config) { c.Self = id }
+}
+
+// WithProtocol selects the protocol variant (default ProtocolAccelerated).
+func WithProtocol(p Protocol) Option {
+	return func(c *Config) { c.Protocol = p }
+}
+
+// WithWindows sets the flow-control windows: personal (new messages one
+// node may introduce per token round), global (ring-wide bound), and
+// accelerated (how many of the personal messages are multicast before
+// passing the token). Pass accelerated = 0 with ProtocolOriginal.
+func WithWindows(personal, global, accelerated int) Option {
+	return func(c *Config) {
+		c.PersonalWindow = personal
+		c.GlobalWindow = global
+		c.AcceleratedWindow = accelerated
+	}
+}
+
+// WithTransport supplies an established transport (e.g. a Hub endpoint).
+// The node takes ownership and closes it on Close.
+func WithTransport(t Transport) Option {
+	return func(c *Config) { c.Transport = t }
+}
+
+// WithUDP configures a real-network UDP transport: listen holds this
+// node's data/token addresses, peers the other participants'.
+func WithUDP(listen UDPAddrs, peers map[ProcID]UDPAddrs) Option {
+	return func(c *Config) {
+		c.Listen = listen
+		c.Peers = peers
+	}
+}
+
+// WithTimeouts sets the membership timing parameters; zero fields take
+// defaults.
+func WithTimeouts(t Timeouts) Option {
+	return func(c *Config) { c.Timeouts = t }
+}
+
+// WithEventBuffer sets the Events channel capacity (default
+// DefaultEventBuffer). A consumer that falls this far behind is
+// disconnected with ErrSlowConsumer.
+func WithEventBuffer(n int) Option {
+	return func(c *Config) { c.EventBuffer = n }
+}
+
+// WithObserver directs the node's metrics into reg and enables token-round
+// tracing (depth DefaultTraceDepth unless WithTraceDepth is also given).
+// Serve reg with StartDebugServer.
+func WithObserver(reg *Registry) Option {
+	return func(c *Config) { c.Observer = reg }
+}
+
+// WithTraceDepth sets how many token-round traces the node retains for
+// /debug/ring. Only effective together with WithObserver.
+func WithTraceDepth(n int) Option {
+	return func(c *Config) { c.TraceDepth = n }
+}

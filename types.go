@@ -1,0 +1,88 @@
+package accelring
+
+import (
+	"accelring/internal/evs"
+	"accelring/internal/group"
+	"accelring/internal/membership"
+	"accelring/internal/obs"
+	"accelring/internal/transport"
+)
+
+// Type aliases re-exporting the stable pieces of the internal packages, so
+// applications only ever import accelring.
+type (
+	// ProcID identifies one ring participant (a daemon in the paper's
+	// terms). IDs must be unique and nonzero across the deployment.
+	ProcID = evs.ProcID
+
+	// ViewID identifies a ring configuration: the representative that
+	// formed it plus a sequence number.
+	ViewID = evs.ViewID
+
+	// Service is a delivery guarantee level (Reliable … Safe).
+	Service = evs.Service
+
+	// ClientID globally identifies a group-messaging endpoint: the node
+	// it lives on plus a node-local number. The facade gives each Node
+	// exactly one endpoint, so ClientID.Daemon equals the node's Self.
+	ClientID = group.ClientID
+
+	// Transport moves protocol frames between participants.
+	Transport = transport.Transport
+
+	// Hub is an in-process transport for tests and examples: endpoints
+	// created from one Hub form a loss-free virtual network.
+	Hub = transport.Hub
+
+	// UDPAddrs holds one participant's pair of UDP listen addresses —
+	// data and token traffic use separate sockets, as in the paper's
+	// implementations.
+	UDPAddrs = transport.UDPPeer
+
+	// Timeouts are the membership protocol's timing parameters; zero
+	// fields take defaults (see DefaultTimeouts).
+	Timeouts = membership.Timeouts
+
+	// Registry is a metrics registry (counters, gauges, histograms) that
+	// the node populates when passed via WithObserver.
+	Registry = obs.Registry
+
+	// RingTracer retains the most recent token-round traces; serve it
+	// with a DebugServer at /debug/ring.
+	RingTracer = obs.RingTracer
+
+	// RoundTrace is one token visit: sequence numbers, aru, fcc, counts
+	// of new/retransmitted messages and the token hold time.
+	RoundTrace = obs.RoundTrace
+
+	// DebugServer serves /debug/vars, /debug/ring and /debug/pprof.
+	DebugServer = obs.Server
+)
+
+// Delivery service levels, in increasing strength. The ring totally orders
+// every message; the level determines when delivery is allowed.
+const (
+	Reliable = evs.Reliable
+	FIFO     = evs.FIFO
+	Causal   = evs.Causal
+	Agreed   = evs.Agreed
+	Safe     = evs.Safe
+)
+
+// NewHub returns an in-process virtual network for tests and examples.
+func NewHub() *Hub { return transport.NewHub() }
+
+// NewRegistry returns an empty metrics registry to pass to WithObserver
+// and StartDebugServer.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// DefaultTimeouts returns the membership timing defaults used when
+// Config.Timeouts is zero.
+func DefaultTimeouts() Timeouts { return membership.DefaultTimeouts() }
+
+// StartDebugServer serves reg at addr: /debug/vars (JSON metrics),
+// /debug/ring (recent token-round traces; register a node's tracer with
+// AddTracer) and /debug/pprof. Close the returned server when done.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	return obs.StartServer(addr, reg)
+}
