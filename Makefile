@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-full bench-smoke chaos
+.PHONY: ci vet build test race race-full bench-smoke bench-baseline chaos
 
 ci: vet build test race
 
@@ -28,6 +28,16 @@ race-full:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Fig0[13]' -benchtime 1x .
 	$(GO) test -run '^$$' -bench . -benchtime 100x ./internal/core
+
+# Allocation/throughput baseline: core-engine + wire microbenchmarks plus
+# the Fig01/Fig03 end-to-end simulations, all with -benchmem, written as
+# JSON to results/BENCH_core.json (raw text kept alongside). Commit the
+# JSON when the hot path changes so regressions show up in review.
+bench-baseline:
+	mkdir -p results
+	{ $(GO) test -run '^$$' -bench . -benchmem ./internal/core ./internal/wire ; \
+	  $(GO) test -run '^$$' -bench 'Fig0[13]' -benchtime 1x -benchmem . ; } \
+	  | tee results/BENCH_core.txt | $(GO) run ./cmd/benchjson > results/BENCH_core.json
 
 # Replay one chaos seed: make chaos FAULTS_SEED=17
 chaos:

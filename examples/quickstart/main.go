@@ -54,6 +54,9 @@ func main() {
 	// Start three participants with the Accelerated Ring protocol:
 	// personal window 10, global window 100, accelerated window 7.
 	hub := accelring.NewHub()
+	if reg != nil {
+		hub.SetObserver(reg) // transport.inmem.* frame counters + bufpool.* gauges
+	}
 	var nodes []*accelring.Node
 	for id := accelring.ProcID(1); id <= 3; id++ {
 		ep, err := hub.Endpoint(id, 0, 0)

@@ -1,0 +1,144 @@
+// Package bufpool provides size-classed, sync.Pool-backed frame buffers
+// for the protocol's hot paths. At the paper's Figure 4/5 rates (tens of
+// thousands of ~1350-byte frames per second) allocating a fresh buffer per
+// datagram makes the garbage collector the per-packet processing cost the
+// paper says dominates ring protocols; renting and recycling buffers keeps
+// the steady-state receive and delayed-send paths allocation-free.
+//
+// # Ownership rules
+//
+// A buffer obtained from Get is owned by the caller. Ownership moves with
+// the buffer: whoever holds a rented frame last is responsible for either
+// calling Put exactly once or letting the garbage collector reclaim it.
+// The cardinal rules:
+//
+//   - Never Put a buffer that anything else might still read: Put
+//     transfers the memory to an unrelated future Get.
+//   - Never Put the same buffer twice.
+//   - Never use a buffer (or any slice aliasing it, e.g. a zero-copy
+//     decoded payload) after Put.
+//   - Put is always optional. Dropping a buffer on the floor only costs a
+//     future pool miss; a wrong Put corrupts frames. When in doubt, don't.
+//
+// Put accepts any byte slice, including slices that did not come from Get:
+// it files the buffer under the largest size class its capacity can serve
+// (buffers smaller than the smallest class are discarded).
+package bufpool
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"accelring/internal/obs"
+)
+
+// classes are the rentable capacities. 2048 covers the paper's 1350-byte
+// payload frames with headers; 66*1024 covers wire.MaxPayload plus
+// headers (the transports' maximum datagram).
+var classSizes = [...]int{256, 1024, 2048, 4096, 16384, 66 * 1024}
+
+// MaxCap is the largest pooled capacity. Get(n) with n > MaxCap falls back
+// to a plain allocation and Put discards such buffers.
+const MaxCap = 66 * 1024
+
+var pools [len(classSizes)]sync.Pool
+
+// Stats is a point-in-time snapshot of pool activity. Gets = Hits + Misses
+// + Oversize. A healthy steady state shows Hits tracking Gets and Puts
+// tracking Gets for the frame classes that are recycled (token frames);
+// data frames are retained by the ordering engine until stable, so their
+// buffers return through the garbage collector instead of Put.
+type Stats struct {
+	// Gets counts Get calls.
+	Gets uint64 `json:"gets"`
+	// Hits counts Gets served from a pool.
+	Hits uint64 `json:"hits"`
+	// Misses counts Gets that had to allocate.
+	Misses uint64 `json:"misses"`
+	// Oversize counts Gets beyond MaxCap (always allocate) and Puts of
+	// buffers no class can serve.
+	Oversize uint64 `json:"oversize"`
+	// Puts counts buffers returned to a pool.
+	Puts uint64 `json:"puts"`
+}
+
+var gets, hits, misses, oversize, puts atomic.Uint64
+
+// classFor returns the index of the smallest class with capacity >= n, or
+// -1 if n exceeds every class.
+func classFor(n int) int {
+	for i, s := range classSizes {
+		if n <= s {
+			return i
+		}
+	}
+	return -1
+}
+
+// putClassFor returns the index of the largest class with capacity <= c,
+// or -1 if c is smaller than every class.
+func putClassFor(c int) int {
+	for i := len(classSizes) - 1; i >= 0; i-- {
+		if c >= classSizes[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns a buffer with len n. Its contents are undefined; the caller
+// owns it until Put (or abandonment).
+func Get(n int) []byte {
+	gets.Add(1)
+	ci := classFor(n)
+	if ci < 0 {
+		oversize.Add(1)
+		return make([]byte, n)
+	}
+	if v := pools[ci].Get(); v != nil {
+		hits.Add(1)
+		b := v.(*[]byte)
+		return (*b)[:n]
+	}
+	misses.Add(1)
+	return make([]byte, n, classSizes[ci])
+}
+
+// Put returns a buffer to the pool serving the largest class its capacity
+// fits. Buffers below the smallest class (or nil) are discarded. See the
+// package comment for the ownership rules; in particular, never Put a
+// buffer anything else might still reference.
+func Put(b []byte) {
+	ci := putClassFor(cap(b))
+	if ci < 0 {
+		if cap(b) > 0 {
+			oversize.Add(1)
+		}
+		return
+	}
+	puts.Add(1)
+	b = b[:0]
+	pools[ci].Put(&b)
+}
+
+// Snapshot returns the current pool counters.
+func Snapshot() Stats {
+	return Stats{
+		Gets:     gets.Load(),
+		Hits:     hits.Load(),
+		Misses:   misses.Load(),
+		Oversize: oversize.Load(),
+		Puts:     puts.Load(),
+	}
+}
+
+// PublishTo exposes the pool counters in reg under "bufpool": a live
+// snapshot taken on every registry read, so /debug/vars always shows
+// current hit/miss values. No-op on a nil registry; safe to call more than
+// once (later calls replace the published function with an identical one).
+func PublishTo(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Publish("bufpool", func() any { return Snapshot() })
+}

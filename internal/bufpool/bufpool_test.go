@@ -1,0 +1,90 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetLenAndClassCap(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{0, 256}, {1, 256}, {256, 256}, {257, 1024},
+		{1350, 2048}, {2048, 2048}, {4000, 4096}, {5000, 16384},
+		{16385, 66 * 1024}, {66 * 1024, 66 * 1024},
+	}
+	for _, c := range cases {
+		b := Get(c.n)
+		if len(b) != c.n {
+			t.Fatalf("Get(%d): len %d", c.n, len(b))
+		}
+		if cap(b) != c.wantCap {
+			t.Fatalf("Get(%d): cap %d, want %d", c.n, cap(b), c.wantCap)
+		}
+		Put(b)
+	}
+}
+
+func TestOversize(t *testing.T) {
+	before := Snapshot()
+	b := Get(MaxCap + 1)
+	if len(b) != MaxCap+1 {
+		t.Fatalf("len %d", len(b))
+	}
+	Put(b) // cap > MaxCap still files under the largest class it can serve
+	after := Snapshot()
+	if after.Oversize != before.Oversize+1 {
+		t.Fatalf("oversize %d -> %d, want +1 (get only)", before.Oversize, after.Oversize)
+	}
+}
+
+func TestPutForeignAndTinyBuffers(t *testing.T) {
+	Put(nil)              // no-op
+	Put(make([]byte, 10)) // below the smallest class: discarded
+	// A foreign 3000-cap buffer serves the 2048 class.
+	Put(make([]byte, 0, 3000))
+	b := Get(2048)
+	if cap(b) < 2048 {
+		t.Fatalf("cap %d", cap(b))
+	}
+	Put(b)
+}
+
+func TestRecycleRoundTrip(t *testing.T) {
+	// A put buffer comes back on the next same-class get (modulo the
+	// runtime occasionally dropping pool entries); only assert contents
+	// and stats stay sane.
+	before := Snapshot()
+	b := Get(1350)
+	for i := range b {
+		b[i] = 0xAB
+	}
+	Put(b)
+	c := Get(1350)
+	if len(c) != 1350 {
+		t.Fatalf("len %d", len(c))
+	}
+	Put(c)
+	after := Snapshot()
+	if after.Gets < before.Gets+2 || after.Puts < before.Puts+2 {
+		t.Fatalf("stats did not advance: %+v -> %+v", before, after)
+	}
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				n := 64 + (g*977+i*131)%(4*1024)
+				b := Get(n)
+				if len(b) != n {
+					panic("bad len")
+				}
+				b[0] = byte(i)
+				Put(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -148,16 +148,24 @@ func (c *Config) validate() error {
 
 // Output receives the engine's effects. Implementations must not call back
 // into the engine.
+//
+// Ownership: the engine reuses the structs it passes out on the next round
+// (zero-allocation hot path), so implementations must treat every argument
+// as borrowed — encode or copy it before returning, and never retain the
+// pointer or mutate the struct.
 type Output interface {
 	// SendToken unicasts the token to the ring successor. The engine
 	// retains ownership of the token; implementations must encode or copy
 	// it before returning.
 	SendToken(*wire.Token)
 	// Multicast sends a data message to all ring members. The message and
-	// its payload must be treated as read-only.
+	// its payload must be treated as read-only and must not be retained:
+	// the engine reuses the struct for later sends.
 	Multicast(*wire.Data)
-	// Deliver hands a delivery event to the application in total order.
-	Deliver(evs.Event)
+	// Deliver hands a message to the application in total order. The
+	// Payload slice is handed off (the engine never recycles it), but the
+	// call must not block for long.
+	Deliver(evs.Message)
 }
 
 // Counters exposes engine activity for tests, stats, and benchmarks.
@@ -234,6 +242,29 @@ type Engine struct {
 	// messages still awaiting delivery (only populated when the observer
 	// has a clock).
 	submitAt map[uint64]time.Time
+
+	// Hot-path scratch. The engine is single-threaded, so one instance of
+	// each reusable buffer suffices; together they make the steady-state
+	// round allocation-free.
+	//
+	// outTok is the engine-owned outgoing token: HandleToken treats the
+	// received token as read-only and builds the update here, so callers
+	// may reuse their decode scratch across rounds.
+	outTok wire.Token
+	// freeData recycles message structs discarded as stable; msgScratch is
+	// the per-round new-message slice; rtScratch is the retransmission
+	// copy handed to Multicast.
+	freeData  []*wire.Data
+	msgScratch []*wire.Data
+	rtScratch wire.Data
+	// remScratch/reqScratch/haveScratch back answerRetransmissions and
+	// appendRequests across rounds.
+	remScratch  []uint64
+	reqScratch  []uint64
+	haveScratch map[uint64]struct{}
+	// releaseFn is e.putData bound once (binding per discard would
+	// allocate).
+	releaseFn func(*wire.Data)
 }
 
 // New creates an engine. The configuration is validated; the ring must
@@ -259,7 +290,30 @@ func New(cfg Config, out Output) (*Engine, error) {
 		safeLine:    cfg.InitialSeq,
 		obs:         cfg.Observer,
 	}
+	e.releaseFn = e.putData
 	return e, nil
+}
+
+// maxFreeData caps the message-struct free list; beyond it, discarded
+// structs go to the garbage collector. 4096 covers the deepest buffers the
+// flow-control windows produce in practice.
+const maxFreeData = 4096
+
+func (e *Engine) getData() *wire.Data {
+	if n := len(e.freeData); n > 0 {
+		m := e.freeData[n-1]
+		e.freeData[n-1] = nil
+		e.freeData = e.freeData[:n-1]
+		return m
+	}
+	return new(wire.Data)
+}
+
+func (e *Engine) putData(m *wire.Data) {
+	*m = wire.Data{} // drop the payload reference; the app may hold it
+	if len(e.freeData) < maxFreeData {
+		e.freeData = append(e.freeData, m)
+	}
 }
 
 // NewInitialToken builds the first token of a freshly installed ring. The
@@ -354,8 +408,12 @@ type PendingSubmission struct {
 	Control bool
 }
 
-// TakePending drains and returns the unsent submission queue.
+// TakePending drains and returns the unsent submission queue (nil when
+// empty).
 func (e *Engine) TakePending() []PendingSubmission {
+	if len(e.sendQ) == 0 {
+		return nil
+	}
 	out := make([]PendingSubmission, len(e.sendQ))
 	for i, p := range e.sendQ {
 		out[i] = PendingSubmission{
@@ -371,17 +429,28 @@ func (e *Engine) TakePending() []PendingSubmission {
 // HandleData processes a received data message (paper §III-C): buffer it,
 // deliver any newly in-order deliverable messages, and update the token
 // priority state (§III-D).
-func (e *Engine) HandleData(d *wire.Data) {
+//
+// The struct d points to is copied, so the caller may reuse it as decode
+// scratch. The Payload slice is not copied: when HandleData returns true
+// the engine has taken ownership of it (and of any frame it aliases under
+// zero-copy decode) and retains it until the message becomes stable; the
+// caller must not recycle that memory. On false the payload was not
+// retained.
+func (e *Engine) HandleData(d *wire.Data) bool {
 	if d.RingID != e.cfg.Ring.ID {
 		e.counters.DataDropped++
-		return
+		return false
 	}
-	if !e.buf.Insert(d) {
+	m := e.getData()
+	*m = *d
+	if !e.buf.Insert(m) {
+		e.putData(m)
 		e.counters.DataDropped++
-		return
+		return false
 	}
 	e.deliverReady()
-	e.maybeRaiseTokenPriority(d)
+	e.maybeRaiseTokenPriority(m)
+	return true
 }
 
 // maybeRaiseTokenPriority implements the two methods of §III-D. A data
@@ -412,6 +481,10 @@ func (e *Engine) maybeRaiseTokenPriority(d *wire.Data) {
 // retransmission requests, multicast the pre-token share of this round's
 // new messages, update and send the token, multicast the post-token share,
 // then deliver and discard.
+//
+// The received token is read-only: the engine builds the outgoing token in
+// its own storage, so the caller may reuse t (and the Rtr backing) as
+// decode scratch for the next frame.
 func (e *Engine) HandleToken(t *wire.Token) {
 	if t.RingID != e.cfg.Ring.ID {
 		e.counters.TokensDropped++
@@ -455,20 +528,27 @@ func (e *Engine) HandleToken(t *wire.Token) {
 		e.out.Multicast(m)
 	}
 
-	// Phase 2 (§III-B2): update and send the token.
+	// Phase 2 (§III-B2): update and send the token. From here the update
+	// is built in the engine-owned outTok; the received token stays
+	// untouched.
+	out := &e.outTok
 	newSeq := recvSeq + uint64(numToSend)
-	t.Seq = newSeq
-	e.updateAru(t, recvAru, recvSeq, newSeq)
-	t.Fcc = flowcontrol.NextFcc(uint32(recvFcc), e.lastRoundSent, numRetrans+numToSend)
-	t.Rtr = e.appendRequests(remaining, recvSeq)
-	t.TokenSeq++
+	out.RingID = t.RingID
+	out.Seq = newSeq
+	out.Aru = t.Aru
+	out.AruID = t.AruID
+	e.updateAru(out, recvAru, recvSeq, newSeq)
+	out.Fcc = flowcontrol.NextFcc(uint32(recvFcc), e.lastRoundSent, numRetrans+numToSend)
+	out.Rtr = e.appendRequests(remaining, recvSeq)
+	out.TokenSeq = t.TokenSeq + 1
+	out.Round = t.Round
 	if e.ringIdx == 0 {
-		t.Round++
+		out.Round++
 	}
 	e.aruSentPrev = e.aruSentThis
-	e.aruSentThis = t.Aru
-	e.lastSent = t
-	e.out.SendToken(t)
+	e.aruSentThis = out.Aru
+	e.lastSent = out
+	e.out.SendToken(out)
 	var hold time.Duration
 	if !tokStart.IsZero() {
 		hold = e.obs.Now().Sub(tokStart)
@@ -498,8 +578,8 @@ func (e *Engine) HandleToken(t *wire.Token) {
 			TokenSeq:      recvTokenSeq,
 			RecvSeq:       recvSeq,
 			SentSeq:       newSeq,
-			Aru:           t.Aru,
-			Fcc:           t.Fcc,
+			Aru:           out.Aru,
+			Fcc:           out.Fcc,
 			New:           numToSend,
 			Pre:           pre,
 			Post:          numToSend - pre,
@@ -512,13 +592,14 @@ func (e *Engine) HandleToken(t *wire.Token) {
 
 // answerRetransmissions multicasts every requested message this
 // participant holds and returns how many it sent plus the requests it
-// could not answer.
+// could not answer. The returned slice aliases engine scratch and is valid
+// until the next round.
 func (e *Engine) answerRetransmissions(rtr []uint64) (int, []uint64) {
 	if len(rtr) == 0 {
 		return 0, nil
 	}
 	n := 0
-	var remaining []uint64
+	remaining := e.remScratch[:0]
 	for _, seq := range rtr {
 		if seq <= e.buf.Floor() {
 			// Stable at this participant: every member already has it;
@@ -526,16 +607,18 @@ func (e *Engine) answerRetransmissions(rtr []uint64) (int, []uint64) {
 			continue
 		}
 		if d := e.buf.Get(seq); d != nil {
-			rd := *d
+			rd := &e.rtScratch
+			*rd = *d
 			rd.Flags |= wire.FlagRetrans
 			rd.Flags &^= wire.FlagPostToken
-			e.out.Multicast(&rd)
+			e.out.Multicast(rd)
 			e.counters.Retransmitted++
 			n++
 			continue
 		}
 		remaining = append(remaining, seq)
 	}
+	e.remScratch = remaining
 	return n, remaining
 }
 
@@ -545,7 +628,7 @@ func (e *Engine) takeMessages(n int, afterSeq uint64) []*wire.Data {
 	if n == 0 {
 		return nil
 	}
-	msgs := make([]*wire.Data, n)
+	msgs := e.msgScratch[:0]
 	for i := 0; i < n; i++ {
 		p := e.sendQ[i]
 		if !p.at.IsZero() {
@@ -554,7 +637,8 @@ func (e *Engine) takeMessages(n int, afterSeq uint64) []*wire.Data {
 			}
 			e.submitAt[afterSeq+uint64(i)+1] = p.at
 		}
-		msgs[i] = &wire.Data{
+		m := e.getData()
+		*m = wire.Data{
 			RingID:  e.cfg.Ring.ID,
 			Seq:     afterSeq + uint64(i) + 1,
 			Sender:  e.cfg.Self,
@@ -563,7 +647,9 @@ func (e *Engine) takeMessages(n int, afterSeq uint64) []*wire.Data {
 			Flags:   p.flags,
 			Payload: p.payload,
 		}
+		msgs = append(msgs, m)
 	}
+	e.msgScratch = msgs
 	// Release references promptly; keep the tail.
 	copy(e.sendQ, e.sendQ[n:])
 	for i := len(e.sendQ) - n; i < len(e.sendQ); i++ {
@@ -605,27 +691,40 @@ func (e *Engine) appendRequests(remaining []uint64, recvSeq uint64) []uint64 {
 	if e.cfg.DelayedRequests {
 		horizon = e.prevRecvSeq
 	}
-	have := make(map[uint64]struct{}, len(remaining))
-	for _, s := range remaining {
-		have[s] = struct{}{}
+	// Copy into the engine-owned request scratch: the outgoing token's Rtr
+	// must not alias remScratch (reused next round) or caller memory.
+	out := append(e.reqScratch[:0], remaining...)
+	if len(remaining) > 0 {
+		// Dedup set, only needed when there are unanswered requests.
+		// Lookups on the nil map below are fine when it stays empty.
+		if e.haveScratch == nil {
+			e.haveScratch = make(map[uint64]struct{}, len(remaining))
+		}
+		clear(e.haveScratch)
+		for _, s := range remaining {
+			e.haveScratch[s] = struct{}{}
+		}
 	}
-	before := len(remaining)
+	before := len(out)
 	budget := e.cfg.MaxRtrPerRound
 	for seq := e.buf.Aru() + 1; seq <= horizon && budget > 0; seq++ {
 		if e.buf.Has(seq) {
 			continue
 		}
-		if _, dup := have[seq]; dup {
-			continue
+		if len(remaining) > 0 {
+			if _, dup := e.haveScratch[seq]; dup {
+				continue
+			}
 		}
-		remaining = append(remaining, seq)
+		out = append(out, seq)
 		budget--
-		if len(remaining) >= wire.MaxRtr {
+		if len(out) >= wire.MaxRtr {
 			break
 		}
 	}
-	e.counters.Requested += uint64(len(remaining) - before)
-	return remaining
+	e.counters.Requested += uint64(len(out) - before)
+	e.reqScratch = out
+	return out
 }
 
 // deliverReady delivers messages in strict sequence order: a message is
@@ -674,7 +773,9 @@ func (e *Engine) discardStable() {
 		return
 	}
 	// Discard errors cannot occur: upTo <= safeLine <= aru by construction.
-	_, _ = e.buf.Discard(upTo)
+	// Dropped structs go back on the free list; their payloads stay with
+	// whoever received them (the app, via Deliver).
+	_, _ = e.buf.DiscardFunc(upTo, e.releaseFn)
 }
 
 func minU64(a, b uint64) uint64 {

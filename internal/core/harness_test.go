@@ -20,10 +20,10 @@ type effect struct {
 // the engine cannot corrupt recorded effects.
 type testOut struct {
 	effects   []effect
-	delivered []evs.Event
+	delivered []evs.Message
 	// onDeliver, when set, observes each delivery as it happens (used by
 	// invariant checks).
-	onDeliver func(evs.Event)
+	onDeliver func(evs.Message)
 }
 
 func (o *testOut) SendToken(t *wire.Token) {
@@ -42,10 +42,10 @@ func (o *testOut) Multicast(d *wire.Data) {
 	o.effects = append(o.effects, effect{data: cp})
 }
 
-func (o *testOut) Deliver(ev evs.Event) {
-	o.delivered = append(o.delivered, ev)
+func (o *testOut) Deliver(m evs.Message) {
+	o.delivered = append(o.delivered, m)
 	if o.onDeliver != nil {
-		o.onDeliver(ev)
+		o.onDeliver(m)
 	}
 }
 
@@ -56,15 +56,7 @@ func (o *testOut) drain() []effect {
 }
 
 // messages returns the delivered application messages.
-func (o *testOut) messages() []evs.Message {
-	var ms []evs.Message
-	for _, ev := range o.delivered {
-		if m, ok := ev.(evs.Message); ok {
-			ms = append(ms, m)
-		}
-	}
-	return ms
-}
+func (o *testOut) messages() []evs.Message { return o.delivered }
 
 // harness drives a set of engines over a synchronous lossless "network":
 // every multicast reaches every other member before the next token hop,

@@ -73,9 +73,8 @@ func runProtocolTrial(t *testing.T, seed int64) bool {
 	violation := ""
 	for _, id := range ring.Members {
 		id := id
-		h.outs[id].onDeliver = func(ev evs.Event) {
-			m, ok := ev.(evs.Message)
-			if !ok || m.Service != evs.Safe {
+		h.outs[id].onDeliver = func(m evs.Message) {
+			if m.Service != evs.Safe {
 				return
 			}
 			for _, other := range ring.Members {

@@ -128,6 +128,11 @@ type Config struct {
 // Output receives the machine's effects. Multicast frames are data-class;
 // Unicast frames are token-class. Deliver receives the application's event
 // stream: messages and configuration changes in EVS order.
+//
+// Frame slices are machine-owned encode scratch, valid only for the
+// duration of the call: implementations must transmit or copy them before
+// returning and never retain them. Delivered Message payloads, in
+// contrast, are handed off for keeps.
 type Output interface {
 	Multicast(frame []byte)
 	Unicast(to evs.ProcID, frame []byte)
@@ -184,6 +189,15 @@ type Machine struct {
 	// callbacks without a now parameter (finalizeRecovery).
 	stateSince time.Time
 	lastNow    time.Time
+
+	// Hot-path scratch (the machine is single-threaded): tokScratch and
+	// dataScratch are the reusable frame decoders — safe because the
+	// engine treats received tokens as read-only and copies data structs —
+	// and encBuf is the reusable encode buffer behind the engine's sends
+	// (the Output contract forbids retaining frames).
+	tokScratch  wire.Token
+	dataScratch wire.Data
+	encBuf      []byte
 }
 
 // Counters exposes membership activity.
@@ -328,26 +342,32 @@ func (m *Machine) broadcastJoin(now time.Time) {
 
 // HandleDataFrame processes a frame received on the data channel: an
 // application data message or a membership join.
-func (m *Machine) HandleDataFrame(frame []byte, now time.Time) {
+//
+// It reports whether the frame was retained: data frames are decoded
+// zero-copy, so when the engine buffers the message it keeps the frame's
+// payload region alive until delivery and stability. A retained frame must
+// not be recycled (bufpool.Put) or reused by the caller; a non-retained
+// one may be recycled immediately.
+func (m *Machine) HandleDataFrame(frame []byte, now time.Time) (retained bool) {
 	m.lastNow = now
 	t, err := wire.PeekType(frame)
 	if err != nil {
-		return
+		return false
 	}
 	switch t {
 	case wire.FrameJoin:
 		j, err := wire.DecodeJoin(frame)
 		if err != nil {
-			return
+			return false
 		}
 		m.handleJoin(j, now)
 	case wire.FrameData:
 		if m.eng == nil || (m.state != StateOperational && m.state != StateRecover) {
-			return
+			return false
 		}
-		d, err := wire.DecodeData(frame)
-		if err != nil {
-			return
+		d := &m.dataScratch
+		if err := d.DecodeFrom(frame); err != nil {
+			return false
 		}
 		if d.RingID != m.ring.ID {
 			// Foreign traffic: another ring is reachable. Ignore frames
@@ -356,14 +376,16 @@ func (m *Machine) HandleDataFrame(frame []byte, now time.Time) {
 			if m.state == StateOperational && d.RingID != m.prevRingID {
 				m.enterGather(now)
 			}
-			return
+			return false
 		}
-		m.eng.HandleData(d)
+		return m.eng.HandleData(d)
 	}
+	return false
 }
 
 // HandleTokenFrame processes a frame received on the token channel: a
-// regular token or a membership commit token.
+// regular token or a membership commit token. Token-class frames are never
+// retained: the caller may recycle the frame as soon as the call returns.
 func (m *Machine) HandleTokenFrame(frame []byte, now time.Time) {
 	m.lastNow = now
 	t, err := wire.PeekType(frame)
@@ -375,8 +397,11 @@ func (m *Machine) HandleTokenFrame(frame []byte, now time.Time) {
 		if m.eng == nil || (m.state != StateOperational && m.state != StateRecover) {
 			return
 		}
-		tok, err := wire.DecodeToken(frame)
-		if err != nil {
+		// Scratch decode: the engine treats received tokens as read-only,
+		// and DecodeFrom copies everything out of the frame, so neither
+		// the token nor the frame is retained past this call.
+		tok := &m.tokScratch
+		if err := tok.DecodeFrom(frame); err != nil {
 			return
 		}
 		before := m.eng.Counters().Rounds
@@ -662,7 +687,8 @@ func (m *Machine) tokenTimers(now time.Time) {
 	}
 	if since >= m.cfg.Timeouts.TokenRetransmit && now.Sub(m.lastRetransAt) >= m.cfg.Timeouts.TokenRetransmit {
 		if tok := m.eng.LastToken(); tok != nil {
-			m.out.Unicast(m.ring.Successor(m.cfg.Self), tok.AppendTo(nil))
+			m.encBuf = tok.AppendTo(m.encBuf[:0])
+			m.out.Unicast(m.ring.Successor(m.cfg.Self), m.encBuf)
 			m.lastRetransAt = now
 			m.counters.TokenRetransmits++
 			m.obsReg().Counter("membership.token_retransmits").Inc()

@@ -44,18 +44,24 @@ type recovery struct {
 	holdback []evs.Event
 }
 
-// engineOut adapts the ordering engine's effects to the machine.
+// engineOut adapts the ordering engine's effects to the machine. Frames
+// are encoded into the machine's reusable scratch buffer; the machine
+// Output contract requires transports to copy or transmit before
+// returning, so the scratch is free again by the time the next effect
+// fires.
 type engineOut struct{ m *Machine }
 
 func (o engineOut) Multicast(d *wire.Data) {
-	o.m.out.Multicast(d.AppendTo(nil))
+	o.m.encBuf = d.AppendTo(o.m.encBuf[:0])
+	o.m.out.Multicast(o.m.encBuf)
 }
 
 func (o engineOut) SendToken(t *wire.Token) {
-	o.m.out.Unicast(o.m.ring.Successor(o.m.cfg.Self), t.AppendTo(nil))
+	o.m.encBuf = t.AppendTo(o.m.encBuf[:0])
+	o.m.out.Unicast(o.m.ring.Successor(o.m.cfg.Self), o.m.encBuf)
 }
 
-func (o engineOut) Deliver(ev evs.Event) { o.m.onEngineDeliver(ev) }
+func (o engineOut) Deliver(msg evs.Message) { o.m.onEngineDeliver(msg) }
 
 // install replaces the engine with one for the committed ring and begins
 // recovery.
@@ -173,18 +179,18 @@ func (m *Machine) install(c *wire.Commit, now time.Time) {
 }
 
 // onEngineDeliver filters the engine's delivery stream: recovery control
-// messages are consumed, application events are held back during recovery
-// and passed through afterwards.
-func (m *Machine) onEngineDeliver(ev evs.Event) {
-	if msg, ok := ev.(evs.Message); ok && msg.Control {
+// messages are consumed, application messages are held back during
+// recovery and passed through afterwards.
+func (m *Machine) onEngineDeliver(msg evs.Message) {
+	if msg.Control {
 		m.handleRecoveryControl(msg)
 		return
 	}
 	if m.state == StateRecover && m.rec != nil {
-		m.rec.holdback = append(m.rec.holdback, ev)
+		m.rec.holdback = append(m.rec.holdback, msg)
 		return
 	}
-	m.out.Deliver(ev)
+	m.out.Deliver(msg)
 }
 
 func (m *Machine) handleRecoveryControl(msg evs.Message) {

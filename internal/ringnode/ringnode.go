@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"accelring/internal/bufpool"
 	"accelring/internal/core"
 	"accelring/internal/evs"
 	"accelring/internal/flowcontrol"
@@ -256,12 +257,18 @@ func (n *Node) run() {
 	dataCh := n.cfg.Transport.Data()
 	tokenCh := n.cfg.Transport.Token()
 
+	// Received frames are rented from bufpool by the transport and owned
+	// by this goroutine. Token-class frames are never retained by the
+	// machine, so they recycle immediately; data frames recycle only when
+	// the engine did not keep their zero-copy payload alive.
 	handleData := func(f []byte, ok bool) bool {
 		if !ok {
 			dataCh = nil
 			return false
 		}
-		n.machine.HandleDataFrame(f, time.Now())
+		if !n.machine.HandleDataFrame(f, time.Now()) {
+			bufpool.Put(f)
+		}
 		return true
 	}
 	handleToken := func(f []byte, ok bool) bool {
@@ -270,6 +277,7 @@ func (n *Node) run() {
 			return false
 		}
 		n.machine.HandleTokenFrame(f, time.Now())
+		bufpool.Put(f)
 		return true
 	}
 

@@ -111,14 +111,25 @@ func (b *Buffer) Missing(dst []uint64, to uint64, max int) []uint64 {
 // bug — it would throw away knowledge of what has been received — so it
 // returns an error instead.
 func (b *Buffer) Discard(upTo uint64) (int, error) {
+	return b.DiscardFunc(upTo, nil)
+}
+
+// DiscardFunc is Discard with a release hook: fn (when non-nil) is called
+// once per dropped message, after its removal from the buffer. The engine
+// uses it to recycle message structs; fn must not call back into the
+// buffer.
+func (b *Buffer) DiscardFunc(upTo uint64, fn func(*wire.Data)) (int, error) {
 	if upTo > b.aru {
 		return 0, fmt.Errorf("seqbuf: discard to %d beyond aru %d", upTo, b.aru)
 	}
 	n := 0
 	for seq := b.floor + 1; seq <= upTo; seq++ {
-		if _, ok := b.msgs[seq]; ok {
+		if d, ok := b.msgs[seq]; ok {
 			delete(b.msgs, seq)
 			n++
+			if fn != nil {
+				fn(d)
+			}
 		}
 	}
 	if upTo > b.floor {

@@ -104,6 +104,15 @@ type Node struct {
 	onDeliver DeliverFn
 	trace     TraceFn
 	stats     NodeStats
+
+	// tokScratch/dataScratch are reusable frame decoders (the engine
+	// treats received tokens as read-only and copies data structs). The
+	// zero-copy data decode aliases the simulated packet's frame, which is
+	// safe: simnet frames are immutable and never recycled, even when one
+	// packet is shared across receivers or duplicate deliveries — which is
+	// also why this driver must NOT return frames to bufpool.
+	tokScratch  wire.Token
+	dataScratch wire.Data
 }
 
 var _ core.Output = (*Node)(nil)
@@ -208,8 +217,8 @@ func (n *Node) step() {
 
 func (n *Node) processData(now simnet.Time, p *simnet.Packet) {
 	n.cursor = now + n.prof.recvDataCost(p.Wire)
-	d, err := wire.DecodeData(p.Frame)
-	if err != nil {
+	d := &n.dataScratch
+	if err := d.DecodeFrom(p.Frame); err != nil {
 		// Corrupt frames cannot occur in the simulator; fail loudly.
 		panic(fmt.Sprintf("simproc: bad data frame: %v", err))
 	}
@@ -219,8 +228,8 @@ func (n *Node) processData(now simnet.Time, p *simnet.Packet) {
 
 func (n *Node) processToken(now simnet.Time, p *simnet.Packet) {
 	n.cursor = now + n.prof.RecvTokenFixed
-	t, err := wire.DecodeToken(p.Frame)
-	if err != nil {
+	t := &n.tokScratch
+	if err := t.DecodeFrom(p.Frame); err != nil {
 		panic(fmt.Sprintf("simproc: bad token frame: %v", err))
 	}
 	n.traceEvent("recv-token", t.Seq, false)
@@ -259,11 +268,7 @@ func (n *Node) SendToken(t *wire.Token) {
 
 // Deliver implements core.Output: charge the client delivery cost and
 // report the delivery to the observer.
-func (n *Node) Deliver(ev evs.Event) {
-	m, ok := ev.(evs.Message)
-	if !ok {
-		return
-	}
+func (n *Node) Deliver(m evs.Message) {
 	n.cursor += n.prof.deliverCost(len(m.Payload))
 	n.stats.Delivered++
 	n.traceEvent("deliver", m.Seq, false)

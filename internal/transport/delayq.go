@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// delayQueue runs functions after a delay on a single, lazily started
+// drainer goroutine that exits when the queue empties. It replaces the
+// previous time.AfterFunc-per-frame scheme: a fault injector delaying
+// thousands of frames per second kept that many timer goroutines alive,
+// one per in-flight frame; this keeps exactly one regardless of load.
+//
+// The zero value is ready to use. Callbacks run sequentially on the
+// drainer goroutine in deadline order, so they must not block.
+type delayQueue struct {
+	mu      sync.Mutex
+	items   delayHeap
+	running bool
+	// kick wakes the drainer when a new item preempts the current
+	// earliest deadline.
+	kick chan struct{}
+}
+
+type delayItem struct {
+	at time.Time
+	fn func()
+}
+
+type delayHeap []delayItem
+
+func (h delayHeap) Len() int            { return len(h) }
+func (h delayHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
+func (h delayHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *delayHeap) Push(x any)         { *h = append(*h, x.(delayItem)) }
+func (h *delayHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = delayItem{}
+	*h = old[:n-1]
+	return it
+}
+
+// after schedules fn to run once delay has elapsed. A non-positive delay
+// runs fn synchronously on the caller.
+func (q *delayQueue) after(delay time.Duration, fn func()) {
+	if delay <= 0 {
+		fn()
+		return
+	}
+	at := time.Now().Add(delay)
+	q.mu.Lock()
+	if q.kick == nil {
+		q.kick = make(chan struct{}, 1)
+	}
+	heap.Push(&q.items, delayItem{at: at, fn: fn})
+	start := !q.running
+	if start {
+		q.running = true
+	} else if q.items[0].at.Equal(at) {
+		// New earliest deadline: wake the drainer to re-arm its timer.
+		select {
+		case q.kick <- struct{}{}:
+		default:
+		}
+	}
+	q.mu.Unlock()
+	if start {
+		go q.drain()
+	}
+}
+
+func (q *delayQueue) drain() {
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		q.mu.Lock()
+		if len(q.items) == 0 {
+			q.running = false
+			q.mu.Unlock()
+			return
+		}
+		next := q.items[0].at
+		if wait := time.Until(next); wait > 0 {
+			q.mu.Unlock()
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-q.kick:
+			}
+			continue
+		}
+		it := heap.Pop(&q.items).(delayItem)
+		q.mu.Unlock()
+		it.fn()
+	}
+}

@@ -138,7 +138,7 @@ func TestUDPInjectorPaths(t *testing.T) {
 	if got := drainFrames(c.Token(), 100*time.Millisecond); len(got) != 2 {
 		t.Fatalf("duplicated token arrived %d times, want 2", len(got))
 	}
-	for _, ctr := range a.inj.Counters() {
+	for _, ctr := range a.inj.Load().Counters() {
 		switch ctr.Rule {
 		case "drop-to-2":
 			if ctr.Dropped == 0 {

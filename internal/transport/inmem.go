@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"accelring/internal/bufpool"
 	"accelring/internal/evs"
 	"accelring/internal/faults"
 	"accelring/internal/obs"
@@ -13,8 +14,9 @@ import (
 
 // Hub is an in-process switch connecting Endpoints. It is safe for
 // concurrent use. Loss, delay, duplication, and partitions are injected
-// through a faults.Injector (or the legacy SetDrop/SetDelay hooks); a
-// per-frame copy keeps senders and receivers from sharing buffers.
+// through a faults.Injector (or the legacy SetDrop/SetDelay hooks). Each
+// delivered copy is rented from bufpool, so senders and receivers never
+// share buffers and receivers own (and may recycle) what they read.
 type Hub struct {
 	mu      sync.RWMutex
 	eps     map[evs.ProcID]*Endpoint
@@ -22,6 +24,7 @@ type Hub struct {
 	dropFn  func(from, to evs.ProcID, token bool, frame []byte) bool
 	delayFn func(from, to evs.ProcID, token bool) time.Duration
 	nm      *netMetrics
+	delayQ  delayQueue
 }
 
 // NewHub returns an empty hub.
@@ -67,40 +70,49 @@ func (h *Hub) SetObserver(reg *obs.Registry) {
 
 // push delivers every surviving copy of a frame to one endpoint's channel
 // per the injector decision: the primary copy after d.Delay, one extra
-// copy per d.Extra entry.
-func push(peer *Endpoint, token bool, frame []byte, d faults.Decision, nm *netMetrics) {
+// copy per d.Extra entry. Each delivery gets its own rented buffer — the
+// receiver owns (and may recycle) what it reads, so two deliveries must
+// never share one.
+func (h *Hub) push(peer *Endpoint, token bool, frame []byte, d faults.Decision, nm *netMetrics) {
 	if d.Drop {
 		return
 	}
-	deliverAfter(peer, token, frame, d.Delay, nm)
+	h.deliverAfter(peer, token, frame, d.Delay, nm)
 	for _, extra := range d.Extra {
-		deliverAfter(peer, token, frame, extra, nm)
+		h.deliverAfter(peer, token, frame, extra, nm)
 	}
 }
 
-// deliverAfter delivers one copy, asynchronously when delayed (which lets
-// frames overtake each other, like UDP).
-func deliverAfter(peer *Endpoint, token bool, frame []byte, delay time.Duration, nm *netMetrics) {
+// deliverAfter rents a copy of the frame and delivers it, via the hub's
+// single delay-queue drainer when delayed (which lets frames overtake each
+// other, like UDP). The copy is made synchronously: the sender may reuse
+// its encode scratch the moment its send call returns. Dropped copies
+// (closed endpoint, full channel) go straight back to the pool.
+func (h *Hub) deliverAfter(peer *Endpoint, token bool, frame []byte, delay time.Duration, nm *netMetrics) {
 	ch := peer.dataCh
 	cnt := &peer.dataDrop
 	if token {
 		ch = peer.tokenCh
 		cnt = &peer.tokenDrop
 	}
+	cp := bufpool.Get(len(frame))
+	copy(cp, frame)
 	deliver := func() {
 		if peer.closed.Load() {
+			bufpool.Put(cp)
 			return
 		}
 		select {
-		case ch <- frame:
-			nm.rx(token, len(frame))
+		case ch <- cp:
+			nm.rx(token, len(cp))
 		default:
+			bufpool.Put(cp)
 			cnt.Add(1)
 			nm.rxDrop()
 		}
 	}
 	if delay > 0 {
-		time.AfterFunc(delay, deliver)
+		h.delayQ.after(delay, deliver)
 		return
 	}
 	deliver()
@@ -154,14 +166,14 @@ var _ Transport = (*Endpoint)(nil)
 // ID returns the endpoint's participant ID.
 func (e *Endpoint) ID() evs.ProcID { return e.id }
 
-// Multicast implements Transport: the frame is copied once and delivered
-// to every other attached endpoint's data channel. Full channels drop
-// (like a full UDP socket buffer).
+// Multicast implements Transport: the frame is delivered to every other
+// attached endpoint's data channel, each in its own rented buffer. Full
+// channels drop (like a full UDP socket buffer). The caller's frame is
+// only read during the call.
 func (e *Endpoint) Multicast(frame []byte) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
-	cp := append([]byte(nil), frame...)
 	e.hub.mu.RLock()
 	drop := e.hub.dropFn
 	delay := e.hub.delayFn
@@ -171,11 +183,11 @@ func (e *Endpoint) Multicast(frame []byte) error {
 		if id == e.id || peer.closed.Load() {
 			continue
 		}
-		if drop != nil && drop(e.id, id, false, cp) {
+		if drop != nil && drop(e.id, id, false, frame) {
 			continue
 		}
-		nm.tx(false, len(cp))
-		push(peer, false, cp, e.decide(inj, delay, id, false, cp), nm)
+		nm.tx(false, len(frame))
+		e.hub.push(peer, false, frame, e.decide(inj, delay, id, false, frame), nm)
 	}
 	e.hub.mu.RUnlock()
 	return nil
@@ -201,14 +213,14 @@ func (e *Endpoint) decide(inj *faults.Injector,
 	return d
 }
 
-// Unicast implements Transport: the frame is copied and delivered to the
-// peer's token channel. Sending to an unknown peer is not an error (the
-// peer may have crashed); the frame is silently dropped, as UDP would.
+// Unicast implements Transport: the frame is copied into a rented buffer
+// and delivered to the peer's token channel. Sending to an unknown peer is
+// not an error (the peer may have crashed); the frame is silently dropped,
+// as UDP would.
 func (e *Endpoint) Unicast(to evs.ProcID, frame []byte) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
-	cp := append([]byte(nil), frame...)
 	e.hub.mu.RLock()
 	peer := e.hub.eps[to]
 	drop := e.hub.dropFn
@@ -219,11 +231,11 @@ func (e *Endpoint) Unicast(to evs.ProcID, frame []byte) error {
 	if peer == nil || peer.closed.Load() {
 		return nil
 	}
-	if drop != nil && drop(e.id, to, true, cp) {
+	if drop != nil && drop(e.id, to, true, frame) {
 		return nil
 	}
-	nm.tx(true, len(cp))
-	push(peer, true, cp, e.decide(inj, delay, to, true, cp), nm)
+	nm.tx(true, len(frame))
+	e.hub.push(peer, true, frame, e.decide(inj, delay, to, true, frame), nm)
 	return nil
 }
 

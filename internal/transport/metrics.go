@@ -1,6 +1,9 @@
 package transport
 
-import "accelring/internal/obs"
+import (
+	"accelring/internal/bufpool"
+	"accelring/internal/obs"
+)
 
 // netMetrics holds per-transport frame/byte counters, split by frame
 // class. Handles are resolved once at construction; a nil *netMetrics
@@ -14,11 +17,15 @@ type netMetrics struct {
 }
 
 // newNetMetrics resolves the counter handles under prefix (e.g.
-// "transport.udp."). It returns nil when reg is nil.
+// "transport.udp."). It returns nil when reg is nil. Any registry that
+// observes a transport also gets the frame pool's hit/miss gauges
+// published (under "bufpool"), since the transports are the pool's main
+// tenants.
 func newNetMetrics(reg *obs.Registry, prefix string) *netMetrics {
 	if reg == nil {
 		return nil
 	}
+	bufpool.PublishTo(reg)
 	return &netMetrics{
 		txDataFrames:  reg.Counter(prefix + "tx_data_frames"),
 		txDataBytes:   reg.Counter(prefix + "tx_data_bytes"),

@@ -21,8 +21,19 @@ import (
 
 // Transport is the frame mover for one participant. Implementations must
 // be safe for one sender goroutine and deliver received frames into the
-// channels returned by Data and Token. Frames passed to Multicast and
-// Unicast must not be mutated afterwards.
+// channels returned by Data and Token.
+//
+// Buffer ownership, in both directions:
+//
+//   - Sends borrow: a frame passed to Multicast or Unicast is only valid
+//     for the duration of the call. The transport transmits or copies it
+//     before returning and never retains it, so callers may reuse one
+//     encode scratch buffer for every send.
+//   - Receives hand off: a frame read from Data or Token belongs to the
+//     consumer. The provided implementations rent receive buffers from
+//     internal/bufpool; the consumer should bufpool.Put each frame it
+//     does not retain (recycling is optional — see the bufpool ownership
+//     rules — but keeps the steady state allocation-free).
 type Transport interface {
 	// Multicast sends a frame to every other participant's data channel.
 	Multicast(frame []byte) error

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"accelring/internal/bufpool"
 	"accelring/internal/evs"
 	"accelring/internal/faults"
 	"accelring/internal/obs"
@@ -46,9 +47,13 @@ type UDP struct {
 	dataConn *net.UDPConn
 	tokConn  *net.UDPConn
 
-	mu    sync.RWMutex
-	peers map[evs.ProcID]*udpPeerAddrs
-	inj   *faults.Injector
+	// peers is an atomically swapped copy-on-write snapshot: senders load
+	// it and fan out without holding any lock across socket writes, so a
+	// concurrent AddPeer (membership change) never stalls the hot path.
+	// peerMu serializes the writers only.
+	peerMu sync.Mutex
+	peers  atomic.Pointer[map[evs.ProcID]*udpPeerAddrs]
+	inj    atomic.Pointer[faults.Injector]
 
 	dataCh  chan []byte
 	tokenCh chan []byte
@@ -58,6 +63,7 @@ type UDP struct {
 	tokenDrop atomic.Uint64
 	wg        sync.WaitGroup
 	nm        *netMetrics
+	delayQ    delayQueue
 }
 
 type udpPeerAddrs struct {
@@ -95,11 +101,12 @@ func NewUDP(cfg UDPConfig) (*UDP, error) {
 		self:     cfg.Self,
 		dataConn: dataConn,
 		tokConn:  tokConn,
-		peers:    make(map[evs.ProcID]*udpPeerAddrs, len(cfg.Peers)),
 		dataCh:   make(chan []byte, cfg.DataChanCap),
 		tokenCh:  make(chan []byte, cfg.TokenChanCap),
 		nm:       newNetMetrics(cfg.Obs, "transport.udp."),
 	}
+	empty := make(map[evs.ProcID]*udpPeerAddrs)
+	u.peers.Store(&empty)
 	// Register ourselves: the membership representative starts a new ring
 	// by unicasting the initial token to itself.
 	if err := u.AddPeer(cfg.Self, u.LocalAddrs()); err != nil {
@@ -130,7 +137,8 @@ func listenUDP(addr string) (*net.UDPConn, error) {
 }
 
 // AddPeer registers (or updates) a peer's addresses. Membership changes
-// may add peers at runtime.
+// may add peers at runtime: the peer table is replaced copy-on-write, so
+// in-flight sends keep fanning out over their snapshot.
 func (u *UDP) AddPeer(id evs.ProcID, p UDPPeer) error {
 	da, err := net.ResolveUDPAddr("udp", p.Data)
 	if err != nil {
@@ -140,9 +148,15 @@ func (u *UDP) AddPeer(id evs.ProcID, p UDPPeer) error {
 	if err != nil {
 		return fmt.Errorf("transport: peer %d token addr: %w", id, err)
 	}
-	u.mu.Lock()
-	u.peers[id] = &udpPeerAddrs{data: da, token: ta}
-	u.mu.Unlock()
+	u.peerMu.Lock()
+	old := *u.peers.Load()
+	next := make(map[evs.ProcID]*udpPeerAddrs, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[id] = &udpPeerAddrs{data: da, token: ta}
+	u.peers.Store(&next)
+	u.peerMu.Unlock()
 	return nil
 }
 
@@ -152,33 +166,37 @@ func (u *UDP) AddPeer(id evs.ProcID, p UDPPeer) error {
 // on the other transports. Emulating faults at the sender keeps the
 // receive path a plain socket read.
 func (u *UDP) SetInjector(in *faults.Injector) {
-	u.mu.Lock()
-	u.inj = in
-	u.mu.Unlock()
+	u.inj.Store(in)
 }
 
 // sendFaulty writes every surviving copy of frame per the injector
-// decision; delayed copies are written from timer goroutines (writes on a
-// closed socket then fail silently, like loss).
+// decision. Delayed copies are copied into rented buffers (the caller may
+// reuse the frame as encode scratch the moment we return) and written from
+// the transport's single delay-queue drainer; writes after Close fail
+// silently, like loss.
 func (u *UDP) sendFaulty(conn *net.UDPConn, frame []byte, addr *net.UDPAddr, d faults.Decision) {
 	if d.Drop {
 		return
 	}
-	write := func() {
-		if !u.closed.Load() {
-			_, _ = conn.WriteToUDP(frame, addr)
-		}
-	}
-	writeAfter := func(delay time.Duration) {
-		if delay > 0 {
-			time.AfterFunc(delay, write)
+	sched := func(delay time.Duration) {
+		if delay <= 0 {
+			if !u.closed.Load() {
+				_, _ = conn.WriteToUDP(frame, addr)
+			}
 			return
 		}
-		write()
+		cp := bufpool.Get(len(frame))
+		copy(cp, frame)
+		u.delayQ.after(delay, func() {
+			if !u.closed.Load() {
+				_, _ = conn.WriteToUDP(cp, addr)
+			}
+			bufpool.Put(cp)
+		})
 	}
-	writeAfter(d.Delay)
+	sched(d.Delay)
 	for _, extra := range d.Extra {
-		writeAfter(extra)
+		sched(extra)
 	}
 }
 
@@ -190,6 +208,11 @@ func (u *UDP) LocalAddrs() UDPPeer {
 	}
 }
 
+// readLoop reads datagrams into a fixed socket buffer and hands each frame
+// to the receive channel in a buffer rented from bufpool; the consumer
+// (the protocol driver) owns it from there. When the channel is already
+// full the datagram is dropped before renting or copying anything — the
+// old code paid a full frame allocation and copy just to throw it away.
 func (u *UDP) readLoop(conn *net.UDPConn, ch chan []byte, drops *atomic.Uint64, token bool) {
 	defer u.wg.Done()
 	buf := make([]byte, wire.MaxPayload+1024)
@@ -200,11 +223,18 @@ func (u *UDP) readLoop(conn *net.UDPConn, ch chan []byte, drops *atomic.Uint64, 
 			close(ch)
 			return
 		}
-		frame := append([]byte(nil), buf[:n]...)
+		if len(ch) == cap(ch) {
+			drops.Add(1)
+			u.nm.rxDrop()
+			continue
+		}
+		frame := bufpool.Get(n)
+		copy(frame, buf[:n])
 		select {
 		case ch <- frame:
 			u.nm.rx(token, n)
 		default:
+			bufpool.Put(frame)
 			drops.Add(1)
 			u.nm.rxDrop()
 		}
@@ -213,22 +243,25 @@ func (u *UDP) readLoop(conn *net.UDPConn, ch chan []byte, drops *atomic.Uint64, 
 
 // Multicast implements Transport by unicast fan-out to every peer's data
 // address. Send errors to individual peers are ignored, as UDP loss would
-// be; the protocol's retransmission machinery recovers.
+// be; the protocol's retransmission machinery recovers. No lock is held
+// across the socket writes: the fan-out runs over an immutable peer
+// snapshot, and with no injector installed the fast path is a bare
+// WriteToUDP per peer.
 func (u *UDP) Multicast(frame []byte) error {
 	if u.closed.Load() {
 		return ErrClosed
 	}
-	u.mu.RLock()
-	defer u.mu.RUnlock()
-	for id, p := range u.peers {
+	peers := *u.peers.Load()
+	inj := u.inj.Load()
+	for id, p := range peers {
 		if id == u.self {
 			// No loopback: the protocol self-receives its own messages
 			// at send time.
 			continue
 		}
 		u.nm.tx(false, len(frame))
-		if u.inj != nil {
-			d := u.inj.DecideWall(faults.Packet{
+		if inj != nil {
+			d := inj.DecideWall(faults.Packet{
 				From: u.self, To: id, Size: len(frame), Frame: frame,
 			})
 			u.sendFaulty(u.dataConn, frame, p.data, d)
@@ -239,21 +272,19 @@ func (u *UDP) Multicast(frame []byte) error {
 	return nil
 }
 
-// Unicast implements Transport: send to the peer's token address.
+// Unicast implements Transport: send to the peer's token address. Like
+// Multicast, it runs lock-free over the peer snapshot.
 func (u *UDP) Unicast(to evs.ProcID, frame []byte) error {
 	if u.closed.Load() {
 		return ErrClosed
 	}
-	u.mu.RLock()
-	p := u.peers[to]
-	inj := u.inj
-	u.mu.RUnlock()
+	p := (*u.peers.Load())[to]
 	if p == nil {
 		// Unknown peer: drop, like the network would for a dead host.
 		return nil
 	}
 	u.nm.tx(true, len(frame))
-	if inj != nil {
+	if inj := u.inj.Load(); inj != nil {
 		d := inj.DecideWall(faults.Packet{
 			From: u.self, To: to, Token: true, Size: len(frame), Frame: frame,
 		})

@@ -57,6 +57,55 @@ func FuzzDecodeData(f *testing.F) {
 	})
 }
 
+// FuzzDecodeDataAlias exercises the zero-copy scratch decode: DecodeFrom
+// must never panic, its Payload must alias the input frame (not a copy),
+// and reusing one scratch across decodes of different frames must not let
+// state from an earlier decode leak into a later one.
+func FuzzDecodeDataAlias(f *testing.F) {
+	seed := Data{
+		RingID: evs.ViewID{Rep: 1, Seq: 2}, Seq: 3, Sender: 4, Round: 5,
+		Service: evs.Agreed, Flags: FlagPostToken, Payload: []byte("payload"),
+	}
+	f.Add(seed.AppendTo(nil))
+	big := Data{
+		RingID: evs.ViewID{Rep: 9, Seq: 9}, Seq: 1 << 40, Sender: 200,
+		Round: 7, Service: evs.Safe, Payload: bytes.Repeat([]byte{0xEE}, 1350),
+	}
+	f.Add(big.AppendTo(nil))
+	f.Add([]byte{0xAC, 0x47, 1, 2})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var scratch Data
+		// Poison the scratch so a decode that forgets to overwrite a field
+		// shows up as leaked state below.
+		scratch.Seq, scratch.Sender, scratch.Flags = ^uint64(0), ^evs.ProcID(0), 0xFF
+		scratch.Payload = []byte("stale-payload-from-a-previous-frame")
+		if err := scratch.DecodeFrom(b); err != nil {
+			return
+		}
+		want, err := DecodeData(b)
+		if err != nil {
+			t.Fatalf("DecodeData rejects a frame DecodeFrom accepted: %v", err)
+		}
+		if scratch.Seq != want.Seq || scratch.Sender != want.Sender ||
+			scratch.Service != want.Service || scratch.Flags != want.Flags ||
+			scratch.RingID != want.RingID || scratch.Round != want.Round ||
+			!bytes.Equal(scratch.Payload, want.Payload) {
+			t.Fatalf("scratch decode diverges from copying decode: %+v vs %+v", scratch, want)
+		}
+		// The zero-copy contract: a non-empty payload aliases the frame, so
+		// mutating the frame must show through the decoded payload.
+		if len(scratch.Payload) > 0 {
+			orig := scratch.Payload[0]
+			b[len(b)-len(scratch.Payload)] ^= 0xFF
+			if scratch.Payload[0] != orig^0xFF {
+				t.Fatal("DecodeFrom copied the payload; it must alias the frame")
+			}
+			b[len(b)-len(scratch.Payload)] = orig
+		}
+	})
+}
+
 func FuzzDecodeJoin(f *testing.F) {
 	seed := Join{Sender: 1, Alive: []evs.ProcID{1, 2}, Failed: []evs.ProcID{3},
 		RingSeq: 9, Attempt: 2}

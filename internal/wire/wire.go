@@ -166,15 +166,30 @@ func (r *reader) done() error {
 	return nil
 }
 
-func newReader(b []byte, want FrameType) (*reader, error) {
+// init points r at the frame's body after validating the header. It exists
+// separately from newReader so the hot-path DecodeFrom methods can use a
+// stack-allocated reader value (a heap-returned *reader costs an
+// allocation per decoded frame).
+func (r *reader) init(b []byte, want FrameType) error {
 	t, err := PeekType(b)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if t != want {
-		return nil, fmt.Errorf("%w: got %v, want %v", ErrBadFrame, t, want)
+		return fmt.Errorf("%w: got %v, want %v", ErrBadFrame, t, want)
 	}
-	return &reader{b: b, off: headerLen}, nil
+	r.b = b
+	r.off = headerLen
+	r.err = nil
+	return nil
+}
+
+func newReader(b []byte, want FrameType) (*reader, error) {
+	r := new(reader)
+	if err := r.init(b, want); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 func appendViewID(b []byte, v evs.ViewID) []byte {
@@ -238,13 +253,25 @@ func (t *Token) AppendTo(b []byte) []byte {
 // EncodedLen returns the exact encoded size of the token.
 func (t *Token) EncodedLen() int { return headerLen + 12 + 4 + 8*3 + 4 + 4 + 4 + 8*len(t.Rtr) }
 
-// DecodeToken parses an encoded token frame.
+// DecodeToken parses an encoded token frame into a fresh Token.
 func DecodeToken(b []byte) (*Token, error) {
-	r, err := newReader(b, FrameToken)
-	if err != nil {
+	var t Token
+	if err := t.DecodeFrom(b); err != nil {
 		return nil, err
 	}
-	var t Token
+	return &t, nil
+}
+
+// DecodeFrom parses an encoded token frame into t, reusing t's Rtr backing
+// array when it has the capacity (the scratch-decode hot path: one Token
+// per receiver, reused for every frame). Nothing in the decoded token
+// aliases b, so the frame buffer may be recycled as soon as DecodeFrom
+// returns. On error t is left in an unspecified state.
+func (t *Token) DecodeFrom(b []byte) error {
+	var r reader
+	if err := r.init(b, FrameToken); err != nil {
+		return err
+	}
 	t.RingID = r.viewID()
 	t.TokenSeq = r.u32()
 	t.Round = r.u64()
@@ -254,18 +281,13 @@ func DecodeToken(b []byte) (*Token, error) {
 	t.Fcc = r.u32()
 	n := r.u32()
 	if n > MaxRtr {
-		return nil, fmt.Errorf("%w: rtr count %d exceeds %d", ErrBadFrame, n, MaxRtr)
+		return fmt.Errorf("%w: rtr count %d exceeds %d", ErrBadFrame, n, MaxRtr)
 	}
-	if n > 0 {
-		t.Rtr = make([]uint64, n)
-		for i := range t.Rtr {
-			t.Rtr[i] = r.u64()
-		}
+	t.Rtr = t.Rtr[:0]
+	for i := uint32(0); i < n; i++ {
+		t.Rtr = append(t.Rtr, r.u64())
 	}
-	if err := r.done(); err != nil {
-		return nil, err
-	}
-	return &t, nil
+	return r.done()
 }
 
 // Data flag bits.
@@ -323,13 +345,40 @@ func (d *Data) EncodedLen() int { return headerLen + 12 + 8 + 4 + 8 + 2 + 4 + le
 // its payload.
 const DataOverhead = headerLen + 12 + 8 + 4 + 8 + 2 + 4
 
-// DecodeData parses an encoded data frame.
+// DecodeData parses an encoded data frame into a fresh Data whose Payload
+// is copied out of b: the returned message owns its memory, so the frame
+// buffer may be recycled (or mutated) freely afterwards. This is the safe
+// mode for callers that retain the decoded message indefinitely. Hot paths
+// that control the frame's lifetime should use (*Data).DecodeFrom, the
+// zero-copy mode.
 func DecodeData(b []byte) (*Data, error) {
-	r, err := newReader(b, FrameData)
-	if err != nil {
+	var d Data
+	if err := d.DecodeFrom(b); err != nil {
 		return nil, err
 	}
-	var d Data
+	if len(d.Payload) > 0 {
+		d.Payload = append([]byte(nil), d.Payload...)
+	}
+	return &d, nil
+}
+
+// DecodeFrom parses an encoded data frame into d, zero-copy: d.Payload
+// aliases b's payload region, no bytes are copied. Ownership rules:
+//
+//   - b must not be mutated or recycled (bufpool.Put) while d.Payload —
+//     or anything it was handed to — is still referenced. Passing d to
+//     core.Engine.HandleData transfers ownership of the payload (and
+//     hence the frame) to the engine when it reports the message buffered.
+//   - d itself does not retain b beyond Payload; all other fields are
+//     copied out, and d may be reused as a decode scratch for the next
+//     frame once the previous payload's ownership has been handed off.
+//
+// On error d is left in an unspecified state.
+func (d *Data) DecodeFrom(b []byte) error {
+	var r reader
+	if err := r.init(b, FrameData); err != nil {
+		return err
+	}
 	d.RingID = r.viewID()
 	d.Seq = r.u64()
 	d.Sender = evs.ProcID(r.u32())
@@ -338,16 +387,16 @@ func DecodeData(b []byte) (*Data, error) {
 	d.Flags = r.u8()
 	n := r.u32()
 	if n > MaxPayload {
-		return nil, fmt.Errorf("%w: payload %d exceeds %d", ErrBadFrame, n, MaxPayload)
+		return fmt.Errorf("%w: payload %d exceeds %d", ErrBadFrame, n, MaxPayload)
 	}
 	d.Payload = r.bytes(int(n))
 	if err := r.done(); err != nil {
-		return nil, err
+		return err
 	}
 	if !d.Service.Valid() {
-		return nil, fmt.Errorf("%w: invalid service %d", ErrBadFrame, d.Service)
+		return fmt.Errorf("%w: invalid service %d", ErrBadFrame, d.Service)
 	}
-	return &d, nil
+	return nil
 }
 
 // Join is the membership message broadcast while a participant attempts to
