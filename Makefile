@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-full bench-smoke bench-baseline chaos
+.PHONY: ci vet build test race race-full bench-smoke bench-baseline bench-shard bench-shard-smoke chaos
 
 ci: vet build test race
 
@@ -13,11 +13,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The transports and the fault injector are the concurrency hot spots;
-# keep them under the race detector even when the full -race run is too
-# slow for the inner loop.
+# The transports, the fault injector, and the sharding layer (N protocol
+# goroutines per node) are the concurrency hot spots; keep them under the
+# race detector even when the full -race run is too slow for the inner
+# loop.
 race:
-	$(GO) test -race ./internal/transport/... ./internal/faults/...
+	$(GO) test -race ./internal/transport/... ./internal/faults/... ./internal/shard/...
 
 # The full suite under the race detector (CI runs this as its own job).
 race-full:
@@ -38,6 +39,17 @@ bench-baseline:
 	{ $(GO) test -run '^$$' -bench . -benchmem ./internal/core ./internal/wire ; \
 	  $(GO) test -run '^$$' -bench 'Fig0[13]' -benchtime 1x -benchmem . ; } \
 	  | tee results/BENCH_core.txt | $(GO) run ./cmd/benchjson > results/BENCH_core.json
+
+# Multi-ring scaling experiment: single-ring baseline vs 2- and 4-shard
+# aggregates at equal windows on the virtual-time testbed, recorded in
+# results/BENCH_shard.json (+ results/shard.txt). Commit the JSON when
+# the sharding layer or the protocol hot path changes.
+bench-shard:
+	$(GO) run ./cmd/ringbench -figure shard
+
+# Quick variant for CI: thinned measurement windows, throwaway output dir.
+bench-shard-smoke:
+	$(GO) run ./cmd/ringbench -figure shard -quick -out /tmp/accelring-bench-shard
 
 # Replay one chaos seed: make chaos FAULTS_SEED=17
 chaos:

@@ -12,6 +12,7 @@ import (
 	"accelring/internal/membership"
 	"accelring/internal/obs"
 	"accelring/internal/ringnode"
+	"accelring/internal/shard"
 )
 
 // Event is a delivery to the application: a *Message, a *GroupView, or a
@@ -46,8 +47,11 @@ func (*GroupView) isEvent() {}
 // contains the members of the previous ring that continue together;
 // messages delivered between it and the next regular view carry
 // guarantees only with respect to that reduced set (extended virtual
-// synchrony).
+// synchrony). On a sharded node each ring instance has its own
+// configuration lifecycle; Ring says which one changed (always 0
+// without WithShards).
 type ViewChange struct {
+	Ring         int
 	View         ViewID
 	Members      []ProcID
 	Transitional bool
@@ -57,19 +61,24 @@ func (*ViewChange) isEvent() {}
 
 // Node is one ring participant with a single group-messaging endpoint. It
 // embeds the daemon role: the protocol stack runs in-process, and the
-// node is its own (only) client.
+// node is its own (only) client. With WithShards(n) it runs n independent
+// ring instances and partitions groups across them (see Config.Shards).
 type Node struct {
-	cfg    Config
-	rn     *ringnode.Node
-	self   ClientID
-	tracer *obs.RingTracer
-	events chan Event
+	cfg     Config
+	rn      *ringnode.Node // single-ring mode (nil when sharded)
+	rings   *shard.Group   // sharded mode (nil when Shards <= 1)
+	shards  int
+	self    ClientID
+	tracer  *obs.RingTracer
+	tracers []*obs.RingTracer
+	events  chan Event
 
-	mu       sync.Mutex
-	table    *group.Table
-	lastView ViewID
-	ready    bool
-	closed   bool
+	mu        sync.Mutex
+	table     *group.ShardedTable
+	lastViews []ViewID
+	readyMask []bool
+	ready     bool
+	closed    bool
 
 	failed    atomic.Bool
 	closeOnce sync.Once
@@ -98,23 +107,55 @@ func OpenConfig(ctx context.Context, cfg Config) (*Node, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	tr, err := cfg.openTransport()
+
+	n := &Node{
+		cfg:       cfg,
+		shards:    cfg.Shards,
+		self:      ClientID{Daemon: cfg.Self, Local: 1},
+		events:    make(chan Event, cfg.EventBuffer),
+		table:     group.NewShardedTable(cfg.Shards),
+		lastViews: make([]ViewID, cfg.Shards),
+		readyMask: make([]bool, cfg.Shards),
+	}
+
+	if cfg.Shards > 1 {
+		base := cfg.ringConfig()
+		if cfg.Observer != nil {
+			// ForRing derives one observer per ring from this base: shared
+			// registry, per-ring "shard<r>" metric labels and tracers.
+			base.Observer = &obs.RingObserver{Reg: cfg.Observer}
+		}
+		g, err := shard.Start(shard.Config{
+			Shards:       cfg.Shards,
+			Base:         base,
+			NewTransport: cfg.openTransport,
+			OnEvent:      n.onRingEvent,
+			TraceDepth:   cfg.TraceDepth,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.rings = g
+		if cfg.Observer != nil {
+			n.tracers = make([]*obs.RingTracer, cfg.Shards)
+			for r := range n.tracers {
+				n.tracers[r] = g.Tracer(r)
+			}
+			n.tracer = n.tracers[0]
+		}
+		return n, nil
+	}
+
+	tr, err := cfg.openTransport(0)
 	if err != nil {
 		return nil, err
 	}
-
-	n := &Node{
-		cfg:    cfg,
-		self:   ClientID{Daemon: cfg.Self, Local: 1},
-		events: make(chan Event, cfg.EventBuffer),
-		table:  group.NewTable(),
-	}
-
 	rc := cfg.ringConfig()
 	rc.Transport = tr
-	rc.OnEvent = n.onEvent
+	rc.OnEvent = func(ev evs.Event) { n.onRingEvent(0, ev) }
 	if cfg.Observer != nil {
 		n.tracer = obs.NewRingTracer(cfg.TraceDepth)
+		n.tracers = []*obs.RingTracer{n.tracer}
 		rc.Observer = &obs.RingObserver{Reg: cfg.Observer, Tracer: n.tracer}
 	}
 
@@ -171,18 +212,28 @@ func (n *Node) WaitReady(ctx context.Context) error {
 }
 
 // View returns the current ring view (zero before the first ring forms).
-func (n *Node) View() ViewID {
+// On a sharded node it is ring 0's view; see ViewOf.
+func (n *Node) View() ViewID { return n.ViewOf(0) }
+
+// ViewOf returns ring's current view (zero before that ring forms).
+func (n *Node) ViewOf(ring int) ViewID {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.lastView
+	return n.lastViews[ring]
 }
+
+// Shards returns the node's ring-instance count (1 without WithShards).
+func (n *Node) Shards() int { return n.shards }
+
+// RingFor returns the ring instance that owns a group name on this node.
+func (n *Node) RingFor(groupName string) int { return RingOf(groupName, n.shards) }
 
 // Members returns the agreed membership of a group as of the events
 // processed so far (nil if empty or unknown).
 func (n *Node) Members(groupName string) []ClientID {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.table.Members(groupName)
+	return n.table.For(groupName).Members(groupName)
 }
 
 // Groups returns the groups this node has joined.
@@ -193,16 +244,26 @@ func (n *Node) Groups() []string {
 }
 
 // Tracer returns the node's token-round tracer for DebugServer.AddTracer
-// (nil unless the node was opened with WithObserver).
+// (nil unless the node was opened with WithObserver). On a sharded node
+// it is ring 0's tracer; see Tracers.
 func (n *Node) Tracer() *RingTracer { return n.tracer }
 
+// Tracers returns one token-round tracer per ring instance (nil unless
+// the node was opened with WithObserver).
+func (n *Node) Tracers() []*RingTracer {
+	if n.tracers == nil {
+		return nil
+	}
+	return append([]*RingTracer(nil), n.tracers...)
+}
+
 // Join adds this node to a group. The resulting agreed view arrives as a
-// *GroupView event, in total order with all traffic.
+// *GroupView event, in total order with all traffic on the group's ring.
 func (n *Node) Join(groupName string) error {
 	if !group.ValidGroupName(groupName) {
 		return ErrBadGroup
 	}
-	return n.submit(&group.Envelope{
+	return n.submit(n.RingFor(groupName), &group.Envelope{
 		Kind: group.OpJoin, Sender: n.self, Groups: []string{groupName},
 	}, Agreed)
 }
@@ -214,20 +275,25 @@ func (n *Node) Leave(groupName string) error {
 		return ErrBadGroup
 	}
 	n.mu.Lock()
-	member := memberOf(n.table.Members(groupName), n.self)
+	member := memberOf(n.table.For(groupName).Members(groupName), n.self)
 	n.mu.Unlock()
 	if !member {
 		return ErrNotMember
 	}
-	return n.submit(&group.Envelope{
+	return n.submit(n.RingFor(groupName), &group.Envelope{
 		Kind: group.OpLeave, Sender: n.self, Groups: []string{groupName},
 	}, Agreed)
 }
 
 // Send multicasts payload to the members of the given groups with the
-// given service level, in total order across all groups. The sender need
-// not be a member (open-group semantics); if it is, it receives its own
-// message in order like everyone else.
+// given service level. The sender need not be a member (open-group
+// semantics); if it is, it receives its own message in order like
+// everyone else. Every destination group delivers the message at one
+// agreed position in its own total order; on a sharded node a send
+// spanning groups owned by different rings becomes one independent
+// ordered message per ring, so only groups on the same ring share a
+// cross-group delivery order. On an error after the first ring accepted,
+// the rings that accepted still deliver.
 func (n *Node) Send(service Service, payload []byte, groups ...string) error {
 	if len(groups) == 0 || len(groups) > group.MaxGroups {
 		return ErrBadGroupCount
@@ -240,14 +306,20 @@ func (n *Node) Send(service Service, payload []byte, groups ...string) error {
 	if !service.Valid() {
 		return ErrInvalidService
 	}
-	return n.submit(&group.Envelope{
-		Kind: group.OpMessage, Sender: n.self, Groups: groups, Payload: payload,
-	}, service)
+	for ring, subset := range n.table.SplitByRing(groups) {
+		err := n.submit(ring, &group.Envelope{
+			Kind: group.OpMessage, Sender: n.self, Groups: subset, Payload: payload,
+		}, service)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// submit encodes the envelope and hands it to the ring, translating the
-// driver's errors into the public sentinels.
-func (n *Node) submit(env *group.Envelope, svc Service) error {
+// submit encodes the envelope and hands it to the owning ring,
+// translating the driver's errors into the public sentinels.
+func (n *Node) submit(ring int, env *group.Envelope, svc Service) error {
 	n.mu.Lock()
 	closed := n.closed
 	n.mu.Unlock()
@@ -258,7 +330,11 @@ func (n *Node) submit(env *group.Envelope, svc Service) error {
 	if err != nil {
 		return err
 	}
-	err = n.rn.Submit(enc, svc)
+	if n.rings != nil {
+		err = n.rings.Submit(ring, enc, svc)
+	} else {
+		err = n.rn.Submit(enc, svc)
+	}
 	switch {
 	case err == nil:
 		return nil
@@ -266,7 +342,7 @@ func (n *Node) submit(env *group.Envelope, svc Service) error {
 		return ErrClosed
 	case errors.Is(err, membership.ErrNotOperational):
 		n.mu.Lock()
-		last := n.lastView
+		last := n.lastViews[ring]
 		n.mu.Unlock()
 		if last.IsZero() {
 			return ErrNotReady
@@ -297,9 +373,13 @@ func (n *Node) Close() error {
 		n.mu.Lock()
 		n.closed = true
 		n.mu.Unlock()
-		// Stop waits for the protocol goroutine to exit, so no onEvent
-		// call can race the channel close below.
-		n.rn.Stop()
+		// Stop waits for every protocol goroutine to exit, so no event
+		// callback can race the channel close below.
+		if n.rings != nil {
+			n.rings.Stop()
+		} else {
+			n.rn.Stop()
+		}
 		close(n.events)
 	})
 	return nil
@@ -331,47 +411,51 @@ func (n *Node) emit(ev Event) {
 	}
 }
 
-// onEvent runs on the protocol goroutine: it applies the totally ordered
-// stream to the group table and forwards application-visible events.
-func (n *Node) onEvent(ev evs.Event) {
+// onRingEvent runs on ring's protocol goroutine: it applies that ring's
+// totally ordered stream to the ring's partition of the group table and
+// forwards application-visible events. Different rings of a sharded node
+// invoke it concurrently; n.mu serializes the table work and the events
+// channel serializes emission.
+func (n *Node) onRingEvent(ring int, ev evs.Event) {
 	switch e := ev.(type) {
 	case evs.Message:
 		env, err := group.DecodeEnvelope(e.Payload)
 		if err != nil {
 			return // not ours: a foreign application on the same ring
 		}
-		n.applyEnvelope(env, e.Service)
+		n.applyEnvelope(ring, env, e.Service)
 	case evs.ConfigChange:
-		n.applyConfigChange(e)
+		n.applyConfigChange(ring, e)
 	}
 }
 
-func (n *Node) applyEnvelope(env *group.Envelope, svc Service) {
+func (n *Node) applyEnvelope(ring int, env *group.Envelope, svc Service) {
+	table := n.table.Table(ring)
 	switch env.Kind {
 	case group.OpJoin:
 		n.mu.Lock()
-		err := n.table.Join(env.Sender, env.Groups[0])
+		err := table.Join(env.Sender, env.Groups[0])
 		n.mu.Unlock()
 		if err == nil {
 			n.announceView(env.Groups[0], env.Sender)
 		}
 	case group.OpLeave:
 		n.mu.Lock()
-		err := n.table.Leave(env.Sender, env.Groups[0])
+		err := table.Leave(env.Sender, env.Groups[0])
 		n.mu.Unlock()
 		if err == nil {
 			n.announceView(env.Groups[0], env.Sender)
 		}
 	case group.OpDisconnect:
 		n.mu.Lock()
-		left := n.table.Disconnect(env.Sender)
+		left := table.Disconnect(env.Sender)
 		n.mu.Unlock()
 		for _, g := range left {
 			n.announceView(g, env.Sender)
 		}
 	case group.OpMessage:
 		n.mu.Lock()
-		deliver := memberOf(n.table.Recipients(env.Groups), n.self)
+		deliver := memberOf(table.Recipients(env.Groups), n.self)
 		n.mu.Unlock()
 		if deliver {
 			n.emit(&Message{
@@ -391,19 +475,21 @@ func (n *Node) applyEnvelope(env *group.Envelope, svc Service) {
 // view, Spread's self-leave notification).
 func (n *Node) announceView(groupName string, cause ClientID) {
 	n.mu.Lock()
-	members := n.table.Members(groupName)
+	members := n.table.For(groupName).Members(groupName)
 	n.mu.Unlock()
 	if cause == n.self || memberOf(members, n.self) {
 		n.emit(&GroupView{Group: groupName, Members: members})
 	}
 }
 
-// applyConfigChange installs a ring view: on a regular view, endpoints of
-// departed nodes are dropped from every group (the same deterministic
-// change every surviving node applies), then the affected group views are
-// announced.
-func (n *Node) applyConfigChange(e evs.ConfigChange) {
+// applyConfigChange installs one ring's view: on a regular view,
+// endpoints of departed nodes are dropped from every group that ring owns
+// (the same deterministic change every surviving node applies), then the
+// affected group views are announced. The node reports ready once every
+// ring has installed its first configuration.
+func (n *Node) applyConfigChange(ring int, e evs.ConfigChange) {
 	n.emit(&ViewChange{
+		Ring:         ring,
 		View:         e.Config.ID,
 		Members:      append([]ProcID(nil), e.Config.Members...),
 		Transitional: e.Transitional,
@@ -417,20 +503,26 @@ func (n *Node) applyConfigChange(e evs.ConfigChange) {
 		present[m] = true
 	}
 	n.mu.Lock()
+	table := n.table.Table(ring)
 	var affected []string
 	seen := make(map[ProcID]bool)
-	for _, g := range n.table.Groups() {
-		for _, c := range n.table.Members(g) {
+	for _, g := range table.Groups() {
+		for _, c := range table.Members(g) {
 			seen[c.Daemon] = true
 		}
 	}
 	for d := range seen {
 		if !present[d] {
-			affected = append(affected, n.table.DropDaemon(d)...)
+			affected = append(affected, table.DropDaemon(d)...)
 		}
 	}
-	n.lastView = e.Config.ID
-	n.ready = true
+	n.lastViews[ring] = e.Config.ID
+	n.readyMask[ring] = true
+	allReady := true
+	for _, r := range n.readyMask {
+		allReady = allReady && r
+	}
+	n.ready = allReady
 	n.mu.Unlock()
 
 	for _, g := range dedupe(affected) {

@@ -13,6 +13,12 @@
 //
 // The daemons find each other through the membership algorithm; clients
 // connect with the client library (see examples/chat).
+//
+// With -shards N every daemon runs N independent rings and routes each
+// group to one of them by a stable hash of the group name (see README
+// § "Multi-ring sharding"). Ring r listens on every base port + 2*r, so
+// all daemons must use the same -shards value and numeric ports with a
+// gap of 2*N free above each base port.
 package main
 
 import (
@@ -53,20 +59,25 @@ func run(args []string) error {
 	global := fs.Int("global", 160, "global window (messages per round, ring-wide)")
 	accel := fs.Int("accelerated", 15, "accelerated window (post-token messages per round)")
 	obsAddr := fs.String("obs", "", "serve /debug/vars, /debug/ring and /debug/pprof on this address (e.g. :6060)")
+	shards := fs.Int("shards", 1, "independent rings per daemon; ring r uses every base port + 2*r (numeric ports required)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *id == 0 {
 		return fmt.Errorf("-id is required and must be non-zero")
 	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1")
+	}
 
 	var reg *obs.Registry
 	var tracer *obs.RingTracer
+	var srv *obs.Server
 	if *obsAddr != "" {
 		reg = obs.NewRegistry()
 		tracer = obs.NewRingTracer(obs.DefaultTraceDepth)
-		srv, err := obs.StartServer(*obsAddr, reg)
-		if err != nil {
+		var err error
+		if srv, err = obs.StartServer(*obsAddr, reg); err != nil {
 			return err
 		}
 		defer srv.Close()
@@ -78,51 +89,89 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	tr, err := transport.NewUDP(transport.UDPConfig{
-		Self:   evs.ProcID(*id),
-		Listen: transport.UDPPeer{Data: *dataAddr, Token: *tokenAddr},
-		Peers:  peers,
-		Obs:    reg,
-	})
-	if err != nil {
-		return err
+	self := evs.ProcID(*id)
+	newTransport := func(ring int) (transport.Transport, error) {
+		listenAddrs, err := shiftPeer(transport.UDPPeer{Data: *dataAddr, Token: *tokenAddr}, 2*ring)
+		if err != nil {
+			return nil, err
+		}
+		ringPeers := make(map[evs.ProcID]transport.UDPPeer, len(peers))
+		for pid, p := range peers {
+			if ringPeers[pid], err = shiftPeer(p, 2*ring); err != nil {
+				return nil, err
+			}
+		}
+		return transport.NewUDP(transport.UDPConfig{
+			Self:   self,
+			Listen: listenAddrs,
+			Peers:  ringPeers,
+			Obs:    reg,
+		})
 	}
 
-	var ringCfg ringnode.Config
-	if *original {
-		ringCfg = ringnode.Original(evs.ProcID(*id), tr, *personal, *global)
+	dcfg := daemon.Config{Obs: reg}
+	if *shards > 1 {
+		dcfg.Shards = *shards
+		dcfg.NewTransport = newTransport
+		if *original {
+			dcfg.Ring = ringnode.Original(self, nil, *personal, *global)
+		} else {
+			dcfg.Ring = ringnode.Accelerated(self, nil, *personal, *global, *accel)
+		}
+		if reg != nil {
+			// ForRing derives per-ring labeled observers and tracers from
+			// this base; the per-ring tracers are registered below.
+			dcfg.Ring.Observer = &obs.RingObserver{Reg: reg, Tracer: tracer}
+		}
 	} else {
-		ringCfg = ringnode.Accelerated(evs.ProcID(*id), tr, *personal, *global, *accel)
-	}
-	if reg != nil {
-		ringCfg.Observer = &obs.RingObserver{Reg: reg, Tracer: tracer}
+		tr, err := newTransport(0)
+		if err != nil {
+			return err
+		}
+		if *original {
+			dcfg.Ring = ringnode.Original(self, tr, *personal, *global)
+		} else {
+			dcfg.Ring = ringnode.Accelerated(self, tr, *personal, *global, *accel)
+		}
+		if reg != nil {
+			dcfg.Ring.Observer = &obs.RingObserver{Reg: reg, Tracer: tracer}
+		}
 	}
 
 	ln, err := listen(*clientAddr)
 	if err != nil {
-		tr.Close()
 		return err
 	}
+	dcfg.Listener = ln
 
-	d, err := daemon.Start(daemon.Config{Ring: ringCfg, Listener: ln, Obs: reg})
+	d, err := daemon.Start(dcfg)
 	if err != nil {
 		ln.Close()
 		return err
+	}
+	if srv != nil && *shards > 1 {
+		for r := 0; r < d.Shards(); r++ {
+			if o := d.RingNode(r).Observer(); o != nil && o.Tracer != nil {
+				srv.AddTracer(fmt.Sprintf("daemon%d.shard%d", *id, r), o.Tracer)
+			}
+		}
 	}
 	proto := "accelerated"
 	if *original {
 		proto = "original"
 	}
-	log.Printf("daemon %d up: protocol=%s data=%s token=%s clients=%s peers=%d",
-		*id, proto, *dataAddr, *tokenAddr, ln.Addr(), len(peers))
+	log.Printf("daemon %d up: protocol=%s shards=%d data=%s token=%s clients=%s peers=%d",
+		*id, proto, d.Shards(), *dataAddr, *tokenAddr, ln.Addr(), len(peers))
 
 	go func() {
 		for {
 			time.Sleep(5 * time.Second)
-			st := d.Node().Status()
-			log.Printf("state=%v ring=%v rounds=%d sent=%d delivered=%d retrans=%d",
-				st.State, st.Ring, st.Engine.Rounds, st.Engine.Sent,
-				st.Engine.Delivered, st.Engine.Retransmitted)
+			for r := 0; r < d.Shards(); r++ {
+				st := d.RingNode(r).Status()
+				log.Printf("ring=%d state=%v members=%v rounds=%d sent=%d delivered=%d retrans=%d",
+					r, st.State, st.Ring, st.Engine.Rounds, st.Engine.Sent,
+					st.Engine.Delivered, st.Engine.Retransmitted)
+			}
 		}
 	}()
 
@@ -139,6 +188,32 @@ func listen(addr string) (net.Listener, error) {
 		return net.Listen("unix", path)
 	}
 	return net.Listen("tcp", addr)
+}
+
+// shiftPeer derives one ring's addresses by adding `by` to both numeric
+// ports, mirroring the facade's per-ring port rule.
+func shiftPeer(p transport.UDPPeer, by int) (transport.UDPPeer, error) {
+	var err error
+	if p.Data, err = shiftPort(p.Data, by); err != nil {
+		return p, err
+	}
+	p.Token, err = shiftPort(p.Token, by)
+	return p, err
+}
+
+func shiftPort(addr string, by int) (string, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("sharded address %q: %w", addr, err)
+	}
+	n, err := strconv.Atoi(port)
+	if err != nil || n <= 0 {
+		return "", fmt.Errorf("sharded address %q needs a nonzero numeric port", addr)
+	}
+	if n+by > 65535 {
+		return "", fmt.Errorf("sharded address %q: port %d out of range", addr, n+by)
+	}
+	return net.JoinHostPort(host, strconv.Itoa(n+by)), nil
 }
 
 func parsePeers(spec string) (map[evs.ProcID]transport.UDPPeer, error) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"time"
 
 	"accelring/internal/core"
@@ -11,6 +12,7 @@ import (
 	"accelring/internal/membership"
 	"accelring/internal/obs"
 	"accelring/internal/ringnode"
+	"accelring/internal/shard"
 	"accelring/internal/transport"
 )
 
@@ -73,14 +75,30 @@ type Config struct {
 	// membership defaults.
 	Timeouts Timeouts
 
+	// Shards is the number of independent ring instances this node runs
+	// (default 1, max MaxShards). With more than one, groups are
+	// partitioned across rings by a stable hash of the group name:
+	// per-group total order is unchanged and aggregate throughput
+	// multiplies, but cross-group delivery order is only guaranteed for
+	// groups owned by the same ring (see RingOf).
+	Shards int
+
 	// Transport, when non-nil, carries frames (e.g. a Hub endpoint for
-	// tests). The node takes ownership and closes it on Close.
+	// tests). The node takes ownership and closes it on Close. Only
+	// valid with Shards <= 1; sharded nodes need one transport per ring.
 	Transport Transport
+	// Transports carries frames per ring in a sharded node: Transports[r]
+	// is ring r's binding (e.g. an endpoint on ring r's own Hub). When
+	// set, its length must equal Shards. The node takes ownership.
+	Transports []Transport
 	// Listen and Peers configure a UDP transport when Transport is nil:
 	// Listen holds this node's data/token listen addresses, Peers the
 	// other participants'. Addresses must resolve as UDP host:ports.
+	// With Shards > 1 the ports must be numeric and nonzero: ring r
+	// listens (and expects each peer) on every base port + 2*r, so
+	// leave a gap of 2*Shards ports free above each base port.
 	Listen UDPAddrs
-	Peers map[ProcID]UDPAddrs
+	Peers  map[ProcID]UDPAddrs
 
 	// EventBuffer is the Events channel capacity (default
 	// DefaultEventBuffer). A consumer that falls this far behind is
@@ -108,7 +126,17 @@ var (
 	ErrBadAddress    = errors.New("accelring: bad UDP address")
 	ErrBadProtocol   = errors.New("accelring: unknown protocol variant")
 	ErrBadBufferSize = errors.New("accelring: buffer sizes must be non-negative")
+	ErrBadShards     = errors.New("accelring: invalid shard configuration")
 )
+
+// MaxShards bounds Config.Shards.
+const MaxShards = shard.MaxShards
+
+// RingOf returns the ring that owns a group name in a node opened with
+// WithShards(shards). The hash is stable across processes and releases:
+// every node routes a group to the same ring, which is what preserves the
+// group's total order in a sharded deployment.
+func RingOf(groupName string, shards int) int { return shard.RingOf(groupName, shards) }
 
 // Validate fills in documented defaults for zero fields, then checks the
 // configuration, returning the first problem found. Open calls it for
@@ -119,6 +147,12 @@ func (c *Config) Validate() error {
 	}
 	if c.Protocol != ProtocolAccelerated && c.Protocol != ProtocolOriginal {
 		return fmt.Errorf("%w: %d", ErrBadProtocol, int(c.Protocol))
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 1 || c.Shards > MaxShards {
+		return fmt.Errorf("%w: Shards %d out of range [1, %d]", ErrBadShards, c.Shards, MaxShards)
 	}
 
 	// Defaults.
@@ -183,7 +217,18 @@ func (c *Config) Validate() error {
 	}
 
 	// Transport.
-	if c.Transport == nil {
+	if len(c.Transports) > 0 && len(c.Transports) != c.Shards {
+		return fmt.Errorf("%w: %d Transports for %d shards", ErrBadShards, len(c.Transports), c.Shards)
+	}
+	for r, tr := range c.Transports {
+		if tr == nil {
+			return fmt.Errorf("%w: Transports[%d] is nil", ErrBadShards, r)
+		}
+	}
+	if c.Shards > 1 && c.Transport != nil {
+		return fmt.Errorf("%w: a sharded node needs one transport per ring: use Transports, not Transport", ErrBadShards)
+	}
+	if c.Transport == nil && len(c.Transports) == 0 {
 		if c.Listen.Data == "" || c.Listen.Token == "" {
 			return ErrNoTransport
 		}
@@ -198,8 +243,52 @@ func (c *Config) Validate() error {
 				return err
 			}
 		}
+		if c.Shards > 1 {
+			// Per-ring ports are derived by offsetting the base ports, so
+			// they must be numeric and nonzero (an ephemeral ":0" cannot
+			// be shifted deterministically on every node).
+			addrs := []UDPAddrs{c.Listen}
+			for _, p := range c.Peers {
+				addrs = append(addrs, p)
+			}
+			for _, p := range addrs {
+				for _, a := range []string{p.Data, p.Token} {
+					if _, err := shiftPort(a, 0); err != nil {
+						return fmt.Errorf("%w: sharded UDP needs numeric nonzero ports: %q: %v", ErrBadShards, a, err)
+					}
+				}
+			}
+		}
 	}
 	return nil
+}
+
+// shiftPort returns addr with its numeric, nonzero port offset by `by` —
+// how a sharded node derives ring r's addresses from the base ones.
+func shiftPort(addr string, by int) (string, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", err
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil {
+		return "", fmt.Errorf("port %q is not numeric", port)
+	}
+	if p <= 0 || p+by > 65535 {
+		return "", fmt.Errorf("port %d+%d out of range", p, by)
+	}
+	return net.JoinHostPort(host, strconv.Itoa(p+by)), nil
+}
+
+// shiftUDPAddrs offsets both ports of an address pair (ring r uses 2*r).
+func shiftUDPAddrs(p UDPAddrs, by int) (UDPAddrs, error) {
+	var out UDPAddrs
+	var err error
+	if out.Data, err = shiftPort(p.Data, by); err != nil {
+		return out, err
+	}
+	out.Token, err = shiftPort(p.Token, by)
+	return out, err
 }
 
 func checkUDPAddrs(who string, p UDPAddrs) error {
@@ -232,16 +321,35 @@ func (c *Config) ringConfig() ringnode.Config {
 	return rc
 }
 
-// openTransport returns the configured transport, creating a UDP one from
-// Listen/Peers when Transport is nil. Validate must have passed.
-func (c *Config) openTransport() (Transport, error) {
+// openTransport returns ring's transport: the explicit per-ring (or
+// single) transport when configured, otherwise a UDP one created from
+// Listen/Peers — on the base ports for ring 0, and on ports offset by
+// 2*ring for the other rings of a sharded node. Validate must have
+// passed.
+func (c *Config) openTransport(ring int) (Transport, error) {
+	if len(c.Transports) > 0 {
+		return c.Transports[ring], nil
+	}
 	if c.Transport != nil {
 		return c.Transport, nil
 	}
+	listen, peers := c.Listen, c.Peers
+	if c.Shards > 1 {
+		var err error
+		if listen, err = shiftUDPAddrs(c.Listen, 2*ring); err != nil {
+			return nil, err
+		}
+		peers = make(map[ProcID]UDPAddrs, len(c.Peers))
+		for id, p := range c.Peers {
+			if peers[id], err = shiftUDPAddrs(p, 2*ring); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return transport.NewUDP(transport.UDPConfig{
 		Self:   c.Self,
-		Listen: c.Listen,
-		Peers:  c.Peers,
+		Listen: listen,
+		Peers:  peers,
 		Obs:    c.Observer,
 	})
 }

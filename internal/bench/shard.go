@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"accelring/internal/evs"
+	"accelring/internal/simnet"
+	"accelring/internal/simproc"
+)
+
+// ShardPoint is the measured aggregate for one shard count.
+type ShardPoint struct {
+	// Shards is the number of independent rings.
+	Shards int `json:"shards"`
+	// RingMbps is each ring's own measured goodput.
+	RingMbps []float64 `json:"ring_mbps"`
+	// AggregateMbps is the summed ordered-payload throughput.
+	AggregateMbps float64 `json:"aggregate_mbps"`
+	// Speedup is AggregateMbps over the single-ring baseline.
+	Speedup float64 `json:"speedup"`
+	// MeanLatencyUs is the mean delivery latency averaged over rings.
+	MeanLatencyUs float64 `json:"mean_latency_us"`
+}
+
+// ShardReport records the multi-ring scaling experiment: a single-ring
+// baseline plus one point per shard count, all at equal flow-control
+// windows on the same fabric. It is the source for results/BENCH_shard.json.
+type ShardReport struct {
+	Fabric       string  `json:"fabric"`
+	Nodes        int     `json:"nodes"`
+	Profile      string  `json:"profile"`
+	PayloadBytes int     `json:"payload_bytes"`
+	Windows      Windows `json:"windows"`
+	Seed         int64   `json:"seed"`
+	Quick        bool    `json:"quick"`
+	// BaselineMbps is the single-ring saturated goodput at the same
+	// windows — the denominator of every Speedup.
+	BaselineMbps      float64      `json:"baseline_mbps"`
+	BaselineLatencyUs float64      `json:"baseline_latency_us"`
+	Points            []ShardPoint `json:"points"`
+}
+
+// ShardThroughput measures how aggregate ordering throughput scales with
+// the shard count of the Multi-Ring layer. Each ring of a sharded
+// deployment is a fully independent protocol instance — its own engine,
+// membership machine, sockets, and token, with no shared protocol state —
+// so the virtual-time testbed models an S-shard deployment as S
+// independent simulated clusters at equal windows (each with its own
+// workload seed) and sums their measured goodputs. Saturating senders,
+// Agreed delivery, daemon prototype.
+func (s *Suite) ShardThroughput(shardCounts ...int) (*ShardReport, error) {
+	fabric := simnet.TenGigFabric(8)
+	w := fabricWindows(fabric)
+	rep := &ShardReport{
+		Fabric:       "10GbE",
+		Nodes:        fabric.Nodes,
+		Profile:      "daemon",
+		PayloadBytes: 1350,
+		Windows:      w,
+		Seed:         s.seed(),
+		Quick:        s.Quick,
+	}
+	point := func(label string, seed int64) (Result, error) {
+		return s.run(RunConfig{
+			Fabric: fabric, Profile: simproc.Daemon(), Protocol: AcceleratedRing,
+			Windows: w, Service: evs.Agreed, PayloadBytes: rep.PayloadBytes,
+			Seed: seed,
+		}, label)
+	}
+	base, err := point("shard baseline (1 ring)", s.seed())
+	if err != nil {
+		return nil, err
+	}
+	rep.BaselineMbps = base.GoodputMbps
+	rep.BaselineLatencyUs = base.MeanLatencyUs
+	for _, sc := range shardCounts {
+		pt := ShardPoint{Shards: sc}
+		var latSum float64
+		for r := 0; r < sc; r++ {
+			res, err := point(fmt.Sprintf("shard ring %d/%d", r, sc),
+				s.seed()+int64(sc)*1_000_003+int64(r+1)*7919)
+			if err != nil {
+				return nil, err
+			}
+			pt.RingMbps = append(pt.RingMbps, res.GoodputMbps)
+			pt.AggregateMbps += res.GoodputMbps
+			latSum += res.MeanLatencyUs
+		}
+		pt.MeanLatencyUs = latSum / float64(sc)
+		if rep.BaselineMbps > 0 {
+			pt.Speedup = pt.AggregateMbps / rep.BaselineMbps
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+// JSON renders the report for results/BENCH_shard.json.
+func (r *ShardReport) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Table renders the report as a text table alongside the other figures.
+func (r *ShardReport) Table() *Table {
+	t := &Table{
+		ID: "shard",
+		Title: fmt.Sprintf("Multi-ring sharding: aggregate ordered throughput vs shard count (%s, %dB, %s prototype, saturating senders, Agreed)",
+			r.Fabric, r.PayloadBytes, r.Profile),
+		Columns: []string{"shards", "per-ring Mbps", "aggregate Mbps", "speedup", "mean µs"},
+		Notes: []string{
+			"each ring is an independent protocol instance (own engine, membership, sockets, token) at equal flow-control windows; rings are measured on dedicated fabrics and summed",
+			"aggregates above one NIC's capacity assume one interface per ring",
+		},
+	}
+	t.AddRow("1", mbps(r.BaselineMbps), mbps(r.BaselineMbps), "1.00x",
+		fmt.Sprintf("%.0f", r.BaselineLatencyUs))
+	for _, p := range r.Points {
+		var rings string
+		for i, g := range p.RingMbps {
+			if i > 0 {
+				rings += " "
+			}
+			rings += mbps(g)
+		}
+		t.AddRow(fmt.Sprintf("%d", p.Shards), rings, mbps(p.AggregateMbps),
+			fmt.Sprintf("%.2fx", p.Speedup), fmt.Sprintf("%.0f", p.MeanLatencyUs))
+	}
+	return t
+}
+
+// shardFigure runs the default scaling sweep (2 and 4 shards).
+func (s *Suite) shardFigure() (*Table, error) {
+	rep, err := s.ShardThroughput(2, 4)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Table(), nil
+}

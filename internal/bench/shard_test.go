@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestShardThroughputScales pins the tentpole's headline claim: at equal
+// windows, a 2-shard deployment orders at least 1.5× the single-ring
+// baseline's aggregate goodput.
+func TestShardThroughputScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturating sweeps are slow")
+	}
+	s := &Suite{Quick: true}
+	rep, err := s.ShardThroughput(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BaselineMbps <= 0 {
+		t.Fatalf("baseline goodput %v", rep.BaselineMbps)
+	}
+	if len(rep.Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(rep.Points))
+	}
+	pt := rep.Points[0]
+	if pt.Shards != 2 || len(pt.RingMbps) != 2 {
+		t.Fatalf("point shape: %+v", pt)
+	}
+	for r, g := range pt.RingMbps {
+		if g <= 0 {
+			t.Fatalf("ring %d ordered nothing", r)
+		}
+	}
+	if pt.Speedup < 1.5 {
+		t.Fatalf("2-shard speedup %.2fx, want >= 1.5x (aggregate %.0f vs baseline %.0f Mbps)",
+			pt.Speedup, pt.AggregateMbps, rep.BaselineMbps)
+	}
+
+	// The JSON report round-trips and the table renders every point.
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ShardReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.BaselineMbps != rep.BaselineMbps || len(back.Points) != 1 {
+		t.Fatalf("JSON round-trip mangled the report: %+v", back)
+	}
+	tbl := rep.Table()
+	if tbl.ID != "shard" || len(tbl.Rows) != 2 {
+		t.Fatalf("table shape: id=%q rows=%d", tbl.ID, len(tbl.Rows))
+	}
+}
+
+// TestShardThroughputDeterministic: equal suites produce equal reports.
+func TestShardThroughputDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturating sweeps are slow")
+	}
+	run := func() *ShardReport {
+		rep, err := (&Suite{Quick: true}).ShardThroughput(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	ja, _ := a.JSON()
+	jb, _ := b.JSON()
+	if string(ja) != string(jb) {
+		t.Fatalf("replay diverged:\n%s\nvs\n%s", ja, jb)
+	}
+}

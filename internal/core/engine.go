@@ -254,9 +254,9 @@ type Engine struct {
 	// freeData recycles message structs discarded as stable; msgScratch is
 	// the per-round new-message slice; rtScratch is the retransmission
 	// copy handed to Multicast.
-	freeData  []*wire.Data
+	freeData   []*wire.Data
 	msgScratch []*wire.Data
-	rtScratch wire.Data
+	rtScratch  wire.Data
 	// remScratch/reqScratch/haveScratch back answerRetransmissions and
 	// appendRequests across rounds.
 	remScratch  []uint64
@@ -508,9 +508,11 @@ func (e *Engine) HandleToken(t *wire.Token) {
 	tokStart := e.obs.Now()
 	requestedBefore := e.counters.Requested
 
-	// Phase 1 (§III-B1): answer retransmission requests. All of them must
-	// go out pre-token or they could be requested again.
-	numRetrans, remaining := e.answerRetransmissions(t.Rtr)
+	// Phase 1 (§III-B1): answer retransmission requests, capped at the
+	// Global window so a corrupt or adversarial Rtr list cannot trigger an
+	// unbounded pre-token burst. Requests beyond the budget stay on the
+	// outgoing token for later rounds.
+	numRetrans, remaining := e.answerRetransmissions(t.Rtr, e.cfg.Windows.RetransBudget())
 
 	// Decide the complete set of new messages for this round.
 	numToSend := e.cfg.Windows.NumToSend(len(e.sendQ), recvFcc, numRetrans)
@@ -590,11 +592,12 @@ func (e *Engine) HandleToken(t *wire.Token) {
 	}
 }
 
-// answerRetransmissions multicasts every requested message this
-// participant holds and returns how many it sent plus the requests it
-// could not answer. The returned slice aliases engine scratch and is valid
-// until the next round.
-func (e *Engine) answerRetransmissions(rtr []uint64) (int, []uint64) {
+// answerRetransmissions multicasts requested messages this participant
+// holds, up to budget, and returns how many it sent plus the requests it
+// did not answer (missing here, or beyond the budget — those stay on the
+// token so they are served in a later round or by another holder). The
+// returned slice aliases engine scratch and is valid until the next round.
+func (e *Engine) answerRetransmissions(rtr []uint64, budget int) (int, []uint64) {
 	if len(rtr) == 0 {
 		return 0, nil
 	}
@@ -606,7 +609,7 @@ func (e *Engine) answerRetransmissions(rtr []uint64) (int, []uint64) {
 			// the request is stale. Drop it.
 			continue
 		}
-		if d := e.buf.Get(seq); d != nil {
+		if d := e.buf.Get(seq); d != nil && n < budget {
 			rd := &e.rtScratch
 			*rd = *d
 			rd.Flags |= wire.FlagRetrans

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"accelring/internal/evs"
+	"accelring/internal/wire"
+)
+
+// tok builds a minimal valid token for the ring: Aru pinned below Seq by a
+// foreign AruID so nothing becomes stable and the buffer keeps everything.
+func tok(ring evs.Configuration, tokenSeq uint32, seq uint64) *wire.Token {
+	return &wire.Token{
+		RingID:   ring.ID,
+		TokenSeq: tokenSeq,
+		Seq:      seq,
+		Aru:      0,
+		AruID:    2,
+		Round:    uint64(tokenSeq),
+	}
+}
+
+// TestTokenSeqWraparoundGuard exercises the duplicate-token guard across the
+// uint32 TokenSeq wrap: fresh tokens are accepted straight through the
+// wrap, duplicates and stale tokens are dropped on both sides of it.
+func TestTokenSeqWraparoundGuard(t *testing.T) {
+	ring := ringOf(1, 2)
+	out := &testOut{}
+	eng, err := New(Accelerated(1, ring, 5, 100, 3), out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	near := ^uint32(0) // 0xFFFFFFFF
+	steps := []struct {
+		tokenSeq uint32
+		accept   bool
+	}{
+		{near - 1, true},  // first token seen
+		{near - 1, false}, // exact duplicate
+		{near, true},      // next
+		{0, true},         // near+1 wraps to 0: accepted only via int32 math
+		{near, false},     // stale after the wrap
+		{1, true},         // continues past the wrap
+		{0, false},        // stale duplicate of the wrapped token
+	}
+
+	var wantRounds, wantDropped uint64
+	for i, s := range steps {
+		before := eng.Counters().Rounds
+		eng.HandleToken(tok(ring, s.tokenSeq, 0))
+		after := eng.Counters().Rounds
+		accepted := after > before
+		if accepted != s.accept {
+			t.Fatalf("step %d (TokenSeq=%#x): accepted=%v, want %v", i, s.tokenSeq, accepted, s.accept)
+		}
+		if s.accept {
+			wantRounds++
+		} else {
+			wantDropped++
+		}
+	}
+	c := eng.Counters()
+	if c.Rounds != wantRounds || c.TokensDropped != wantDropped {
+		t.Fatalf("counters: rounds=%d dropped=%d, want %d/%d", c.Rounds, c.TokensDropped, wantRounds, wantDropped)
+	}
+}
+
+// TestReinstallResetsTokenSeqGuard pins the invariant that makes stale
+// lastTokenSeq/sawToken state across ring installs impossible: membership
+// creates a brand-new engine for every install (see membership.install),
+// and a fresh engine accepts the new ring's initial token (TokenSeq 1)
+// unconditionally. The same token fed to the old engine — simulating state
+// carried over — is discarded, which is exactly the bug the fresh engine
+// prevents: the first tokens of a new ring silently dropped.
+func TestReinstallResetsTokenSeqGuard(t *testing.T) {
+	ring := ringOf(1, 2)
+	oldOut := &testOut{}
+	oldEng, err := New(Accelerated(1, ring, 5, 100, 3), oldOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The old ring has progressed: its guard sits at TokenSeq 5.
+	for seq := uint32(1); seq <= 5; seq++ {
+		oldEng.HandleToken(tok(ring, seq, 0))
+	}
+	if got := oldEng.Counters().Rounds; got != 5 {
+		t.Fatalf("old engine handled %d rounds, want 5", got)
+	}
+
+	// A new ring's initial token starts over at TokenSeq 1. Against the old
+	// engine's stale guard it would be discarded...
+	initial := NewInitialToken(ring.ID, 0)
+	dropsBefore := oldEng.Counters().TokensDropped
+	oldEng.HandleToken(initial)
+	if oldEng.Counters().TokensDropped != dropsBefore+1 {
+		t.Fatalf("stale guard did not discard the new ring's initial token (the hazard this test pins)")
+	}
+
+	// ...but every install constructs a fresh engine, whose guard is reset.
+	freshOut := &testOut{}
+	freshEng, err := New(Accelerated(1, ring, 5, 100, 3), freshOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshEng.HandleToken(NewInitialToken(ring.ID, 0))
+	c := freshEng.Counters()
+	if c.Rounds != 1 || c.TokensDropped != 0 {
+		t.Fatalf("fresh engine: rounds=%d dropped=%d, want 1/0 (initial token must be accepted)", c.Rounds, c.TokensDropped)
+	}
+}
+
+// TestOversizedRtrCappedAtGlobalWindow feeds an engine holding 40 messages
+// a token whose Rtr list requests all of them. The engine must answer at
+// most Global-window retransmissions this round and keep the rest on the
+// outgoing token instead of blasting an unbounded pre-token burst.
+func TestOversizedRtrCappedAtGlobalWindow(t *testing.T) {
+	const (
+		personal = 5
+		global   = 10
+		held     = 40
+	)
+	ring := ringOf(1, 2)
+	out := &testOut{}
+	eng, err := New(Accelerated(1, ring, personal, global, 3), out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < held; i++ {
+		if err := eng.Submit([]byte(fmt.Sprintf("m-%d", i)), evs.Agreed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain the send queue: 8 rounds of 5 new messages each, all retained
+	// in the buffer (the token's Aru stays 0, so nothing becomes stable).
+	seq := uint64(0)
+	for round := uint32(1); round <= held/personal; round++ {
+		eng.HandleToken(tok(ring, round, seq))
+		seq += personal
+	}
+	out.drain()
+
+	// A token requesting every held message at once (4x the Global window).
+	req := tok(ring, held/personal+1, seq)
+	for s := uint64(1); s <= held; s++ {
+		req.Rtr = append(req.Rtr, s)
+	}
+	eng.HandleToken(req)
+
+	var retrans int
+	var outTok *wire.Token
+	for _, ef := range out.drain() {
+		switch {
+		case ef.data != nil && ef.data.Retrans():
+			retrans++
+		case ef.token != nil:
+			outTok = ef.token
+		}
+	}
+	if retrans != global {
+		t.Fatalf("answered %d retransmissions, want exactly the Global window %d", retrans, global)
+	}
+	if got := eng.Counters().Retransmitted; got != global {
+		t.Fatalf("Retransmitted counter %d, want %d", got, global)
+	}
+	if outTok == nil {
+		t.Fatal("no outgoing token")
+	}
+	if want := held - global; len(outTok.Rtr) != want {
+		t.Fatalf("outgoing token carries %d deferred requests, want %d", len(outTok.Rtr), want)
+	}
+	for i, s := range outTok.Rtr {
+		if s != uint64(global+i+1) {
+			t.Fatalf("deferred request %d is seq %d, want %d", i, s, global+i+1)
+		}
+	}
+}

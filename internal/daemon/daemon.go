@@ -6,6 +6,13 @@
 // middleware and application, lets one daemon set serve several
 // applications, and provides open-group semantics (senders need not be
 // members).
+//
+// With Config.Shards > 1 the daemon runs N independent ring instances
+// (the Multi-Ring scaling pattern) and routes every group to its owning
+// ring by the stable shard.RingOf hash: per-group total order is
+// unchanged, aggregate ordering throughput multiplies, and cross-group
+// delivery order is guaranteed only for groups that hash to the same
+// ring.
 package daemon
 
 import (
@@ -21,13 +28,24 @@ import (
 	"accelring/internal/obs"
 	"accelring/internal/ringnode"
 	"accelring/internal/session"
+	"accelring/internal/shard"
+	"accelring/internal/transport"
 )
 
 // Config configures a daemon.
 type Config struct {
 	// Ring is the protocol configuration (Self, Transport, windows,
-	// timeouts). Its OnEvent field is owned by the daemon.
+	// timeouts). Its OnEvent field is owned by the daemon. With Shards
+	// > 1 it is the per-ring template: its Transport is ignored and
+	// NewTransport opens each ring's own binding.
 	Ring ringnode.Config
+	// Shards is the ring-instance count (default 1). Each instance is a
+	// full protocol stack — engine, membership, transport — and groups
+	// are partitioned across them by shard.RingOf.
+	Shards int
+	// NewTransport opens ring r's transport binding; required when
+	// Shards > 1 (each ring needs its own ports), ignored otherwise.
+	NewTransport func(ring int) (transport.Transport, error)
 	// Listener accepts client connections (TCP or Unix socket). The
 	// daemon takes ownership and closes it on Stop.
 	Listener net.Listener
@@ -41,13 +59,16 @@ type Config struct {
 
 // Daemon is one host's ordering daemon.
 type Daemon struct {
-	cfg  Config
-	self evs.ProcID
-	node *ringnode.Node
-	ln   net.Listener
+	cfg    Config
+	self   evs.ProcID
+	node   *ringnode.Node // single-ring mode (nil when sharded)
+	rings  *shard.Group   // sharded mode (nil when Shards <= 1)
+	shards int
+	ln     net.Listener
 
-	// table is only touched on the protocol goroutine (OnEvent).
-	table *group.Table
+	// table holds one per-ring partition; each partition is only
+	// touched on its own ring's protocol goroutine (onRingEvent).
+	table *group.ShardedTable
 
 	mu        sync.Mutex
 	clients   map[uint32]*clientConn
@@ -93,7 +114,7 @@ type clientConn struct {
 	slowDrop *obs.Counter
 }
 
-// Start launches the protocol node and the client accept loop.
+// Start launches the protocol node(s) and the client accept loop.
 func Start(cfg Config) (*Daemon, error) {
 	if cfg.Listener == nil {
 		return nil, errors.New("daemon: nil listener")
@@ -101,34 +122,77 @@ func Start(cfg Config) (*Daemon, error) {
 	if cfg.ClientBuffer <= 0 {
 		cfg.ClientBuffer = 1024
 	}
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	d := &Daemon{
 		cfg:     cfg,
 		self:    cfg.Ring.Self,
+		shards:  shards,
 		ln:      cfg.Listener,
-		table:   group.NewTable(),
+		table:   group.NewShardedTable(shards),
 		clients: make(map[uint32]*clientConn),
 		dm:      newDaemonMetrics(cfg.Obs),
 	}
-	ringCfg := cfg.Ring
-	ringCfg.OnEvent = d.onEvent
-	node, err := ringnode.Start(ringCfg)
-	if err != nil {
-		return nil, err
+	if shards > 1 {
+		g, err := shard.Start(shard.Config{
+			Shards:       shards,
+			Base:         cfg.Ring,
+			NewTransport: cfg.NewTransport,
+			OnEvent:      d.onRingEvent,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.rings = g
+	} else {
+		ringCfg := cfg.Ring
+		ringCfg.OnEvent = func(ev evs.Event) { d.onRingEvent(0, ev) }
+		node, err := ringnode.Start(ringCfg)
+		if err != nil {
+			return nil, err
+		}
+		d.node = node
 	}
-	d.node = node
 	d.wg.Add(1)
 	go d.acceptLoop()
 	return d, nil
 }
 
-// Node exposes the underlying protocol node (status inspection).
-func (d *Daemon) Node() *ringnode.Node { return d.node }
+// Node exposes the underlying protocol node (ring 0's when sharded).
+func (d *Daemon) Node() *ringnode.Node { return d.ringNode(0) }
+
+// Shards returns the daemon's ring-instance count.
+func (d *Daemon) Shards() int { return d.shards }
+
+// RingNode exposes ring r's protocol node (status inspection).
+func (d *Daemon) RingNode(r int) *ringnode.Node { return d.ringNode(r) }
+
+func (d *Daemon) ringNode(r int) *ringnode.Node {
+	if d.rings != nil {
+		return d.rings.Node(r)
+	}
+	return d.node
+}
+
+// submit hands an encoded envelope to the owning ring.
+func (d *Daemon) submit(ring int, enc []byte, svc evs.Service) error {
+	if d.rings != nil {
+		return d.rings.Submit(ring, enc, svc)
+	}
+	return d.node.Submit(enc, svc)
+}
 
 // Addr returns the client listener's address.
 func (d *Daemon) Addr() net.Addr { return d.ln.Addr() }
 
-// WaitOperational blocks until the daemon's ring is operational.
+// WaitOperational blocks until every one of the daemon's rings is
+// operational.
 func (d *Daemon) WaitOperational(timeout time.Duration) bool {
+	if d.rings != nil {
+		return d.rings.WaitOperational(timeout)
+	}
 	return d.node.WaitState(membership.StateOperational, timeout)
 }
 
@@ -151,7 +215,11 @@ func (d *Daemon) Stop() {
 		c.close()
 	}
 	d.wg.Wait()
-	d.node.Stop()
+	if d.rings != nil {
+		d.rings.Stop()
+	} else {
+		d.node.Stop()
+	}
 }
 
 func (d *Daemon) acceptLoop() {
@@ -221,11 +289,11 @@ func (d *Daemon) clientReader(c *clientConn) {
 		}
 		switch req := f.(type) {
 		case session.Join:
-			d.submitEnvelope(c, group.Envelope{
+			d.submitEnvelope(c, d.table.Ring(req.Group), group.Envelope{
 				Kind: group.OpJoin, Sender: c.id, Groups: []string{req.Group},
 			}, evs.Agreed)
 		case session.Leave:
-			d.submitEnvelope(c, group.Envelope{
+			d.submitEnvelope(c, d.table.Ring(req.Group), group.Envelope{
 				Kind: group.OpLeave, Sender: c.id, Groups: []string{req.Group},
 			}, evs.Agreed)
 		case session.Send:
@@ -235,10 +303,16 @@ func (d *Daemon) clientReader(c *clientConn) {
 				continue
 			}
 			d.backpressure()
-			d.submitEnvelope(c, group.Envelope{
-				Kind: group.OpMessage, Sender: c.id, Groups: req.Groups,
-				Payload: req.Payload,
-			}, svc)
+			// A multi-group send spanning several rings becomes one
+			// independent ordered message per owning ring: each group
+			// still sees a single total order, but cross-group order is
+			// only preserved within a ring.
+			for ring, groups := range d.table.SplitByRing(req.Groups) {
+				d.submitEnvelope(c, ring, group.Envelope{
+					Kind: group.OpMessage, Sender: c.id, Groups: groups,
+					Payload: req.Payload,
+				}, svc)
+			}
 		case session.Private:
 			svc := req.Service
 			if !svc.Valid() {
@@ -246,7 +320,7 @@ func (d *Daemon) clientReader(c *clientConn) {
 				continue
 			}
 			d.backpressure()
-			d.submitEnvelope(c, group.Envelope{
+			d.submitEnvelope(c, shard.RingOfClient(req.To.String(), d.shards), group.Envelope{
 				Kind: group.OpPrivate, Sender: c.id, Target: req.To,
 				Payload: req.Payload,
 			}, svc)
@@ -262,13 +336,13 @@ func (d *Daemon) pushError(c *clientConn, e session.Error) {
 	c.push(e)
 }
 
-func (d *Daemon) submitEnvelope(c *clientConn, env group.Envelope, svc evs.Service) {
+func (d *Daemon) submitEnvelope(c *clientConn, ring int, env group.Envelope, svc evs.Service) {
 	enc, err := env.Encode()
 	if err != nil {
 		d.pushError(c, session.Error{Code: session.CodeBadRequest, Msg: err.Error()})
 		return
 	}
-	if err := d.node.Submit(enc, svc); err != nil {
+	if err := d.submit(ring, enc, svc); err != nil {
 		code := session.CodeGeneric
 		if errors.Is(err, membership.ErrNotOperational) {
 			code = session.CodeNotReady
@@ -328,9 +402,13 @@ func (d *Daemon) dropClient(c *clientConn) {
 	d.dm.clients.Add(-1)
 	env := group.Envelope{Kind: group.OpDisconnect, Sender: c.id}
 	if enc, err := env.Encode(); err == nil {
-		// Best effort: if the ring is down the table is rebuilt from
-		// configuration changes anyway.
-		_ = d.node.Submit(enc, evs.Agreed)
+		// The disconnect must reach EVERY ring: the client's groups may
+		// be partitioned across all of them, and each ring drops its own
+		// in its own total order. Best effort: if a ring is down its
+		// table is rebuilt from configuration changes anyway.
+		for r := 0; r < d.shards; r++ {
+			_ = d.submit(r, enc, evs.Agreed)
+		}
 	}
 }
 
@@ -344,42 +422,47 @@ func (d *Daemon) localClient(id group.ClientID) *clientConn {
 	return d.clients[id.Local]
 }
 
-// onEvent runs on the protocol goroutine: it applies ordered envelopes to
-// the replicated group table and routes deliveries to local clients.
-func (d *Daemon) onEvent(ev evs.Event) {
+// onRingEvent runs on ring's protocol goroutine: it applies ordered
+// envelopes to that ring's partition of the group table and routes
+// deliveries to local clients. Different rings invoke it concurrently,
+// but each ring's partition is only ever touched by its own goroutine.
+func (d *Daemon) onRingEvent(ring int, ev evs.Event) {
 	switch e := ev.(type) {
 	case evs.Message:
 		env, err := group.DecodeEnvelope(e.Payload)
 		if err != nil {
 			return // not ours; a foreign application on the same ring
 		}
-		d.applyEnvelope(env, e.Service)
+		d.applyEnvelope(ring, env, e.Service)
 	case evs.ConfigChange:
 		if e.Transitional {
 			return
 		}
-		d.applyConfigChange(e.Config)
+		d.applyConfigChange(ring, e.Config)
 	}
 }
 
-func (d *Daemon) applyEnvelope(env *group.Envelope, svc evs.Service) {
+func (d *Daemon) applyEnvelope(ring int, env *group.Envelope, svc evs.Service) {
+	table := d.table.Table(ring)
 	switch env.Kind {
 	case group.OpJoin:
-		if err := d.table.Join(env.Sender, env.Groups[0]); err == nil {
-			d.announceView(env.Groups[0])
+		if err := table.Join(env.Sender, env.Groups[0]); err == nil {
+			d.announceView(table, env.Groups[0])
 		} else if c := d.localClient(env.Sender); c != nil {
 			d.pushError(c, session.Error{Code: session.CodeBadRequest, Msg: err.Error()})
 		}
 	case group.OpLeave:
-		if err := d.table.Leave(env.Sender, env.Groups[0]); err == nil {
-			d.announceView(env.Groups[0])
+		if err := table.Leave(env.Sender, env.Groups[0]); err == nil {
+			d.announceView(table, env.Groups[0])
 		} else if c := d.localClient(env.Sender); c != nil {
 			// Ordered rejection: the client left a group it is not in.
 			d.pushError(c, session.Error{Code: session.CodeNotMember, Msg: err.Error()})
 		}
 	case group.OpDisconnect:
-		for _, g := range d.table.Disconnect(env.Sender) {
-			d.announceView(g)
+		// Dropped once per ring: each ring's disconnect copy removes the
+		// client from the groups that ring owns.
+		for _, g := range table.Disconnect(env.Sender) {
+			d.announceView(table, g)
 		}
 	case group.OpMessage:
 		msg := session.Message{
@@ -388,7 +471,7 @@ func (d *Daemon) applyEnvelope(env *group.Envelope, svc evs.Service) {
 			Groups:  env.Groups,
 			Payload: env.Payload,
 		}
-		for _, rcpt := range d.table.Recipients(env.Groups) {
+		for _, rcpt := range table.Recipients(env.Groups) {
 			if c := d.localClient(rcpt); c != nil {
 				c.push(msg)
 				d.dm.framesRouted.Inc()
@@ -414,25 +497,34 @@ func (d *Daemon) applyEnvelope(env *group.Envelope, svc evs.Service) {
 func (d *Daemon) backpressure() {
 	const maxQueued = 512
 	for i := 0; i < 2000; i++ {
-		if d.node.Status().QueueLen < maxQueued {
+		deepest := 0
+		for r := 0; r < d.shards; r++ {
+			if q := d.ringNode(r).Status().QueueLen; q > deepest {
+				deepest = q
+			}
+		}
+		if deepest < maxQueued {
 			return
 		}
 		time.Sleep(time.Millisecond)
 	}
 }
 
-// applyConfigChange drops clients of daemons that left the configuration.
-// Every daemon applies the same change against the same table state, so
-// views remain identical everywhere.
-func (d *Daemon) applyConfigChange(cfg evs.Configuration) {
+// applyConfigChange drops clients of daemons that left ring's
+// configuration — from that ring's table partition only: each ring's
+// membership incidents are independent, and every daemon applies the same
+// change against the same per-ring state, so views remain identical
+// everywhere.
+func (d *Daemon) applyConfigChange(ring int, cfg evs.Configuration) {
+	table := d.table.Table(ring)
 	present := make(map[evs.ProcID]bool, len(cfg.Members))
 	for _, m := range cfg.Members {
 		present[m] = true
 	}
-	// Collect daemons referenced by the table.
+	// Collect daemons referenced by the ring's table.
 	seen := make(map[evs.ProcID]bool)
-	for _, g := range d.table.Groups() {
-		for _, c := range d.table.Members(g) {
+	for _, g := range table.Groups() {
+		for _, c := range table.Members(g) {
 			seen[c.Daemon] = true
 		}
 	}
@@ -440,15 +532,15 @@ func (d *Daemon) applyConfigChange(cfg evs.Configuration) {
 		if present[daemonID] {
 			continue
 		}
-		for _, g := range d.table.DropDaemon(daemonID) {
-			d.announceView(g)
+		for _, g := range table.DropDaemon(daemonID) {
+			d.announceView(table, g)
 		}
 	}
 }
 
 // announceView pushes the group's current membership to local members.
-func (d *Daemon) announceView(g string) {
-	members := d.table.Members(g)
+func (d *Daemon) announceView(table *group.Table, g string) {
+	members := table.Members(g)
 	view := session.View{Group: g, Members: members}
 	d.dm.viewsAnnounce.Inc()
 	for _, m := range members {

@@ -1,0 +1,306 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"accelring/internal/evs"
+	"accelring/internal/faults"
+	"accelring/internal/group"
+)
+
+// ShardedOptions parameterizes a sharded chaos run: one independent
+// harness cluster per ring, groups partitioned across rings by the
+// production routing hash (group.RingOf), and a shared seeded schedule
+// that kills, partitions, and floods the rings independently. Zero
+// fields derive from the seed.
+type ShardedOptions struct {
+	// Seed determines everything about the run.
+	Seed int64
+	// Shards is the ring count (default 2).
+	Shards int
+	// Nodes is the per-ring cluster size (default: 4–6, seed-chosen).
+	Nodes int
+	// Steps is the number of fault-schedule steps (default: 10–17,
+	// seed-chosen).
+	Steps int
+	// Groups is the number of client groups spread across the rings
+	// (default: 3–5, seed-chosen).
+	Groups int
+}
+
+// ShardedResult summarizes one sharded chaos run. Two runs with equal
+// Options are identical, including the Result.
+type ShardedResult struct {
+	Seed                 int64
+	Shards, Nodes, Steps int
+	Groups               []string
+	// PerRing holds each ring's own Result (per-ring EVS invariants
+	// included, with ring-derived seeds).
+	PerRing []*Result
+	// Submitted and Delivered aggregate over the rings.
+	Submitted, Delivered int
+	// Violations flattens every breach: each ring's EVS violations
+	// (prefixed with its ring index) plus the sharding-level checks —
+	// per-group total order across receivers and group/ring isolation.
+	Violations []Violation
+}
+
+// ringSeed derives ring r's private seed from the master seed, so every
+// ring gets an independent but replay-stable fault stream.
+func ringSeed(seed int64, r int) int64 {
+	return seed*1_000_003 + int64(r+1)*7919
+}
+
+// submitTagged submits a payload tagged with its group name, so the
+// sharding-level checks can recover per-group delivery streams from the
+// raw logs. Payload uniqueness within a ring comes from the per-harness
+// submission counter.
+func (h *harness) submitTagged(id evs.ProcID, svc evs.Service, tag string) {
+	m := h.machines[id]
+	if m == nil {
+		return
+	}
+	payload := fmt.Sprintf("%s/m-%d-%d", tag, id, h.submitted+1)
+	if m.Submit([]byte(payload), svc) == nil {
+		h.submitted++
+	}
+}
+
+// payloadGroup extracts the group tag of a tagged payload ("" if the
+// payload is untagged).
+func payloadGroup(p []byte) string {
+	if i := strings.IndexByte(string(p), '/'); i > 0 {
+		return string(p[:i])
+	}
+	return ""
+}
+
+// RunSharded executes one sharded chaos run: Shards independent ring
+// clusters under independent seeded fault plans and a shared step
+// schedule, with all client traffic routed to each group's owning ring.
+// It is deterministic: equal Options produce equal Results.
+func RunSharded(opts ShardedOptions) *ShardedResult {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	shards := opts.Shards
+	if shards == 0 {
+		shards = 2
+	}
+	n := opts.Nodes
+	if n == 0 {
+		n = 4 + rng.Intn(3)
+	}
+	steps := opts.Steps
+	if steps == 0 {
+		steps = 10 + rng.Intn(8)
+	}
+	ngroups := opts.Groups
+	if ngroups == 0 {
+		ngroups = 3 + rng.Intn(3)
+	}
+	res := &ShardedResult{Seed: opts.Seed, Shards: shards, Nodes: n, Steps: steps}
+	for g := 0; g < ngroups; g++ {
+		res.Groups = append(res.Groups, fmt.Sprintf("g-%d", g))
+	}
+
+	// One harness per ring, each with its own rng stream: the rings'
+	// protocols never interact, so their randomness must not either.
+	hs := make([]*harness, shards)
+	for r := range hs {
+		hs[r] = newHarness(rand.New(rand.NewSource(ringSeed(opts.Seed, r))), n)
+		res.PerRing = append(res.PerRing, &Result{Seed: ringSeed(opts.Seed, r), Nodes: n, Steps: steps})
+	}
+
+	ringViolation := func(r int, v Violation) {
+		res.PerRing[r].Violations = append(res.PerRing[r].Violations, v)
+		res.Violations = append(res.Violations, Violation{
+			Invariant: v.Invariant,
+			Detail:    fmt.Sprintf("ring %d: %s", r, v.Detail),
+		})
+	}
+
+	// Phase 1: fault-free formation of every ring.
+	formed := true
+	for r, h := range hs {
+		if !h.waitConverged(10 * time.Second) {
+			ringViolation(r, Violation{"formation", "initial ring did not form"})
+			formed = false
+		}
+	}
+	if !formed {
+		return finishSharded(res, hs)
+	}
+
+	// Phase 2: the shared fault schedule. Each ring gets its own plan and
+	// injector over the whole phase; the master rng deals out kills,
+	// splits, heals, and group traffic ring by ring, so rings see
+	// *different* fault histories — exactly what independent instances
+	// must tolerate.
+	durs := make([]time.Duration, steps)
+	var total time.Duration
+	for i := range durs {
+		durs[i] = time.Duration(50+rng.Intn(300)) * time.Millisecond
+		total += durs[i]
+	}
+	for r, h := range hs {
+		h.inj = faults.New(ringSeed(opts.Seed, r), randomPlan(h.rng, n, total, h.part))
+		h.faultStart = h.now
+		h.faultsOn = true
+	}
+
+	for s := 0; s < steps; s++ {
+		h := hs[rng.Intn(shards)]
+		switch rng.Intn(8) {
+		case 0: // kill one process on one ring
+			if live := h.liveIDs(); len(live) > 3 {
+				h.kill(live[rng.Intn(len(live))])
+			}
+		case 1: // restart a killed process on one ring
+			var dead []evs.ProcID
+			for _, id := range h.ids {
+				if h.machines[id] == nil {
+					dead = append(dead, id)
+				}
+			}
+			if len(dead) > 0 {
+				h.restart(dead[rng.Intn(len(dead))])
+			}
+		case 2: // split one ring into two sides
+			sides := make(map[evs.ProcID]int, len(h.ids))
+			for _, id := range h.ids {
+				sides[id] = rng.Intn(2)
+			}
+			h.part.Split(sides)
+		case 3: // heal one ring's partition
+			h.part.Heal()
+		default: // traffic burst: group-routed, mixed Agreed/Safe
+			for i := 0; i < 1+rng.Intn(4); i++ {
+				svc := evs.Agreed
+				if rng.Intn(2) == 0 {
+					svc = evs.Safe
+				}
+				g := res.Groups[rng.Intn(len(res.Groups))]
+				owner := hs[group.RingOf(g, shards)]
+				owner.submitTagged(owner.ids[rng.Intn(n)], svc, g)
+			}
+		}
+		for _, h := range hs {
+			h.advance(durs[s])
+		}
+	}
+
+	// Phase 3: stop all faults, converge every ring, flush, check.
+	for r, h := range hs {
+		h.faultsOn = false
+		h.part.Heal()
+		if !h.waitConverged(20 * time.Second) {
+			detail := "live machines did not converge after heal:"
+			for _, id := range h.liveIDs() {
+				m := h.machines[id]
+				detail += fmt.Sprintf(" %d=%v/%v", id, m.State(), m.Ring().ID)
+			}
+			ringViolation(r, Violation{"convergence", detail})
+			continue
+		}
+		h.advance(2 * time.Second)
+		for _, v := range checkInvariants(h.logs) {
+			ringViolation(r, v)
+		}
+	}
+
+	// Sharding-level checks on the raw logs.
+	for _, v := range checkGroupIsolation(hs, shards) {
+		res.Violations = append(res.Violations, v)
+	}
+	for _, g := range res.Groups {
+		owner := group.RingOf(g, shards)
+		for _, v := range checkGroupOrder(g, hs[owner].logs) {
+			res.Violations = append(res.Violations, v)
+		}
+	}
+	return finishSharded(res, hs)
+}
+
+func finishSharded(res *ShardedResult, hs []*harness) *ShardedResult {
+	for r, h := range hs {
+		finish(res.PerRing[r], h)
+		res.Submitted += res.PerRing[r].Submitted
+		res.Delivered += res.PerRing[r].Delivered
+	}
+	return res
+}
+
+// checkGroupIsolation verifies the routing discipline the sharding layer
+// guarantees: a group's messages only ever appear in its owning ring's
+// delivery logs.
+func checkGroupIsolation(hs []*harness, shards int) []Violation {
+	var out []Violation
+	for r, h := range hs {
+		for _, log := range h.logs {
+			for _, ev := range log.events {
+				m, ok := ev.(evs.Message)
+				if !ok {
+					continue
+				}
+				g := payloadGroup(m.Payload)
+				if g == "" {
+					continue
+				}
+				if owner := group.RingOf(g, shards); owner != r {
+					out = append(out, Violation{
+						Invariant: "group-isolation",
+						Detail: fmt.Sprintf("member %s on ring %d delivered %q of group %q owned by ring %d",
+							log.name(), r, m.Payload, g, owner),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkGroupOrder verifies per-group total order across receivers: every
+// pair of member incarnations delivers the messages of the group they
+// have in common in the same relative order. (The per-ring total-order
+// invariant implies this; checking it directly pins the tentpole
+// guarantee — identical per-group delivery order at every receiver —
+// against the sharding layer's own bookkeeping.)
+func checkGroupOrder(g string, logs []*memberLog) []Violation {
+	streams := make([][]string, len(logs))
+	for i, log := range logs {
+		for _, ev := range log.events {
+			if m, ok := ev.(evs.Message); ok && payloadGroup(m.Payload) == g {
+				streams[i] = append(streams[i], string(m.Payload))
+			}
+		}
+	}
+	var out []Violation
+	for i := range logs {
+		for j := i + 1; j < len(logs); j++ {
+			pos := make(map[string]int, len(streams[j]))
+			for k, p := range streams[j] {
+				pos[p] = k
+			}
+			last := -1
+			lastPayload := ""
+			for _, p := range streams[i] {
+				k, shared := pos[p]
+				if !shared {
+					continue
+				}
+				if k <= last {
+					out = append(out, Violation{
+						Invariant: "group-order",
+						Detail: fmt.Sprintf("group %q: members %s and %s deliver %q and %q in opposite orders",
+							g, logs[i].name(), logs[j].name(), lastPayload, p),
+					})
+					break
+				}
+				last, lastPayload = k, p
+			}
+		}
+	}
+	return out
+}

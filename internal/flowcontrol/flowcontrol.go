@@ -57,6 +57,15 @@ func (w Windows) NumToSend(queued, receivedFcc, numRetrans int) int {
 	return n
 }
 
+// RetransBudget bounds how many retransmissions one participant may answer
+// in a single token round. Retransmissions are multicasts like any other,
+// so the ring-wide Global window is the natural cap: without it, a corrupt
+// or adversarial token carrying a huge Rtr list would trigger an unbounded
+// pre-token burst that the window arithmetic never accounts for. Requests
+// left unanswered stay on the outgoing token and are served (here or at
+// another holder) in later rounds, so the cap defers rather than drops.
+func (w Windows) RetransBudget() int { return w.Global }
+
 // Split divides a round's new messages between the pre-token and
 // post-token multicast phases. At most Accelerated messages are deferred
 // until after the token; if the participant has fewer than that, all of

@@ -32,9 +32,9 @@ func TestValidate(t *testing.T) {
 func TestNumToSend(t *testing.T) {
 	w := Windows{Personal: 10, Global: 50, Accelerated: 5}
 	tests := []struct {
-		name                        string
+		name                         string
 		queued, receivedFcc, retrans int
-		want                        int
+		want                         int
 	}{
 		{"queue limited", 3, 0, 0, 3},
 		{"personal limited", 100, 0, 0, 10},
@@ -84,10 +84,10 @@ func TestSplit(t *testing.T) {
 
 func TestNextFcc(t *testing.T) {
 	tests := []struct {
-		name                    string
-		fcc                     uint32
-		lastRound, thisRound    int
-		want                    uint32
+		name                 string
+		fcc                  uint32
+		lastRound, thisRound int
+		want                 uint32
 	}{
 		{"steady state", 40, 10, 10, 40},
 		{"ramping up", 0, 0, 10, 10},
@@ -134,5 +134,43 @@ func TestQuickWindowBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRetransBudget pins the retransmission cap to the Global window and
+// its interplay with NumToSend: a round that spends its whole budget on
+// retransmissions has no headroom left for new messages.
+func TestRetransBudget(t *testing.T) {
+	cases := []struct {
+		name       string
+		w          Windows
+		requested  int
+		wantBudget int
+		// wantNew is NumToSend(queued=100, fcc=0, min(requested, budget)).
+		wantNew int
+	}{
+		{"defaults", Windows{Personal: 20, Global: 160, Accelerated: 15}, 0, 160, 20},
+		{"few requests", Windows{Personal: 20, Global: 160, Accelerated: 15}, 150, 160, 10},
+		{"budget exactly spent", Windows{Personal: 20, Global: 160, Accelerated: 15}, 160, 160, 0},
+		{"oversized Rtr list", Windows{Personal: 20, Global: 160, Accelerated: 15}, 4096, 160, 0},
+		{"tight ring", Windows{Personal: 5, Global: 10, Accelerated: 3}, 40, 10, 0},
+		{"original protocol", Windows{Personal: 10, Global: 50}, 999, 50, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.w.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if got := tc.w.RetransBudget(); got != tc.wantBudget {
+				t.Fatalf("RetransBudget() = %d, want %d", got, tc.wantBudget)
+			}
+			answered := tc.requested
+			if answered > tc.w.RetransBudget() {
+				answered = tc.w.RetransBudget()
+			}
+			if got := tc.w.NumToSend(100, 0, answered); got != tc.wantNew {
+				t.Fatalf("NumToSend(100, 0, %d) = %d, want %d", answered, got, tc.wantNew)
+			}
+		})
 	}
 }

@@ -1,0 +1,103 @@
+package group
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+func sortedUnique(ss []string) []string {
+	sort.Strings(ss)
+	out := ss[:0]
+	var prev string
+	for i, s := range ss {
+		if i == 0 || s != prev {
+			out = append(out, s)
+			prev = s
+		}
+	}
+	return out
+}
+
+// RingOf maps a group name to the ring that owns it in an N-ring sharded
+// deployment, with a stable FNV-1a hash: every daemon computes the same
+// ring for the same name, forever. The function must never change — a
+// deployment that disagreed on it (even transiently, during a rolling
+// upgrade) would split one group's traffic across two rings and break the
+// group's total order. shards <= 1 always maps to ring 0.
+func RingOf(group string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(group))
+	return int(h.Sum64() % uint64(shards))
+}
+
+// ShardedTable partitions the replicated group-membership state of a
+// sharded daemon: one Table per ring. Because RingOf pins each group — and
+// therefore every join, leave, and message for it — to exactly one ring,
+// no group's state ever spans two tables, and each table is mutated only
+// by applying its own ring's totally ordered operations on that ring's
+// protocol goroutine. The tables need no common lock for that confinement;
+// cross-ring aggregations (GroupsOf, Groups) are for callers that
+// serialize all access themselves, like the library facade's single mutex.
+type ShardedTable struct {
+	tables []*Table
+}
+
+// NewShardedTable returns shards empty per-ring tables (shards >= 1).
+func NewShardedTable(shards int) *ShardedTable {
+	if shards < 1 {
+		shards = 1
+	}
+	s := &ShardedTable{tables: make([]*Table, shards)}
+	for i := range s.tables {
+		s.tables[i] = NewTable()
+	}
+	return s
+}
+
+// Shards returns the ring count.
+func (s *ShardedTable) Shards() int { return len(s.tables) }
+
+// Ring returns the ring owning a group name.
+func (s *ShardedTable) Ring(group string) int { return RingOf(group, len(s.tables)) }
+
+// Table returns ring r's table.
+func (s *ShardedTable) Table(r int) *Table { return s.tables[r] }
+
+// For returns the table owning a group name.
+func (s *ShardedTable) For(group string) *Table { return s.tables[s.Ring(group)] }
+
+// GroupsOf aggregates a client's joined groups across every ring, sorted.
+func (s *ShardedTable) GroupsOf(c ClientID) []string {
+	var out []string
+	for _, t := range s.tables {
+		out = append(out, t.GroupsOf(c)...)
+	}
+	return sortedUnique(out)
+}
+
+// Groups aggregates all group names across every ring, sorted.
+func (s *ShardedTable) Groups() []string {
+	var out []string
+	for _, t := range s.tables {
+		out = append(out, t.Groups()...)
+	}
+	return sortedUnique(out)
+}
+
+// SplitByRing partitions a multi-group destination list by owning ring:
+// the result maps ring index -> the subset of groups it owns, preserving
+// the caller's order within each subset. A multi-group send spanning
+// several rings becomes one independent ordered message per ring — each
+// group still sees a single total order, but cross-group delivery order
+// (guaranteed on a single ring) is NOT preserved across rings.
+func (s *ShardedTable) SplitByRing(groups []string) map[int][]string {
+	out := make(map[int][]string)
+	for _, g := range groups {
+		r := s.Ring(g)
+		out[r] = append(out[r], g)
+	}
+	return out
+}

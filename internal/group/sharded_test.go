@@ -1,0 +1,106 @@
+package group
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingOfPinned pins the routing hash forever: these golden values must
+// NEVER change, or a mixed-version deployment would route one group to two
+// different rings and break its total order. If this test fails, the fix
+// is to revert the hash — not to update the goldens.
+func TestRingOfPinned(t *testing.T) {
+	goldens := []struct {
+		group        string
+		ring2, ring4 int
+	}{
+		{"orders", 0, 0},
+		{"inventory", 1, 3},
+		{"chat", 1, 3},
+		{"metrics", 0, 2},
+		{"g-0", 1, 3},
+		{"g-1", 0, 0},
+		{"g-2", 1, 1},
+		{"g-3", 0, 2},
+	}
+	for _, g := range goldens {
+		if got := RingOf(g.group, 2); got != g.ring2 {
+			t.Errorf("RingOf(%q, 2) = %d, want %d (routing hash changed!)", g.group, got, g.ring2)
+		}
+		if got := RingOf(g.group, 4); got != g.ring4 {
+			t.Errorf("RingOf(%q, 4) = %d, want %d (routing hash changed!)", g.group, got, g.ring4)
+		}
+	}
+	// Degenerate shard counts all collapse to ring 0.
+	for _, shards := range []int{-1, 0, 1} {
+		if got := RingOf("anything", shards); got != 0 {
+			t.Errorf("RingOf(_, %d) = %d, want 0", shards, got)
+		}
+	}
+}
+
+// TestRingOfSpreads sanity-checks that the hash actually distributes load:
+// over many group names every ring of a 4-way split owns a healthy share.
+func TestRingOfSpreads(t *testing.T) {
+	const shards = 4
+	counts := make([]int, shards)
+	for i := 0; i < 4000; i++ {
+		r := RingOf(fmt.Sprintf("group-%d", i), shards)
+		if r < 0 || r >= shards {
+			t.Fatalf("ring %d out of range", r)
+		}
+		counts[r]++
+	}
+	for r, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("ring %d owns %d/4000 groups — hash is badly skewed: %v", r, c, counts)
+		}
+	}
+}
+
+func TestShardedTableRoutingAndAggregation(t *testing.T) {
+	s := NewShardedTable(2)
+	if s.Shards() != 2 {
+		t.Fatalf("Shards() = %d", s.Shards())
+	}
+	alice := ClientID{Daemon: 1, Local: 1}
+	bob := ClientID{Daemon: 2, Local: 1}
+
+	// "g-0" lives on ring 1, "g-1" on ring 0 (pinned above).
+	if err := s.For("g-0").Join(alice, "g-0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.For("g-1").Join(alice, "g-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.For("g-1").Join(bob, "g-1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each group's state lives only on its owning ring's table.
+	if got := s.Table(1).Members("g-0"); !reflect.DeepEqual(got, []ClientID{alice}) {
+		t.Fatalf("ring 1 members of g-0 = %v", got)
+	}
+	if got := s.Table(0).Members("g-0"); got != nil {
+		t.Fatalf("g-0 leaked onto ring 0: %v", got)
+	}
+	if got := s.Table(0).Members("g-1"); !reflect.DeepEqual(got, []ClientID{alice, bob}) {
+		t.Fatalf("ring 0 members of g-1 = %v", got)
+	}
+
+	// Aggregations see across rings.
+	if got := s.GroupsOf(alice); !reflect.DeepEqual(got, []string{"g-0", "g-1"}) {
+		t.Fatalf("GroupsOf(alice) = %v", got)
+	}
+	if got := s.Groups(); !reflect.DeepEqual(got, []string{"g-0", "g-1"}) {
+		t.Fatalf("Groups() = %v", got)
+	}
+
+	// A multi-group destination list splits by owning ring, order kept.
+	split := s.SplitByRing([]string{"g-0", "g-1", "g-2", "g-3"})
+	want := map[int][]string{0: {"g-1", "g-3"}, 1: {"g-0", "g-2"}}
+	if !reflect.DeepEqual(split, want) {
+		t.Fatalf("SplitByRing = %v, want %v", split, want)
+	}
+}

@@ -275,6 +275,12 @@ func (m *Machine) obsReg() *obs.Registry {
 	return m.cfg.Observer.Reg
 }
 
+// metricName scopes a membership metric with the observer's per-ring label
+// (identity without one), so a sharded node's rings report separately.
+func (m *Machine) metricName(base string) string {
+	return m.cfg.Observer.MetricName(base)
+}
+
 // setState transitions the machine's phase, recording for the observer the
 // membership.state gauge and — on leaving gather or recover — how long the
 // phase lasted. now is driver time (wall or simulated).
@@ -283,12 +289,12 @@ func (m *Machine) setState(s State, now time.Time) {
 		if !now.IsZero() && !m.stateSince.IsZero() {
 			switch m.state {
 			case StateGather:
-				reg.Histogram("membership.gather_ns", obs.DurationBuckets()).ObserveDuration(now.Sub(m.stateSince))
+				reg.Histogram(m.metricName("membership.gather_ns"), obs.DurationBuckets()).ObserveDuration(now.Sub(m.stateSince))
 			case StateRecover:
-				reg.Histogram("membership.recovery_ns", obs.DurationBuckets()).ObserveDuration(now.Sub(m.stateSince))
+				reg.Histogram(m.metricName("membership.recovery_ns"), obs.DurationBuckets()).ObserveDuration(now.Sub(m.stateSince))
 			}
 		}
-		reg.Gauge("membership.state").Set(int64(s))
+		reg.Gauge(m.metricName("membership.state")).Set(int64(s))
 	}
 	m.state = s
 	m.stateSince = now
@@ -316,7 +322,7 @@ func (m *Machine) enterGather(now time.Time) {
 	}
 	m.setState(StateGather, now)
 	m.counters.GatherEntries++
-	m.obsReg().Counter("membership.gather_entries").Inc()
+	m.obsReg().Counter(m.metricName("membership.gather_entries")).Inc()
 	m.attempt++
 	m.joins = make(map[evs.ProcID]*wire.Join)
 	m.gatherExtensions = 0
@@ -628,7 +634,7 @@ func (m *Machine) Tick(now time.Time) {
 	case StateCommit:
 		if now.After(m.commitDeadline) {
 			m.counters.CommitTimeouts++
-			m.obsReg().Counter("membership.commit_timeouts").Inc()
+			m.obsReg().Counter(m.metricName("membership.commit_timeouts")).Inc()
 			m.enterGather(now)
 		}
 	case StateOperational, StateRecover:
@@ -691,7 +697,7 @@ func (m *Machine) tokenTimers(now time.Time) {
 			m.out.Unicast(m.ring.Successor(m.cfg.Self), m.encBuf)
 			m.lastRetransAt = now
 			m.counters.TokenRetransmits++
-			m.obsReg().Counter("membership.token_retransmits").Inc()
+			m.obsReg().Counter(m.metricName("membership.token_retransmits")).Inc()
 		}
 	}
 }

@@ -141,7 +141,7 @@ func (m *Machine) install(c *wire.Commit, now time.Time) {
 	m.lastTokenAt = now
 	m.lastRetransAt = time.Time{}
 	m.counters.Installs++
-	m.obsReg().Counter("membership.installs").Inc()
+	m.obsReg().Counter(m.metricName("membership.installs")).Inc()
 
 	// Flood every unstable old-ring message we hold, then the done
 	// marker, then any application messages that never got sequence

@@ -127,6 +127,12 @@ type RingObserver struct {
 	// (nil: durations are reported as zero). Simulated drivers leave it
 	// nil to stay deterministic.
 	Clock func() time.Time
+	// Label, when non-empty, scopes every metric the protocol stack
+	// reports through this observer: "shard1.ring.rounds" instead of
+	// "ring.rounds". A sharded node gives each ring instance its own
+	// label so per-ring series stay separable in one shared registry.
+	// Must be set before the first report and never changed.
+	Label string
 
 	once sync.Once
 	m    *ringMetrics
@@ -157,19 +163,30 @@ func (o *RingObserver) Now() time.Time {
 	return o.Clock()
 }
 
+// MetricName scopes a metric name with the observer's label ("<label>.<base>"),
+// or returns it unchanged when the observer is nil or unlabeled. The
+// membership machine and other per-ring reporters route their registry
+// names through this so a sharded node's rings never collide.
+func (o *RingObserver) MetricName(base string) string {
+	if o == nil || o.Label == "" {
+		return base
+	}
+	return o.Label + "." + base
+}
+
 func (o *RingObserver) metrics() *ringMetrics {
 	o.once.Do(func() {
 		r := o.Reg
 		o.m = &ringMetrics{
-			rounds:        r.Counter("ring.rounds"),
-			sentPre:       r.Counter("ring.sent_pre_token"),
-			sentPost:      r.Counter("ring.sent_post_token"),
-			retransmitted: r.Counter("ring.retransmitted"),
-			requested:     r.Counter("ring.rtr_requested"),
-			seq:           r.Gauge("ring.seq"),
-			aru:           r.Gauge("ring.aru"),
-			fcc:           r.Gauge("ring.fcc"),
-			hold:          r.Histogram("ring.token_hold_ns", DurationBuckets()),
+			rounds:        r.Counter(o.MetricName("ring.rounds")),
+			sentPre:       r.Counter(o.MetricName("ring.sent_pre_token")),
+			sentPost:      r.Counter(o.MetricName("ring.sent_post_token")),
+			retransmitted: r.Counter(o.MetricName("ring.retransmitted")),
+			requested:     r.Counter(o.MetricName("ring.rtr_requested")),
+			seq:           r.Gauge(o.MetricName("ring.seq")),
+			aru:           r.Gauge(o.MetricName("ring.aru")),
+			fcc:           r.Gauge(o.MetricName("ring.fcc")),
+			hold:          r.Histogram(o.MetricName("ring.token_hold_ns"), DurationBuckets()),
 		}
 	})
 	return o.m
@@ -217,8 +234,8 @@ func (o *RingObserver) OnDeliver(service string, latency time.Duration) {
 		}
 		if d = o.delivered[service]; d == nil {
 			d = &deliveryMetrics{
-				count:   o.Reg.Counter("ring.delivered." + service),
-				latency: o.Reg.Histogram("ring.delivery_ns."+service, DurationBuckets()),
+				count:   o.Reg.Counter(o.MetricName("ring.delivered." + service)),
+				latency: o.Reg.Histogram(o.MetricName("ring.delivery_ns."+service), DurationBuckets()),
 			}
 			o.delivered[service] = d
 		}

@@ -10,6 +10,7 @@ package ringnode
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -72,6 +73,29 @@ func Original(self evs.ProcID, tr transport.Transport, personal, global int) Con
 		Windows:   flowcontrol.Windows{Personal: personal, Global: global},
 		Priority:  core.PriorityConservative,
 	}
+}
+
+// ForRing derives the configuration of one ring instance of a sharded
+// node from a base template: protocol parameters (Self, windows, priority,
+// timeouts) are inherited, while the transport and event sink — the parts
+// that must be per-ring — are replaced. When the base carries an observer,
+// the instance gets its own: same registry and clock, but a fresh tracer
+// and a "shard<ring>" label so every metric series and round trace stays
+// separable per ring. This is the bundle internal/shard instantiates N
+// times; single-ring callers never need it.
+func (c Config) ForRing(ring int, tr transport.Transport, onEvent func(evs.Event), traceDepth int) Config {
+	rc := c
+	rc.Transport = tr
+	rc.OnEvent = onEvent
+	if base := c.Observer; base != nil {
+		rc.Observer = &obs.RingObserver{
+			Reg:    base.Reg,
+			Tracer: obs.NewRingTracer(traceDepth),
+			Clock:  base.Clock,
+			Label:  fmt.Sprintf("shard%d", ring),
+		}
+	}
+	return rc
 }
 
 // ErrStopped is returned by Submit after Stop.
@@ -173,6 +197,11 @@ func (n *Node) publishStatus() {
 
 // Status returns a snapshot of the node's state. Safe for any goroutine.
 func (n *Node) Status() Status { return n.status.Load().(Status) }
+
+// Observer returns the observer the node was started with (nil when
+// observation is disabled). Sharded drivers use it to reach each ring's
+// tracer.
+func (n *Node) Observer() *obs.RingObserver { return n.cfg.Observer }
 
 // WaitState blocks until the node reaches the given state (with any ring)
 // or the timeout elapses. It returns whether the state was reached.

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"container/heap"
+	"sort"
 	"sync"
 	"time"
 )
@@ -18,6 +19,7 @@ type delayQueue struct {
 	mu      sync.Mutex
 	items   delayHeap
 	running bool
+	stopped bool
 	// kick wakes the drainer when a new item preempts the current
 	// earliest deadline.
 	kick chan struct{}
@@ -30,10 +32,10 @@ type delayItem struct {
 
 type delayHeap []delayItem
 
-func (h delayHeap) Len() int            { return len(h) }
-func (h delayHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
-func (h delayHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *delayHeap) Push(x any)         { *h = append(*h, x.(delayItem)) }
+func (h delayHeap) Len() int           { return len(h) }
+func (h delayHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
+func (h delayHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *delayHeap) Push(x any)        { *h = append(*h, x.(delayItem)) }
 func (h *delayHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -52,6 +54,13 @@ func (q *delayQueue) after(delay time.Duration, fn func()) {
 	}
 	at := time.Now().Add(delay)
 	q.mu.Lock()
+	if q.stopped {
+		// The owner is closing: run the callback now, on the caller. It
+		// observes the owner's closed state and recycles its buffer.
+		q.mu.Unlock()
+		fn()
+		return
+	}
 	if q.kick == nil {
 		q.kick = make(chan struct{}, 1)
 	}
@@ -77,7 +86,7 @@ func (q *delayQueue) drain() {
 	defer timer.Stop()
 	for {
 		q.mu.Lock()
-		if len(q.items) == 0 {
+		if q.stopped || len(q.items) == 0 {
 			q.running = false
 			q.mu.Unlock()
 			return
@@ -100,6 +109,33 @@ func (q *delayQueue) drain() {
 		}
 		it := heap.Pop(&q.items).(delayItem)
 		q.mu.Unlock()
+		it.fn()
+	}
+}
+
+// stop runs every pending callback immediately (deadline order), lets the
+// drainer goroutine exit, and makes later after() calls run their callbacks
+// synchronously. Each callback runs exactly once: pending items are moved
+// out under the lock, so the drainer cannot double-run them. Callbacks
+// observe the owning transport's closed state and recycle their pooled
+// buffers, so stopping under load strands neither goroutines nor frames.
+// Idempotent.
+func (q *delayQueue) stop() {
+	q.mu.Lock()
+	q.stopped = true
+	items := q.items
+	q.items = nil
+	kick := q.kick
+	q.mu.Unlock()
+	if kick != nil {
+		// Wake a drainer parked on its timer so it sees stopped and exits.
+		select {
+		case kick <- struct{}{}:
+		default:
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].at.Before(items[j].at) })
+	for _, it := range items {
 		it.fn()
 	}
 }

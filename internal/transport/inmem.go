@@ -118,6 +118,16 @@ func (h *Hub) deliverAfter(peer *Endpoint, token bool, frame []byte, delay time.
 	deliver()
 }
 
+// Close flushes the hub's delay queue: pending delayed deliveries run
+// immediately (each delivers to a still-open endpoint or recycles its
+// buffer) and the drainer goroutine exits. Call it after closing the
+// endpoints when tearing a test or process down; the hub itself remains
+// usable for immediate deliveries. Idempotent.
+func (h *Hub) Close() error {
+	h.delayQ.stop()
+	return nil
+}
+
 // Endpoint attaches a new participant with the given receive-channel
 // capacities (frames, not bytes). It returns an error if the ID is taken.
 func (h *Hub) Endpoint(id evs.ProcID, dataCap, tokenCap int) (*Endpoint, error) {
@@ -250,12 +260,24 @@ func (e *Endpoint) Drops() Drops {
 	return Drops{Data: e.dataDrop.Load(), Token: e.tokenDrop.Load()}
 }
 
-// Close detaches the endpoint. Receive channels are NOT closed (senders
-// may hold references); readers should stop via their own signal.
+// Close detaches the endpoint and recycles frames already queued on its
+// receive channels. The channels are NOT closed (senders may hold
+// references); readers should stop via their own signal. The drain is
+// best-effort: a sender that raced past the closed check may enqueue one
+// more frame afterwards, which is merely unpooled garbage, not a leak.
 func (e *Endpoint) Close() error {
 	if e.closed.Swap(true) {
 		return nil
 	}
 	e.hub.detach(e.id)
-	return nil
+	for {
+		select {
+		case f := <-e.dataCh:
+			bufpool.Put(f)
+		case f := <-e.tokenCh:
+			bufpool.Put(f)
+		default:
+			return nil
+		}
+	}
 }

@@ -307,14 +307,29 @@ func (u *UDP) Drops() Drops {
 }
 
 // Close shuts both sockets down and waits for the readers to exit. The
-// receive channels are closed.
+// receive channels are closed, and every pending delayed send and every
+// received-but-unconsumed frame is recycled to bufpool — nothing the
+// transport rented stays stranded.
 func (u *UDP) Close() error {
 	if u.closed.Swap(true) {
 		return nil
 	}
+	// Flush the delay queue first: with the closed flag set, each pending
+	// callback skips its socket write and recycles its buffer, and the
+	// drainer goroutine exits.
+	u.delayQ.stop()
 	err1 := u.dataConn.Close()
 	err2 := u.tokConn.Close()
 	u.wg.Wait()
+	// The readLoops have closed both channels; recycle frames that were
+	// received but never consumed. A consumer draining concurrently is
+	// fine — each frame is read exactly once, by it or by us.
+	for f := range u.dataCh {
+		bufpool.Put(f)
+	}
+	for f := range u.tokenCh {
+		bufpool.Put(f)
+	}
 	if err1 != nil {
 		return err1
 	}

@@ -27,6 +27,24 @@ func WithWindows(personal, global, accelerated int) Option {
 	}
 }
 
+// WithShards runs n independent ring instances and partitions groups
+// across them by a stable hash of the group name (default 1, max
+// MaxShards). Per-group total order is unchanged and aggregate ordering
+// throughput multiplies; cross-group delivery order is only guaranteed
+// for groups owned by the same ring. Supply one transport per ring with
+// WithShardTransports, or UDP addresses whose numeric ports leave a gap
+// of 2*n free (ring r uses every base port + 2*r).
+func WithShards(n int) Option {
+	return func(c *Config) { c.Shards = n }
+}
+
+// WithShardTransports supplies one established transport per ring of a
+// sharded node (len must equal the WithShards count). The node takes
+// ownership and closes them on Close.
+func WithShardTransports(ts ...Transport) Option {
+	return func(c *Config) { c.Transports = ts }
+}
+
 // WithTransport supplies an established transport (e.g. a Hub endpoint).
 // The node takes ownership and closes it on Close.
 func WithTransport(t Transport) Option {
