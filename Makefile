@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-full bench-smoke bench-baseline bench-shard bench-shard-smoke chaos
+.PHONY: ci vet build test race race-full bench-smoke bench-baseline bench-shard bench-shard-smoke chaos obs-smoke
 
 ci: vet build test race
 
@@ -54,3 +54,8 @@ bench-shard-smoke:
 # Replay one chaos seed: make chaos FAULTS_SEED=17
 chaos:
 	$(GO) test -v -run TestChaosRandomPlans ./internal/faults/chaos/
+
+# End-to-end observability smoke: live 3-node ring, curl /metrics,
+# /debug/health, /debug/msgtrace, /debug/flight and validate the output.
+obs-smoke:
+	./scripts/obs_smoke.sh

@@ -120,10 +120,14 @@ func OpenConfig(ctx context.Context, cfg Config) (*Node, error) {
 
 	if cfg.Shards > 1 {
 		base := cfg.ringConfig()
-		if cfg.Observer != nil {
+		if cfg.Observer != nil || cfg.TraceSampling > 0 {
 			// ForRing derives one observer per ring from this base: shared
-			// registry, per-ring "shard<r>" metric labels and tracers.
-			base.Observer = &obs.RingObserver{Reg: cfg.Observer}
+			// registry, per-ring "shard<r>" metric labels, tracers and
+			// message tracers (the base Msg only carries the sampling rate).
+			base.Observer = &obs.RingObserver{
+				Reg: cfg.Observer,
+				Msg: obs.NewMsgTracer(cfg.TraceSampling, 0),
+			}
 		}
 		g, err := shard.Start(shard.Config{
 			Shards:       cfg.Shards,
@@ -153,10 +157,16 @@ func OpenConfig(ctx context.Context, cfg Config) (*Node, error) {
 	rc := cfg.ringConfig()
 	rc.Transport = tr
 	rc.OnEvent = func(ev evs.Event) { n.onRingEvent(0, ev) }
-	if cfg.Observer != nil {
-		n.tracer = obs.NewRingTracer(cfg.TraceDepth)
-		n.tracers = []*obs.RingTracer{n.tracer}
-		rc.Observer = &obs.RingObserver{Reg: cfg.Observer, Tracer: n.tracer}
+	if cfg.Observer != nil || cfg.TraceSampling > 0 {
+		if cfg.Observer != nil {
+			n.tracer = obs.NewRingTracer(cfg.TraceDepth)
+			n.tracers = []*obs.RingTracer{n.tracer}
+		}
+		rc.Observer = &obs.RingObserver{
+			Reg:    cfg.Observer,
+			Tracer: n.tracer,
+			Msg:    obs.NewMsgTracer(cfg.TraceSampling, 0),
+		}
 	}
 
 	rn, err := ringnode.Start(rc)
@@ -255,6 +265,34 @@ func (n *Node) Tracers() []*RingTracer {
 		return nil
 	}
 	return append([]*RingTracer(nil), n.tracers...)
+}
+
+// MsgTracer returns the node's message-lifecycle tracer for
+// DebugServer.AddMsgTracer (nil unless the node was opened with
+// WithTraceSampling). On a sharded node it is ring 0's tracer; see
+// MsgTracers.
+func (n *Node) MsgTracer() *MsgTracer {
+	if n.rings != nil {
+		return n.rings.MsgTracer(0)
+	}
+	return n.rn.Observer().MsgTracer()
+}
+
+// MsgTracers returns one message-lifecycle tracer per ring instance (nil
+// unless the node was opened with WithTraceSampling).
+func (n *Node) MsgTracers() []*MsgTracer {
+	if n.MsgTracer() == nil {
+		return nil
+	}
+	out := make([]*MsgTracer, n.shards)
+	for r := range out {
+		if n.rings != nil {
+			out[r] = n.rings.MsgTracer(r)
+		} else {
+			out[r] = n.rn.Observer().MsgTracer()
+		}
+	}
+	return out
 }
 
 // Join adds this node to a group. The resulting agreed view arrives as a

@@ -58,7 +58,8 @@ func run(args []string) error {
 	personal := fs.Int("personal", 20, "personal window (messages per participant per round)")
 	global := fs.Int("global", 160, "global window (messages per round, ring-wide)")
 	accel := fs.Int("accelerated", 15, "accelerated window (post-token messages per round)")
-	obsAddr := fs.String("obs", "", "serve /debug/vars, /debug/ring and /debug/pprof on this address (e.g. :6060)")
+	obsAddr := fs.String("obs", "", "serve /debug/vars, /debug/ring, /metrics, /debug/health and /debug/pprof on this address (e.g. :6060)")
+	traceSample := fs.Int("trace-sample", 0, "sample every Nth sequence number for message-lifecycle tracing at /debug/msgtrace (0 disables)")
 	shards := fs.Int("shards", 1, "independent rings per daemon; ring r uses every base port + 2*r (numeric ports required)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,19 +70,27 @@ func run(args []string) error {
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be at least 1")
 	}
+	if *traceSample < 0 {
+		return fmt.Errorf("-trace-sample must be non-negative")
+	}
 
 	var reg *obs.Registry
 	var tracer *obs.RingTracer
 	var srv *obs.Server
+	var flight *obs.FlightRecorder
 	if *obsAddr != "" {
 		reg = obs.NewRegistry()
 		tracer = obs.NewRingTracer(obs.DefaultTraceDepth)
+		// The flight recorder is always on with -obs: it is a fixed-size
+		// black box, cheap enough to leave running, dumped on SIGQUIT.
+		flight = obs.NewFlightRecorder(0)
 		var err error
 		if srv, err = obs.StartServer(*obsAddr, reg); err != nil {
 			return err
 		}
 		defer srv.Close()
 		srv.AddTracer(fmt.Sprintf("daemon%d", *id), tracer)
+		srv.AddFlight(fmt.Sprintf("daemon%d", *id), flight)
 		log.Printf("observability: http://%s/debug/vars", srv.Addr())
 	}
 
@@ -109,7 +118,7 @@ func run(args []string) error {
 		})
 	}
 
-	dcfg := daemon.Config{Obs: reg}
+	dcfg := daemon.Config{Obs: reg, Flight: flight}
 	if *shards > 1 {
 		dcfg.Shards = *shards
 		dcfg.NewTransport = newTransport
@@ -119,9 +128,14 @@ func run(args []string) error {
 			dcfg.Ring = ringnode.Accelerated(self, nil, *personal, *global, *accel)
 		}
 		if reg != nil {
-			// ForRing derives per-ring labeled observers and tracers from
-			// this base; the per-ring tracers are registered below.
-			dcfg.Ring.Observer = &obs.RingObserver{Reg: reg, Tracer: tracer}
+			// ForRing derives per-ring labeled observers, tracers and
+			// message tracers from this base; the per-ring tracers are
+			// registered below. The flight recorder is shared — its events
+			// carry the shard label.
+			dcfg.Ring.Observer = &obs.RingObserver{
+				Reg: reg, Tracer: tracer, Flight: flight,
+				Msg: obs.NewMsgTracer(*traceSample, 0),
+			}
 		}
 	} else {
 		tr, err := newTransport(0)
@@ -134,7 +148,9 @@ func run(args []string) error {
 			dcfg.Ring = ringnode.Accelerated(self, tr, *personal, *global, *accel)
 		}
 		if reg != nil {
-			dcfg.Ring.Observer = &obs.RingObserver{Reg: reg, Tracer: tracer}
+			mt := obs.NewMsgTracer(*traceSample, 0)
+			dcfg.Ring.Observer = &obs.RingObserver{Reg: reg, Tracer: tracer, Flight: flight, Msg: mt}
+			srv.AddMsgTracer(fmt.Sprintf("daemon%d", *id), mt)
 		}
 	}
 
@@ -154,7 +170,32 @@ func run(args []string) error {
 			if o := d.RingNode(r).Observer(); o != nil && o.Tracer != nil {
 				srv.AddTracer(fmt.Sprintf("daemon%d.shard%d", *id, r), o.Tracer)
 			}
+			if mt := d.RingNode(r).Observer().MsgTracer(); mt != nil {
+				srv.AddMsgTracer(fmt.Sprintf("daemon%d.shard%d", *id, r), mt)
+			}
 		}
+	}
+
+	var health *obs.Health
+	if reg != nil {
+		scopes := []string{""}
+		if *shards > 1 {
+			scopes = scopes[:0]
+			for r := 0; r < d.Shards(); r++ {
+				scopes = append(scopes, fmt.Sprintf("shard%d", r))
+			}
+		}
+		health = obs.NewHealth(reg, obs.HealthConfig{
+			Scopes:        scopes,
+			RetransBudget: *global,
+			OnChange: func(st obs.HealthStatus) {
+				log.Printf("health: ring=%q healthy=%v token_stall=%v aru_stagnation=%v retrans_storm=%v slow_consumer=%v",
+					st.Ring, st.Healthy(), st.TokenStall, st.AruStagnation, st.RetransStorm, st.SlowConsumer)
+			},
+		})
+		health.Start()
+		defer health.Close()
+		srv.SetHealth(health)
 	}
 	proto := "accelerated"
 	if *original {
@@ -166,18 +207,43 @@ func run(args []string) error {
 	go func() {
 		for {
 			time.Sleep(5 * time.Second)
+			healthy := make(map[string]bool)
+			for _, st := range health.Status() {
+				healthy[st.Ring] = st.Healthy()
+			}
 			for r := 0; r < d.Shards(); r++ {
 				st := d.RingNode(r).Status()
-				log.Printf("ring=%d state=%v members=%v rounds=%d sent=%d delivered=%d retrans=%d",
+				line := fmt.Sprintf("ring=%d state=%v members=%v rounds=%d sent=%d delivered=%d retrans=%d",
 					r, st.State, st.Ring, st.Engine.Rounds, st.Engine.Sent,
 					st.Engine.Delivered, st.Engine.Retransmitted)
+				if health != nil {
+					scope := ""
+					if *shards > 1 {
+						scope = fmt.Sprintf("shard%d", r)
+					}
+					line += fmt.Sprintf(" healthy=%v", healthy[scope])
+				}
+				log.Print(line)
 			}
 		}
 	}()
 
+	// SIGQUIT dumps the black box (and keeps running, like a Java thread
+	// dump); SIGINT/SIGTERM shut down.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT)
+	for s := range sig {
+		if s == syscall.SIGQUIT && flight != nil {
+			path := fmt.Sprintf("ringdaemon-%d-flight.jsonl", *id)
+			if err := flight.DumpFile(path); err != nil {
+				log.Printf("flight dump failed: %v", err)
+			} else {
+				log.Printf("flight recorder dumped to %s (%d events recorded)", path, flight.Total())
+			}
+			continue
+		}
+		break
+	}
 	log.Printf("shutting down")
 	d.Stop()
 	return nil

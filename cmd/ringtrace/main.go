@@ -12,6 +12,14 @@
 // prints the per-rule injection counters next to the protocol's recovery
 // counters — a quick view of how much damage the retransmission machinery
 // absorbed.
+//
+// With -follow it runs the cluster with message-lifecycle tracing on
+// every node and merges the sampled spans across the cluster: because
+// sampling is deterministic in the sequence number, every node records
+// the same messages, and the merged span shows one message's submit,
+// pre/post-token multicast, first receive, retransmissions and delivery
+// at every node on one virtual-time axis, ending in the end-to-end
+// ordering latency.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"time"
 
@@ -43,15 +52,20 @@ func run(args []string) error {
 	table := fs.Bool("table", false, "also print the full event table")
 	width := fs.Int("width", 100, "timeline width in columns")
 	withFaults := fs.Bool("faults", false, "run the cluster under an injected fault plan instead")
+	follow := fs.Bool("follow", false, "trace sampled message lifecycles across the cluster instead")
+	sample := fs.Int("sample", 10, "with -follow: sample every Nth sequence number")
 	seed := fs.Int64("seed", 1, "fault plan seed (with -faults)")
-	nodes := fs.Int("nodes", 4, "cluster size (with -faults)")
-	msgs := fs.Int("msgs", 200, "messages per node (with -faults)")
+	nodes := fs.Int("nodes", 4, "cluster size (with -faults/-follow)")
+	msgs := fs.Int("msgs", 200, "messages per node (with -faults/-follow)")
 	obsAddr := fs.String("obs", "", "with -faults: serve the run's metrics and round traces on this address afterwards (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *withFaults {
 		return runFaults(*seed, *nodes, *msgs, *obsAddr)
+	}
+	if *follow {
+		return runFollow(*nodes, *msgs, *sample)
 	}
 
 	for _, variant := range []struct {
@@ -164,6 +178,116 @@ func runFaults(seed int64, nodes, msgs int, obsAddr string) error {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
 		<-sig
+	}
+	return nil
+}
+
+// runFollow runs the simulated cluster with deterministic message
+// sampling on every node and prints the merged cross-node span per
+// sampled message. The observers' clock is derived from the simulation,
+// so the run stays deterministic and the timestamps are exact virtual
+// times.
+func runFollow(nodes, msgs, sample int) error {
+	if sample < 1 {
+		return fmt.Errorf("-sample must be at least 1")
+	}
+	opts := simproc.AcceleratedOptions(
+		simnet.GigabitFabric(nodes), simproc.Daemon(), 20, 200, 10)
+	tracers := make([]*obs.MsgTracer, nodes)
+	for i := range tracers {
+		// Deep enough to keep every stage of every sampled message.
+		tracers[i] = obs.NewMsgTracer(sample, 8*msgs*nodes/sample+64)
+	}
+	var cl *simproc.Cluster
+	clock := func() time.Time {
+		if cl == nil {
+			return time.Unix(0, 0)
+		}
+		return time.Unix(0, int64(cl.Sim.Now()))
+	}
+	opts.Observer = func(node int) *obs.RingObserver {
+		return &obs.RingObserver{Msg: tracers[node], Clock: clock}
+	}
+	c, err := simproc.NewCluster(opts)
+	if err != nil {
+		return err
+	}
+	cl = c
+	for _, n := range c.Nodes {
+		for i := 0; i < msgs; i++ {
+			n.Submit(make([]byte, 1350), evs.Agreed)
+		}
+	}
+	c.Sim.RunUntil(30 * simnet.Second)
+
+	// Merge: the same seqs are sampled everywhere, so spans group by seq.
+	type span struct {
+		submit, sent, firstRecv, lastDeliver time.Time
+		recvs, delivers, retrans             int
+	}
+	spans := make(map[uint64]*span)
+	var seqs []uint64
+	for _, t := range tracers {
+		for _, ev := range t.Snapshot(0) {
+			sp := spans[ev.Seq]
+			if sp == nil {
+				sp = &span{}
+				spans[ev.Seq] = sp
+				seqs = append(seqs, ev.Seq)
+			}
+			switch ev.Stage {
+			case obs.StageSubmit:
+				sp.submit = ev.At
+			case obs.StageSentPre, obs.StageSentPost:
+				if sp.sent.IsZero() || ev.At.Before(sp.sent) {
+					sp.sent = ev.At
+				}
+			case obs.StageRecv:
+				sp.recvs++
+				if sp.firstRecv.IsZero() || ev.At.Before(sp.firstRecv) {
+					sp.firstRecv = ev.At
+				}
+			case obs.StageRetransmit:
+				sp.retrans++
+			case obs.StageDeliver:
+				sp.delivers++
+				if ev.At.After(sp.lastDeliver) {
+					sp.lastDeliver = ev.At
+				}
+			}
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+
+	fmt.Printf("== message lifecycle, %d nodes, %d msgs/node, sampling 1/%d ==\n\n",
+		nodes, msgs, sample)
+	fmt.Printf("%8s  %12s  %12s  %12s  %9s  %4s  %12s\n",
+		"seq", "submit", "sent", "first-recv", "delivered", "rtx", "e2e")
+	at := func(t time.Time) string {
+		if t.IsZero() {
+			return "-"
+		}
+		return time.Duration(t.UnixNano()).String()
+	}
+	var e2es []time.Duration
+	for _, seq := range seqs {
+		sp := spans[seq]
+		e2e := "-"
+		if !sp.submit.IsZero() && !sp.lastDeliver.IsZero() {
+			d := sp.lastDeliver.Sub(sp.submit)
+			e2es = append(e2es, d)
+			e2e = d.String()
+		}
+		fmt.Printf("%8d  %12s  %12s  %12s  %6d/%-2d  %4d  %12s\n",
+			seq, at(sp.submit), at(sp.sent), at(sp.firstRecv),
+			sp.delivers, nodes, sp.retrans, e2e)
+	}
+	if len(e2es) > 0 {
+		sort.Slice(e2es, func(i, j int) bool { return e2es[i] < e2es[j] })
+		fmt.Printf("\n%d sampled messages; end-to-end ordering latency: median=%v max=%v\n",
+			len(seqs), e2es[len(e2es)/2], e2es[len(e2es)-1])
+	} else {
+		fmt.Printf("\n%d sampled messages (no complete submit→deliver span)\n", len(seqs))
 	}
 	return nil
 }

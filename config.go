@@ -114,6 +114,10 @@ type Config struct {
 	// /debug/ring (default obs.DefaultTraceDepth; only used when
 	// Observer is set).
 	TraceDepth int
+	// TraceSampling samples every TraceSampling-th sequence number for
+	// message-lifecycle tracing (see WithTraceSampling). Zero disables
+	// tracing; negative is invalid.
+	TraceSampling int
 }
 
 // Validation errors returned by Config.Validate (wrapped with context;
@@ -212,7 +216,7 @@ func (c *Config) Validate() error {
 		}
 	}
 
-	if c.EventBuffer < 0 || c.TraceDepth < 0 {
+	if c.EventBuffer < 0 || c.TraceDepth < 0 || c.TraceSampling < 0 {
 		return ErrBadBufferSize
 	}
 

@@ -238,6 +238,13 @@ type Engine struct {
 	lastSent *wire.Token
 
 	obs *obs.RingObserver
+	// mt and fr are the observer's message tracer and flight recorder,
+	// cached at construction; both are nil when the feature is off, which
+	// is the zero-allocation fast path the AllocsPerRun gates enforce.
+	// ringLabel is the observer's shard label, stamped into flight events.
+	mt        *obs.MsgTracer
+	fr        *obs.FlightRecorder
+	ringLabel string
 	// submitAt maps assigned seq -> submit time for self-initiated
 	// messages still awaiting delivery (only populated when the observer
 	// has a clock).
@@ -289,6 +296,11 @@ func New(cfg Config, out Output) (*Engine, error) {
 		delivered:   cfg.InitialSeq,
 		safeLine:    cfg.InitialSeq,
 		obs:         cfg.Observer,
+		mt:          cfg.Observer.MsgTracer(),
+		fr:          cfg.Observer.Recorder(),
+	}
+	if cfg.Observer != nil {
+		e.ringLabel = cfg.Observer.Label
 	}
 	e.releaseFn = e.putData
 	return e, nil
@@ -446,7 +458,20 @@ func (e *Engine) HandleData(d *wire.Data) bool {
 	if !e.buf.Insert(m) {
 		e.putData(m)
 		e.counters.DataDropped++
+		if e.mt.Sampled(d.Seq) {
+			// Already buffered (or stable): a duplicate copy arrived.
+			e.mt.Record(obs.MsgEvent{Seq: d.Seq, Stage: obs.StageRecvDup, At: e.obs.Now(), Round: d.Round})
+		}
 		return false
+	}
+	if e.mt.Sampled(m.Seq) {
+		stage := obs.StageRecv
+		if m.Flags&wire.FlagRetrans != 0 {
+			// First copy arrived via a retransmission, not the original
+			// multicast.
+			stage = obs.StageRecvDup
+		}
+		e.mt.Record(obs.MsgEvent{Seq: m.Seq, Stage: stage, At: e.obs.Now(), Round: m.Round})
 	}
 	e.deliverReady()
 	e.maybeRaiseTokenPriority(m)
@@ -507,6 +532,12 @@ func (e *Engine) HandleToken(t *wire.Token) {
 	recvTokenSeq := t.TokenSeq
 	tokStart := e.obs.Now()
 	requestedBefore := e.counters.Requested
+	if e.fr != nil {
+		e.fr.Record(obs.FlightEvent{
+			Kind: obs.FlightTokenRx, Ring: e.ringLabel, At: tokStart,
+			Seq: t.Seq, Aru: t.Aru, Fcc: t.Fcc, Count: len(t.Rtr),
+		})
+	}
 
 	// Phase 1 (§III-B1): answer retransmission requests, capped at the
 	// Global window so a corrupt or adversarial Rtr list cannot trigger an
@@ -528,6 +559,9 @@ func (e *Engine) HandleToken(t *wire.Token) {
 	// Pre-token multicasting.
 	for _, m := range newMsgs[:pre] {
 		e.out.Multicast(m)
+		if e.mt.Sampled(m.Seq) {
+			e.mt.Record(obs.MsgEvent{Seq: m.Seq, Stage: obs.StageSentPre, At: e.obs.Now(), Round: e.myRound})
+		}
 	}
 
 	// Phase 2 (§III-B2): update and send the token. From here the update
@@ -551,6 +585,12 @@ func (e *Engine) HandleToken(t *wire.Token) {
 	e.aruSentThis = out.Aru
 	e.lastSent = out
 	e.out.SendToken(out)
+	if e.fr != nil {
+		e.fr.Record(obs.FlightEvent{
+			Kind: obs.FlightTokenTx, Ring: e.ringLabel,
+			Seq: out.Seq, Aru: out.Aru, Fcc: out.Fcc, Count: len(out.Rtr),
+		})
+	}
 	var hold time.Duration
 	if !tokStart.IsZero() {
 		hold = e.obs.Now().Sub(tokStart)
@@ -560,6 +600,9 @@ func (e *Engine) HandleToken(t *wire.Token) {
 	for _, m := range newMsgs[pre:] {
 		m.Flags |= wire.FlagPostToken
 		e.out.Multicast(m)
+		if e.mt.Sampled(m.Seq) {
+			e.mt.Record(obs.MsgEvent{Seq: m.Seq, Stage: obs.StageSentPost, At: e.obs.Now(), Round: e.myRound})
+		}
 	}
 
 	// Phase 4 (§III-B4): deliver and discard.
@@ -602,6 +645,7 @@ func (e *Engine) answerRetransmissions(rtr []uint64, budget int) (int, []uint64)
 		return 0, nil
 	}
 	n := 0
+	var firstAns uint64
 	remaining := e.remScratch[:0]
 	for _, seq := range rtr {
 		if seq <= e.buf.Floor() {
@@ -616,12 +660,21 @@ func (e *Engine) answerRetransmissions(rtr []uint64, budget int) (int, []uint64)
 			rd.Flags &^= wire.FlagPostToken
 			e.out.Multicast(rd)
 			e.counters.Retransmitted++
+			if n == 0 {
+				firstAns = seq
+			}
 			n++
+			if e.mt.Sampled(seq) {
+				e.mt.Record(obs.MsgEvent{Seq: seq, Stage: obs.StageRetransmit, At: e.obs.Now(), Round: e.myRound})
+			}
 			continue
 		}
 		remaining = append(remaining, seq)
 	}
 	e.remScratch = remaining
+	if n > 0 && e.fr != nil {
+		e.fr.Record(obs.FlightEvent{Kind: obs.FlightRetransAns, Ring: e.ringLabel, Seq: firstAns, Count: n})
+	}
 	return n, remaining
 }
 
@@ -634,16 +687,26 @@ func (e *Engine) takeMessages(n int, afterSeq uint64) []*wire.Data {
 	msgs := e.msgScratch[:0]
 	for i := 0; i < n; i++ {
 		p := e.sendQ[i]
+		seq := afterSeq + uint64(i) + 1
 		if !p.at.IsZero() {
 			if e.submitAt == nil {
 				e.submitAt = make(map[uint64]time.Time)
 			}
-			e.submitAt[afterSeq+uint64(i)+1] = p.at
+			e.submitAt[seq] = p.at
+		}
+		if e.mt.Sampled(seq) {
+			// Submit stage carries the original submit time when the
+			// observer has a clock, so spans show queueing delay too.
+			at := p.at
+			if at.IsZero() {
+				at = e.obs.Now()
+			}
+			e.mt.Record(obs.MsgEvent{Seq: seq, Stage: obs.StageSubmit, At: at, Round: e.myRound})
 		}
 		m := e.getData()
 		*m = wire.Data{
 			RingID:  e.cfg.Ring.ID,
-			Seq:     afterSeq + uint64(i) + 1,
+			Seq:     seq,
 			Sender:  e.cfg.Self,
 			Round:   e.myRound,
 			Service: p.service,
@@ -721,11 +784,17 @@ func (e *Engine) appendRequests(remaining []uint64, recvSeq uint64) []uint64 {
 		}
 		out = append(out, seq)
 		budget--
+		if e.mt.Sampled(seq) {
+			e.mt.Record(obs.MsgEvent{Seq: seq, Stage: obs.StageRtrRequest, At: e.obs.Now(), Round: e.myRound})
+		}
 		if len(out) >= wire.MaxRtr {
 			break
 		}
 	}
 	e.counters.Requested += uint64(len(out) - before)
+	if added := len(out) - before; added > 0 && e.fr != nil {
+		e.fr.Record(obs.FlightEvent{Kind: obs.FlightRetransReq, Ring: e.ringLabel, Seq: out[before], Count: added})
+	}
 	e.reqScratch = out
 	return out
 }
@@ -736,14 +805,15 @@ func (e *Engine) appendRequests(remaining []uint64, recvSeq uint64) []uint64 {
 // undeliverable safe message blocks everything behind it — that is what
 // total order means.
 func (e *Engine) deliverReady() {
+	before := e.delivered
 	for {
 		next := e.delivered + 1
 		d := e.buf.Get(next)
 		if d == nil {
-			return
+			break
 		}
 		if d.Service.NeedsStability() && next > e.safeLine {
-			return
+			break
 		}
 		e.out.Deliver(evs.Message{
 			Seq:     d.Seq,
@@ -763,7 +833,13 @@ func (e *Engine) deliverReady() {
 				lat = e.obs.Now().Sub(at)
 			}
 			e.obs.OnDeliver(d.Service.String(), lat)
+			if e.mt.Sampled(next) {
+				e.mt.Record(obs.MsgEvent{Seq: next, Stage: obs.StageDeliver, At: e.obs.Now(), Round: d.Round, Service: d.Service.String()})
+			}
 		}
+	}
+	if e.fr != nil && e.delivered > before {
+		e.fr.Record(obs.FlightEvent{Kind: obs.FlightDeliver, Ring: e.ringLabel, Seq: e.delivered, Count: int(e.delivered - before)})
 	}
 }
 

@@ -55,6 +55,10 @@ type Config struct {
 	// Obs, when non-nil, receives daemon.* session metrics. The ring
 	// protocol's own metrics are wired through Ring.Observer.
 	Obs *obs.Registry
+	// Flight, when non-nil, receives black-box client lifecycle events
+	// (connect, disconnect, slow-consumer disconnect). The ring
+	// protocol's own flight events are wired through Ring.Observer.
+	Flight *obs.FlightRecorder
 }
 
 // Daemon is one host's ordering daemon.
@@ -110,8 +114,10 @@ type clientConn struct {
 	sendCh chan session.Frame
 	closed chan struct{}
 	once   sync.Once
-	// slowDrop counts disconnects for falling behind (nil-safe handle).
+	// slowDrop counts disconnects for falling behind (nil-safe handle);
+	// flight gets the matching black-box event (nil: recording off).
 	slowDrop *obs.Counter
+	flight   *obs.FlightRecorder
 }
 
 // Start launches the protocol node(s) and the client accept loop.
@@ -263,11 +269,18 @@ func (d *Daemon) serveClient(conn net.Conn) {
 		sendCh:   make(chan session.Frame, d.cfg.ClientBuffer),
 		closed:   make(chan struct{}),
 		slowDrop: d.dm.slowDisconns,
+		flight:   d.cfg.Flight,
 	}
 	d.clients[c.id.Local] = c
+	active := len(d.clients)
 	d.mu.Unlock()
 	d.dm.sessions.Inc()
 	d.dm.clients.Add(1)
+	if d.cfg.Flight != nil {
+		d.cfg.Flight.Record(obs.FlightEvent{
+			Kind: obs.FlightClient, Note: "connect", Seq: uint64(c.id.Local), Count: active,
+		})
+	}
 
 	if err := session.WriteFrame(conn, session.Welcome{Client: c.id}); err != nil {
 		d.dropClient(c)
@@ -377,6 +390,11 @@ func (c *clientConn) push(f session.Frame) {
 	case <-c.closed:
 	default:
 		c.slowDrop.Inc()
+		if c.flight != nil {
+			c.flight.Record(obs.FlightEvent{
+				Kind: obs.FlightClient, Note: "slow_disconnect", Seq: uint64(c.id.Local),
+			})
+		}
 		c.close()
 	}
 }
@@ -400,6 +418,11 @@ func (d *Daemon) dropClient(c *clientConn) {
 		return
 	}
 	d.dm.clients.Add(-1)
+	if d.cfg.Flight != nil {
+		d.cfg.Flight.Record(obs.FlightEvent{
+			Kind: obs.FlightClient, Note: "disconnect", Seq: uint64(c.id.Local),
+		})
+	}
 	env := group.Envelope{Kind: group.OpDisconnect, Sender: c.id}
 	if enc, err := env.Encode(); err == nil {
 		// The disconnect must reach EVERY ring: the client's groups may

@@ -1,0 +1,122 @@
+package daemon
+
+import (
+	"bytes"
+	"net"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"accelring/internal/evs"
+	"accelring/internal/obs"
+	"accelring/internal/ringnode"
+	"accelring/internal/transport"
+)
+
+// startObservedDaemon is the startDaemons rig with the full observability
+// stack attached, the way ringdaemon -obs wires it.
+func startObservedDaemon(t *testing.T, id evs.ProcID, hub *transport.Hub) (*Daemon, *obs.Registry) {
+	t.Helper()
+	ep, err := hub.Endpoint(id, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ringCfg := ringnode.Accelerated(id, ep, 10, 100, 7)
+	ringCfg.Timeouts = fastTimeouts()
+	ringCfg.Observer = &obs.RingObserver{
+		Reg:    reg,
+		Tracer: obs.NewRingTracer(64),
+		Msg:    obs.NewMsgTracer(1, 64),
+		Flight: obs.NewFlightRecorder(0),
+	}
+	d, err := Start(Config{Ring: ringCfg, Listener: ln, Obs: reg, Flight: ringCfg.Observer.Flight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	return d, reg
+}
+
+// TestMetricsNamesLint starts a real daemon cluster with registries
+// attached, pushes traffic through it, and lints every exported
+// Prometheus series against the stable naming scheme. Any metric added
+// anywhere in the stack with a bad name fails here.
+func TestMetricsNamesLint(t *testing.T) {
+	hub := transport.NewHub()
+	const n = 3
+	daemons := make([]*Daemon, n)
+	regs := make([]*obs.Registry, n)
+	for i := 0; i < n; i++ {
+		daemons[i], regs[i] = startObservedDaemon(t, evs.ProcID(i+1), hub)
+	}
+	// The shared in-memory hub reports transport.inmem.* into the first
+	// daemon's registry (a real deployment has one UDP socket per node).
+	hub.SetObserver(regs[0])
+	for i, d := range daemons {
+		if !d.WaitOperational(10 * time.Second) {
+			t.Fatalf("daemon %d did not become operational", i)
+		}
+	}
+
+	// Traffic exercises the delivery, session, and retransmission series.
+	a := dial(t, daemons[0], "alice")
+	b := dial(t, daemons[1], "bob")
+	for _, c := range []interface{ Join(string) error }{a, b} {
+		if err := c.Join("lint"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := a.Multicast(evs.Agreed, []byte("ping"), "lint"); err != nil {
+		t.Fatal(err)
+	}
+	nextMessage(t, b, 5*time.Second)
+
+	name := regexp.MustCompile(`^accelring_[a-z0-9_]+$`)
+	line := regexp.MustCompile(`^(accelring_[a-z0-9_]+)(\{[^}]*\})? `)
+	total := 0
+	for i, reg := range regs {
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range strings.Split(buf.String(), "\n") {
+			if l == "" || strings.HasPrefix(l, "#") {
+				continue
+			}
+			m := line.FindStringSubmatch(l)
+			if m == nil {
+				t.Errorf("daemon %d: unparseable exposition line %q", i, l)
+				continue
+			}
+			if !name.MatchString(m[1]) {
+				t.Errorf("daemon %d: series %q violates ^accelring_[a-z0-9_]+$", i, m[1])
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no series exported from a live cluster")
+	}
+	// The big families must actually be present from live traffic.
+	var buf bytes.Buffer
+	if err := regs[0].WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"accelring_ring_rounds",
+		"accelring_daemon_clients",
+		"accelring_transport_",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("live registry missing family %q", want)
+		}
+	}
+}

@@ -31,6 +31,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -39,6 +41,7 @@ import (
 	"accelring/internal/faults"
 	"accelring/internal/flowcontrol"
 	"accelring/internal/membership"
+	"accelring/internal/obs"
 	"accelring/internal/stats"
 )
 
@@ -71,6 +74,17 @@ type Options struct {
 	// Steps is the number of fault-schedule steps (default: 10–17,
 	// seed-chosen).
 	Steps int
+	// FlightDir, when non-empty (or via the CHAOS_FLIGHT_DIR environment
+	// variable), receives one flight-recorder JSONL dump per process
+	// incarnation — plus one for the network fault injector — whenever
+	// the run ends with violations. Timestamps are the harness's virtual
+	// clock, so dumps line up with the deterministic schedule. The dump
+	// is a side effect only; the Result is identical with or without it.
+	FlightDir string
+	// ForceViolation plants an artificial "forced" violation at the end
+	// of the run. It exists to exercise the violation → flight-dump path
+	// end to end (the dumped events are the run's real recordings).
+	ForceViolation bool
 }
 
 // Violation is one invariant breach.
@@ -109,6 +123,9 @@ type memberLog struct {
 	// require eventual delivery exempt them.
 	crashed bool
 	events  []evs.Event
+	// flight is the incarnation's black-box recorder (virtual-clock
+	// timestamps), dumped as JSONL when the run ends with violations.
+	flight *obs.FlightRecorder
 }
 
 func (l *memberLog) name() string { return fmt.Sprintf("%d.%d", l.id, l.gen) }
@@ -184,6 +201,12 @@ type harness struct {
 	faultStart time.Time
 	faultsOn   bool
 
+	// netFlight records the fault injector's actions; flightDir and
+	// forceViolation carry the Options' flight-dump settings.
+	netFlight      *obs.FlightRecorder
+	flightDir      string
+	forceViolation bool
+
 	queue     envHeap
 	seq       uint64
 	submitted int
@@ -210,6 +233,8 @@ func newHarness(rng *rand.Rand, n int) *harness {
 		tickAt:   make(map[evs.ProcID]time.Time),
 		part:     faults.NewPartition(),
 	}
+	h.netFlight = obs.NewFlightRecorder(0)
+	h.netFlight.SetClock(func() time.Time { return h.now })
 	for i := 0; i < n; i++ {
 		id := evs.ProcID(i + 1)
 		h.ids = append(h.ids, id)
@@ -220,6 +245,8 @@ func newHarness(rng *rand.Rand, n int) *harness {
 
 func (h *harness) addMachine(id evs.ProcID) {
 	log := &memberLog{id: id, gen: h.gens[id]}
+	log.flight = obs.NewFlightRecorder(0)
+	log.flight.SetClock(func() time.Time { return h.now })
 	h.cur[id] = log
 	h.logs = append(h.logs, log)
 	m, err := membership.New(membership.Config{
@@ -228,6 +255,10 @@ func (h *harness) addMachine(id evs.ProcID) {
 		Priority:        core.PriorityAggressive,
 		DelayedRequests: true,
 		Timeouts:        chaosTimeouts(),
+		// Flight recording only: no registry, no tracer, no clock, so
+		// the machines behave identically to unobserved ones and the
+		// Result stays a pure function of the seed.
+		Observer: &obs.RingObserver{Flight: log.flight},
 	}, &procOut{h: h, log: log}, h.now)
 	if err != nil {
 		panic("chaos: " + err.Error())
@@ -480,6 +511,11 @@ func runForDebug(opts Options) (*Result, *harness) {
 	}
 	res := &Result{Seed: opts.Seed, Nodes: n, Steps: steps}
 	h := newHarness(rng, n)
+	h.flightDir = opts.FlightDir
+	if h.flightDir == "" {
+		h.flightDir = os.Getenv("CHAOS_FLIGHT_DIR")
+	}
+	h.forceViolation = opts.ForceViolation
 
 	// Phase 1: fault-free ring formation.
 	if !h.waitConverged(10 * time.Second) {
@@ -497,6 +533,7 @@ func runForDebug(opts Options) (*Result, *harness) {
 		total += durs[i]
 	}
 	h.inj = faults.New(opts.Seed, randomPlan(rng, n, total, h.part))
+	h.inj.SetFlight(h.netFlight)
 	h.faultStart = h.now
 	h.faultsOn = true
 
@@ -573,8 +610,41 @@ func finish(res *Result, h *harness) *Result {
 	if h.inj != nil {
 		res.Faults = h.inj.Counters()
 	}
+	if h.forceViolation {
+		res.Violations = append(res.Violations,
+			Violation{"forced", "planted by Options.ForceViolation"})
+	}
 	sort.SliceStable(res.Violations, func(i, j int) bool {
 		return res.Violations[i].Invariant < res.Violations[j].Invariant
 	})
+	if len(res.Violations) > 0 {
+		dumpFlights(res.Seed, h)
+	}
 	return res
+}
+
+// dumpFlights writes every incarnation's flight recorder — and the
+// network injector's — as JSONL into the configured dump directory, one
+// file per recorder, named like the CHAOS_DUMP log dumps. Best effort: a
+// write failure is reported on stderr, never fails the run, and the
+// Result is untouched either way.
+func dumpFlights(seed int64, h *harness) {
+	if h.flightDir == "" {
+		return
+	}
+	write := func(name string, f *obs.FlightRecorder) {
+		if f.Total() == 0 {
+			return
+		}
+		path := filepath.Join(h.flightDir, fmt.Sprintf("chaos-flight-seed%d-%s.jsonl", seed, name))
+		if err := f.DumpFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos: flight dump:", err)
+			return
+		}
+		fmt.Fprintln(os.Stderr, "chaos: flight recorder dumped to", path)
+	}
+	for _, log := range h.logs {
+		write("node"+log.name(), log.flight)
+	}
+	write("net", h.netFlight)
 }

@@ -26,6 +26,7 @@ type Injector struct {
 	rules  []Rule
 	rngs   []*rand.Rand
 	counts []stats.FaultCounter
+	fl     *obs.FlightRecorder
 
 	wallStart time.Time
 }
@@ -57,6 +58,18 @@ func New(seed int64, plan Plan) *Injector {
 // Seed returns the injector's seed.
 func (in *Injector) Seed() int64 { return in.seed }
 
+// SetFlight installs a black-box recorder that gets one event per rule
+// hit — drop, duplication, or delay — with the rule's name (nil clears).
+// No-op on a nil injector.
+func (in *Injector) SetFlight(f *obs.FlightRecorder) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.fl = f
+	in.mu.Unlock()
+}
+
 // Decide evaluates the plan against p at elapsed time now and returns the
 // combined decision. Rules apply in plan order; once a rule drops the
 // packet, later rules are skipped.
@@ -76,16 +89,32 @@ func (in *Injector) Decide(now time.Duration, p Packet) Decision {
 		if d.Drop {
 			c.Dropped++
 			d.Delay, d.Extra = 0, nil
+			in.recordHit(c.Rule, "drop", p)
 			break
 		}
 		if n := len(d.Extra) - prevExtra; n > 0 {
 			c.Duplicated += uint64(n)
+			in.recordHit(c.Rule, "dup", p)
 		}
 		if d.Delay > prevDelay {
 			c.Delayed++
+			in.recordHit(c.Rule, "delay", p)
 		}
 	}
 	return d
+}
+
+// recordHit notes one fault-injection action in the flight recorder.
+// Called with in.mu held.
+func (in *Injector) recordHit(rule, effect string, p Packet) {
+	if in.fl == nil {
+		return
+	}
+	note := rule + ":" + effect
+	if p.Token {
+		note += ":token"
+	}
+	in.fl.Record(obs.FlightEvent{Kind: obs.FlightFault, Note: note, Seq: uint64(p.From), Aru: uint64(p.To)})
 }
 
 // DecideWall is Decide with elapsed wall-clock time since New, for

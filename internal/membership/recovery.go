@@ -6,6 +6,7 @@ import (
 
 	"accelring/internal/core"
 	"accelring/internal/evs"
+	"accelring/internal/obs"
 	"accelring/internal/wire"
 )
 
@@ -142,6 +143,12 @@ func (m *Machine) install(c *wire.Commit, now time.Time) {
 	m.lastRetransAt = time.Time{}
 	m.counters.Installs++
 	m.obsReg().Counter(m.metricName("membership.installs")).Inc()
+	if fr := m.flight(); fr != nil {
+		fr.Record(obs.FlightEvent{
+			Kind: obs.FlightState, Ring: m.ringLabel(), At: now, Note: "install",
+			Seq: c.NewRing.ID.Seq, Count: len(c.NewRing.Members),
+		})
+	}
 
 	// Flood every unstable old-ring message we hold, then the done
 	// marker, then any application messages that never got sequence

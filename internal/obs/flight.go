@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// FlightKind classifies one black-box flight-recorder event.
+type FlightKind uint8
+
+const (
+	// FlightTokenRx: a regular token arrived. Seq/Aru/Fcc carry the
+	// token's fields, Count its retransmission-request count.
+	FlightTokenRx FlightKind = iota + 1
+	// FlightTokenTx: the token was forwarded. Seq/Aru/Fcc carry the
+	// outgoing fields, Count the requests placed on it.
+	FlightTokenTx
+	// FlightState: a membership state transition; Note names the new
+	// state ("gather", "commit", "recover", "operational", "install",
+	// timeouts and retransmits use their own notes).
+	FlightState
+	// FlightRetransReq: retransmission requests were added to the
+	// outgoing token; Seq is the first requested seq, Count how many.
+	FlightRetransReq
+	// FlightRetransAns: requests carried by the token were answered by
+	// re-multicasting; Seq is the first answered seq, Count how many.
+	FlightRetransAns
+	// FlightDeliver: a delivery batch went to the application; Seq is
+	// the last delivered seq, Count the batch size.
+	FlightDeliver
+	// FlightFault: the fault injector acted on a packet; Note is
+	// "<rule>:<effect>" (plus ":token" for token frames), Seq/Aru carry
+	// the packet's from/to participant IDs.
+	FlightFault
+	// FlightRxDrop: the transport dropped an inbound frame (full receive
+	// channel); Note is "data" or "token".
+	FlightRxDrop
+	// FlightClient: a daemon client event; Note is "connect",
+	// "disconnect" or "slow_disconnect", Count the clients now attached.
+	FlightClient
+)
+
+var flightKindNames = [...]string{
+	FlightTokenRx:    "token_rx",
+	FlightTokenTx:    "token_tx",
+	FlightState:      "state",
+	FlightRetransReq: "rtr_req",
+	FlightRetransAns: "rtr_ans",
+	FlightDeliver:    "deliver",
+	FlightFault:      "fault",
+	FlightRxDrop:     "rx_drop",
+	FlightClient:     "client",
+}
+
+// String returns the kind's wire name ("token_rx", ...).
+func (k FlightKind) String() string {
+	if int(k) < len(flightKindNames) && flightKindNames[k] != "" {
+		return flightKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalJSON renders the kind as its string name.
+func (k FlightKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// FlightEvent is one compact protocol event. Like MsgEvent it is all
+// scalars — no slices or pointers into pooled protocol buffers — so
+// recording can never alias scratch memory that a later decode reuses.
+type FlightEvent struct {
+	// At is the event time, stamped by the recorder's clock when zero.
+	At time.Time `json:"at"`
+	// Kind classifies the event.
+	Kind FlightKind `json:"kind"`
+	// Ring scopes the event on sharded nodes ("shard0", ...); empty on
+	// single-ring nodes.
+	Ring string `json:"ring,omitempty"`
+	// Note is a small kind-specific tag (state name, drop class, rule).
+	// Callers must pass static or already-owned strings.
+	Note string `json:"note,omitempty"`
+	// Seq, Aru, Fcc and Count are kind-specific scalars; see the kind
+	// constants for their meaning per kind.
+	Seq   uint64 `json:"seq,omitempty"`
+	Aru   uint64 `json:"aru,omitempty"`
+	Fcc   uint32 `json:"fcc,omitempty"`
+	Count int    `json:"count,omitempty"`
+}
+
+// DefaultFlightDepth is the event-ring size used when none is given.
+const DefaultFlightDepth = 1024
+
+// FlightRecorder is a black-box ring of the last N protocol events,
+// recorded from the core engine, the membership machine, the transports
+// and the daemon. It is cheap enough to leave on permanently; when a
+// chaos invariant fires, a node panics, or a daemon gets SIGQUIT, the
+// buffer is dumped as JSONL so the final seconds before the failure are
+// replayable. Safe for concurrent use; nil-safe throughout.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	clock func() time.Time
+	buf   []FlightEvent
+	next  int
+	total uint64
+}
+
+// NewFlightRecorder returns a recorder holding the last depth events
+// (depth <= 0 uses DefaultFlightDepth), stamping events with time.Now.
+func NewFlightRecorder(depth int) *FlightRecorder {
+	if depth <= 0 {
+		depth = DefaultFlightDepth
+	}
+	return &FlightRecorder{clock: time.Now, buf: make([]FlightEvent, 0, depth)}
+}
+
+// SetClock replaces the recorder's timestamp source — the chaos harness
+// installs its virtual clock so dumps line up with the deterministic
+// schedule. A nil fn leaves events unstamped. No-op on a nil recorder.
+func (f *FlightRecorder) SetClock(fn func() time.Time) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.clock = fn
+	f.mu.Unlock()
+}
+
+// Record appends one event, evicting the oldest when full, stamping At
+// from the recorder's clock when the caller left it zero. The event is
+// copied by value. No-op on a nil recorder.
+func (f *FlightRecorder) Record(ev FlightEvent) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if ev.At.IsZero() && f.clock != nil {
+		ev.At = f.clock()
+	}
+	if len(f.buf) < cap(f.buf) {
+		f.buf = append(f.buf, ev)
+	} else {
+		f.buf[f.next] = ev
+		f.next = (f.next + 1) % cap(f.buf)
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Total returns the number of events recorded over the recorder's
+// lifetime (0 on a nil recorder).
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Snapshot returns every buffered event, oldest first (nil on a nil
+// recorder).
+func (f *FlightRecorder) Snapshot() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.buf)
+	out := make([]FlightEvent, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, f.buf[(f.next+i)%n])
+	}
+	return out
+}
+
+// WriteJSONL writes the buffered events as JSON Lines, oldest first.
+// No-op on a nil recorder.
+func (f *FlightRecorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range f.Snapshot() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DumpFile writes the buffered events as JSONL to path, creating or
+// truncating it. No-op (no file) on a nil or empty recorder.
+func (f *FlightRecorder) DumpFile(path string) error {
+	if f == nil || f.Total() == 0 {
+		return nil
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.WriteJSONL(file); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}

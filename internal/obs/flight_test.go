@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(FlightEvent{Kind: FlightTokenRx})
+	f.SetClock(time.Now)
+	if f.Total() != 0 || f.Snapshot() != nil {
+		t.Fatal("nil recorder must be empty")
+	}
+	if err := f.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "none.jsonl")
+	if err := f.DumpFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("nil recorder must not create a dump file")
+	}
+}
+
+func TestFlightRecorderWrap(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 1; i <= 10; i++ {
+		f.Record(FlightEvent{Kind: FlightDeliver, Seq: uint64(i)})
+	}
+	if f.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", f.Total())
+	}
+	got := f.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("kept %d events, want 4", len(got))
+	}
+	for i, ev := range got {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (oldest first)", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestFlightRecorderClock(t *testing.T) {
+	f := NewFlightRecorder(8)
+	fixed := time.Unix(42, 0)
+	f.SetClock(func() time.Time { return fixed })
+	f.Record(FlightEvent{Kind: FlightState, Note: "operational"})
+	pinned := time.Unix(7, 0)
+	f.Record(FlightEvent{Kind: FlightState, Note: "gather", At: pinned})
+	got := f.Snapshot()
+	if !got[0].At.Equal(fixed) {
+		t.Fatalf("zero At not stamped by clock: %v", got[0].At)
+	}
+	if !got[1].At.Equal(pinned) {
+		t.Fatalf("caller-stamped At overwritten: %v", got[1].At)
+	}
+}
+
+func TestFlightRecorderJSONL(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.SetClock(func() time.Time { return time.Unix(1, 0) })
+	f.Record(FlightEvent{Kind: FlightTokenRx, Ring: "shard1", Seq: 9, Aru: 7, Fcc: 3, Count: 2})
+	f.Record(FlightEvent{Kind: FlightFault, Note: "loss:drop:token"})
+
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if lines[0]["kind"] != "token_rx" || lines[0]["ring"] != "shard1" ||
+		lines[0]["seq"] != float64(9) || lines[0]["fcc"] != float64(3) {
+		t.Fatalf("line 0 = %v", lines[0])
+	}
+	if lines[1]["kind"] != "fault" || lines[1]["note"] != "loss:drop:token" {
+		t.Fatalf("line 1 = %v", lines[1])
+	}
+}
+
+func TestFlightRecorderDumpFile(t *testing.T) {
+	dir := t.TempDir()
+
+	empty := NewFlightRecorder(4)
+	p := filepath.Join(dir, "empty.jsonl")
+	if err := empty.DumpFile(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatal("empty recorder must not create a dump file")
+	}
+
+	f := NewFlightRecorder(4)
+	f.Record(FlightEvent{Kind: FlightDeliver, Seq: 5, Count: 5})
+	p = filepath.Join(dir, "dump.jsonl")
+	if err := f.DumpFile(p); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(data), &m); err != nil {
+		t.Fatalf("dump is not JSONL: %v", err)
+	}
+	if m["kind"] != "deliver" {
+		t.Fatalf("dump = %v", m)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f.Record(FlightEvent{Kind: FlightTokenRx, Seq: uint64(i)})
+				if i%50 == 0 {
+					f.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f.Total() != 2000 {
+		t.Fatalf("Total = %d, want 2000", f.Total())
+	}
+}
+
+func TestFlightKindNames(t *testing.T) {
+	want := map[FlightKind]string{
+		FlightTokenRx:    "token_rx",
+		FlightTokenTx:    "token_tx",
+		FlightState:      "state",
+		FlightRetransReq: "rtr_req",
+		FlightRetransAns: "rtr_ans",
+		FlightDeliver:    "deliver",
+		FlightFault:      "fault",
+		FlightRxDrop:     "rx_drop",
+		FlightClient:     "client",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), name)
+		}
+	}
+	if FlightKind(200).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}

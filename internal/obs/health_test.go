@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// healthRig builds a detector over a synthetic registry plus a virtual
+// clock, so each pathology can be staged by poking counters directly.
+type healthRig struct {
+	reg *Registry
+	h   *Health
+	now time.Time
+}
+
+func newHealthRig(t *testing.T, cfg HealthConfig) *healthRig {
+	t.Helper()
+	rig := &healthRig{reg: NewRegistry(), now: time.Unix(1000, 0)}
+	cfg.Now = func() time.Time { return rig.now }
+	rig.h = NewHealth(rig.reg, cfg)
+	return rig
+}
+
+// pass advances the clock and runs one detector pass, returning the
+// single-scope status.
+func (r *healthRig) pass(t *testing.T) HealthStatus {
+	t.Helper()
+	r.now = r.now.Add(time.Second)
+	sts := r.h.Check()
+	if len(sts) != 1 {
+		t.Fatalf("got %d statuses, want 1", len(sts))
+	}
+	return sts[0]
+}
+
+func TestHealthTokenStall(t *testing.T) {
+	rig := newHealthRig(t, HealthConfig{})
+	rounds := rig.reg.Counter("ring.rounds")
+
+	rounds.Add(10)
+	if st := rig.pass(t); !st.Healthy() {
+		t.Fatalf("baseline pass must not flag: %+v", st)
+	}
+	// No rotation between passes on a ring that has rotated before.
+	if st := rig.pass(t); !st.TokenStall || st.Healthy() {
+		t.Fatalf("stalled ring not flagged: %+v", st)
+	}
+	rounds.Add(5)
+	if st := rig.pass(t); st.TokenStall {
+		t.Fatalf("rotating ring still flagged: %+v", st)
+	}
+	// A ring that never rotated (rounds == 0) is forming, not stalled.
+	fresh := newHealthRig(t, HealthConfig{})
+	fresh.pass(t)
+	if st := fresh.pass(t); st.TokenStall {
+		t.Fatalf("never-rotated ring flagged as stalled: %+v", st)
+	}
+}
+
+func TestHealthAruStagnation(t *testing.T) {
+	rig := newHealthRig(t, HealthConfig{})
+	rounds := rig.reg.Counter("ring.rounds")
+	rig.reg.Gauge("ring.aru").Set(50)
+	rig.reg.Gauge("ring.seq").Set(80)
+
+	rounds.Add(1)
+	rig.pass(t)
+	rounds.Add(5) // rounds advance, aru frozen below seq
+	if st := rig.pass(t); !st.AruStagnation {
+		t.Fatalf("frozen aru not flagged: %+v", st)
+	}
+	rounds.Add(5)
+	rig.reg.Gauge("ring.aru").Set(80) // caught up to seq
+	if st := rig.pass(t); st.AruStagnation {
+		t.Fatalf("advancing aru still flagged: %+v", st)
+	}
+	rounds.Add(5) // aru == seq: idle ring, not stagnation
+	if st := rig.pass(t); st.AruStagnation {
+		t.Fatalf("idle ring flagged: %+v", st)
+	}
+}
+
+func TestHealthRetransStorm(t *testing.T) {
+	rig := newHealthRig(t, HealthConfig{RetransBudget: 100})
+	rounds := rig.reg.Counter("ring.rounds")
+	retr := rig.reg.Counter("ring.retransmitted")
+
+	rounds.Add(1)
+	rig.pass(t)
+	rounds.Add(2)
+	retr.Add(120) // 60/round >= 0.5 * 100
+	st := rig.pass(t)
+	if !st.RetransStorm {
+		t.Fatalf("storm not flagged: %+v", st)
+	}
+	if st.RetransPerRound != 60 {
+		t.Fatalf("RetransPerRound = %v, want 60", st.RetransPerRound)
+	}
+	rounds.Add(10)
+	retr.Add(10) // 1/round: healthy repair traffic
+	if st := rig.pass(t); st.RetransStorm {
+		t.Fatalf("light retransmission flagged: %+v", st)
+	}
+	// Without a budget, storm detection is off.
+	off := newHealthRig(t, HealthConfig{})
+	off.reg.Counter("ring.rounds").Add(1)
+	off.pass(t)
+	off.reg.Counter("ring.rounds").Add(1)
+	off.reg.Counter("ring.retransmitted").Add(1000)
+	if st := off.pass(t); st.RetransStorm {
+		t.Fatalf("storm flagged with no budget: %+v", st)
+	}
+}
+
+func TestHealthSlowConsumer(t *testing.T) {
+	rig := newHealthRig(t, HealthConfig{})
+	rig.reg.Counter("ring.rounds").Add(1)
+	rig.pass(t)
+	rig.reg.Counter("ring.rounds").Add(1)
+	rig.reg.Counter("daemon.slow_disconnects").Add(1)
+	if st := rig.pass(t); !st.SlowConsumer {
+		t.Fatal("slow-consumer disconnect not flagged")
+	}
+	rig.reg.Counter("ring.rounds").Add(1)
+	if st := rig.pass(t); st.SlowConsumer {
+		t.Fatal("flag did not clear after a quiet pass")
+	}
+}
+
+func TestHealthScopesAndGauges(t *testing.T) {
+	rig := &healthRig{reg: NewRegistry(), now: time.Unix(1000, 0)}
+	rig.h = NewHealth(rig.reg, HealthConfig{
+		Scopes: []string{"shard0", "shard1"},
+		Now:    func() time.Time { return rig.now },
+	})
+	rig.reg.Counter("shard0.ring.rounds").Add(5)
+	rig.reg.Counter("shard1.ring.rounds").Add(5)
+	rig.h.Check()
+	rig.now = rig.now.Add(time.Second)
+	rig.reg.Counter("shard1.ring.rounds").Add(5) // only shard1 rotates
+	sts := rig.h.Check()
+	if len(sts) != 2 {
+		t.Fatalf("got %d statuses, want 2", len(sts))
+	}
+	if !sts[0].TokenStall || sts[0].Ring != "shard0" {
+		t.Fatalf("shard0 not flagged stalled: %+v", sts[0])
+	}
+	if sts[1].TokenStall {
+		t.Fatalf("healthy shard1 flagged: %+v", sts[1])
+	}
+	// The verdicts export as scoped gauges for /metrics.
+	if rig.reg.Gauge("shard0.health.token_stall").Value() != 1 {
+		t.Error("shard0.health.token_stall gauge not set")
+	}
+	if rig.reg.Gauge("shard1.health.healthy").Value() != 1 {
+		t.Error("shard1.health.healthy gauge not set")
+	}
+}
+
+func TestHealthStatusRunsFirstCheck(t *testing.T) {
+	h := NewHealth(NewRegistry(), HealthConfig{})
+	if sts := h.Status(); len(sts) != 1 {
+		t.Fatalf("Status before any Check = %+v", sts)
+	}
+}
+
+func TestHealthNilSafe(t *testing.T) {
+	var h *Health
+	if h.Check() != nil || h.Status() != nil {
+		t.Fatal("nil detector must return nil")
+	}
+	h.Start()
+	h.Close()
+}
+
+func TestHealthStartOnChange(t *testing.T) {
+	changes := make(chan HealthStatus, 16)
+	reg := NewRegistry()
+	h := NewHealth(reg, HealthConfig{
+		Interval: time.Millisecond,
+		OnChange: func(st HealthStatus) { changes <- st },
+	})
+	reg.Counter("ring.rounds").Add(3) // rotated once, then wedged
+	h.Start()
+	h.Start() // idempotent
+	defer h.Close()
+	select {
+	case st := <-changes:
+		if !st.TokenStall {
+			t.Fatalf("change without stall: %+v", st)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnChange never fired for a wedged ring")
+	}
+	h.Close()
+	h.Close() // idempotent
+}
+
+func TestHealthCloseWithoutStart(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		NewHealth(NewRegistry(), HealthConfig{}).Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close without Start hung")
+	}
+}

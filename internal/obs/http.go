@@ -12,9 +12,14 @@ import (
 
 // Server is the optional HTTP debug endpoint. It serves
 //
-//	/debug/vars   the registry snapshot as JSON (expvar-style)
-//	/debug/ring   the last N token-round traces per registered tracer
-//	/debug/pprof  the standard net/http/pprof profiles
+//	/debug/vars      the registry snapshot as JSON (expvar-style)
+//	/debug/ring      the last N token-round traces per registered tracer
+//	/debug/msgtrace  sampled per-message lifecycle spans (?seq=N merges
+//	                 one message's span across registered tracers)
+//	/debug/flight    flight-recorder contents as JSONL
+//	/debug/health    the health detector's latest per-ring statuses
+//	/metrics         the registry in Prometheus text exposition format
+//	/debug/pprof     the standard net/http/pprof profiles
 //
 // Tracers may be added while the server runs (rings come and go with
 // membership changes; nodes are added as they start).
@@ -25,7 +30,14 @@ type Server struct {
 
 	mu      sync.Mutex
 	tracers map[string]*RingTracer
+	msgs    map[string]*MsgTracer
+	flights map[string]*FlightRecorder
+	health  *Health
 }
+
+// maxSnapshotQuery bounds ?n=/-style count parameters; anything larger
+// (or negative, or non-numeric) is a 400, not an unbounded allocation.
+const maxSnapshotQuery = 1 << 16
 
 // StartServer listens on addr (e.g. ":6060" or "127.0.0.1:0") and serves
 // the debug endpoints for reg in a background goroutine. Close shuts it
@@ -35,10 +47,20 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{reg: reg, ln: ln, tracers: make(map[string]*RingTracer)}
+	s := &Server{
+		reg:     reg,
+		ln:      ln,
+		tracers: make(map[string]*RingTracer),
+		msgs:    make(map[string]*MsgTracer),
+		flights: make(map[string]*FlightRecorder),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/vars", s.handleVars)
 	mux.HandleFunc("/debug/ring", s.handleRing)
+	mux.HandleFunc("/debug/msgtrace", s.handleMsgTrace)
+	mux.HandleFunc("/debug/flight", s.handleFlight)
+	mux.HandleFunc("/debug/health", s.handleHealth)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -61,6 +83,38 @@ func (s *Server) AddTracer(name string, t *RingTracer) {
 	s.tracers[name] = t
 }
 
+// AddMsgTracer registers a message tracer under name; its spans appear
+// in /debug/msgtrace. A nil tracer removes the name.
+func (s *Server) AddMsgTracer(name string, t *MsgTracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t == nil {
+		delete(s.msgs, name)
+		return
+	}
+	s.msgs[name] = t
+}
+
+// AddFlight registers a flight recorder under name; its events appear in
+// /debug/flight. A nil recorder removes the name.
+func (s *Server) AddFlight(name string, f *FlightRecorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f == nil {
+		delete(s.flights, name)
+		return
+	}
+	s.flights[name] = f
+}
+
+// SetHealth attaches the health detector served at /debug/health (nil
+// detaches).
+func (s *Server) SetHealth(h *Health) {
+	s.mu.Lock()
+	s.health = h
+	s.mu.Unlock()
+}
+
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
@@ -72,19 +126,50 @@ func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
 	_ = s.reg.WriteJSON(w)
 }
 
-// handleRing renders the last ?n= traces (default: everything buffered)
-// of every tracer, keyed by name, oldest first.
-func (s *Server) handleRing(w http.ResponseWriter, r *http.Request) {
-	max := 0
-	if q := r.URL.Query().Get("n"); q != "" {
-		if v, err := strconv.Atoi(q); err == nil {
-			max = v
-		}
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// queryCount parses an optional bounded count parameter. ok is false —
+// and a 400 has been written — when the value is non-numeric, negative,
+// or larger than maxSnapshotQuery.
+func queryCount(w http.ResponseWriter, r *http.Request, key string) (n int, ok bool) {
+	q := r.URL.Query().Get(key)
+	if q == "" {
+		return 0, true
 	}
+	v, err := strconv.Atoi(q)
+	if err != nil || v < 0 || v > maxSnapshotQuery {
+		http.Error(w, "bad "+key+" parameter: want 0.."+strconv.Itoa(maxSnapshotQuery), http.StatusBadRequest)
+		return 0, false
+	}
+	return v, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// handleRing renders the last ?n= traces (default: everything buffered)
+// of every tracer — or just ?tracer=name — keyed by name, oldest first.
+// Bad parameters (negative or huge n, unknown tracer) are a 400.
+func (s *Server) handleRing(w http.ResponseWriter, r *http.Request) {
+	max, ok := queryCount(w, r, "n")
+	if !ok {
+		return
+	}
+	want := r.URL.Query().Get("tracer")
+
 	s.mu.Lock()
 	names := make([]string, 0, len(s.tracers))
 	for name := range s.tracers {
-		names = append(names, name)
+		if want == "" || name == want {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	out := make(map[string][]RoundTrace, len(names))
@@ -92,8 +177,102 @@ func (s *Server) handleRing(w http.ResponseWriter, r *http.Request) {
 		out[name] = s.tracers[name].Snapshot(max)
 	}
 	s.mu.Unlock()
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+
+	if want != "" && len(names) == 0 {
+		http.Error(w, "unknown tracer "+strconv.Quote(want), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, out)
+}
+
+// handleMsgTrace renders sampled message-lifecycle events per registered
+// tracer: ?seq=N selects one message's span (merged across nodes when
+// several tracers are registered), ?n= bounds the events per tracer,
+// ?tracer=name selects one tracer. Bad parameters are a 400.
+func (s *Server) handleMsgTrace(w http.ResponseWriter, r *http.Request) {
+	max, ok := queryCount(w, r, "n")
+	if !ok {
+		return
+	}
+	var seq uint64
+	haveSeq := false
+	if q := r.URL.Query().Get("seq"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "bad seq parameter: want an unsigned integer", http.StatusBadRequest)
+			return
+		}
+		seq, haveSeq = v, true
+	}
+	want := r.URL.Query().Get("tracer")
+
+	s.mu.Lock()
+	names := make([]string, 0, len(s.msgs))
+	for name := range s.msgs {
+		if want == "" || name == want {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := make(map[string][]MsgEvent, len(names))
+	for _, name := range names {
+		t := s.msgs[name]
+		if haveSeq {
+			out[name] = t.ForSeq(seq)
+		} else {
+			out[name] = t.Snapshot(max)
+		}
+	}
+	s.mu.Unlock()
+
+	if want != "" && len(names) == 0 {
+		http.Error(w, "unknown tracer "+strconv.Quote(want), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, out)
+}
+
+// handleFlight streams flight-recorder events as JSONL, one recorder
+// after another (?name= selects one; unknown names are a 400). Each
+// recorder's section is preceded by a {"recorder": name} line.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	want := r.URL.Query().Get("name")
+
+	s.mu.Lock()
+	names := make([]string, 0, len(s.flights))
+	for name := range s.flights {
+		if want == "" || name == want {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	recs := make([]*FlightRecorder, len(names))
+	for i, name := range names {
+		recs[i] = s.flights[name]
+	}
+	s.mu.Unlock()
+
+	if want != "" && len(names) == 0 {
+		http.Error(w, "unknown recorder "+strconv.Quote(want), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(out)
+	for i, rec := range recs {
+		_ = enc.Encode(map[string]string{"recorder": names[i]})
+		_ = rec.WriteJSONL(w)
+	}
+}
+
+// handleHealth renders the health detector's latest statuses (404 until
+// a detector is attached with SetHealth).
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	h := s.health
+	s.mu.Unlock()
+	if h == nil {
+		http.Error(w, "no health detector attached", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, h.Status())
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"testing"
 )
 
@@ -69,3 +70,179 @@ func TestDebugServer(t *testing.T) {
 		t.Fatal("empty pprof index")
 	}
 }
+
+// startTestServer brings up a server with one of everything registered.
+func startTestServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter("ring.rounds").Add(9)
+	reg.Histogram("ring.token_hold_ns", []float64{10, 100}).Observe(50)
+	s, err := StartServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	tr := NewRingTracer(4)
+	tr.Record(RoundTrace{Round: 1})
+	s.AddTracer("node1", tr)
+
+	mt := NewMsgTracer(1, 8)
+	mt.Record(MsgEvent{Seq: 7, Stage: StageSubmit})
+	mt.Record(MsgEvent{Seq: 7, Stage: StageDeliver})
+	mt.Record(MsgEvent{Seq: 8, Stage: StageSubmit})
+	s.AddMsgTracer("node1", mt)
+
+	fr := NewFlightRecorder(8)
+	fr.Record(FlightEvent{Kind: FlightTokenRx, Seq: 7})
+	s.AddFlight("node1", fr)
+
+	return s, "http://" + s.Addr()
+}
+
+func status(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+// TestDebugServerParamValidation pins the 400 behavior of every query
+// parameter: counts must be small non-negative integers, names must be
+// registered.
+func TestDebugServerParamValidation(t *testing.T) {
+	_, base := startTestServer(t)
+	cases := []struct {
+		name string
+		path string
+		want int
+	}{
+		{"ring default", "/debug/ring", 200},
+		{"ring n ok", "/debug/ring?n=2", 200},
+		{"ring n zero", "/debug/ring?n=0", 200},
+		{"ring n negative", "/debug/ring?n=-1", 400},
+		{"ring n huge", "/debug/ring?n=9999999", 400},
+		{"ring n overflow", "/debug/ring?n=99999999999999999999", 400},
+		{"ring n junk", "/debug/ring?n=abc", 400},
+		{"ring tracer known", "/debug/ring?tracer=node1", 200},
+		{"ring tracer unknown", "/debug/ring?tracer=nope", 400},
+		{"msgtrace default", "/debug/msgtrace", 200},
+		{"msgtrace seq", "/debug/msgtrace?seq=7", 200},
+		{"msgtrace seq junk", "/debug/msgtrace?seq=abc", 400},
+		{"msgtrace seq negative", "/debug/msgtrace?seq=-1", 400},
+		{"msgtrace n negative", "/debug/msgtrace?n=-5", 400},
+		{"msgtrace tracer unknown", "/debug/msgtrace?tracer=nope", 400},
+		{"flight default", "/debug/flight", 200},
+		{"flight name known", "/debug/flight?name=node1", 200},
+		{"flight name unknown", "/debug/flight?name=nope", 400},
+		{"metrics", "/metrics", 200},
+		{"health unattached", "/debug/health", 404},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := status(t, base+tc.path); got != tc.want {
+				t.Fatalf("GET %s = %d, want %d", tc.path, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDebugServerMsgTraceMergesBySeq(t *testing.T) {
+	s, base := startTestServer(t)
+	// A second node's tracer: the same deterministic sampling records the
+	// same seq, so ?seq=7 returns the span from both.
+	mt2 := NewMsgTracer(1, 8)
+	mt2.Record(MsgEvent{Seq: 7, Stage: StageRecv})
+	s.AddMsgTracer("node2", mt2)
+
+	var out map[string][]map[string]any
+	if err := json.Unmarshal(get(t, base+"/debug/msgtrace?seq=7"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out["node1"]) != 2 || len(out["node2"]) != 1 {
+		t.Fatalf("merged span = %+v", out)
+	}
+	for _, evs := range out {
+		for _, ev := range evs {
+			if ev["seq"] != float64(7) {
+				t.Fatalf("event for wrong seq: %+v", ev)
+			}
+		}
+	}
+	if out["node1"][0]["stage"] != "submit" || out["node2"][0]["stage"] != "recv" {
+		t.Fatalf("stages not rendered by name: %+v", out)
+	}
+}
+
+func TestDebugServerFlightJSONL(t *testing.T) {
+	_, base := startTestServer(t)
+	resp, err := http.Get(base + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	lines := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		lines++
+	}
+	if lines != 2 { // {"recorder": "node1"} + one event
+		t.Fatalf("got %d JSONL lines, want 2", lines)
+	}
+}
+
+func TestDebugServerMetrics(t *testing.T) {
+	_, base := startTestServer(t)
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE accelring_ring_rounds counter",
+		"accelring_ring_rounds 9",
+		"# TYPE accelring_ring_token_hold_ns histogram",
+		`accelring_ring_token_hold_ns_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestDebugServerHealth(t *testing.T) {
+	s, base := startTestServer(t)
+	h := NewHealth(s.reg, HealthConfig{})
+	s.SetHealth(h)
+	var sts []HealthStatus
+	if err := json.Unmarshal(get(t, base+"/debug/health"), &sts); err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 1 || sts[0].Ring != "" {
+		t.Fatalf("health = %+v", sts)
+	}
+	s.SetHealth(nil)
+	if got := status(t, base+"/debug/health"); got != 404 {
+		t.Fatalf("detached health = %d, want 404", got)
+	}
+}
+

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// MsgStage identifies one step in a message's lifecycle through the ring:
+// from local submission, through its pre- or post-token multicast, its
+// receipt (and any retransmitted copies) at peers, retransmission-request
+// traffic, to Agreed/Safe delivery.
+type MsgStage uint8
+
+const (
+	// StageSubmit marks the moment a locally submitted message is
+	// assigned its ring sequence number during a token visit.
+	StageSubmit MsgStage = iota + 1
+	// StageSentPre marks a multicast before forwarding the token.
+	StageSentPre
+	// StageSentPost marks a multicast after forwarding the token (the
+	// accelerated share).
+	StageSentPost
+	// StageRecv marks the first copy of the message arriving from the
+	// network.
+	StageRecv
+	// StageRecvDup marks a duplicate or retransmitted copy arriving.
+	StageRecvDup
+	// StageRtrRequest marks the sequence being placed on the outgoing
+	// token's retransmission-request list (a gap was detected).
+	StageRtrRequest
+	// StageRetransmit marks the message being re-multicast in answer to
+	// a retransmission request carried by the token.
+	StageRetransmit
+	// StageDeliver marks delivery to the application.
+	StageDeliver
+)
+
+var msgStageNames = [...]string{
+	StageSubmit:     "submit",
+	StageSentPre:    "sent_pre",
+	StageSentPost:   "sent_post",
+	StageRecv:       "recv",
+	StageRecvDup:    "recv_dup",
+	StageRtrRequest: "rtr_request",
+	StageRetransmit: "retransmit",
+	StageDeliver:    "deliver",
+}
+
+// String returns the stage's wire name ("submit", "sent_pre", ...).
+func (s MsgStage) String() string {
+	if int(s) < len(msgStageNames) && msgStageNames[s] != "" {
+		return msgStageNames[s]
+	}
+	return fmt.Sprintf("stage(%d)", uint8(s))
+}
+
+// MarshalJSON renders the stage as its string name.
+func (s MsgStage) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// MsgEvent is one recorded lifecycle stage of one message. Events hold
+// only scalar fields (no slices, no pointers into pooled buffers), so a
+// recorded event can never alias protocol scratch memory.
+type MsgEvent struct {
+	// Seq is the message's ring sequence number — the span key. The same
+	// seq is sampled at every node (sampling is a pure function of seq),
+	// so spans from different nodes of one run merge by seq.
+	Seq uint64 `json:"seq"`
+	// Stage is the lifecycle step this event records.
+	Stage MsgStage `json:"stage"`
+	// At is the event time from the observer's clock (zero without one).
+	At time.Time `json:"at"`
+	// Round is the token round during which the event happened, when the
+	// stage is tied to a token visit (submit, sends, rtr traffic).
+	Round uint64 `json:"round,omitempty"`
+	// Service is the delivery service level ("agreed", "safe") for
+	// StageDeliver events.
+	Service string `json:"service,omitempty"`
+}
+
+// DefaultMsgTraceDepth is the per-engine event-ring size used when none
+// is given.
+const DefaultMsgTraceDepth = 256
+
+// MsgTracer records sampled per-message lifecycle events in a bounded
+// lock-free ring buffer. The protocol engine (a single goroutine) writes;
+// HTTP handlers and tools read concurrently via atomic slot pointers.
+//
+// Sampling is deterministic in the sequence number (seq % every == 0), so
+// every node of a run samples the same messages and their spans can be
+// merged cross-node. A nil tracer is "message tracing off": Sampled
+// returns false and Record is a no-op, which is the zero-allocation fast
+// path the engine's AllocsPerRun gates enforce.
+type MsgTracer struct {
+	every uint64
+	slots []atomic.Pointer[MsgEvent]
+	head  atomic.Uint64 // next write position; doubles as the total count
+}
+
+// NewMsgTracer returns a tracer sampling one message in every `every`
+// (1 samples everything), buffering the last depth events (depth <= 0
+// uses DefaultMsgTraceDepth). every <= 0 returns nil: sampling off.
+func NewMsgTracer(every, depth int) *MsgTracer {
+	if every <= 0 {
+		return nil
+	}
+	if depth <= 0 {
+		depth = DefaultMsgTraceDepth
+	}
+	return &MsgTracer{every: uint64(every), slots: make([]atomic.Pointer[MsgEvent], depth)}
+}
+
+// Every returns the sampling interval (0 on a nil tracer).
+func (t *MsgTracer) Every() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.every)
+}
+
+// Depth returns the event-ring size (0 on a nil tracer).
+func (t *MsgTracer) Depth() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.slots)
+}
+
+// Sampled reports whether events for seq should be recorded. False on a
+// nil tracer — the single branch instrumented hot paths pay when tracing
+// is off.
+func (t *MsgTracer) Sampled(seq uint64) bool {
+	return t != nil && seq%t.every == 0
+}
+
+// Record appends one event, evicting the oldest when the ring is full.
+// The event is copied; callers may reuse their value. No-op on a nil
+// tracer. Record does not re-check Sampled — callers gate on it so the
+// unsampled path does no work at all.
+func (t *MsgTracer) Record(ev MsgEvent) {
+	if t == nil {
+		return
+	}
+	pos := t.head.Add(1) - 1
+	t.slots[pos%uint64(len(t.slots))].Store(&ev)
+}
+
+// Total returns the number of events recorded over the tracer's lifetime
+// (0 on a nil tracer).
+func (t *MsgTracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.head.Load()
+}
+
+// Snapshot returns up to max buffered events, oldest first (max <= 0
+// returns everything buffered). Nil on a nil tracer. The snapshot is
+// weakly consistent with concurrent writes: an event being overwritten
+// during the scan may be skipped, never torn.
+func (t *MsgTracer) Snapshot(max int) []MsgEvent {
+	if t == nil {
+		return nil
+	}
+	head := t.head.Load()
+	n := uint64(len(t.slots))
+	if head < n {
+		n = head
+	}
+	if max > 0 && uint64(max) < n {
+		n = uint64(max)
+	}
+	out := make([]MsgEvent, 0, n)
+	for i := head - n; i < head; i++ {
+		if ev := t.slots[i%uint64(len(t.slots))].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	return out
+}
+
+// ForSeq returns every buffered event for one sequence number, oldest
+// first. Nil on a nil tracer.
+func (t *MsgTracer) ForSeq(seq uint64) []MsgEvent {
+	var out []MsgEvent
+	for _, ev := range t.Snapshot(0) {
+		if ev.Seq == seq {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMsgTracerNilSafe(t *testing.T) {
+	var tr *MsgTracer
+	if tr.Sampled(0) || tr.Sampled(10) {
+		t.Fatal("nil tracer must sample nothing")
+	}
+	tr.Record(MsgEvent{Seq: 1})
+	if tr.Total() != 0 || tr.Every() != 0 || tr.Depth() != 0 {
+		t.Fatal("nil tracer accessors must return zero")
+	}
+	if tr.Snapshot(0) != nil || tr.ForSeq(1) != nil {
+		t.Fatal("nil tracer snapshots must be nil")
+	}
+	if NewMsgTracer(0, 16) != nil || NewMsgTracer(-1, 16) != nil {
+		t.Fatal("a non-positive sampling rate must disable tracing (nil tracer)")
+	}
+}
+
+func TestMsgTracerSamplingDeterministic(t *testing.T) {
+	// Two tracers with the same rate sample exactly the same seqs — the
+	// property that lets ringtrace -follow merge spans across nodes.
+	a, b := NewMsgTracer(10, 0), NewMsgTracer(10, 0)
+	for seq := uint64(0); seq < 100; seq++ {
+		if a.Sampled(seq) != b.Sampled(seq) {
+			t.Fatalf("tracers disagree at seq %d", seq)
+		}
+		if want := seq%10 == 0; a.Sampled(seq) != want {
+			t.Fatalf("Sampled(%d) = %v, want %v", seq, a.Sampled(seq), want)
+		}
+	}
+}
+
+func TestMsgTracerWrapOldestFirst(t *testing.T) {
+	tr := NewMsgTracer(1, 4)
+	if tr.Every() != 1 || tr.Depth() != 4 {
+		t.Fatalf("Every/Depth = %d/%d, want 1/4", tr.Every(), tr.Depth())
+	}
+	for i := 1; i <= 10; i++ {
+		tr.Record(MsgEvent{Seq: uint64(i), Stage: StageSubmit})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	got := tr.Snapshot(0)
+	if len(got) != 4 {
+		t.Fatalf("Snapshot kept %d events, want 4", len(got))
+	}
+	for i, ev := range got {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (oldest first)", i, ev.Seq, want)
+		}
+	}
+	if got := tr.Snapshot(2); len(got) != 2 || got[1].Seq != 10 {
+		t.Fatalf("Snapshot(2) = %+v, want the 2 newest", got)
+	}
+}
+
+func TestMsgTracerForSeq(t *testing.T) {
+	tr := NewMsgTracer(5, 16)
+	tr.Record(MsgEvent{Seq: 5, Stage: StageSubmit})
+	tr.Record(MsgEvent{Seq: 10, Stage: StageSubmit})
+	tr.Record(MsgEvent{Seq: 5, Stage: StageDeliver})
+	span := tr.ForSeq(5)
+	if len(span) != 2 || span[0].Stage != StageSubmit || span[1].Stage != StageDeliver {
+		t.Fatalf("ForSeq(5) = %+v", span)
+	}
+}
+
+func TestMsgTracerRecordCopies(t *testing.T) {
+	tr := NewMsgTracer(1, 4)
+	ev := MsgEvent{Seq: 1, Stage: StageRecv, Service: "agreed"}
+	tr.Record(ev)
+	ev.Seq, ev.Service = 99, "mutated"
+	got := tr.Snapshot(0)
+	if len(got) != 1 || got[0].Seq != 1 || got[0].Service != "agreed" {
+		t.Fatalf("recorded event changed after caller mutation: %+v", got)
+	}
+}
+
+// TestMsgTracerConcurrent exercises the single-writer / many-reader
+// contract under the race detector.
+func TestMsgTracerConcurrent(t *testing.T) {
+	tr := NewMsgTracer(1, 64)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the engine: one writer
+		defer wg.Done()
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Record(MsgEvent{Seq: i, Stage: StageRecv, At: time.Unix(0, int64(i))})
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ { // HTTP handlers: concurrent readers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, ev := range tr.Snapshot(0) {
+					if ev.Stage != StageRecv {
+						t.Error("torn event")
+						return
+					}
+				}
+				tr.ForSeq(uint64(i))
+				tr.Total()
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestMsgStageNames(t *testing.T) {
+	want := map[MsgStage]string{
+		StageSubmit:     "submit",
+		StageSentPre:    "sent_pre",
+		StageSentPost:   "sent_post",
+		StageRecv:       "recv",
+		StageRecvDup:    "recv_dup",
+		StageRtrRequest: "rtr_request",
+		StageRetransmit: "retransmit",
+		StageDeliver:    "deliver",
+	}
+	for stage, name := range want {
+		if stage.String() != name {
+			t.Errorf("%d.String() = %q, want %q", stage, stage.String(), name)
+		}
+		b, err := json.Marshal(stage)
+		if err != nil || string(b) != `"`+name+`"` {
+			t.Errorf("marshal %q: got %s, %v", name, b, err)
+		}
+	}
+	if MsgStage(200).String() == "" {
+		t.Error("unknown stage must still render")
+	}
+}

@@ -96,6 +96,20 @@ func DurationBuckets() []float64 {
 	return b
 }
 
+// FineDurationBuckets returns exponential bucket bounds in nanoseconds
+// from 100ns to ~1.7s (doubling). DurationBuckets starts at 1µs, which
+// collapses the sim testbed's sub-µs HandleData times and µs-scale token
+// rounds into one or two buckets; engine-level histograms use this finer
+// ladder instead. Existing metric names are unchanged — only the bounds
+// differ.
+func FineDurationBuckets() []float64 {
+	var b []float64
+	for v := float64(100 * time.Nanosecond); v <= float64(2*time.Second); v *= 2 {
+		b = append(b, v)
+	}
+	return b
+}
+
 // Observe records one sample. No-op on a nil histogram.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {

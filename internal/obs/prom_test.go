@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// promLines renders the registry and returns the non-comment sample lines.
+func promLines(t *testing.T, r *Registry) []string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+func promValue(t *testing.T, lines []string, series string) string {
+	t.Helper()
+	for _, line := range lines {
+		if name, val, ok := strings.Cut(line, " "); ok && name == series {
+			return val
+		}
+	}
+	t.Fatalf("series %q not found in:\n%s", series, strings.Join(lines, "\n"))
+	return ""
+}
+
+func TestWritePrometheusCountersGaugesLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ring.rounds").Add(42)
+	r.Counter("shard1.ring.rounds").Add(7)
+	r.Counter("shard0.ring.rounds").Add(3)
+	r.Gauge("membership.state").Set(3)
+	r.Gauge("shard12.ring.aru").Set(99)
+
+	lines := promLines(t, r)
+	if v := promValue(t, lines, "accelring_ring_rounds"); v != "42" {
+		t.Errorf("unlabeled counter = %s, want 42", v)
+	}
+	if v := promValue(t, lines, `accelring_ring_rounds{ring="1"}`); v != "7" {
+		t.Errorf("shard1 counter = %s, want 7", v)
+	}
+	if v := promValue(t, lines, `accelring_ring_rounds{ring="0"}`); v != "3" {
+		t.Errorf("shard0 counter = %s, want 3", v)
+	}
+	if v := promValue(t, lines, "accelring_membership_state"); v != "3" {
+		t.Errorf("gauge = %s, want 3", v)
+	}
+	if v := promValue(t, lines, `accelring_ring_aru{ring="12"}`); v != "99" {
+		t.Errorf("multi-digit shard gauge = %s, want 99", v)
+	}
+	// Rows of one family must sort stably (labels ascending).
+	var rounds []string
+	for _, line := range lines {
+		if strings.HasPrefix(line, "accelring_ring_rounds") {
+			rounds = append(rounds, line)
+		}
+	}
+	if len(rounds) != 3 || !strings.HasPrefix(rounds[0], "accelring_ring_rounds ") {
+		t.Errorf("family rows not sorted: %v", rounds)
+	}
+}
+
+func TestWritePrometheusHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ring.token_hold_ns", []float64{10, 100, 1000})
+	h.Observe(5)   // bucket le=10
+	h.Observe(5)   // bucket le=10
+	h.Observe(500) // bucket le=1000 (le=100 stays empty)
+	h.Observe(5000)
+
+	lines := promLines(t, r)
+	series := func(le string) uint64 {
+		v := promValue(t, lines, `accelring_ring_token_hold_ns_bucket{le="`+le+`"}`)
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bucket %s: %v", le, err)
+		}
+		return n
+	}
+	// Cumulative ladder, empty buckets included.
+	if series("10") != 2 || series("100") != 2 || series("1000") != 3 || series("+Inf") != 4 {
+		t.Errorf("cumulative buckets wrong: 10=%d 100=%d 1000=%d +Inf=%d",
+			series("10"), series("100"), series("1000"), series("+Inf"))
+	}
+	if v := promValue(t, lines, "accelring_ring_token_hold_ns_count"); v != "4" {
+		t.Errorf("_count = %s, want 4", v)
+	}
+	if v := promValue(t, lines, "accelring_ring_token_hold_ns_sum"); v != "5510" {
+		t.Errorf("_sum = %s, want 5510", v)
+	}
+}
+
+func TestWritePrometheusPublished(t *testing.T) {
+	type stats struct {
+		Gets   uint64
+		Misses int
+		Name   string // non-numeric: skipped
+	}
+	r := NewRegistry()
+	r.Publish("bufpool", func() any { return stats{Gets: 11, Misses: 2, Name: "x"} })
+	r.Publish("goroutines", func() any { return 17 })
+	r.Publish("ratio", func() any { return 0.5 })
+	r.Publish("faults.rules", func() any { return []map[string]any{{"rule": "a"}} }) // skipped
+	r.Publish("byname", func() any { return map[string]int{"TxBytes": 9} })
+
+	lines := promLines(t, r)
+	if v := promValue(t, lines, "accelring_bufpool_gets"); v != "11" {
+		t.Errorf("struct field = %s, want 11", v)
+	}
+	if v := promValue(t, lines, "accelring_bufpool_misses"); v != "2" {
+		t.Errorf("struct field = %s, want 2", v)
+	}
+	if v := promValue(t, lines, "accelring_goroutines"); v != "17" {
+		t.Errorf("plain number = %s, want 17", v)
+	}
+	if v := promValue(t, lines, "accelring_ratio"); v != "0.5" {
+		t.Errorf("float = %s, want 0.5", v)
+	}
+	if v := promValue(t, lines, "accelring_byname_tx_bytes"); v != "9" {
+		t.Errorf("map entry = %s, want 9", v)
+	}
+	for _, line := range lines {
+		if strings.Contains(line, "bufpool_name") || strings.Contains(line, "faults_rules") {
+			t.Errorf("non-numeric publication leaked: %s", line)
+		}
+	}
+}
+
+// Every exported series name must match the stable naming scheme; this is
+// the same property the daemon-level lint asserts end to end.
+func TestWritePrometheusNamesValid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ring.delivered.safe").Add(1)
+	r.Counter("shard2.transport.udp.tx_data_bytes").Add(1)
+	r.Gauge("daemon.clients").Set(1)
+	r.Histogram("ring.delivery_ns.agreed", FineDurationBuckets()).Observe(1)
+	r.Publish("weird.Name-with.Dashes", func() any { return 1 })
+
+	name := regexp.MustCompile(`^accelring_[a-z0-9_]+$`)
+	full := regexp.MustCompile(`^(accelring_[a-z0-9_]+)(\{[^}]*\})? `)
+	for _, line := range promLines(t, r) {
+		m := full.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("unparseable exposition line: %q", line)
+			continue
+		}
+		if !name.MatchString(m[1]) {
+			t.Errorf("series name %q does not match ^accelring_[a-z0-9_]+$", m[1])
+		}
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry: err=%v, wrote %d bytes", err, buf.Len())
+	}
+}
+
+func TestWritePrometheusUptime(t *testing.T) {
+	r := NewRegistry()
+	lines := promLines(t, r)
+	v := promValue(t, lines, "accelring_uptime_seconds")
+	if f, err := strconv.ParseFloat(v, 64); err != nil || f < 0 {
+		t.Fatalf("uptime = %q (%v)", v, err)
+	}
+}
+
+// TestWritePrometheusConcurrent scrapes while the "engine" updates, under
+// the race detector.
+func TestWritePrometheusConcurrent(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Counter("ring.rounds").Add(1)
+			r.Gauge("ring.seq").Set(int64(i))
+			r.Histogram("ring.token_hold_ns", FineDurationBuckets()).Observe(float64(i))
+			if i == 0 {
+				r.Publish("live", func() any { return i })
+			}
+		}
+	}()
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				var buf bytes.Buffer
+				if err := r.WritePrometheus(&buf); err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				r.Snapshot()
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestFineDurationBuckets(t *testing.T) {
+	b := FineDurationBuckets()
+	if len(b) == 0 {
+		t.Fatal("no buckets")
+	}
+	if b[0] != float64(100*time.Nanosecond) {
+		t.Fatalf("first bucket = %v, want 100ns", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] != 2*b[i-1] {
+			t.Fatalf("bucket %d = %v, want double of %v", i, b[i], b[i-1])
+		}
+	}
+	if last := b[len(b)-1]; last < float64(time.Second) || last > float64(2*time.Second) {
+		t.Fatalf("last bucket %v outside (1s, 2s]", time.Duration(last))
+	}
+}

@@ -133,6 +133,13 @@ type RingObserver struct {
 	// label so per-ring series stay separable in one shared registry.
 	// Must be set before the first report and never changed.
 	Label string
+	// Msg receives sampled per-message lifecycle events (nil: message
+	// tracing off — the engine's zero-allocation fast path).
+	Msg *MsgTracer
+	// Flight receives compact black-box protocol events (nil: flight
+	// recording off). Sharded nodes share one recorder across rings;
+	// events carry the observer's Label in their Ring field.
+	Flight *FlightRecorder
 
 	once sync.Once
 	m    *ringMetrics
@@ -163,6 +170,24 @@ func (o *RingObserver) Now() time.Time {
 	return o.Clock()
 }
 
+// MsgTracer returns the observer's message tracer; nil (tracing off) on
+// a nil observer.
+func (o *RingObserver) MsgTracer() *MsgTracer {
+	if o == nil {
+		return nil
+	}
+	return o.Msg
+}
+
+// Recorder returns the observer's flight recorder; nil (recording off)
+// on a nil observer.
+func (o *RingObserver) Recorder() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Flight
+}
+
 // MetricName scopes a metric name with the observer's label ("<label>.<base>"),
 // or returns it unchanged when the observer is nil or unlabeled. The
 // membership machine and other per-ring reporters route their registry
@@ -186,7 +211,7 @@ func (o *RingObserver) metrics() *ringMetrics {
 			seq:           r.Gauge(o.MetricName("ring.seq")),
 			aru:           r.Gauge(o.MetricName("ring.aru")),
 			fcc:           r.Gauge(o.MetricName("ring.fcc")),
-			hold:          r.Histogram(o.MetricName("ring.token_hold_ns"), DurationBuckets()),
+			hold:          r.Histogram(o.MetricName("ring.token_hold_ns"), FineDurationBuckets()),
 		}
 	})
 	return o.m
@@ -235,7 +260,7 @@ func (o *RingObserver) OnDeliver(service string, latency time.Duration) {
 		if d = o.delivered[service]; d == nil {
 			d = &deliveryMetrics{
 				count:   o.Reg.Counter(o.MetricName("ring.delivered." + service)),
-				latency: o.Reg.Histogram(o.MetricName("ring.delivery_ns."+service), DurationBuckets()),
+				latency: o.Reg.Histogram(o.MetricName("ring.delivery_ns."+service), FineDurationBuckets()),
 			}
 			o.delivered[service] = d
 		}

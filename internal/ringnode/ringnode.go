@@ -93,6 +93,11 @@ func (c Config) ForRing(ring int, tr transport.Transport, onEvent func(evs.Event
 			Tracer: obs.NewRingTracer(traceDepth),
 			Clock:  base.Clock,
 			Label:  fmt.Sprintf("shard%d", ring),
+			// Message tracing is per-ring (each engine owns its
+			// lock-free ring) at the base's sampling rate; the flight
+			// recorder is shared — events carry the shard label.
+			Msg:    obs.NewMsgTracer(base.Msg.Every(), base.Msg.Depth()),
+			Flight: base.Flight,
 		}
 	}
 	return rc

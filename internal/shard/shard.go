@@ -131,6 +131,12 @@ func (g *Group) Tracer(r int) *obs.RingTracer {
 	return nil
 }
 
+// MsgTracer returns ring r's message-lifecycle tracer (nil unless the
+// base observer carried a sampling tracer).
+func (g *Group) MsgTracer(r int) *obs.MsgTracer {
+	return g.nodes[r].Observer().MsgTracer()
+}
+
 // Submit multicasts a payload on one ring, in that ring's total order.
 // Safe for any goroutine. Callers route with RingFor so one group's
 // traffic always lands on one ring.

@@ -34,9 +34,11 @@ type Options struct {
 	SubmitHighWater int
 	// Observer, when non-nil, supplies a per-node RingObserver for round
 	// tracing and metrics (node is the zero-based cluster index; return
-	// nil to leave that node unobserved). Observers must have a nil Clock
-	// to keep the simulation deterministic: durations read as zero, but
-	// counts and traces are exact.
+	// nil to leave that node unobserved). Observers must have a nil or
+	// simulation-derived Clock to keep the run deterministic: with a nil
+	// Clock durations read as zero but counts and traces are exact;
+	// ringtrace -follow installs a Sim.Now-derived clock for exact
+	// virtual timestamps.
 	Observer func(node int) *obs.RingObserver
 }
 

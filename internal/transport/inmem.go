@@ -24,6 +24,7 @@ type Hub struct {
 	dropFn  func(from, to evs.ProcID, token bool, frame []byte) bool
 	delayFn func(from, to evs.ProcID, token bool) time.Duration
 	nm      *netMetrics
+	fl      atomic.Pointer[obs.FlightRecorder]
 	delayQ  delayQueue
 }
 
@@ -68,6 +69,13 @@ func (h *Hub) SetObserver(reg *obs.Registry) {
 	h.nm = newNetMetrics(reg, "transport.inmem.")
 }
 
+// SetFlight installs a black-box recorder that gets one event per frame
+// dropped on a full receive channel (nil clears). Safe to call while the
+// hub carries traffic: delayed deliveries load it atomically.
+func (h *Hub) SetFlight(f *obs.FlightRecorder) {
+	h.fl.Store(f)
+}
+
 // push delivers every surviving copy of a frame to one endpoint's channel
 // per the injector decision: the primary copy after d.Delay, one extra
 // copy per d.Extra entry. Each delivery gets its own rented buffer — the
@@ -109,6 +117,13 @@ func (h *Hub) deliverAfter(peer *Endpoint, token bool, frame []byte, delay time.
 			bufpool.Put(cp)
 			cnt.Add(1)
 			nm.rxDrop()
+			if fl := h.fl.Load(); fl != nil {
+				note := "data"
+				if token {
+					note = "token"
+				}
+				fl.Record(obs.FlightEvent{Kind: obs.FlightRxDrop, Note: note})
+			}
 		}
 	}
 	if delay > 0 {

@@ -36,6 +36,9 @@ type UDPConfig struct {
 	DataChanCap, TokenChanCap int
 	// Obs, when non-nil, receives transport.udp.* frame/byte counters.
 	Obs *obs.Registry
+	// Flight, when non-nil, receives a black-box event per inbound frame
+	// dropped on a full receive channel.
+	Flight *obs.FlightRecorder
 }
 
 // UDP is the real-network transport: one socket per frame class, exactly
@@ -63,6 +66,7 @@ type UDP struct {
 	tokenDrop atomic.Uint64
 	wg        sync.WaitGroup
 	nm        *netMetrics
+	fl        *obs.FlightRecorder
 	delayQ    delayQueue
 }
 
@@ -104,6 +108,7 @@ func NewUDP(cfg UDPConfig) (*UDP, error) {
 		dataCh:   make(chan []byte, cfg.DataChanCap),
 		tokenCh:  make(chan []byte, cfg.TokenChanCap),
 		nm:       newNetMetrics(cfg.Obs, "transport.udp."),
+		fl:       cfg.Flight,
 	}
 	empty := make(map[evs.ProcID]*udpPeerAddrs)
 	u.peers.Store(&empty)
@@ -226,6 +231,7 @@ func (u *UDP) readLoop(conn *net.UDPConn, ch chan []byte, drops *atomic.Uint64, 
 		if len(ch) == cap(ch) {
 			drops.Add(1)
 			u.nm.rxDrop()
+			u.recordDrop(token)
 			continue
 		}
 		frame := bufpool.Get(n)
@@ -237,8 +243,21 @@ func (u *UDP) readLoop(conn *net.UDPConn, ch chan []byte, drops *atomic.Uint64, 
 			bufpool.Put(frame)
 			drops.Add(1)
 			u.nm.rxDrop()
+			u.recordDrop(token)
 		}
 	}
+}
+
+// recordDrop notes a receiver-overflow drop in the flight recorder.
+func (u *UDP) recordDrop(token bool) {
+	if u.fl == nil {
+		return
+	}
+	note := "data"
+	if token {
+		note = "token"
+	}
+	u.fl.Record(obs.FlightEvent{Kind: obs.FlightRxDrop, Note: note})
 }
 
 // Multicast implements Transport by unicast fan-out to every peer's data

@@ -85,3 +85,16 @@ func WithObserver(reg *Registry) Option {
 func WithTraceDepth(n int) Option {
 	return func(c *Config) { c.TraceDepth = n }
 }
+
+// WithTraceSampling enables message-lifecycle tracing: every every-th
+// sequence number (seq % every == 0) gets a span of per-stage events —
+// submit, pre/post-token multicast, receive, retransmission, delivery —
+// retained in a per-ring buffer served at /debug/msgtrace (register the
+// node's MsgTracer with DebugServer.AddMsgTracer). Sampling is
+// deterministic in the sequence number, so every node samples the same
+// messages and spans merge across the cluster. Zero (the default)
+// disables tracing entirely — the hot path keeps its zero-allocation
+// guarantee.
+func WithTraceSampling(every int) Option {
+	return func(c *Config) { c.TraceSampling = every }
+}

@@ -55,7 +55,26 @@ type (
 	// of new/retransmitted messages and the token hold time.
 	RoundTrace = obs.RoundTrace
 
-	// DebugServer serves /debug/vars, /debug/ring and /debug/pprof.
+	// MsgTracer retains sampled message-lifecycle spans (see
+	// WithTraceSampling); serve it with a DebugServer at /debug/msgtrace.
+	MsgTracer = obs.MsgTracer
+
+	// MsgEvent is one stage of a sampled message's lifecycle: submit,
+	// pre/post-token multicast, receive, retransmission, delivery.
+	MsgEvent = obs.MsgEvent
+
+	// MsgStage labels the lifecycle stage of a MsgEvent.
+	MsgStage = obs.MsgStage
+
+	// FlightRecorder is a black-box ring of the last protocol events,
+	// dumpable as JSONL; serve it with a DebugServer at /debug/flight.
+	FlightRecorder = obs.FlightRecorder
+
+	// FlightEvent is one compact protocol event in a FlightRecorder.
+	FlightEvent = obs.FlightEvent
+
+	// DebugServer serves /debug/vars, /debug/ring, /debug/msgtrace,
+	// /debug/flight, /debug/health, /metrics and /debug/pprof.
 	DebugServer = obs.Server
 )
 
@@ -69,6 +88,19 @@ const (
 	Safe     = evs.Safe
 )
 
+// Message-lifecycle stages recorded by a MsgTracer (see
+// WithTraceSampling), in protocol order.
+const (
+	StageSubmit     = obs.StageSubmit
+	StageSentPre    = obs.StageSentPre
+	StageSentPost   = obs.StageSentPost
+	StageRecv       = obs.StageRecv
+	StageRecvDup    = obs.StageRecvDup
+	StageRtrRequest = obs.StageRtrRequest
+	StageRetransmit = obs.StageRetransmit
+	StageDeliver    = obs.StageDeliver
+)
+
 // NewHub returns an in-process virtual network for tests and examples.
 func NewHub() *Hub { return transport.NewHub() }
 
@@ -76,13 +108,21 @@ func NewHub() *Hub { return transport.NewHub() }
 // and StartDebugServer.
 func NewRegistry() *Registry { return obs.NewRegistry() }
 
+// NewFlightRecorder returns a black-box recorder of the last depth
+// protocol events (depth <= 0 uses a default). Register it with
+// DebugServer.AddFlight to serve dumps at /debug/flight.
+func NewFlightRecorder(depth int) *FlightRecorder { return obs.NewFlightRecorder(depth) }
+
 // DefaultTimeouts returns the membership timing defaults used when
 // Config.Timeouts is zero.
 func DefaultTimeouts() Timeouts { return membership.DefaultTimeouts() }
 
 // StartDebugServer serves reg at addr: /debug/vars (JSON metrics),
-// /debug/ring (recent token-round traces; register a node's tracer with
-// AddTracer) and /debug/pprof. Close the returned server when done.
+// /metrics (Prometheus text exposition), /debug/ring (recent token-round
+// traces; register a node's tracer with AddTracer), /debug/msgtrace
+// (sampled message spans; AddMsgTracer), /debug/flight (black-box event
+// dumps; AddFlight), /debug/health (ring health; SetHealth) and
+// /debug/pprof. Close the returned server when done.
 func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 	return obs.StartServer(addr, reg)
 }
