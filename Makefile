@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-full bench-smoke bench-baseline bench-shard bench-shard-smoke chaos obs-smoke
+.PHONY: ci vet build test race race-full bench-smoke bench-baseline bench-shard bench-shard-smoke chaos obs-smoke soak-smoke
 
 ci: vet build test race
 
@@ -59,3 +59,8 @@ chaos:
 # /debug/health, /debug/msgtrace, /debug/flight and validate the output.
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# Session-lifecycle soak: thousands of churning client sessions under
+# steady ordered load, then a keyed (-ring-key) ring drained via SIGTERM.
+soak-smoke:
+	./scripts/soak_smoke.sh

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -38,6 +39,7 @@ import (
 	"accelring/internal/obs"
 	"accelring/internal/ringnode"
 	"accelring/internal/transport"
+	"accelring/internal/wire"
 )
 
 func main() {
@@ -61,6 +63,8 @@ func run(args []string) error {
 	obsAddr := fs.String("obs", "", "serve /debug/vars, /debug/ring, /metrics, /debug/health and /debug/pprof on this address (e.g. :6060)")
 	traceSample := fs.Int("trace-sample", 0, "sample every Nth sequence number for message-lifecycle tracing at /debug/msgtrace (0 disables)")
 	shards := fs.Int("shards", 1, "independent rings per daemon; ring r uses every base port + 2*r (numeric ports required)")
+	ringKey := fs.String("ring-key", "", "shared secret authenticating ring wire frames and client sessions with HMAC-SHA256 (all daemons and clients must agree; empty disables)")
+	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "graceful-drain budget on SIGINT/SIGTERM before hard stop")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -110,15 +114,26 @@ func run(args []string) error {
 				return nil, err
 			}
 		}
-		return transport.NewUDP(transport.UDPConfig{
+		udp, err := transport.NewUDP(transport.UDPConfig{
 			Self:   self,
 			Listen: listenAddrs,
 			Peers:  ringPeers,
 			Obs:    reg,
 		})
+		if err != nil {
+			return nil, err
+		}
+		var tr transport.Transport = udp
+		if *ringKey != "" {
+			// Per-ring subkeys, matching the facade's WithRingKey rule, so
+			// frames cannot be replayed across rings.
+			sub := wire.DeriveKey([]byte(*ringKey), "ring"+strconv.Itoa(ring))
+			tr = transport.WithAuth(tr, sub, reg, flight)
+		}
+		return tr, nil
 	}
 
-	dcfg := daemon.Config{Obs: reg, Flight: flight}
+	dcfg := daemon.Config{Obs: reg, Flight: flight, Key: []byte(*ringKey)}
 	if *shards > 1 {
 		dcfg.Shards = *shards
 		dcfg.NewTransport = newTransport
@@ -189,8 +204,8 @@ func run(args []string) error {
 			Scopes:        scopes,
 			RetransBudget: *global,
 			OnChange: func(st obs.HealthStatus) {
-				log.Printf("health: ring=%q healthy=%v token_stall=%v aru_stagnation=%v retrans_storm=%v slow_consumer=%v",
-					st.Ring, st.Healthy(), st.TokenStall, st.AruStagnation, st.RetransStorm, st.SlowConsumer)
+				log.Printf("health: ring=%q healthy=%v token_stall=%v aru_stagnation=%v retrans_storm=%v slow_consumer=%v backpressure=%v",
+					st.Ring, st.Healthy(), st.TokenStall, st.AruStagnation, st.RetransStorm, st.SlowConsumer, st.Backpressure)
 			},
 		})
 		health.Start()
@@ -229,7 +244,9 @@ func run(args []string) error {
 	}()
 
 	// SIGQUIT dumps the black box (and keeps running, like a Java thread
-	// dump); SIGINT/SIGTERM shut down.
+	// dump); SIGINT/SIGTERM drain the client sessions — flush every
+	// queue, hand out resumable Detach notices, emit the final ordered
+	// leaves — then stop the ring.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT)
 	for s := range sig {
@@ -244,6 +261,12 @@ func run(args []string) error {
 		}
 		break
 	}
+	log.Printf("draining (budget %v)", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	if err := d.Drain(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	cancel()
 	log.Printf("shutting down")
 	d.Stop()
 	return nil

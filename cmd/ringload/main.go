@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"accelring/internal/client"
@@ -45,11 +46,15 @@ func run(args []string) error {
 	original := fs.Bool("original", false, "use the original Ring protocol")
 	safe := fs.Bool("safe", false, "use Safe delivery instead of Agreed")
 	daemonsFlag := fs.String("daemons", "", "comma-separated client addresses of external daemons (skips self-contained setup)")
+	churn := fs.Int("churn", 0, "churning sessions per daemon: each repeatedly connects, joins, sends, and disconnects for the whole run (session-lifecycle stress)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *payload < 8 {
 		return fmt.Errorf("-payload must be at least 8 (latency stamp)")
+	}
+	if *churn < 0 {
+		return fmt.Errorf("-churn must be non-negative")
 	}
 
 	var addrs []string
@@ -69,7 +74,7 @@ func run(args []string) error {
 	if *safe {
 		svc = evs.Safe
 	}
-	return measure(addrs, *rate, *payload, svc, *warmup, *duration)
+	return measure(addrs, *rate, *payload, svc, *warmup, *duration, *churn)
 }
 
 // selfContained spins up n daemons over UDP loopback and returns their
@@ -133,7 +138,7 @@ func selfContained(n int, original bool) ([]string, func(), error) {
 // measure attaches a sender and a receiver client per daemon, offers load,
 // and reports results.
 func measure(addrs []string, rate float64, payloadBytes int, svc evs.Service,
-	warmup, duration time.Duration) error {
+	warmup, duration time.Duration, churn int) error {
 	const groupName = "bench"
 	n := len(addrs)
 
@@ -208,9 +213,42 @@ func measure(addrs []string, rate float64, payloadBytes int, svc evs.Service,
 		}(sc)
 	}
 
+	// Churners: short-lived sessions cycling connect → join → send →
+	// disconnect for the whole run, stressing the daemon's session
+	// lifecycle (ordered joins/leaves, outbox setup/teardown) alongside
+	// the steady load.
+	var churned atomic.Int64
+	var churners sync.WaitGroup
+	for ci := 0; ci < churn*n; ci++ {
+		churners.Add(1)
+		go func(ci int) {
+			defer churners.Done()
+			addr := addrs[ci%n]
+			g := fmt.Sprintf("churn-%d", ci%8)
+			msg := make([]byte, 64)
+			for {
+				select {
+				case <-stopSend:
+					return
+				default:
+				}
+				cc, err := client.Dial("tcp", addr, "churn")
+				if err != nil {
+					time.Sleep(10 * time.Millisecond)
+					continue
+				}
+				if cc.Join(g) == nil && cc.Multicast(evs.Agreed, msg, g) == nil {
+					churned.Add(1)
+				}
+				cc.Close()
+			}
+		}(ci)
+	}
+
 	time.Sleep(warmup + duration + 500*time.Millisecond)
 	close(stopSend)
 	senders.Wait()
+	churners.Wait()
 	for _, rc := range receivers {
 		rc.Close()
 	}
@@ -238,5 +276,10 @@ func measure(addrs []string, rate float64, payloadBytes int, svc evs.Service,
 	fmt.Printf("latency: mean=%v p50=%v p99=%v max=%v (n=%d deliveries)\n",
 		mean.Round(time.Microsecond), p50.Round(time.Microsecond),
 		p99.Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond), len(lats))
+	if churn > 0 {
+		total := churned.Load()
+		fmt.Printf("churn: %d sessions cycled (%.0f /s across %d churners)\n",
+			total, float64(total)/(warmup+duration).Seconds(), churn*n)
+	}
 	return nil
 }

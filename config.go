@@ -14,6 +14,7 @@ import (
 	"accelring/internal/ringnode"
 	"accelring/internal/shard"
 	"accelring/internal/transport"
+	"accelring/internal/wire"
 )
 
 // Protocol selects the ring protocol variant.
@@ -118,6 +119,15 @@ type Config struct {
 	// message-lifecycle tracing (see WithTraceSampling). Zero disables
 	// tracing; negative is invalid.
 	TraceSampling int
+
+	// RingKey, when non-empty, authenticates every ring wire frame
+	// (token and data) with a truncated HMAC-SHA256 tag. Each ring of a
+	// sharded node signs with its own subkey derived from this master
+	// key, so frames cannot be replayed across rings. All participants
+	// must share the key; forged frames are counted on
+	// transport.auth_drops and dropped before they can touch ordering
+	// state.
+	RingKey []byte
 }
 
 // Validation errors returned by Config.Validate (wrapped with context;
@@ -332,10 +342,10 @@ func (c *Config) ringConfig() ringnode.Config {
 // passed.
 func (c *Config) openTransport(ring int) (Transport, error) {
 	if len(c.Transports) > 0 {
-		return c.Transports[ring], nil
+		return c.keyed(c.Transports[ring], ring), nil
 	}
 	if c.Transport != nil {
-		return c.Transport, nil
+		return c.keyed(c.Transport, ring), nil
 	}
 	listen, peers := c.Listen, c.Peers
 	if c.Shards > 1 {
@@ -350,10 +360,24 @@ func (c *Config) openTransport(ring int) (Transport, error) {
 			}
 		}
 	}
-	return transport.NewUDP(transport.UDPConfig{
+	tr, err := transport.NewUDP(transport.UDPConfig{
 		Self:   c.Self,
 		Listen: listen,
 		Peers:  peers,
 		Obs:    c.Observer,
 	})
+	if err != nil {
+		return nil, err
+	}
+	return c.keyed(tr, ring), nil
+}
+
+// keyed wraps tr with per-ring HMAC frame authentication when RingKey is
+// set; with no key it returns tr unchanged.
+func (c *Config) keyed(tr Transport, ring int) Transport {
+	if len(c.RingKey) == 0 {
+		return tr
+	}
+	sub := wire.DeriveKey(c.RingKey, "ring"+strconv.Itoa(ring))
+	return transport.WithAuth(tr, sub, c.Observer, nil)
 }

@@ -2,6 +2,15 @@
 // the equivalent of Spread's client library. A client connects to a local
 // daemon, joins groups, multicasts to any groups (open-group semantics),
 // and receives totally ordered messages and agreed group views.
+//
+// Sessions are resilient: every delivery carries a per-session sequence
+// number, the client acknowledges periodically, and — with
+// Config.Reconnect — a dropped connection is redialed and resumed from
+// the last processed sequence, giving exactly-once delivery across the
+// reconnect. The application sees a typed *Reconnected event instead of
+// a dead session. Backpressure notices from the daemon surface as
+// *Throttled events, graceful drains as *Detached events, and with
+// Config.Key every frame is authenticated with HMAC-SHA256.
 package client
 
 import (
@@ -9,13 +18,15 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"accelring/internal/evs"
 	"accelring/internal/group"
 	"accelring/internal/session"
 )
 
-// Event is a delivery to the client: a *Message or a *View.
+// Event is a delivery to the client: a *Message, *View, *Rejection,
+// *Reconnected, *Throttled, or *Detached.
 type Event interface{ isEvent() }
 
 // Message is a totally ordered group message.
@@ -42,14 +53,49 @@ type View struct {
 func (*View) isEvent() {}
 
 // Rejection is a daemon-reported, request-scoped failure that does not
-// terminate the session (e.g. leaving a group this client never joined).
-// Err is typed: branch with errors.Is (group.ErrNotMember,
-// session.ErrInvalidService, session.ErrNotReady) or errors.As
+// terminate the session (e.g. leaving a group this client never joined,
+// or a private message to a client that disconnected). Err is typed:
+// branch with errors.Is (group.ErrNotMember, session.ErrInvalidService,
+// session.ErrNotReady, session.ErrNoRecipient) or errors.As
 // (*evs.MembershipChangedError). Protocol-level daemon errors remain
 // fatal and surface through Client.Err instead.
 type Rejection struct{ Err error }
 
 func (*Rejection) isEvent() {}
+
+// Reconnected reports that the connection died and was transparently
+// re-established. With Resumed the session continued exactly where it
+// left off (no delivery lost or duplicated). Without it the daemon could
+// not resume (restarted daemon, replay window overrun): the client holds
+// a fresh identity — check ID() — and must re-join its groups.
+type Reconnected struct {
+	// Attempts is how many dials the outage cost.
+	Attempts int
+	// Resumed says whether the session was resumed (vs started fresh).
+	Resumed bool
+}
+
+func (*Reconnected) isEvent() {}
+
+// Throttled is the daemon's backpressure notice: while On the session is
+// queue-heavy daemon-side and the application should pace itself; an Off
+// notice follows once the backlog drains.
+type Throttled struct {
+	On     bool
+	Queued int
+}
+
+func (*Throttled) isEvent() {}
+
+// Detached is the daemon's goodbye before releasing the connection (a
+// graceful drain). With CanResume the resume token stays valid for a
+// restarted daemon.
+type Detached struct {
+	Reason    string
+	CanResume bool
+}
+
+func (*Detached) isEvent() {}
 
 // Sentinel errors returned by the request methods.
 var (
@@ -63,13 +109,76 @@ var (
 	ErrBadGroupCount = fmt.Errorf("client: need 1..%d groups", group.MaxGroups)
 )
 
+// Config configures a resilient daemon connection for DialWith.
+type Config struct {
+	// Network is the listener's network (default "tcp").
+	Network string
+	// Addr is the daemon's address.
+	Addr string
+	// Addrs are fallback addresses (peer daemons) tried round-robin
+	// after Addr during reconnects.
+	Addrs []string
+	// Name is the client's private name (diagnostics only).
+	Name string
+	// Key, when non-empty, authenticates every session frame with a
+	// truncated HMAC-SHA256 tag; must match the daemon's key.
+	Key []byte
+	// Reconnect redials and resumes the session after a connection
+	// loss instead of failing the client.
+	Reconnect bool
+	// MaxAttempts bounds the dials per outage (default 8).
+	MaxAttempts int
+	// Backoff is the initial retry delay, doubling up to 2s (default
+	// 50ms).
+	Backoff time.Duration
+	// AckEvery is how many deliveries go unacknowledged before an Ack
+	// frame prunes the daemon's replay window (default 64).
+	AckEvery int
+	// EventBuffer is the Events channel capacity (default 1024).
+	EventBuffer int
+	// Dialer overrides net.Dial (tests and chaos harnesses).
+	Dialer func(network, addr string) (net.Conn, error)
+}
+
+func (cfg *Config) fillDefaults() {
+	if cfg.Network == "" {
+		cfg.Network = "tcp"
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 8
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 50 * time.Millisecond
+	}
+	if cfg.AckEvery <= 0 {
+		cfg.AckEvery = 64
+	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 1024
+	}
+	if cfg.Dialer == nil {
+		cfg.Dialer = net.Dial
+	}
+}
+
 // Client is a connection to an ordering daemon.
 type Client struct {
-	conn net.Conn
-	id   group.ClientID
+	cfg   Config
+	codec session.Codec
+
+	mu        sync.Mutex // guards conn, id, token
+	conn      net.Conn   // nil while reconnecting
+	connGone  *sync.Cond // signaled on conn swaps and close
+	id        group.ClientID
+	token     uint64
+	resumable bool
 
 	writeMu sync.Mutex
 	events  chan Event
+
+	// Delivery bookkeeping; readLoop-only.
+	lastSeq uint64
+	unacked int
 
 	closeOnce sync.Once
 	closeErr  error
@@ -77,43 +186,114 @@ type Client struct {
 }
 
 // Dial connects to a daemon at network/addr (e.g. "tcp",
-// "127.0.0.1:4803" or "unix", "/tmp/ring.sock") with a private name.
+// "127.0.0.1:4803" or "unix", "/tmp/ring.sock") with a private name. The
+// session does not auto-reconnect; use DialWith for that.
 func Dial(network, addr, name string) (*Client, error) {
-	conn, err := net.Dial(network, addr)
-	if err != nil {
-		return nil, err
-	}
-	return Attach(conn, name)
+	return DialWith(Config{Network: network, Addr: addr, Name: name})
 }
 
-// Attach runs the session handshake over an established connection.
-func Attach(conn net.Conn, name string) (*Client, error) {
-	if err := session.WriteFrame(conn, session.Connect{Name: name}); err != nil {
-		conn.Close()
+// DialWith connects with full control over resilience: reconnect with
+// resume, fallback addresses, frame authentication, ack cadence.
+func DialWith(cfg Config) (*Client, error) {
+	cfg.fillDefaults()
+	conn, err := cfg.Dialer(cfg.Network, cfg.Addr)
+	if err != nil {
 		return nil, err
 	}
-	f, err := session.ReadFrame(conn)
+	c := newClient(cfg)
+	w, err := c.connectHandshake(conn)
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
-	w, ok := f.(session.Welcome)
-	if !ok {
-		conn.Close()
-		return nil, fmt.Errorf("client: unexpected handshake frame %T", f)
-	}
-	c := &Client{
-		conn:   conn,
-		id:     w.Client,
-		events: make(chan Event, 1024),
-		done:   make(chan struct{}),
-	}
-	go c.readLoop()
+	c.adopt(conn, w)
+	go c.readLoop(conn)
 	return c, nil
 }
 
-// ID returns the globally unique client identifier assigned by the daemon.
-func (c *Client) ID() group.ClientID { return c.id }
+// Attach runs the session handshake over an established connection (no
+// reconnect: the dial target is unknown).
+func Attach(conn net.Conn, name string) (*Client, error) {
+	c := newClient(Config{Name: name})
+	c.cfg.fillDefaults()
+	w, err := c.connectHandshake(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.adopt(conn, w)
+	go c.readLoop(conn)
+	return c, nil
+}
+
+func newClient(cfg Config) *Client {
+	c := &Client{
+		cfg:    cfg,
+		codec:  session.NewCodec(cfg.Key),
+		events: make(chan Event, cfg.EventBuffer),
+		done:   make(chan struct{}),
+	}
+	if c.events == nil || cap(c.events) == 0 {
+		c.events = make(chan Event, 1024)
+	}
+	c.connGone = sync.NewCond(&c.mu)
+	return c
+}
+
+// connectHandshake opens a fresh session on conn.
+func (c *Client) connectHandshake(conn net.Conn) (session.Welcome, error) {
+	if err := c.codec.WriteFrame(conn, session.Connect{Name: c.cfg.Name}); err != nil {
+		return session.Welcome{}, err
+	}
+	return c.readWelcome(conn)
+}
+
+// resumeHandshake reattaches the existing session on conn.
+func (c *Client) resumeHandshake(conn net.Conn) (session.Welcome, error) {
+	c.mu.Lock()
+	req := session.Resume{Client: c.id, Token: c.token, LastSeq: c.lastSeq}
+	c.mu.Unlock()
+	if err := c.codec.WriteFrame(conn, req); err != nil {
+		return session.Welcome{}, err
+	}
+	return c.readWelcome(conn)
+}
+
+func (c *Client) readWelcome(conn net.Conn) (session.Welcome, error) {
+	f, err := c.codec.ReadFrame(conn)
+	if err != nil {
+		return session.Welcome{}, err
+	}
+	switch v := f.(type) {
+	case session.Welcome:
+		return v, nil
+	case session.Error:
+		return session.Welcome{}, fmt.Errorf("client: handshake refused: %w", v.Err())
+	default:
+		return session.Welcome{}, fmt.Errorf("client: unexpected handshake frame %T", f)
+	}
+}
+
+// adopt installs a fresh session's identity and connection.
+func (c *Client) adopt(conn net.Conn, w session.Welcome) {
+	c.mu.Lock()
+	c.conn = conn
+	c.id = w.Client
+	c.token = w.Token
+	c.resumable = w.Token != 0
+	c.lastSeq = 0
+	c.unacked = 0
+	c.connGone.Broadcast()
+	c.mu.Unlock()
+}
+
+// ID returns the globally unique client identifier assigned by the
+// daemon. It changes if a reconnect could not resume (see Reconnected).
+func (c *Client) ID() group.ClientID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.id
+}
 
 // Events returns the delivery stream. The channel is closed when the
 // connection ends; Err explains why.
@@ -133,54 +313,221 @@ func (c *Client) Err() error {
 	}
 }
 
-func (c *Client) readLoop() {
+// readLoop processes deliveries, surviving connection losses when
+// reconnect is on.
+func (c *Client) readLoop(conn net.Conn) {
 	defer close(c.events)
 	for {
-		f, err := session.ReadFrame(c.conn)
+		f, err := c.codec.ReadFrame(conn)
 		if err != nil {
-			c.shutdown(err)
-			return
+			select {
+			case <-c.done:
+				c.shutdown(err)
+				return
+			default:
+			}
+			if !c.cfg.Reconnect {
+				c.shutdown(err)
+				return
+			}
+			next, rerr := c.reconnect(conn, err)
+			if rerr != nil {
+				c.shutdown(rerr)
+				return
+			}
+			conn = next
+			continue
 		}
 		switch v := f.(type) {
-		case session.Message:
-			c.events <- &Message{Sender: v.Sender, Service: v.Service, Groups: v.Groups, Payload: v.Payload}
-		case session.View:
-			c.events <- &View{Group: v.Group, Members: v.Members}
-		case session.Error:
-			switch v.Code {
-			case session.CodeInvalidService, session.CodeNotMember,
-				session.CodeNotReady, session.CodeMembershipChanged:
-				// Request-scoped: the session stays up.
-				c.events <- &Rejection{Err: v.Err()}
-			default:
-				c.shutdown(fmt.Errorf("client: daemon error: %w", v.Err()))
+		case session.Seqd:
+			if v.Seq <= c.lastSeq {
+				continue // duplicate from a resume replay
+			}
+			c.lastSeq = v.Seq
+			if !c.handleDelivery(v.Frame) {
+				return
+			}
+			c.unacked++
+			if c.unacked >= c.cfg.AckEvery {
+				c.ack(conn)
+			}
+		case session.Throttle:
+			c.events <- &Throttled{On: v.On, Queued: int(v.Queued)}
+		case session.Detach:
+			c.events <- &Detached{Reason: v.Reason, CanResume: v.CanResume}
+			// The daemon closes the connection right after; the next
+			// read error runs the normal reconnect path.
+		default:
+			// Unsequenced Message/View/Error (pre-resume daemons).
+			if !c.handleDelivery(f) {
 				return
 			}
 		}
 	}
 }
 
+// handleDelivery dispatches one delivered frame; false means the session
+// is over (fatal daemon error).
+func (c *Client) handleDelivery(f session.Frame) bool {
+	switch v := f.(type) {
+	case session.Message:
+		c.events <- &Message{Sender: v.Sender, Service: v.Service, Groups: v.Groups, Payload: v.Payload}
+	case session.View:
+		c.events <- &View{Group: v.Group, Members: v.Members}
+	case session.Error:
+		switch v.Code {
+		case session.CodeInvalidService, session.CodeNotMember,
+			session.CodeNotReady, session.CodeMembershipChanged,
+			session.CodeNoRecipient:
+			// Request-scoped: the session stays up.
+			c.events <- &Rejection{Err: v.Err()}
+		default:
+			c.shutdown(fmt.Errorf("client: daemon error: %w", v.Err()))
+			return false
+		}
+	}
+	return true
+}
+
+// ack tells the daemon every delivery up to lastSeq arrived.
+func (c *Client) ack(conn net.Conn) {
+	c.unacked = 0
+	c.writeMu.Lock()
+	_ = c.codec.WriteFrame(conn, session.Ack{Seq: c.lastSeq})
+	c.writeMu.Unlock()
+}
+
+// reconnect redials (Addr, then the fallback Addrs round-robin) and
+// resumes. If the daemon no longer knows the session — a restart, or a
+// replay window overrun — it falls back to a fresh Connect: the
+// Reconnected event then carries Resumed=false and the application must
+// re-join its groups.
+func (c *Client) reconnect(old net.Conn, cause error) (net.Conn, error) {
+	c.dropConn(old)
+	addrs := append([]string{c.cfg.Addr}, c.cfg.Addrs...)
+	backoff := c.cfg.Backoff
+	tryResume := c.resumableNow()
+	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
+		select {
+		case <-c.done:
+			return nil, ErrClosed
+		default:
+		}
+		conn, err := c.cfg.Dialer(c.cfg.Network, addrs[(attempt-1)%len(addrs)])
+		if err == nil {
+			if tryResume {
+				w, herr := c.resumeHandshake(conn)
+				if herr == nil {
+					c.installConn(conn)
+					c.events <- &Reconnected{Attempts: attempt, Resumed: w.Resumed}
+					c.ack(conn) // prune the daemon's freshly replayed window
+					return conn, nil
+				}
+				conn.Close()
+				if errors.Is(herr, session.ErrSessionUnknown) {
+					tryResume = false // fresh session on the next dial
+					continue          // no backoff: the daemon answered
+				}
+			} else {
+				w, herr := c.connectHandshake(conn)
+				if herr == nil {
+					c.adopt(conn, w)
+					c.events <- &Reconnected{Attempts: attempt, Resumed: false}
+					return conn, nil
+				}
+				conn.Close()
+			}
+		}
+		select {
+		case <-c.done:
+			return nil, ErrClosed
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+	return nil, fmt.Errorf("client: reconnect failed after %d attempts: %w", c.cfg.MaxAttempts, cause)
+}
+
+func (c *Client) resumableNow() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resumable
+}
+
+// dropConn clears the current connection (write calls park until the
+// next installConn/adopt).
+func (c *Client) dropConn(conn net.Conn) {
+	conn.Close()
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	c.mu.Unlock()
+}
+
+// installConn publishes a resumed connection (same identity).
+func (c *Client) installConn(conn net.Conn) {
+	c.mu.Lock()
+	c.conn = conn
+	c.connGone.Broadcast()
+	c.mu.Unlock()
+}
+
 func (c *Client) shutdown(err error) {
 	c.closeOnce.Do(func() {
 		c.closeErr = err
 		close(c.done)
-		c.conn.Close()
+		c.mu.Lock()
+		if c.conn != nil {
+			c.conn.Close()
+		}
+		c.connGone.Broadcast()
+		c.mu.Unlock()
 	})
 }
 
-func (c *Client) write(f session.Frame) error {
+// awaitConn returns the current connection, waiting out a reconnect.
+func (c *Client) awaitConn() (net.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.conn == nil {
+		select {
+		case <-c.done:
+			return nil, ErrClosed
+		default:
+		}
+		c.connGone.Wait()
+	}
 	select {
 	case <-c.done:
-		return ErrClosed
+		return nil, ErrClosed
 	default:
 	}
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	if err := session.WriteFrame(c.conn, f); err != nil {
-		c.shutdown(err)
-		return ErrClosed
+	return c.conn, nil
+}
+
+func (c *Client) write(f session.Frame) error {
+	for {
+		conn, err := c.awaitConn()
+		if err != nil {
+			return err
+		}
+		c.writeMu.Lock()
+		err = c.codec.WriteFrame(conn, f)
+		c.writeMu.Unlock()
+		if err == nil {
+			return nil
+		}
+		if !c.cfg.Reconnect {
+			c.shutdown(err)
+			return ErrClosed
+		}
+		// The write raced a dying connection: let the readLoop
+		// re-establish it and retry.
+		c.dropConn(conn)
 	}
-	return nil
 }
 
 // Join adds this client to a group. The resulting agreed view arrives as
@@ -202,7 +549,8 @@ func (c *Client) Leave(groupName string) error {
 
 // SendPrivate sends payload to exactly one client (Spread's private
 // messages), still ordered relative to all group traffic. The target's
-// ClientID is learned from group views.
+// ClientID is learned from group views. A target that disconnected comes
+// back as a non-fatal *Rejection carrying session.ErrNoRecipient.
 func (c *Client) SendPrivate(to group.ClientID, service evs.Service, payload []byte) error {
 	if to == (group.ClientID{}) {
 		return ErrNeedTarget
@@ -231,8 +579,20 @@ func (c *Client) Multicast(service evs.Service, payload []byte, groups ...string
 	return c.write(session.Send{Service: service, Groups: groups, Payload: payload})
 }
 
-// Close tears the session down.
+// Close tears the session down cleanly: a best-effort Bye tells the
+// daemon to emit the ordered disconnect immediately instead of holding
+// the session for resume.
 func (c *Client) Close() error {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		c.writeMu.Lock()
+		conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+		_ = c.codec.WriteFrame(conn, session.Bye{})
+		conn.SetWriteDeadline(time.Time{})
+		c.writeMu.Unlock()
+	}
 	c.shutdown(net.ErrClosed)
 	return nil
 }

@@ -13,9 +13,35 @@
 // unchanged, aggregate ordering throughput multiplies, and cross-group
 // delivery order is guaranteed only for groups that hash to the same
 // ring.
+//
+// The client path is hardened for the edge of overload:
+//
+//   - Tiered backpressure: each session's outbound frames flow through a
+//     fixed in-memory ring (tier 0) that overflows into a bounded spill
+//     queue (tier 1); past a throttle watermark the client is told to
+//     pace itself (tier 2, session.Throttle); only a full spill queue
+//     disconnects (the last resort). Transitions are exported as
+//     daemon.tier_* metrics and flight-recorder events.
+//   - Reconnect with resume: every delivery carries a per-session
+//     sequence number (session.Seqd); a client that loses its TCP
+//     connection presents its resume token and last processed sequence
+//     (session.Resume) and the daemon replays the retained window, so
+//     delivery is exactly-once across reconnects. Clients acknowledge
+//     (session.Ack) to prune the window. A detached session that neither
+//     resumes nor said Bye within ResumeTimeout is disconnected in
+//     order.
+//   - Graceful drain: Drain flushes every session's queue, hands clients
+//     a Detach notice with resume blessing, and emits the final ordered
+//     leave per session.
+//   - Authenticated frames: with Config.Key set, every session frame
+//     carries a truncated HMAC-SHA256 tag (session.Codec); forged frames
+//     are counted, flight-recorded, and dropped. The ring's own wire
+//     frames are authenticated by transport.WithAuth.
 package daemon
 
 import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -49,14 +75,33 @@ type Config struct {
 	// Listener accepts client connections (TCP or Unix socket). The
 	// daemon takes ownership and closes it on Stop.
 	Listener net.Listener
-	// ClientBuffer is the per-client outbound frame buffer; a client
-	// that falls this far behind is disconnected (default 1024).
+	// ClientBuffer is the per-session in-memory outbound ring, the
+	// zero-overhead tier of the backpressure ladder (default 1024).
 	ClientBuffer int
+	// SpillLimit caps the per-session delivery backlog (ring + spill
+	// queue); a session this far behind is disconnected as the last
+	// resort (default 16*ClientBuffer).
+	SpillLimit int
+	// ThrottleAt is the backlog watermark at which the client is sent a
+	// Throttle notification (default SpillLimit/2). The notification is
+	// withdrawn once the backlog halves again.
+	ThrottleAt int
+	// RetainLimit caps the written-but-unacked window kept for resume
+	// replay (default 4096). A client whose reconnect needs more than
+	// this is refused resume and must start a fresh session.
+	RetainLimit int
+	// ResumeTimeout is how long a detached session is held for resume
+	// before its ordered disconnect is emitted (default 30s).
+	ResumeTimeout time.Duration
+	// Key, when non-empty, authenticates every session frame with a
+	// truncated HMAC-SHA256 tag; clients must present the same key.
+	// Forged frames are counted on daemon.auth_drops and dropped.
+	Key []byte
 	// Obs, when non-nil, receives daemon.* session metrics. The ring
 	// protocol's own metrics are wired through Ring.Observer.
 	Obs *obs.Registry
 	// Flight, when non-nil, receives black-box client lifecycle events
-	// (connect, disconnect, slow-consumer disconnect). The ring
+	// (connect, disconnect, tier transitions, resume, drain). The ring
 	// protocol's own flight events are wired through Ring.Observer.
 	Flight *obs.FlightRecorder
 }
@@ -69,6 +114,7 @@ type Daemon struct {
 	rings  *shard.Group   // sharded mode (nil when Shards <= 1)
 	shards int
 	ln     net.Listener
+	codec  session.Codec
 
 	// table holds one per-ring partition; each partition is only
 	// touched on its own ring's protocol goroutine (onRingEvent).
@@ -78,6 +124,7 @@ type Daemon struct {
 	clients   map[uint32]*clientConn
 	nextLocal uint32
 	stopped   bool
+	draining  bool
 
 	wg sync.WaitGroup
 	dm daemonMetrics
@@ -87,37 +134,75 @@ type Daemon struct {
 // nil-safe; a nil Config.Obs costs one nil check per update).
 type daemonMetrics struct {
 	clients       *obs.Gauge
+	detached      *obs.Gauge
+	spilling      *obs.Gauge
+	throttledCli  *obs.Gauge
+	backActive    *obs.Gauge
+	backQueue     *obs.Gauge
 	sessions      *obs.Counter
 	submits       *obs.Counter
 	errorsSent    *obs.Counter
 	slowDisconns  *obs.Counter
 	framesRouted  *obs.Counter
 	viewsAnnounce *obs.Counter
+	tierSpill     *obs.Counter
+	tierThrottle  *obs.Counter
+	resumes       *obs.Counter
+	resumeRejects *obs.Counter
+	privateDrops  *obs.Counter
+	backWaits     *obs.Counter
+	authDrops     *obs.Counter
+	drains        *obs.Counter
 }
 
 func newDaemonMetrics(reg *obs.Registry) daemonMetrics {
 	return daemonMetrics{
 		clients:       reg.Gauge("daemon.clients"),
+		detached:      reg.Gauge("daemon.sessions_detached"),
+		spilling:      reg.Gauge("daemon.clients_spilling"),
+		throttledCli:  reg.Gauge("daemon.clients_throttled"),
+		backActive:    reg.Gauge("daemon.backpressure_active"),
+		backQueue:     reg.Gauge("daemon.backpressure_queue"),
 		sessions:      reg.Counter("daemon.sessions_total"),
 		submits:       reg.Counter("daemon.submits"),
 		errorsSent:    reg.Counter("daemon.errors_sent"),
 		slowDisconns:  reg.Counter("daemon.slow_disconnects"),
 		framesRouted:  reg.Counter("daemon.frames_routed"),
 		viewsAnnounce: reg.Counter("daemon.views_announced"),
+		tierSpill:     reg.Counter("daemon.tier_spill"),
+		tierThrottle:  reg.Counter("daemon.tier_throttle"),
+		resumes:       reg.Counter("daemon.resumes"),
+		resumeRejects: reg.Counter("daemon.resume_rejects"),
+		privateDrops:  reg.Counter("daemon.private_drops"),
+		backWaits:     reg.Counter("daemon.backpressure_waits"),
+		authDrops:     reg.Counter("daemon.auth_drops"),
+		drains:        reg.Counter("daemon.drains"),
 	}
 }
 
+// clientConn is one client session. The session outlives its TCP
+// connection: on a connection loss it stays registered (detached) until
+// the client resumes, says Bye, or ResumeTimeout expires.
 type clientConn struct {
-	id     group.ClientID
-	name   string
-	conn   net.Conn
-	sendCh chan session.Frame
-	closed chan struct{}
-	once   sync.Once
-	// slowDrop counts disconnects for falling behind (nil-safe handle);
-	// flight gets the matching black-box event (nil: recording off).
-	slowDrop *obs.Counter
-	flight   *obs.FlightRecorder
+	id    group.ClientID
+	name  string
+	token uint64
+	out   *outbox
+
+	mu       sync.Mutex
+	expiry   *time.Timer // resume deadline while detached
+	detached bool
+
+	dropOnce sync.Once
+}
+
+// newToken mints a session's resume secret.
+func newToken() uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		panic("daemon: crypto/rand unavailable: " + err.Error())
+	}
+	return binary.BigEndian.Uint64(b[:]) | 1 // nonzero
 }
 
 // Start launches the protocol node(s) and the client accept loop.
@@ -128,6 +213,18 @@ func Start(cfg Config) (*Daemon, error) {
 	if cfg.ClientBuffer <= 0 {
 		cfg.ClientBuffer = 1024
 	}
+	if cfg.SpillLimit <= cfg.ClientBuffer {
+		cfg.SpillLimit = 16 * cfg.ClientBuffer
+	}
+	if cfg.ThrottleAt <= 0 || cfg.ThrottleAt > cfg.SpillLimit {
+		cfg.ThrottleAt = cfg.SpillLimit / 2
+	}
+	if cfg.RetainLimit <= 0 {
+		cfg.RetainLimit = 4096
+	}
+	if cfg.ResumeTimeout <= 0 {
+		cfg.ResumeTimeout = 30 * time.Second
+	}
 	shards := cfg.Shards
 	if shards < 1 {
 		shards = 1
@@ -137,6 +234,7 @@ func Start(cfg Config) (*Daemon, error) {
 		self:    cfg.Ring.Self,
 		shards:  shards,
 		ln:      cfg.Listener,
+		codec:   session.NewCodec(cfg.Key),
 		table:   group.NewShardedTable(shards),
 		clients: make(map[uint32]*clientConn),
 		dm:      newDaemonMetrics(cfg.Obs),
@@ -218,13 +316,26 @@ func (d *Daemon) Stop() {
 
 	d.ln.Close()
 	for _, c := range clients {
-		c.close()
+		c.shutdown()
 	}
 	d.wg.Wait()
 	if d.rings != nil {
 		d.rings.Stop()
 	} else {
 		d.node.Stop()
+	}
+}
+
+// shutdown tears the session down without the ordered-disconnect
+// bookkeeping (daemon stop path).
+func (c *clientConn) shutdown() {
+	c.mu.Lock()
+	if c.expiry != nil {
+		c.expiry.Stop()
+	}
+	c.mu.Unlock()
+	if conn := c.out.shutdown(); conn != nil {
+		conn.Close()
 	}
 }
 
@@ -240,67 +351,154 @@ func (d *Daemon) acceptLoop() {
 	}
 }
 
-// serveClient handles one client session: handshake, then request loop.
+// flight records a black-box client event (nil-safe).
+func (d *Daemon) flight(note string, local uint32, count int) {
+	if d.cfg.Flight != nil {
+		d.cfg.Flight.Record(obs.FlightEvent{
+			Kind: obs.FlightClient, Note: note, Seq: uint64(local), Count: count,
+		})
+	}
+}
+
+// serveClient handles one inbound connection: a Connect handshake opens
+// a new session, a Resume handshake reattaches an existing one.
 func (d *Daemon) serveClient(conn net.Conn) {
 	defer d.wg.Done()
-	f, err := session.ReadFrame(conn)
+	f, err := d.codec.ReadFrame(conn)
 	if err != nil {
+		if errors.Is(err, session.ErrAuth) {
+			d.dm.authDrops.Inc()
+			d.flight("auth_drop", 0, 0)
+		}
 		conn.Close()
 		return
 	}
-	hello, ok := f.(session.Connect)
-	if !ok {
-		_ = session.WriteFrame(conn, session.Error{Code: session.CodeBadRequest, Msg: "expected connect"})
+	switch hello := f.(type) {
+	case session.Connect:
+		d.handleConnect(conn, hello)
+	case session.Resume:
+		d.handleResume(conn, hello)
+	default:
+		_ = d.codec.WriteFrame(conn, session.Error{Code: session.CodeBadRequest, Msg: "expected connect or resume"})
 		conn.Close()
-		return
 	}
+}
 
+func (d *Daemon) handleConnect(conn net.Conn, hello session.Connect) {
 	d.mu.Lock()
 	if d.stopped {
 		d.mu.Unlock()
 		conn.Close()
 		return
 	}
+	if d.draining {
+		d.mu.Unlock()
+		_ = d.codec.WriteFrame(conn, session.Error{Code: session.CodeDraining, Msg: "daemon is draining"})
+		conn.Close()
+		return
+	}
 	d.nextLocal++
 	c := &clientConn{
-		id:       group.ClientID{Daemon: d.self, Local: d.nextLocal},
-		name:     hello.Name,
-		conn:     conn,
-		sendCh:   make(chan session.Frame, d.cfg.ClientBuffer),
-		closed:   make(chan struct{}),
-		slowDrop: d.dm.slowDisconns,
-		flight:   d.cfg.Flight,
+		id:    group.ClientID{Daemon: d.self, Local: d.nextLocal},
+		name:  hello.Name,
+		token: newToken(),
+		out: newOutbox(d.codec, d.cfg.ClientBuffer,
+			d.cfg.ThrottleAt, d.cfg.SpillLimit, d.cfg.RetainLimit),
 	}
 	d.clients[c.id.Local] = c
 	active := len(d.clients)
 	d.mu.Unlock()
 	d.dm.sessions.Inc()
 	d.dm.clients.Add(1)
-	if d.cfg.Flight != nil {
-		d.cfg.Flight.Record(obs.FlightEvent{
-			Kind: obs.FlightClient, Note: "connect", Seq: uint64(c.id.Local), Count: active,
-		})
-	}
+	d.flight("connect", c.id.Local, active)
 
-	if err := session.WriteFrame(conn, session.Welcome{Client: c.id}); err != nil {
+	if err := d.codec.WriteFrame(conn, session.Welcome{Client: c.id, Token: c.token}); err != nil {
+		conn.Close()
 		d.dropClient(c)
 		return
 	}
-
+	c.out.attach(conn, 0)
 	d.wg.Add(1)
-	go d.clientWriter(c)
-	d.clientReader(c)
+	go d.sessionWriter(c)
+	d.clientReader(c, conn)
+}
+
+// handleResume reattaches a detached session after validating identity,
+// token, and replay window.
+func (d *Daemon) handleResume(conn net.Conn, req session.Resume) {
+	reject := func(code session.ErrorCode, msg string) {
+		d.dm.resumeRejects.Inc()
+		d.flight("resume_reject", req.Client.Local, 0)
+		_ = d.codec.WriteFrame(conn, session.Error{Code: code, Msg: msg})
+		conn.Close()
+	}
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if d.draining {
+		d.mu.Unlock()
+		reject(session.CodeDraining, "daemon is draining")
+		return
+	}
+	var c *clientConn
+	if req.Client.Daemon == d.self {
+		c = d.clients[req.Client.Local]
+	}
+	d.mu.Unlock()
+	if c == nil || c.token != req.Token {
+		reject(session.CodeSessionUnknown, "unknown session or bad token")
+		return
+	}
+	if err := c.out.canResume(req.LastSeq); err != nil {
+		reject(session.CodeSessionUnknown, err.Error())
+		return
+	}
+	// Welcome must hit the wire before the writer can race Seqd frames
+	// onto the new connection, so it is written pre-attach.
+	if err := d.codec.WriteFrame(conn, session.Welcome{Client: c.id, Token: c.token, Resumed: true}); err != nil {
+		conn.Close()
+		return
+	}
+	if !c.out.attach(conn, req.LastSeq) {
+		conn.Close()
+		return
+	}
+	c.mu.Lock()
+	if c.expiry != nil {
+		c.expiry.Stop()
+		c.expiry = nil
+	}
+	if c.detached {
+		c.detached = false
+		d.dm.detached.Add(-1)
+	}
+	c.mu.Unlock()
+	d.dm.resumes.Inc()
+	d.flight("resume", c.id.Local, 0)
+	d.clientReader(c, conn)
 }
 
 // clientReader turns client requests into ordered envelopes.
-func (d *Daemon) clientReader(c *clientConn) {
-	defer d.dropClient(c)
+func (d *Daemon) clientReader(c *clientConn, conn net.Conn) {
 	for {
-		f, err := session.ReadFrame(c.conn)
+		f, err := d.codec.ReadFrame(conn)
 		if err != nil {
+			if errors.Is(err, session.ErrAuth) {
+				d.dm.authDrops.Inc()
+				d.flight("auth_drop", c.id.Local, 0)
+			}
+			d.detachClient(c, conn)
 			return
 		}
 		switch req := f.(type) {
+		case session.Bye:
+			d.dropClient(c)
+			return
+		case session.Ack:
+			c.out.ack(req.Seq)
 		case session.Join:
 			d.submitEnvelope(c, d.table.Ring(req.Group), group.Envelope{
 				Kind: group.OpJoin, Sender: c.id, Groups: []string{req.Group},
@@ -343,10 +541,10 @@ func (d *Daemon) clientReader(c *clientConn) {
 	}
 }
 
-// pushError sends an Error frame and counts it.
+// pushError sends a sequenced Error frame and counts it.
 func (d *Daemon) pushError(c *clientConn, e session.Error) {
 	d.dm.errorsSent.Inc()
-	c.push(e)
+	d.deliver(c, e)
 }
 
 func (d *Daemon) submitEnvelope(c *clientConn, ring int, env group.Envelope, svc evs.Service) {
@@ -366,76 +564,133 @@ func (d *Daemon) submitEnvelope(c *clientConn, ring int, env group.Envelope, svc
 	d.dm.submits.Inc()
 }
 
-// clientWriter drains the client's outbound buffer.
-func (d *Daemon) clientWriter(c *clientConn) {
+// sessionWriter drains the session's outbox for as long as the session
+// lives, across reconnects: a write error detaches the connection and
+// the loop parks in next() until the client resumes.
+func (d *Daemon) sessionWriter(c *clientConn) {
 	defer d.wg.Done()
 	for {
-		select {
-		case f := <-c.sendCh:
-			if err := session.WriteFrame(c.conn, f); err != nil {
-				c.close()
-				return
-			}
-		case <-c.closed:
+		conn, codec, sf, ok := c.out.next()
+		if !ok {
 			return
 		}
-	}
-}
-
-// push enqueues a frame; a full buffer disconnects the slow client rather
-// than stalling the ordering daemon.
-func (c *clientConn) push(f session.Frame) {
-	select {
-	case c.sendCh <- f:
-	case <-c.closed:
-	default:
-		c.slowDrop.Inc()
-		if c.flight != nil {
-			c.flight.Record(obs.FlightEvent{
-				Kind: obs.FlightClient, Note: "slow_disconnect", Seq: uint64(c.id.Local),
-			})
+		var f session.Frame = sf.f
+		if sf.seq != 0 {
+			f = session.Seqd{Seq: sf.seq, Frame: sf.f}
 		}
-		c.close()
+		if err := codec.WriteFrame(conn, f); err != nil {
+			d.detachClient(c, conn)
+			continue
+		}
+		d.afterWrite(c, c.out.wrote(sf))
 	}
 }
 
-func (c *clientConn) close() {
-	c.once.Do(func() {
-		close(c.closed)
-		c.conn.Close()
+// deliver pushes one sequenced frame into the session's outbox and acts
+// on the resulting tier transition.
+func (d *Daemon) deliver(c *clientConn, f session.Frame) {
+	res := c.out.push(f)
+	if res.overflow {
+		// Last resort: even the spill queue is full.
+		d.dm.slowDisconns.Inc()
+		d.flight("slow_disconnect", c.id.Local, res.queued)
+		d.dropClient(c)
+		return
+	}
+	if res.spillStart {
+		d.dm.tierSpill.Inc()
+		d.dm.spilling.Add(1)
+		d.flight("tier_spill", c.id.Local, res.queued)
+	}
+	if res.throttleOn {
+		d.dm.tierThrottle.Inc()
+		d.dm.throttledCli.Add(1)
+		d.flight("tier_throttle", c.id.Local, res.queued)
+		c.out.pushControl(session.Throttle{On: true, Queued: uint32(res.queued)})
+	}
+}
+
+// afterWrite acts on tier recoveries reported by the outbox.
+func (d *Daemon) afterWrite(c *clientConn, res writeResult) {
+	if res.spillEnd {
+		d.dm.spilling.Add(-1)
+	}
+	if res.throttleOff {
+		d.dm.throttledCli.Add(-1)
+		d.flight("tier_recover", c.id.Local, res.queued)
+		c.out.pushControl(session.Throttle{On: false, Queued: uint32(res.queued)})
+	}
+}
+
+// detachClient handles a dead connection: the session stays registered
+// for ResumeTimeout awaiting a Resume, then is disconnected in order.
+// Stale connections (already superseded by a resume) are ignored.
+func (d *Daemon) detachClient(c *clientConn, conn net.Conn) {
+	conn.Close()
+	if !c.out.detach(conn) {
+		return
+	}
+	d.mu.Lock()
+	ending := d.stopped
+	d.mu.Unlock()
+	if ending {
+		return
+	}
+	c.mu.Lock()
+	if !c.detached {
+		c.detached = true
+		d.dm.detached.Add(1)
+		if c.expiry != nil {
+			c.expiry.Stop()
+		}
+		c.expiry = time.AfterFunc(d.cfg.ResumeTimeout, func() { d.dropClient(c) })
+	}
+	c.mu.Unlock()
+	d.flight("detach", c.id.Local, 0)
+}
+
+// dropClient ends the session for good: unregisters it and announces
+// its departure in order.
+func (d *Daemon) dropClient(c *clientConn) {
+	c.dropOnce.Do(func() {
+		c.shutdown()
+		d.mu.Lock()
+		_, known := d.clients[c.id.Local]
+		delete(d.clients, c.id.Local)
+		stopped := d.stopped
+		d.mu.Unlock()
+		c.mu.Lock()
+		if c.detached {
+			c.detached = false
+			d.dm.detached.Add(-1)
+		}
+		c.mu.Unlock()
+		if !known || stopped {
+			return
+		}
+		d.dm.clients.Add(-1)
+		d.flight("disconnect", c.id.Local, 0)
+		env := group.Envelope{Kind: group.OpDisconnect, Sender: c.id}
+		if enc, err := env.Encode(); err == nil {
+			// The disconnect must reach EVERY ring: the client's groups may
+			// be partitioned across all of them, and each ring drops its own
+			// in its own total order. Submitted off this goroutine — drops
+			// can originate on a ring's own event goroutine (overflow during
+			// delivery), where a synchronous Submit would deadlock. Best
+			// effort: if a ring is down its table is rebuilt from
+			// configuration changes anyway.
+			shards := d.shards
+			go func() {
+				for r := 0; r < shards; r++ {
+					_ = d.submit(r, enc, evs.Agreed)
+				}
+			}()
+		}
 	})
 }
 
-// dropClient unregisters a client and announces its departure in order.
-func (d *Daemon) dropClient(c *clientConn) {
-	c.close()
-	d.mu.Lock()
-	_, known := d.clients[c.id.Local]
-	delete(d.clients, c.id.Local)
-	stopped := d.stopped
-	d.mu.Unlock()
-	if !known || stopped {
-		return
-	}
-	d.dm.clients.Add(-1)
-	if d.cfg.Flight != nil {
-		d.cfg.Flight.Record(obs.FlightEvent{
-			Kind: obs.FlightClient, Note: "disconnect", Seq: uint64(c.id.Local),
-		})
-	}
-	env := group.Envelope{Kind: group.OpDisconnect, Sender: c.id}
-	if enc, err := env.Encode(); err == nil {
-		// The disconnect must reach EVERY ring: the client's groups may
-		// be partitioned across all of them, and each ring drops its own
-		// in its own total order. Best effort: if a ring is down its
-		// table is rebuilt from configuration changes anyway.
-		for r := 0; r < d.shards; r++ {
-			_ = d.submit(r, enc, evs.Agreed)
-		}
-	}
-}
-
-// localClient looks up a connected client by global ID.
+// localClient looks up a session by global ID. Detached sessions count:
+// their deliveries keep queuing for the resumed connection.
 func (d *Daemon) localClient(id group.ClientID) *clientConn {
 	if id.Daemon != d.self {
 		return nil
@@ -496,41 +751,104 @@ func (d *Daemon) applyEnvelope(ring int, env *group.Envelope, svc evs.Service) {
 		}
 		for _, rcpt := range table.Recipients(env.Groups) {
 			if c := d.localClient(rcpt); c != nil {
-				c.push(msg)
+				d.deliver(c, msg)
 				d.dm.framesRouted.Inc()
 			}
 		}
 	case group.OpPrivate:
 		if c := d.localClient(env.Target); c != nil {
-			c.push(session.Message{
+			d.deliver(c, session.Message{
 				Sender:  env.Sender,
 				Service: svc,
 				Payload: env.Payload,
 			})
 			d.dm.framesRouted.Inc()
+		} else if env.Target.Daemon == d.self {
+			d.rejectPrivate(env)
+		}
+	case group.OpPrivateReject:
+		// The target's host daemon reported the target gone; tell the
+		// original sender (carried in Target) if it is ours.
+		if c := d.localClient(env.Target); c != nil {
+			d.pushError(c, session.Error{
+				Code: session.CodeNoRecipient, Msg: "private target disconnected",
+			})
 		}
 	}
 }
 
+// rejectPrivate handles a Private whose target — one of ours — is gone:
+// count it, flight-record it, and send the sender a non-fatal rejection.
+// Only the target's host daemon detects this, so for remote senders the
+// rejection rides the ring as an ordered OpPrivateReject.
+func (d *Daemon) rejectPrivate(env *group.Envelope) {
+	d.dm.privateDrops.Inc()
+	d.flight("private_drop", env.Target.Local, 0)
+	if c := d.localClient(env.Sender); c != nil {
+		d.pushError(c, session.Error{
+			Code: session.CodeNoRecipient, Msg: "private target disconnected",
+		})
+		return
+	}
+	if env.Sender.Daemon == d.self {
+		return // sender is also gone; nobody to tell
+	}
+	back := group.Envelope{Kind: group.OpPrivateReject, Sender: env.Target, Target: env.Sender}
+	enc, err := back.Encode()
+	if err != nil {
+		return
+	}
+	ring := shard.RingOfClient(env.Sender.String(), d.shards)
+	// Off this goroutine: rejectPrivate runs on a ring's own event
+	// goroutine, where a synchronous Submit would deadlock.
+	go func() { _ = d.submit(ring, enc, evs.Agreed) }()
+}
+
+// Pacing bounds for backpressure: past backpressureQueueMax queued
+// protocol frames the client reader sleeps in backpressureTick steps,
+// but never more than backpressureMaxWait per frame — a wedged ring must
+// not hang client readers forever.
+const (
+	backpressureQueueMax = 512
+	backpressureMaxWait  = 2 * time.Second
+	backpressureTick     = time.Millisecond
+)
+
 // backpressure paces client ingestion while the protocol's send queue is
 // deep: not reading from the client socket makes TCP push back on the
 // sender, which is Spread's session flow control in spirit. Without it a
-// flooding client would balloon the daemon's memory. Bounded wait so a
-// wedged ring cannot hang client readers forever.
+// flooding client would balloon the daemon's memory. Each wait tick is
+// counted on daemon.backpressure_waits; daemon.backpressure_active holds
+// how many client readers are pacing right now and
+// daemon.backpressure_queue the deepest queue last seen.
 func (d *Daemon) backpressure() {
-	const maxQueued = 512
-	for i := 0; i < 2000; i++ {
-		deepest := 0
-		for r := 0; r < d.shards; r++ {
-			if q := d.ringNode(r).Status().QueueLen; q > deepest {
-				deepest = q
-			}
-		}
-		if deepest < maxQueued {
+	deepest := d.deepestQueue()
+	d.dm.backQueue.Set(int64(deepest))
+	if deepest < backpressureQueueMax {
+		return
+	}
+	d.dm.backActive.Add(1)
+	defer d.dm.backActive.Add(-1)
+	deadline := time.Now().Add(backpressureMaxWait)
+	for {
+		d.dm.backWaits.Inc()
+		time.Sleep(backpressureTick)
+		deepest = d.deepestQueue()
+		d.dm.backQueue.Set(int64(deepest))
+		if deepest < backpressureQueueMax || !time.Now().Before(deadline) {
 			return
 		}
-		time.Sleep(time.Millisecond)
 	}
+}
+
+func (d *Daemon) deepestQueue() int {
+	deepest := 0
+	for r := 0; r < d.shards; r++ {
+		if q := d.ringNode(r).Status().QueueLen; q > deepest {
+			deepest = q
+		}
+	}
+	return deepest
 }
 
 // applyConfigChange drops clients of daemons that left ring's
@@ -568,7 +886,7 @@ func (d *Daemon) announceView(table *group.Table, g string) {
 	d.dm.viewsAnnounce.Inc()
 	for _, m := range members {
 		if c := d.localClient(m); c != nil {
-			c.push(view)
+			d.deliver(c, view)
 		}
 	}
 }

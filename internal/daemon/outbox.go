@@ -1,0 +1,312 @@
+package daemon
+
+import (
+	"errors"
+	"net"
+	"sync"
+
+	"accelring/internal/session"
+)
+
+// seqFrame pairs a queued frame with its delivery sequence number. Seq 0
+// marks a control frame (Welcome, Throttle, Detach) that rides outside
+// the resumable delivery stream.
+type seqFrame struct {
+	seq uint64
+	f   session.Frame
+}
+
+// pushResult reports what one enqueue did to the session's backpressure
+// tier, so the daemon can export metrics and notify the client without
+// holding the outbox lock.
+type pushResult struct {
+	// overflow: the spill queue is full; disconnecting is the last
+	// resort left. The frame was NOT queued.
+	overflow bool
+	// spillStart: the enqueue crossed from the in-memory ring (tier 0)
+	// into the spill queue (tier 1).
+	spillStart bool
+	// throttleOn: the enqueue crossed the throttle watermark (tier 2).
+	throttleOn bool
+	// queued is the delivery backlog after the enqueue.
+	queued int
+}
+
+// writeResult is pushResult's mirror for dequeues (tier recoveries).
+type writeResult struct {
+	// spillEnd: the spill queue drained back into the ring (tier 1->0).
+	spillEnd bool
+	// throttleOff: the backlog fell below half the throttle watermark
+	// (hysteresis), ending tier 2.
+	throttleOff bool
+	queued      int
+}
+
+// Resume rejections.
+var (
+	errSessionClosed = errors.New("session closed")
+	errReplayWindow  = errors.New("replay window overrun")
+)
+
+// outbox is one session's outbound path: a fixed in-memory ring (tier 0)
+// that overflows into a bounded spill queue (tier 1), a throttle
+// watermark (tier 2), and a retained window of written-but-unacked
+// deliveries that a resumed connection replays. It owns the session's
+// current connection: the writer goroutine blocks in next() while the
+// session is detached and wakes when attach installs a new conn.
+//
+// Lock ordering: outbox.mu is a leaf — nothing is called with it held.
+type outbox struct {
+	mu   sync.Mutex
+	cond sync.Cond
+
+	conn  net.Conn // current connection; nil while detached
+	codec session.Codec
+
+	control []session.Frame // unsequenced control frames, written first
+	replay  []seqFrame      // retained frames being resent after a resume
+
+	ring        []seqFrame // tier 0: fixed ring buffer
+	head, count int
+	spill       []seqFrame // tier 1: bounded overflow queue
+
+	retained []seqFrame // written but unacked (the resume replay window)
+	floor    uint64     // highest seq evicted unacked from retained
+	nextSeq  uint64     // last assigned delivery sequence
+
+	throttled  bool
+	overflowed bool
+	closed     bool
+
+	throttleAt  int // tier-2 watermark on the delivery backlog
+	spillLimit  int // hard cap on the delivery backlog
+	retainLimit int // cap on the retained window
+}
+
+func newOutbox(codec session.Codec, ringCap, throttleAt, spillLimit, retainLimit int) *outbox {
+	o := &outbox{
+		codec:       codec,
+		ring:        make([]seqFrame, ringCap),
+		throttleAt:  throttleAt,
+		spillLimit:  spillLimit,
+		retainLimit: retainLimit,
+	}
+	o.cond.L = &o.mu
+	return o
+}
+
+// queuedLocked is the delivery backlog (control frames excluded).
+func (o *outbox) queuedLocked() int { return o.count + len(o.spill) }
+
+// push enqueues one sequenced delivery, reporting tier transitions.
+func (o *outbox) push(f session.Frame) pushResult {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed || o.overflowed {
+		return pushResult{}
+	}
+	if o.queuedLocked() >= o.spillLimit {
+		o.overflowed = true
+		return pushResult{overflow: true, queued: o.queuedLocked()}
+	}
+	o.nextSeq++
+	sf := seqFrame{seq: o.nextSeq, f: f}
+	var res pushResult
+	if o.count < len(o.ring) && len(o.spill) == 0 {
+		o.ring[(o.head+o.count)%len(o.ring)] = sf
+		o.count++
+	} else {
+		res.spillStart = len(o.spill) == 0
+		o.spill = append(o.spill, sf)
+	}
+	res.queued = o.queuedLocked()
+	if !o.throttled && res.queued >= o.throttleAt {
+		o.throttled = true
+		res.throttleOn = true
+	}
+	o.cond.Broadcast()
+	return res
+}
+
+// pushControl enqueues an unsequenced control frame ahead of deliveries.
+func (o *outbox) pushControl(f session.Frame) {
+	o.mu.Lock()
+	if !o.closed {
+		o.control = append(o.control, f)
+		o.cond.Broadcast()
+	}
+	o.mu.Unlock()
+}
+
+// next blocks until the session has a connection and a frame to write
+// (or is closed) and peeks the head frame without removing it: the
+// writer calls wrote on success, so a failed write leaves the frame
+// queued for the resumed connection.
+func (o *outbox) next() (net.Conn, session.Codec, seqFrame, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for {
+		if o.closed {
+			return nil, o.codec, seqFrame{}, false
+		}
+		if o.conn != nil {
+			switch {
+			case len(o.control) > 0:
+				return o.conn, o.codec, seqFrame{f: o.control[0]}, true
+			case len(o.replay) > 0:
+				return o.conn, o.codec, o.replay[0], true
+			case o.count > 0:
+				return o.conn, o.codec, o.ring[o.head], true
+			}
+		}
+		o.cond.Wait()
+	}
+}
+
+// wrote removes the frame next returned after a successful write, moves
+// sequenced frames into the retained window, and refills the ring from
+// the spill queue, reporting tier recoveries.
+func (o *outbox) wrote(sf seqFrame) writeResult {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var res writeResult
+	switch {
+	case sf.seq == 0:
+		if len(o.control) > 0 {
+			o.control[0] = nil
+			o.control = o.control[1:]
+			if len(o.control) == 0 {
+				o.control = nil
+			}
+		}
+		res.queued = o.queuedLocked()
+		return res
+	case len(o.replay) > 0 && o.replay[0].seq == sf.seq:
+		// Replayed frames are already retained.
+		o.replay = o.replay[1:]
+		if len(o.replay) == 0 {
+			o.replay = nil
+		}
+		res.queued = o.queuedLocked()
+		return res
+	}
+	hadSpill := len(o.spill) > 0
+	o.ring[o.head] = seqFrame{}
+	o.head = (o.head + 1) % len(o.ring)
+	o.count--
+	for o.count < len(o.ring) && len(o.spill) > 0 {
+		o.ring[(o.head+o.count)%len(o.ring)] = o.spill[0]
+		o.spill[0] = seqFrame{}
+		o.spill = o.spill[1:]
+		o.count++
+	}
+	if len(o.spill) == 0 {
+		o.spill = nil
+		res.spillEnd = hadSpill
+	}
+	o.retained = append(o.retained, sf)
+	if len(o.retained) > o.retainLimit {
+		o.floor = o.retained[0].seq
+		o.retained[0] = seqFrame{}
+		o.retained = o.retained[1:]
+	}
+	res.queued = o.queuedLocked()
+	if o.throttled && res.queued <= o.throttleAt/2 {
+		o.throttled = false
+		res.throttleOff = true
+	}
+	return res
+}
+
+// ack prunes the retained window up to and including seq.
+func (o *outbox) ack(seq uint64) {
+	o.mu.Lock()
+	i := 0
+	for i < len(o.retained) && o.retained[i].seq <= seq {
+		o.retained[i] = seqFrame{}
+		i++
+	}
+	o.retained = o.retained[i:]
+	if len(o.retained) == 0 {
+		o.retained = nil
+	}
+	o.mu.Unlock()
+}
+
+// canResume reports whether a client that processed deliveries up to
+// lastSeq can be resumed without a gap.
+func (o *outbox) canResume(lastSeq uint64) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed || o.overflowed {
+		return errSessionClosed
+	}
+	if lastSeq < o.floor || lastSeq > o.nextSeq {
+		return errReplayWindow
+	}
+	return nil
+}
+
+// attach installs a new connection, treating lastSeq as an implicit ack
+// and scheduling the remaining retained frames for replay. An existing
+// connection (a half-dead predecessor) is superseded and closed. Returns
+// false if the session closed or the replay window moved in the
+// meantime; the caller should close conn.
+func (o *outbox) attach(conn net.Conn, lastSeq uint64) bool {
+	o.mu.Lock()
+	if o.closed || o.overflowed || lastSeq < o.floor || lastSeq > o.nextSeq {
+		o.mu.Unlock()
+		return false
+	}
+	i := 0
+	for i < len(o.retained) && o.retained[i].seq <= lastSeq {
+		o.retained[i] = seqFrame{}
+		i++
+	}
+	o.retained = o.retained[i:]
+	o.replay = append([]seqFrame(nil), o.retained...)
+	old := o.conn
+	o.conn = conn
+	o.cond.Broadcast()
+	o.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return true
+}
+
+// detach drops conn if it is still the session's current connection,
+// parking the writer until the next attach. Returns false for a stale
+// (already superseded) connection.
+func (o *outbox) detach(conn net.Conn) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if conn == nil || o.conn != conn {
+		return false
+	}
+	o.conn = nil
+	return true
+}
+
+// flushed reports whether everything queued has been written (drain's
+// completion condition; acks are not required).
+func (o *outbox) flushed() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed || o.overflowed {
+		return true
+	}
+	return len(o.control) == 0 && len(o.replay) == 0 && o.queuedLocked() == 0
+}
+
+// shutdown closes the outbox for good: the writer exits and pushes
+// become no-ops. Returns the connection to close, if any.
+func (o *outbox) shutdown() net.Conn {
+	o.mu.Lock()
+	conn := o.conn
+	o.conn = nil
+	o.closed = true
+	o.cond.Broadcast()
+	o.mu.Unlock()
+	return conn
+}

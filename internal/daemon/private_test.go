@@ -1,11 +1,14 @@
 package daemon
 
 import (
+	"errors"
 	"testing"
 	"time"
 
+	"accelring/internal/client"
 	"accelring/internal/evs"
 	"accelring/internal/group"
+	"accelring/internal/session"
 )
 
 // TestPrivateMessageDelivery: a private message reaches exactly its
@@ -84,8 +87,10 @@ func TestPrivateValidation(t *testing.T) {
 	}
 }
 
-// TestPrivateToDeadClientIsDropped: private messages to disconnected
-// clients vanish silently, like Spread's.
+// TestPrivateToDeadClientIsDropped: a private message to a disconnected
+// client is dropped at the target's daemon, and the sender — on a
+// different daemon — hears about it as a non-fatal Rejection carrying
+// session.ErrNoRecipient, instead of silence.
 func TestPrivateToDeadClientIsDropped(t *testing.T) {
 	daemons := startDaemons(t, 2)
 	a := dial(t, daemons[0], "a")
@@ -103,8 +108,28 @@ func TestPrivateToDeadClientIsDropped(t *testing.T) {
 	if err := a.Multicast(evs.Agreed, []byte("marker"), "g"); err != nil {
 		t.Fatal(err)
 	}
-	m := nextMessage(t, a, 5*time.Second)
-	if string(m.Payload) != "marker" {
-		t.Fatalf("got %q", m.Payload)
+	sawMarker, sawReject := false, false
+	deadline := time.After(5 * time.Second)
+	for !sawMarker || !sawReject {
+		select {
+		case ev, ok := <-a.Events():
+			if !ok {
+				t.Fatalf("event stream closed: %v", a.Err())
+			}
+			switch v := ev.(type) {
+			case *client.Message:
+				if string(v.Payload) == "into the void" {
+					t.Fatal("private message to dead client was delivered")
+				}
+				sawMarker = sawMarker || string(v.Payload) == "marker"
+			case *client.Rejection:
+				if !errors.Is(v.Err, session.ErrNoRecipient) {
+					t.Fatalf("rejection error = %v, want ErrNoRecipient", v.Err)
+				}
+				sawReject = true
+			}
+		case <-deadline:
+			t.Fatalf("timed out (marker=%v reject=%v)", sawMarker, sawReject)
+		}
 	}
 }

@@ -23,6 +23,10 @@ const (
 	// the ring's total order relative to everything else — Spread's
 	// private messages.
 	OpPrivate
+	// OpPrivateReject reports, in order, that a Private's target was
+	// already gone at its host daemon: Sender is the vanished target,
+	// Target the original sender to notify.
+	OpPrivateReject
 )
 
 func (k OpKind) String() string {
@@ -37,6 +41,8 @@ func (k OpKind) String() string {
 		return "message"
 	case OpPrivate:
 		return "private"
+	case OpPrivateReject:
+		return "private_reject"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(k))
 	}
@@ -73,7 +79,7 @@ func (e *Envelope) Validate() error {
 		if len(e.Groups) != 0 {
 			return fmt.Errorf("group: disconnect carries no groups")
 		}
-	case OpPrivate:
+	case OpPrivate, OpPrivateReject:
 		if len(e.Groups) != 0 {
 			return fmt.Errorf("group: private message carries no groups")
 		}

@@ -25,6 +25,11 @@ type HealthConfig struct {
 	// flags slow-consumer backpressure (default
 	// "daemon.slow_disconnects").
 	SlowConsumerCounters []string
+	// BackpressureCounters names the (unscoped) counters whose growth
+	// flags client sessions climbing the backpressure tiers — spilling
+	// or throttled, but not yet disconnected (default "daemon.tier_spill"
+	// and "daemon.tier_throttle").
+	BackpressureCounters []string
 	// Now supplies timestamps (default time.Now).
 	Now func() time.Time
 	// OnChange, when set, is called from the detector loop whenever a
@@ -55,6 +60,10 @@ type HealthStatus struct {
 	// SlowConsumer: the daemon disconnected at least one client for
 	// backpressure since the last pass.
 	SlowConsumer bool `json:"slow_consumer"`
+	// Backpressure: at least one client session entered the spill or
+	// throttle tier since the last pass — clients are falling behind,
+	// though none has been disconnected for it yet.
+	Backpressure bool `json:"backpressure"`
 
 	// Rounds, Seq, Aru and RetransPerRound are the inputs behind the
 	// flags, for the health endpoint and log lines.
@@ -66,14 +75,16 @@ type HealthStatus struct {
 
 // Healthy reports whether no flag is raised.
 func (st HealthStatus) Healthy() bool {
-	return !st.TokenStall && !st.AruStagnation && !st.RetransStorm && !st.SlowConsumer
+	return !st.TokenStall && !st.AruStagnation && !st.RetransStorm &&
+		!st.SlowConsumer && !st.Backpressure
 }
 
 type healthSample struct {
-	valid         bool
-	rounds, retr  uint64
-	aru           int64
-	slow          uint64
+	valid        bool
+	rounds, retr uint64
+	aru          int64
+	slow         uint64
+	back         uint64
 }
 
 // Health is the ring health detector: a periodic pass over the registry's
@@ -110,6 +121,9 @@ func NewHealth(reg *Registry, cfg HealthConfig) *Health {
 	if len(cfg.SlowConsumerCounters) == 0 {
 		cfg.SlowConsumerCounters = []string{"daemon.slow_disconnects"}
 	}
+	if len(cfg.BackpressureCounters) == 0 {
+		cfg.BackpressureCounters = []string{"daemon.tier_spill", "daemon.tier_throttle"}
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
@@ -144,9 +158,12 @@ func (h *Health) Check() []HealthStatus {
 
 func (h *Health) checkLocked() []HealthStatus {
 	now := h.cfg.Now()
-	var slow uint64
+	var slow, back uint64
 	for _, name := range h.cfg.SlowConsumerCounters {
 		slow += h.reg.Counter(name).Value()
+	}
+	for _, name := range h.cfg.BackpressureCounters {
+		back += h.reg.Counter(name).Value()
 	}
 	out := make([]HealthStatus, 0, len(h.cfg.Scopes))
 	for _, scope := range h.cfg.Scopes {
@@ -156,6 +173,7 @@ func (h *Health) checkLocked() []HealthStatus {
 			retr:   h.reg.Counter(scoped(scope, "ring.retransmitted")).Value(),
 			aru:    h.reg.Gauge(scoped(scope, "ring.aru")).Value(),
 			slow:   slow,
+			back:   back,
 		}
 		seq := h.reg.Gauge(scoped(scope, "ring.seq")).Value()
 		st := HealthStatus{
@@ -177,6 +195,7 @@ func (h *Health) checkLocked() []HealthStatus {
 				}
 			}
 			st.SlowConsumer = cur.slow > prev.slow
+			st.Backpressure = cur.back > prev.back
 		}
 		h.prev[scope] = cur
 		h.exportLocked(scope, st)
@@ -201,6 +220,7 @@ func (h *Health) exportLocked(scope string, st HealthStatus) {
 	h.reg.Gauge(scoped(scope, "health.aru_stagnation")).Set(b2i(st.AruStagnation))
 	h.reg.Gauge(scoped(scope, "health.retrans_storm")).Set(b2i(st.RetransStorm))
 	h.reg.Gauge(scoped(scope, "health.slow_consumer")).Set(b2i(st.SlowConsumer))
+	h.reg.Gauge(scoped(scope, "health.backpressure")).Set(b2i(st.Backpressure))
 	h.reg.Gauge(scoped(scope, "health.healthy")).Set(b2i(st.Healthy()))
 	h.reg.Gauge(scoped(scope, "health.retrans_per_round")).Set(int64(st.RetransPerRound))
 }
@@ -238,7 +258,7 @@ func (h *Health) Start() {
 		defer close(h.done)
 		tick := time.NewTicker(h.cfg.Interval)
 		defer tick.Stop()
-		var prevFlags map[string][4]bool
+		var prevFlags map[string][5]bool
 		for {
 			select {
 			case <-h.stop:
@@ -249,9 +269,10 @@ func (h *Health) Start() {
 				if h.cfg.OnChange == nil {
 					continue
 				}
-				flags := [4]bool{st.TokenStall, st.AruStagnation, st.RetransStorm, st.SlowConsumer}
+				flags := [5]bool{st.TokenStall, st.AruStagnation, st.RetransStorm,
+					st.SlowConsumer, st.Backpressure}
 				if prevFlags == nil {
-					prevFlags = make(map[string][4]bool)
+					prevFlags = make(map[string][5]bool)
 				}
 				if prevFlags[st.Ring] != flags {
 					prevFlags[st.Ring] = flags

@@ -127,6 +127,29 @@ func TestHealthSlowConsumer(t *testing.T) {
 	}
 }
 
+func TestHealthBackpressure(t *testing.T) {
+	rig := newHealthRig(t, HealthConfig{})
+	rig.reg.Counter("ring.rounds").Add(1)
+	rig.pass(t)
+	rig.reg.Counter("ring.rounds").Add(1)
+	rig.reg.Counter("daemon.tier_spill").Add(1)
+	if st := rig.pass(t); !st.Backpressure || st.Healthy() {
+		t.Fatalf("spill-tier growth not flagged: %+v", st)
+	}
+	rig.reg.Counter("ring.rounds").Add(1)
+	rig.reg.Counter("daemon.tier_throttle").Add(1)
+	if st := rig.pass(t); !st.Backpressure {
+		t.Fatalf("throttle-tier growth not flagged: %+v", st)
+	}
+	rig.reg.Counter("ring.rounds").Add(1)
+	if st := rig.pass(t); st.Backpressure {
+		t.Fatalf("flag did not clear after a quiet pass: %+v", st)
+	}
+	if v := rig.reg.Gauge("health.backpressure").Value(); v != 0 {
+		t.Fatalf("health.backpressure gauge = %d, want 0", v)
+	}
+}
+
 func TestHealthScopesAndGauges(t *testing.T) {
 	rig := &healthRig{reg: NewRegistry(), now: time.Unix(1000, 0)}
 	rig.h = NewHealth(rig.reg, HealthConfig{

@@ -20,6 +20,14 @@ func FuzzDecode(f *testing.F) {
 			Groups: []string{"g"}, Payload: []byte("m")},
 		View{Group: "g", Members: []group.ClientID{{Daemon: 1, Local: 1}}},
 		Error{Msg: "e"},
+		Private{To: group.ClientID{Daemon: 2, Local: 3}, Service: evs.Agreed, Payload: []byte("p")},
+		Resume{Client: group.ClientID{Daemon: 1, Local: 2}, Token: 42, LastSeq: 7},
+		Ack{Seq: 9},
+		Bye{},
+		Detach{Reason: "drain", CanResume: true},
+		Throttle{On: true, Queued: 64},
+		Seqd{Seq: 5, Frame: Message{Sender: group.ClientID{Daemon: 1, Local: 2},
+			Service: evs.Agreed, Groups: []string{"g"}, Payload: []byte("m")}},
 	} {
 		enc, err := Encode(fr)
 		if err != nil {

@@ -1,0 +1,202 @@
+package session
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+
+	"accelring/internal/evs"
+	"accelring/internal/group"
+	"accelring/internal/wire"
+)
+
+// TestResumeFrameRoundTrips covers the reconnect/backpressure frames
+// added for daemon hardening.
+func TestResumeFrameRoundTrips(t *testing.T) {
+	frames := []Frame{
+		Welcome{Client: group.ClientID{Daemon: 3, Local: 9}, Token: 0xdeadbeefcafe, Resumed: true},
+		Resume{Client: group.ClientID{Daemon: 2, Local: 7}, Token: 42, LastSeq: 1<<40 + 5},
+		Resume{},
+		Ack{Seq: 99},
+		Ack{},
+		Bye{},
+		Detach{Reason: "drain", CanResume: true},
+		Detach{},
+		Throttle{On: true, Queued: 12345},
+		Throttle{},
+		Seqd{Seq: 7, Frame: Message{Sender: group.ClientID{Daemon: 1, Local: 2},
+			Service: evs.Agreed, Groups: []string{"g"}, Payload: []byte("m")}},
+		Seqd{Seq: 1, Frame: View{Group: "g", Members: []group.ClientID{{Daemon: 1, Local: 1}}}},
+		Seqd{Seq: 2, Frame: Error{Code: CodeNoRecipient, Msg: "gone"}},
+	}
+	for _, in := range frames {
+		enc, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%#v): %v", in, err)
+		}
+		out, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%#v): %v", in, err)
+		}
+		ia, aok := in.(Seqd)
+		oa, bok := out.(Seqd)
+		if aok && bok {
+			if ia.Seq != oa.Seq || !framesEqual(ia.Frame, oa.Frame) {
+				t.Fatalf("Seqd mismatch:\n got %#v\nwant %#v", out, in)
+			}
+			continue
+		}
+		if !framesEqual(in, out) {
+			t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", out, in)
+		}
+	}
+}
+
+// TestResumeFrameStrictness: one valid encoding per frame — truncated,
+// over-length, and non-canonical variants are all rejected.
+func TestResumeFrameStrictness(t *testing.T) {
+	canonical := map[string]Frame{
+		"welcome":  Welcome{Client: group.ClientID{Daemon: 1, Local: 2}, Token: 3},
+		"resume":   Resume{Client: group.ClientID{Daemon: 1, Local: 2}, Token: 3, LastSeq: 4},
+		"ack":      Ack{Seq: 9},
+		"bye":      Bye{},
+		"detach":   Detach{Reason: "drain", CanResume: true},
+		"throttle": Throttle{On: true, Queued: 8},
+		"seqd":     Seqd{Seq: 5, Frame: Ack{Seq: 1}},
+	}
+	for name, f := range canonical {
+		enc, err := Encode(f)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Every proper prefix is truncated.
+		for i := 0; i < len(enc); i++ {
+			if _, err := Decode(enc[:i]); err == nil {
+				t.Errorf("%s: decoded %d-byte prefix", name, i)
+			}
+		}
+		// Trailing bytes are over-length.
+		if _, err := Decode(append(append([]byte(nil), enc...), 0)); err == nil {
+			t.Errorf("%s: decoded frame with trailing byte", name)
+		}
+	}
+
+	// Booleans must be exactly 0 or 1.
+	enc, _ := Encode(Detach{Reason: "x", CanResume: true})
+	enc[len(enc)-1] = 2
+	if _, err := Decode(enc); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("Detach with bool=2: err = %v, want ErrBadFrame", err)
+	}
+	enc, _ = Encode(Throttle{On: true})
+	enc[1] = 0xFF
+	if _, err := Decode(enc); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("Throttle with bool=255: err = %v, want ErrBadFrame", err)
+	}
+
+	// Nested Seqd is rejected on both paths.
+	if _, err := Encode(Seqd{Seq: 1, Frame: Seqd{Seq: 2, Frame: Bye{}}}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("Encode(nested Seqd): err = %v, want ErrBadFrame", err)
+	}
+	if _, err := Encode(Seqd{Seq: 1}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("Encode(empty Seqd): err = %v, want ErrBadFrame", err)
+	}
+	nested := []byte{byte(KindSeqd), 0, 0, 0, 0, 0, 0, 0, 1, byte(KindSeqd)}
+	if _, err := Decode(nested); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("Decode(nested Seqd): err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestNewErrorCodeMapping(t *testing.T) {
+	for _, tc := range []struct {
+		code ErrorCode
+		want error
+	}{
+		{CodeNoRecipient, ErrNoRecipient},
+		{CodeDraining, ErrDraining},
+		{CodeSessionUnknown, ErrSessionUnknown},
+	} {
+		if err := (Error{Code: tc.code}).Err(); !errors.Is(err, tc.want) {
+			t.Errorf("code %d: Err() = %v, want %v", tc.code, err, tc.want)
+		}
+	}
+}
+
+func TestCodecAuthenticatedRoundTrip(t *testing.T) {
+	key := []byte("session-key")
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ca, cb := NewCodec(key), NewCodec(key)
+	if !ca.Keyed() {
+		t.Fatal("keyed codec reports unkeyed")
+	}
+	want := Seqd{Seq: 3, Frame: Message{Sender: group.ClientID{Daemon: 1, Local: 1},
+		Service: evs.Agreed, Groups: []string{"g"}, Payload: []byte("hi")}}
+	errCh := make(chan error, 1)
+	go func() { errCh <- ca.WriteFrame(a, want) }()
+	got, err := cb.ReadFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	s, ok := got.(Seqd)
+	if !ok || s.Seq != 3 || !framesEqual(s.Frame, want.Frame) {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+func TestCodecRejectsForgedFrame(t *testing.T) {
+	key := []byte("session-key")
+	// Unkeyed writer vs keyed reader: frame has no tag.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go Codec{}.WriteFrame(a, Ack{Seq: 1})
+	if _, err := NewCodec(key).ReadFrame(b); !errors.Is(err, ErrAuth) {
+		t.Fatalf("untagged frame: err = %v, want ErrAuth", err)
+	}
+
+	// Keyed writer with the wrong key.
+	a2, b2 := net.Pipe()
+	defer a2.Close()
+	defer b2.Close()
+	go NewCodec([]byte("other-key")).WriteFrame(a2, Ack{Seq: 1})
+	if _, err := NewCodec(key).ReadFrame(b2); !errors.Is(err, ErrAuth) {
+		t.Fatalf("wrong-key frame: err = %v, want ErrAuth", err)
+	}
+
+	// Tampered payload under the right key.
+	enc, err := Encode(Ack{Seq: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := NewCodec(key).WriteFrame(&buf, Ack{Seq: 7}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4+len(enc)-1] ^= 1 // flip a payload bit inside the tag's coverage
+	a3, b3 := net.Pipe()
+	defer a3.Close()
+	defer b3.Close()
+	go a3.Write(raw)
+	if _, err := NewCodec(key).ReadFrame(b3); !errors.Is(err, ErrAuth) {
+		t.Fatalf("tampered frame: err = %v, want ErrAuth", err)
+	}
+}
+
+func TestCodecLengthIncludesTag(t *testing.T) {
+	var plain, keyed bytes.Buffer
+	if err := (Codec{}).WriteFrame(&plain, Ack{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewCodec([]byte("k")).WriteFrame(&keyed, Ack{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if keyed.Len() != plain.Len()+wire.MacLen {
+		t.Fatalf("keyed frame = %d bytes, want %d", keyed.Len(), plain.Len()+wire.MacLen)
+	}
+}

@@ -45,6 +45,26 @@ const (
 	// client, ordered like everything else. Delivery uses KindMessage
 	// with no groups.
 	KindPrivate
+	// KindResume (client->daemon) reopens an existing session after a
+	// connection loss, identified by client ID and resume token.
+	KindResume
+	// KindAck (client->daemon) acknowledges Seqd deliveries up to a
+	// sequence number, letting the daemon prune its replay window.
+	KindAck
+	// KindBye (client->daemon) announces a clean close: the daemon drops
+	// the session immediately instead of holding it for resume.
+	KindBye
+	// KindDetach (daemon->client) announces the daemon is releasing the
+	// connection (e.g. a graceful drain); CanResume says whether the
+	// session may be picked up again with Resume.
+	KindDetach
+	// KindThrottle (daemon->client) reports a backpressure tier change:
+	// the client should pace itself while On, resume at full rate after
+	// an Off.
+	KindThrottle
+	// KindSeqd (daemon->client) wraps one delivery frame with the
+	// session's delivery sequence number for resume/ack bookkeeping.
+	KindSeqd
 )
 
 // Errors shared by codec users.
@@ -73,6 +93,15 @@ const (
 	CodeMembershipChanged
 	// CodeBadRequest rejects a malformed or unexpected request frame.
 	CodeBadRequest
+	// CodeNoRecipient rejects a Private whose target client is gone.
+	// Non-fatal: the session stays up.
+	CodeNoRecipient
+	// CodeDraining rejects a Connect while the daemon is draining.
+	CodeDraining
+	// CodeSessionUnknown rejects a Resume the daemon cannot honor: no
+	// such session, wrong token, or the replay window has moved past the
+	// client's LastSeq.
+	CodeSessionUnknown
 )
 
 // Connect opens a session.
@@ -94,8 +123,16 @@ type Send struct {
 	Payload []byte
 }
 
-// Welcome acknowledges a Connect.
-type Welcome struct{ Client group.ClientID }
+// Welcome acknowledges a Connect or a Resume.
+type Welcome struct {
+	Client group.ClientID
+	// Token is the session's resume secret: presenting it with Resume
+	// after a connection loss reattaches to the same session.
+	Token uint64
+	// Resumed is set when this Welcome answers a Resume rather than a
+	// Connect.
+	Resumed bool
+}
 
 // Message is an ordered delivery.
 type Message struct {
@@ -127,6 +164,9 @@ type Error struct {
 var (
 	ErrInvalidService = errors.New("session: invalid service level")
 	ErrNotReady       = errors.New("session: ring not operational yet")
+	ErrNoRecipient    = errors.New("session: private target disconnected")
+	ErrDraining       = errors.New("session: daemon is draining")
+	ErrSessionUnknown = errors.New("session: cannot resume session")
 )
 
 // Err converts the frame into a typed error: sentinels for the fixed
@@ -142,6 +182,12 @@ func (e Error) Err() error {
 		return group.ErrNotMember
 	case CodeMembershipChanged:
 		return &evs.MembershipChangedError{OldView: e.OldView, NewView: e.NewView}
+	case CodeNoRecipient:
+		return ErrNoRecipient
+	case CodeDraining:
+		return ErrDraining
+	case CodeSessionUnknown:
+		return ErrSessionUnknown
 	default:
 		return errors.New(e.Msg)
 	}
@@ -152,6 +198,46 @@ type Private struct {
 	To      group.ClientID
 	Service evs.Service
 	Payload []byte
+}
+
+// Resume reopens the session identified by Client after a connection
+// loss. Token must match the secret from the original Welcome; LastSeq
+// is the highest Seqd sequence the client has processed, so the daemon
+// replays exactly the frames after it.
+type Resume struct {
+	Client  group.ClientID
+	Token   uint64
+	LastSeq uint64
+}
+
+// Ack acknowledges every Seqd delivery with sequence <= Seq.
+type Ack struct{ Seq uint64 }
+
+// Bye announces a clean client close (no resume intended).
+type Bye struct{}
+
+// Detach tells the client the daemon is releasing the connection.
+type Detach struct {
+	// Reason is a short diagnostic tag ("drain", ...).
+	Reason string
+	// CanResume says whether Resume will be honored afterwards (by this
+	// daemon after a restart, or by a peer).
+	CanResume bool
+}
+
+// Throttle reports a backpressure tier change for this session. While On
+// the client should pace submissions; Queued is the daemon-side queue
+// depth at the transition.
+type Throttle struct {
+	On     bool
+	Queued uint32
+}
+
+// Seqd wraps one daemon->client delivery with the session's delivery
+// sequence number. Frame must be a deliverable kind, never another Seqd.
+type Seqd struct {
+	Seq   uint64
+	Frame Frame
 }
 
 // Frame is any session frame.
@@ -165,7 +251,13 @@ func (Welcome) kind() Kind { return KindWelcome }
 func (Message) kind() Kind { return KindMessage }
 func (View) kind() Kind    { return KindView }
 func (Error) kind() Kind   { return KindError }
-func (Private) kind() Kind { return KindPrivate }
+func (Private) kind() Kind  { return KindPrivate }
+func (Resume) kind() Kind   { return KindResume }
+func (Ack) kind() Kind      { return KindAck }
+func (Bye) kind() Kind      { return KindBye }
+func (Detach) kind() Kind   { return KindDetach }
+func (Throttle) kind() Kind { return KindThrottle }
+func (Seqd) kind() Kind     { return KindSeqd }
 
 func appendString8(b []byte, s string) []byte {
 	b = append(b, byte(len(s)))
@@ -178,6 +270,13 @@ func appendGroups(b []byte, groups []string) []byte {
 		b = appendString8(b, g)
 	}
 	return b
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
 }
 
 func appendClientID(b []byte, c group.ClientID) []byte {
@@ -210,6 +309,8 @@ func Encode(f Frame) ([]byte, error) {
 		b = append(b, v.Payload...)
 	case Welcome:
 		b = appendClientID(b, v.Client)
+		b = binary.BigEndian.AppendUint64(b, v.Token)
+		b = appendBool(b, v.Resumed)
 	case Message:
 		b = appendClientID(b, v.Sender)
 		b = append(b, byte(v.Service))
@@ -234,6 +335,33 @@ func Encode(f Frame) ([]byte, error) {
 		b = append(b, byte(v.Service))
 		b = binary.BigEndian.AppendUint32(b, uint32(len(v.Payload)))
 		b = append(b, v.Payload...)
+	case Resume:
+		b = appendClientID(b, v.Client)
+		b = binary.BigEndian.AppendUint64(b, v.Token)
+		b = binary.BigEndian.AppendUint64(b, v.LastSeq)
+	case Ack:
+		b = binary.BigEndian.AppendUint64(b, v.Seq)
+	case Bye:
+		// Kind byte only.
+	case Detach:
+		b = appendString8(b, v.Reason)
+		b = appendBool(b, v.CanResume)
+	case Throttle:
+		b = appendBool(b, v.On)
+		b = binary.BigEndian.AppendUint32(b, v.Queued)
+	case Seqd:
+		if v.Frame == nil {
+			return nil, fmt.Errorf("%w: empty Seqd", ErrBadFrame)
+		}
+		if _, nested := v.Frame.(Seqd); nested {
+			return nil, fmt.Errorf("%w: nested Seqd", ErrBadFrame)
+		}
+		inner, err := Encode(v.Frame)
+		if err != nil {
+			return nil, err
+		}
+		b = binary.BigEndian.AppendUint64(b, v.Seq)
+		b = append(b, inner...)
 	default:
 		return nil, fmt.Errorf("session: unknown frame %T", f)
 	}
@@ -250,7 +378,10 @@ type cursor struct {
 }
 
 func (c *cursor) u8() uint8 {
-	if c.err != nil || c.off+1 > len(c.b) {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+1 > len(c.b) {
 		c.err = ErrTruncated
 		return 0
 	}
@@ -260,7 +391,10 @@ func (c *cursor) u8() uint8 {
 }
 
 func (c *cursor) u16() uint16 {
-	if c.err != nil || c.off+2 > len(c.b) {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+2 > len(c.b) {
 		c.err = ErrTruncated
 		return 0
 	}
@@ -270,7 +404,10 @@ func (c *cursor) u16() uint16 {
 }
 
 func (c *cursor) u32() uint32 {
-	if c.err != nil || c.off+4 > len(c.b) {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+4 > len(c.b) {
 		c.err = ErrTruncated
 		return 0
 	}
@@ -279,9 +416,22 @@ func (c *cursor) u32() uint32 {
 	return v
 }
 
+// bool reads a strict boolean: any byte other than 0 or 1 is rejected,
+// so every frame has exactly one valid encoding.
+func (c *cursor) bool() bool {
+	v := c.u8()
+	if c.err == nil && v > 1 {
+		c.err = ErrBadFrame
+	}
+	return v == 1
+}
+
 func (c *cursor) string8() string {
 	n := int(c.u8())
-	if c.err != nil || c.off+n > len(c.b) {
+	if c.err != nil {
+		return ""
+	}
+	if c.off+n > len(c.b) {
 		c.err = ErrTruncated
 		return ""
 	}
@@ -310,7 +460,10 @@ func (c *cursor) clientID() group.ClientID {
 }
 
 func (c *cursor) u64() uint64 {
-	if c.err != nil || c.off+8 > len(c.b) {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+8 > len(c.b) {
 		c.err = ErrTruncated
 		return 0
 	}
@@ -327,7 +480,10 @@ func (c *cursor) viewID() evs.ViewID {
 
 func (c *cursor) payload() []byte {
 	n := int(c.u32())
-	if c.err != nil || n > MaxFrame || c.off+n > len(c.b) {
+	if c.err != nil {
+		return nil
+	}
+	if n > MaxFrame || c.off+n > len(c.b) {
 		c.err = ErrTruncated
 		return nil
 	}
@@ -364,7 +520,7 @@ func Decode(b []byte) (Frame, error) {
 		svc := evs.Service(c.u8())
 		f = Send{Service: svc, Groups: c.groups(), Payload: c.payload()}
 	case KindWelcome:
-		f = Welcome{Client: c.clientID()}
+		f = Welcome{Client: c.clientID(), Token: c.u64(), Resumed: c.bool()}
 	case KindMessage:
 		sender := c.clientID()
 		svc := evs.Service(c.u8())
@@ -388,6 +544,33 @@ func Decode(b []byte) (Frame, error) {
 		to := c.clientID()
 		svc := evs.Service(c.u8())
 		f = Private{To: to, Service: svc, Payload: c.payload()}
+	case KindResume:
+		f = Resume{Client: c.clientID(), Token: c.u64(), LastSeq: c.u64()}
+	case KindAck:
+		f = Ack{Seq: c.u64()}
+	case KindBye:
+		f = Bye{}
+	case KindDetach:
+		f = Detach{Reason: c.string8(), CanResume: c.bool()}
+	case KindThrottle:
+		f = Throttle{On: c.bool(), Queued: c.u32()}
+	case KindSeqd:
+		seq := c.u64()
+		if c.err != nil {
+			return nil, c.err
+		}
+		rest := b[c.off:]
+		if len(rest) == 0 {
+			return nil, ErrTruncated
+		}
+		if Kind(rest[0]) == KindSeqd {
+			return nil, fmt.Errorf("%w: nested Seqd", ErrBadFrame)
+		}
+		inner, err := Decode(rest)
+		if err != nil {
+			return nil, err
+		}
+		return Seqd{Seq: seq, Frame: inner}, nil
 	default:
 		return nil, fmt.Errorf("%w: kind %d", ErrBadFrame, b[0])
 	}

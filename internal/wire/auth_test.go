@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAuthRoundTrip(t *testing.T) {
+	a := NewAuth([]byte("secret"))
+	frame := []byte("hello ring")
+	signed := a.AppendMAC(nil, frame)
+	if len(signed) != len(frame)+MacLen {
+		t.Fatalf("signed length = %d, want %d", len(signed), len(frame)+MacLen)
+	}
+	body, ok := a.Verify(signed)
+	if !ok {
+		t.Fatal("verify rejected a genuine frame")
+	}
+	if !bytes.Equal(body, frame) {
+		t.Fatalf("verify returned %q, want %q", body, frame)
+	}
+}
+
+func TestAuthRejectsTampering(t *testing.T) {
+	a := NewAuth([]byte("secret"))
+	signed := a.AppendMAC(nil, []byte("payload"))
+
+	for name, mutate := range map[string]func([]byte) []byte{
+		"flip payload bit": func(b []byte) []byte { b[0] ^= 1; return b },
+		"flip tag bit":     func(b []byte) []byte { b[len(b)-1] ^= 1; return b },
+		"truncate tag":     func(b []byte) []byte { return b[:len(b)-1] },
+		"too short":        func(b []byte) []byte { return b[:MacLen-1] },
+		"empty":            func([]byte) []byte { return nil },
+	} {
+		forged := mutate(append([]byte(nil), signed...))
+		if _, ok := a.Verify(forged); ok {
+			t.Errorf("%s: forged frame accepted", name)
+		}
+	}
+}
+
+func TestAuthWrongKeyRejected(t *testing.T) {
+	signed := NewAuth([]byte("key-a")).AppendMAC(nil, []byte("payload"))
+	if _, ok := NewAuth([]byte("key-b")).Verify(signed); ok {
+		t.Fatal("frame signed with key-a verified under key-b")
+	}
+}
+
+func TestAuthNilPassthrough(t *testing.T) {
+	var a *Auth
+	if a != NewAuth(nil) {
+		t.Fatal("NewAuth(nil) must return nil")
+	}
+	frame := []byte("plain")
+	if got := a.AppendMAC(nil, frame); !bytes.Equal(got, frame) {
+		t.Fatalf("nil AppendMAC altered frame: %q", got)
+	}
+	body, ok := a.Verify(frame)
+	if !ok || !bytes.Equal(body, frame) {
+		t.Fatalf("nil Verify = %q, %v", body, ok)
+	}
+	if a.Overhead() != 0 || NewAuth([]byte("k")).Overhead() != MacLen {
+		t.Fatal("Overhead mismatch")
+	}
+}
+
+func TestDeriveKeyLabelsDiffer(t *testing.T) {
+	master := []byte("master")
+	k1 := DeriveKey(master, "ring0")
+	k2 := DeriveKey(master, "ring1")
+	if bytes.Equal(k1, k2) {
+		t.Fatal("different labels derived the same key")
+	}
+	if !bytes.Equal(k1, DeriveKey(master, "ring0")) {
+		t.Fatal("derivation is not deterministic")
+	}
+}

@@ -98,3 +98,15 @@ func WithTraceDepth(n int) Option {
 func WithTraceSampling(every int) Option {
 	return func(c *Config) { c.TraceSampling = every }
 }
+
+// WithRingKey authenticates every ring wire frame (token and data) with
+// a truncated HMAC-SHA256 tag keyed from key. Each ring of a sharded
+// node signs with its own derived subkey, so frames cannot be replayed
+// across rings. All participants must be opened with the same key;
+// frames that fail verification — forged, corrupted, or from an unkeyed
+// node — are counted on transport.auth_drops and dropped before they can
+// touch ordering state. An empty key disables authentication (the
+// default).
+func WithRingKey(key []byte) Option {
+	return func(c *Config) { c.RingKey = append([]byte(nil), key...) }
+}
