@@ -121,7 +121,9 @@ type Config struct {
 	// Name is the client's private name (diagnostics only).
 	Name string
 	// Key, when non-empty, authenticates every session frame with a
-	// truncated HMAC-SHA256 tag; must match the daemon's key.
+	// truncated HMAC-SHA256 tag; must match the daemon's key. Resume
+	// handshakes also answer the daemon's nonce challenge, so a recorded
+	// handshake cannot be replayed by an observer.
 	Key []byte
 	// Reconnect redials and resumes the session after a connection
 	// loss instead of failing the client.
@@ -166,12 +168,13 @@ type Client struct {
 	cfg   Config
 	codec session.Codec
 
-	mu        sync.Mutex // guards conn, id, token
+	mu        sync.Mutex // guards conn, id, token, closing
 	conn      net.Conn   // nil while reconnecting
 	connGone  *sync.Cond // signaled on conn swaps and close
 	id        group.ClientID
 	token     uint64
 	resumable bool
+	closing   bool // Close started; read errors are the daemon's goodbye
 
 	writeMu sync.Mutex
 	events  chan Event
@@ -260,17 +263,25 @@ func (c *Client) resumeHandshake(conn net.Conn) (session.Welcome, error) {
 }
 
 func (c *Client) readWelcome(conn net.Conn) (session.Welcome, error) {
-	f, err := c.codec.ReadFrame(conn)
-	if err != nil {
-		return session.Welcome{}, err
-	}
-	switch v := f.(type) {
-	case session.Welcome:
-		return v, nil
-	case session.Error:
-		return session.Welcome{}, fmt.Errorf("client: handshake refused: %w", v.Err())
-	default:
-		return session.Welcome{}, fmt.Errorf("client: unexpected handshake frame %T", f)
+	for {
+		f, err := c.codec.ReadFrame(conn)
+		if err != nil {
+			return session.Welcome{}, err
+		}
+		switch v := f.(type) {
+		case session.Welcome:
+			return v, nil
+		case session.Challenge:
+			// Keyed resume freshness probe: echo the nonce so our frame
+			// MAC proves we hold the key right now (not in a recording).
+			if err := c.codec.WriteFrame(conn, session.ChallengeAck{Nonce: v.Nonce}); err != nil {
+				return session.Welcome{}, err
+			}
+		case session.Error:
+			return session.Welcome{}, fmt.Errorf("client: handshake refused: %w", v.Err())
+		default:
+			return session.Welcome{}, fmt.Errorf("client: unexpected handshake frame %T", f)
+		}
 	}
 }
 
@@ -325,6 +336,12 @@ func (c *Client) readLoop(conn net.Conn) {
 				c.shutdown(err)
 				return
 			default:
+			}
+			if c.closingNow() {
+				// Orderly close: the daemon acted on our Bye and closed
+				// its side. Treat the EOF as clean and unblock Close.
+				c.shutdown(net.ErrClosed)
+				return
 			}
 			if !c.cfg.Reconnect {
 				c.shutdown(err)
@@ -456,6 +473,12 @@ func (c *Client) resumableNow() bool {
 	return c.resumable
 }
 
+func (c *Client) closingNow() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closing
+}
+
 // dropConn clears the current connection (write calls park until the
 // next installConn/adopt).
 func (c *Client) dropConn(conn net.Conn) {
@@ -579,19 +602,39 @@ func (c *Client) Multicast(service evs.Service, payload []byte, groups ...string
 	return c.write(session.Send{Service: service, Groups: groups, Payload: payload})
 }
 
-// Close tears the session down cleanly: a best-effort Bye tells the
-// daemon to emit the ordered disconnect immediately instead of holding
-// the session for resume.
+// closeGrace bounds how long Close waits for the daemon to act on the
+// Bye before tearing the socket down anyway.
+const closeGrace = 250 * time.Millisecond
+
+// Close tears the session down cleanly: a Bye tells the daemon to emit
+// the ordered disconnect immediately instead of holding the session for
+// resume. The socket is then half-closed, not closed: a full close would
+// let any in-flight daemon write elicit a TCP RST, and an RST flushes
+// the daemon's receive buffer — discarding a Bye it had not read yet, so
+// the daemon would see a crash (detach + resume hold) instead of a clean
+// goodbye. With the read side open, Close waits (bounded by closeGrace)
+// for the daemon to drop the session and close its end.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	conn := c.conn
+	first := !c.closing
+	c.closing = true
 	c.mu.Unlock()
-	if conn != nil {
+	if conn != nil && first {
 		c.writeMu.Lock()
 		conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
 		_ = c.codec.WriteFrame(conn, session.Bye{})
 		conn.SetWriteDeadline(time.Time{})
 		c.writeMu.Unlock()
+		// TCP and unix sockets support the half-close; anything else
+		// (test pipes, chaos wrappers) falls back to an immediate close.
+		if cw, ok := conn.(interface{ CloseWrite() error }); ok {
+			_ = cw.CloseWrite()
+			select {
+			case <-c.done:
+			case <-time.After(closeGrace):
+			}
+		}
 	}
 	c.shutdown(net.ErrClosed)
 	return nil

@@ -35,8 +35,11 @@
 //     leave per session.
 //   - Authenticated frames: with Config.Key set, every session frame
 //     carries a truncated HMAC-SHA256 tag (session.Codec); forged frames
-//     are counted, flight-recorded, and dropped. The ring's own wire
-//     frames are authenticated by transport.WithAuth.
+//     are counted, flight-recorded, and dropped. Keyed Resume handshakes
+//     additionally complete a nonce challenge (session.Challenge), so a
+//     captured Resume frame replayed from another connection cannot
+//     hijack the session. The ring's own wire frames are authenticated
+//     by transport.WithAuth.
 package daemon
 
 import (
@@ -95,7 +98,9 @@ type Config struct {
 	ResumeTimeout time.Duration
 	// Key, when non-empty, authenticates every session frame with a
 	// truncated HMAC-SHA256 tag; clients must present the same key.
-	// Forged frames are counted on daemon.auth_drops and dropped.
+	// Forged frames are counted on daemon.auth_drops and dropped, and
+	// Resume handshakes additionally answer a random nonce challenge so
+	// a recorded Resume frame cannot be replayed to hijack a session.
 	Key []byte
 	// Obs, when non-nil, receives daemon.* session metrics. The ring
 	// protocol's own metrics are wired through Ring.Observer.
@@ -316,7 +321,7 @@ func (d *Daemon) Stop() {
 
 	d.ln.Close()
 	for _, c := range clients {
-		c.shutdown()
+		d.shutdownClient(c)
 	}
 	d.wg.Wait()
 	if d.rings != nil {
@@ -327,15 +332,31 @@ func (d *Daemon) Stop() {
 }
 
 // shutdown tears the session down without the ordered-disconnect
-// bookkeeping (daemon stop path).
-func (c *clientConn) shutdown() {
+// bookkeeping, reporting the backpressure tiers it still occupied.
+func (c *clientConn) shutdown() (spilling, throttled bool) {
 	c.mu.Lock()
 	if c.expiry != nil {
 		c.expiry.Stop()
 	}
 	c.mu.Unlock()
-	if conn := c.out.shutdown(); conn != nil {
+	conn, spilling, throttled := c.out.shutdown()
+	if conn != nil {
 		conn.Close()
+	}
+	return spilling, throttled
+}
+
+// shutdownClient closes the session's outbox and settles the tier gauges
+// it still held — an overflow disconnect by definition happens while the
+// session is spilling, so without this clients_spilling and
+// clients_throttled would leak upward on every drop.
+func (d *Daemon) shutdownClient(c *clientConn) {
+	spilling, throttled := c.shutdown()
+	if spilling {
+		d.dm.spilling.Add(-1)
+	}
+	if throttled {
+		d.dm.throttledCli.Add(-1)
 	}
 }
 
@@ -456,6 +477,11 @@ func (d *Daemon) handleResume(conn net.Conn, req session.Resume) {
 		reject(session.CodeSessionUnknown, err.Error())
 		return
 	}
+	if d.codec.Keyed() && !d.challengeResume(conn) {
+		d.dm.authDrops.Inc()
+		reject(session.CodeSessionUnknown, "resume challenge failed")
+		return
+	}
 	// Welcome must hit the wire before the writer can race Seqd frames
 	// onto the new connection, so it is written pre-attach.
 	if err := d.codec.WriteFrame(conn, session.Welcome{Client: c.id, Token: c.token, Resumed: true}); err != nil {
@@ -479,6 +505,35 @@ func (d *Daemon) handleResume(conn net.Conn, req session.Resume) {
 	d.dm.resumes.Inc()
 	d.flight("resume", c.id.Local, 0)
 	d.clientReader(c, conn)
+}
+
+// resumeChallengeTimeout bounds how long a Resume handshake may sit on
+// the challenge round trip before the daemon gives up the connection.
+const resumeChallengeTimeout = 5 * time.Second
+
+// challengeResume demands fresh proof of key possession before a keyed
+// Resume is honored. The Resume frame's HMAC covers only static bytes,
+// so an on-path observer could replay a recorded Resume verbatim from
+// its own connection and hijack the session. The daemon therefore sends
+// a random nonce and requires a ChallengeAck echoing it: the ack's frame
+// MAC covers the nonce, a value no recorded stream contains, so only a
+// holder of the session key can complete the handshake.
+func (d *Daemon) challengeResume(conn net.Conn) bool {
+	var ch session.Challenge
+	if _, err := cryptorand.Read(ch.Nonce[:]); err != nil {
+		panic("daemon: crypto/rand unavailable: " + err.Error())
+	}
+	if err := d.codec.WriteFrame(conn, ch); err != nil {
+		return false
+	}
+	conn.SetReadDeadline(time.Now().Add(resumeChallengeTimeout))
+	f, err := d.codec.ReadFrame(conn)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		return false
+	}
+	ack, ok := f.(session.ChallengeAck)
+	return ok && ack.Nonce == ch.Nonce
 }
 
 // clientReader turns client requests into ordered envelopes.
@@ -582,7 +637,7 @@ func (d *Daemon) sessionWriter(c *clientConn) {
 			d.detachClient(c, conn)
 			continue
 		}
-		d.afterWrite(c, c.out.wrote(sf))
+		d.afterWrite(c, c.out.wrote(conn, sf))
 	}
 }
 
@@ -603,10 +658,12 @@ func (d *Daemon) deliver(c *clientConn, f session.Frame) {
 		d.flight("tier_spill", c.id.Local, res.queued)
 	}
 	if res.throttleOn {
+		// The Throttle notice itself was enqueued by push under the
+		// outbox lock, so it cannot be reordered against the writer's
+		// Off; only the bookkeeping happens here.
 		d.dm.tierThrottle.Inc()
 		d.dm.throttledCli.Add(1)
 		d.flight("tier_throttle", c.id.Local, res.queued)
-		c.out.pushControl(session.Throttle{On: true, Queued: uint32(res.queued)})
 	}
 }
 
@@ -618,7 +675,6 @@ func (d *Daemon) afterWrite(c *clientConn, res writeResult) {
 	if res.throttleOff {
 		d.dm.throttledCli.Add(-1)
 		d.flight("tier_recover", c.id.Local, res.queued)
-		c.out.pushControl(session.Throttle{On: false, Queued: uint32(res.queued)})
 	}
 }
 
@@ -653,7 +709,7 @@ func (d *Daemon) detachClient(c *clientConn, conn net.Conn) {
 // its departure in order.
 func (d *Daemon) dropClient(c *clientConn) {
 	c.dropOnce.Do(func() {
-		c.shutdown()
+		d.shutdownClient(c)
 		d.mu.Lock()
 		_, known := d.clients[c.id.Local]
 		delete(d.clients, c.id.Local)

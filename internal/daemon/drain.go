@@ -10,6 +10,13 @@ import (
 // drainPoll is how often Drain re-checks the sessions' flush state.
 const drainPoll = 2 * time.Millisecond
 
+// drainDetachGrace bounds the post-Detach flush. It is independent of
+// the caller's ctx on purpose: if the main flush spent the whole
+// deadline, healthy attached clients should still get their Detach
+// notices (a handful of control frames) instead of losing them to an
+// already-expired context.
+const drainDetachGrace = time.Second
+
 // Drain winds the client-serving side down gracefully:
 //
 //  1. Stop accepting connects (new Connect and Resume handshakes are
@@ -44,17 +51,22 @@ func (d *Daemon) Drain(ctx context.Context) error {
 	for _, c := range clients {
 		c.out.pushControl(session.Detach{Reason: "drain", CanResume: true})
 	}
-	// Second, brief flush so the Detach frames actually hit the wire;
-	// the first flush's verdict wins.
-	_ = d.awaitFlush(ctx, clients)
+	// Second, brief flush so the Detach frames actually hit the wire; it
+	// gets its own short grace (see drainDetachGrace) and the first
+	// flush's verdict wins.
+	graceCtx, cancel := context.WithTimeout(context.Background(), drainDetachGrace)
+	_ = d.awaitFlush(graceCtx, clients)
+	cancel()
 	for _, c := range clients {
 		d.dropClient(c)
 	}
 	return err
 }
 
-// awaitFlush waits until every session's outbox is fully written (or
-// closed), polling until ctx expires.
+// awaitFlush waits until every session's outbox is fully written,
+// polling until ctx expires. Closed and detached sessions count as
+// flushed — a detached outbox cannot move and its frames are retained
+// for resume, so waiting on one would starve the attached clients.
 func (d *Daemon) awaitFlush(ctx context.Context, clients []*clientConn) error {
 	for {
 		flushed := true

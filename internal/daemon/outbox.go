@@ -17,8 +17,10 @@ type seqFrame struct {
 }
 
 // pushResult reports what one enqueue did to the session's backpressure
-// tier, so the daemon can export metrics and notify the client without
-// holding the outbox lock.
+// tier, so the daemon can export metrics without holding the outbox
+// lock. The client-facing Throttle notices themselves are enqueued
+// inside push/wrote while the lock is held, so On/Off can never be
+// reordered by the reporting goroutines.
 type pushResult struct {
 	// overflow: the spill queue is full; disconnecting is the last
 	// resort left. The frame was NOT queued.
@@ -123,6 +125,10 @@ func (o *outbox) push(f session.Frame) pushResult {
 	if !o.throttled && res.queued >= o.throttleAt {
 		o.throttled = true
 		res.throttleOn = true
+		// The Throttle notice is enqueued under the same lock as the
+		// transition: an Off written by the writer goroutine can never
+		// overtake this On on the wire.
+		o.control = append(o.control, session.Throttle{On: true, Queued: uint32(res.queued)})
 	}
 	o.cond.Broadcast()
 	return res
@@ -163,13 +169,26 @@ func (o *outbox) next() (net.Conn, session.Codec, seqFrame, bool) {
 	}
 }
 
-// wrote removes the frame next returned after a successful write, moves
-// sequenced frames into the retained window, and refills the ring from
-// the spill queue, reporting tier recoveries.
-func (o *outbox) wrote(sf seqFrame) writeResult {
+// wrote removes the frame next returned after a successful write to
+// conn, moves sequenced frames into the retained window, and refills the
+// ring from the spill queue, reporting tier recoveries.
+//
+// conn must be the connection next() paired with the frame. If it is no
+// longer the session's connection — a detach or a resume's attach landed
+// between the write and this call — the write reached a superseded
+// (possibly half-dead) socket, so the frame is left queued: the writer
+// re-peeks it for the live connection, and the client's duplicate
+// suppression (Seq <= lastSeq) absorbs the potential double send. Without
+// this check a kernel-buffered write racing an attach would complete a
+// frame the resume snapshot never saw, leaving a silent sequence gap.
+func (o *outbox) wrote(conn net.Conn, sf seqFrame) writeResult {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	var res writeResult
+	res.queued = o.queuedLocked()
+	if o.conn != conn {
+		return res
+	}
 	switch {
 	case sf.seq == 0:
 		if len(o.control) > 0 {
@@ -179,15 +198,28 @@ func (o *outbox) wrote(sf seqFrame) writeResult {
 				o.control = nil
 			}
 		}
-		res.queued = o.queuedLocked()
 		return res
-	case len(o.replay) > 0 && o.replay[0].seq == sf.seq:
-		// Replayed frames are already retained.
-		o.replay = o.replay[1:]
-		if len(o.replay) == 0 {
-			o.replay = nil
+	case len(o.replay) > 0:
+		// Replayed frames are already retained. Scan for the sequence
+		// instead of assuming the head: a racing attach may have
+		// re-snapshotted (and re-pruned) the replay queue.
+		for i := range o.replay {
+			if o.replay[i].seq != sf.seq {
+				continue
+			}
+			copy(o.replay[i:], o.replay[i+1:])
+			o.replay[len(o.replay)-1] = seqFrame{}
+			o.replay = o.replay[:len(o.replay)-1]
+			if len(o.replay) == 0 {
+				o.replay = nil
+			}
+			return res
 		}
-		res.queued = o.queuedLocked()
+	}
+	if o.count == 0 || o.ring[o.head].seq != sf.seq {
+		// Neither a pending replay nor the ring head (the frame was
+		// implicitly acked by a resume): nothing left to complete, and
+		// popping the ring here would discard an unwritten frame.
 		return res
 	}
 	hadSpill := len(o.spill) > 0
@@ -214,6 +246,9 @@ func (o *outbox) wrote(sf seqFrame) writeResult {
 	if o.throttled && res.queued <= o.throttleAt/2 {
 		o.throttled = false
 		res.throttleOff = true
+		// Under the lock for the same reason push enqueues the On notice
+		// here: transition order is wire order.
+		o.control = append(o.control, session.Throttle{On: false, Queued: uint32(res.queued)})
 	}
 	return res
 }
@@ -289,24 +324,33 @@ func (o *outbox) detach(conn net.Conn) bool {
 }
 
 // flushed reports whether everything queued has been written (drain's
-// completion condition; acks are not required).
+// completion condition; acks are not required). A detached session
+// counts as flushed: with no connection its queue cannot move, and its
+// frames are retained for resume anyway — waiting on it would burn the
+// whole drain deadline.
 func (o *outbox) flushed() bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if o.closed || o.overflowed {
+	if o.closed || o.overflowed || o.conn == nil {
 		return true
 	}
 	return len(o.control) == 0 && len(o.replay) == 0 && o.queuedLocked() == 0
 }
 
 // shutdown closes the outbox for good: the writer exits and pushes
-// become no-ops. Returns the connection to close, if any.
-func (o *outbox) shutdown() net.Conn {
+// become no-ops. Returns the connection to close, if any, plus the
+// backpressure tiers the session occupied at close so the caller can
+// settle the matching gauges (reported only on the first shutdown).
+func (o *outbox) shutdown() (conn net.Conn, spilling, throttled bool) {
 	o.mu.Lock()
-	conn := o.conn
+	conn = o.conn
 	o.conn = nil
+	if !o.closed {
+		spilling = len(o.spill) > 0
+		throttled = o.throttled
+	}
 	o.closed = true
 	o.cond.Broadcast()
 	o.mu.Unlock()
-	return conn
+	return conn, spilling, throttled
 }

@@ -1,0 +1,156 @@
+package daemon
+
+// Unit tests for the outbox's trickier corners: write completions racing
+// a resume's attach, one-shot tier reporting at shutdown, drain's view of
+// detached sessions, and the ordering of throttle notices.
+
+import (
+	"net"
+	"testing"
+
+	"accelring/internal/evs"
+	"accelring/internal/session"
+)
+
+func testConn(t *testing.T) net.Conn {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a
+}
+
+func testMsg(i int) session.Frame {
+	return session.Message{Service: evs.Agreed, Groups: []string{"g"}, Payload: []byte{byte(i)}}
+}
+
+// TestOutboxWroteSupersededConn: a write completion that raced a resume's
+// attach must leave the frame queued for the new connection instead of
+// completing a frame the resume snapshot never saw (or, worse, popping an
+// unwritten ring head).
+func TestOutboxWroteSupersededConn(t *testing.T) {
+	o := newOutbox(session.Codec{}, 4, 100, 100, 16)
+	connA, connB := testConn(t), testConn(t)
+	if !o.attach(connA, 0) {
+		t.Fatal("attach A refused")
+	}
+	o.push(testMsg(1))
+	gotConn, _, sf, ok := o.next()
+	if !ok || gotConn != connA || sf.seq != 1 {
+		t.Fatalf("next = (%v, %+v, %v)", gotConn, sf, ok)
+	}
+
+	// The resume lands between the writer's syscall and its completion.
+	if !o.attach(connB, 0) {
+		t.Fatal("attach B refused")
+	}
+	o.wrote(connA, sf) // superseded: must be a no-op
+
+	o.mu.Lock()
+	count, queued := o.count, o.queuedLocked()
+	o.mu.Unlock()
+	if count != 1 || queued != 1 {
+		t.Fatalf("after superseded wrote: count=%d queued=%d, want 1/1", count, queued)
+	}
+
+	// The live connection re-peeks the same frame and completes it.
+	gotConn, _, sf2, ok := o.next()
+	if !ok || gotConn != connB || sf2.seq != 1 {
+		t.Fatalf("re-peek = (%v, %+v, %v), want seq 1 on conn B", gotConn, sf2, ok)
+	}
+	o.wrote(connB, sf2)
+	// A duplicate (stale) completion must not drive the count negative.
+	o.wrote(connB, sf2)
+	o.mu.Lock()
+	count, queued = o.count, o.queuedLocked()
+	o.mu.Unlock()
+	if count != 0 || queued != 0 {
+		t.Fatalf("after completion: count=%d queued=%d, want 0/0", count, queued)
+	}
+}
+
+// TestOutboxShutdownReportsTiersOnce: shutdown reports the occupied
+// backpressure tiers exactly once, so Stop and dropClient racing each
+// other cannot double-decrement the gauges.
+func TestOutboxShutdownReportsTiersOnce(t *testing.T) {
+	o := newOutbox(session.Codec{}, 2, 3, 100, 4)
+	conn := testConn(t)
+	if !o.attach(conn, 0) {
+		t.Fatal("attach refused")
+	}
+	for i := 0; i < 5; i++ {
+		o.push(testMsg(i)) // ring 2 + spill 3, past the throttle watermark
+	}
+	c, spilling, throttled := o.shutdown()
+	if c != conn || !spilling || !throttled {
+		t.Fatalf("first shutdown = (%v, %v, %v), want conn + both tiers", c, spilling, throttled)
+	}
+	if _, spilling, throttled := o.shutdown(); spilling || throttled {
+		t.Fatal("second shutdown re-reported the tiers")
+	}
+}
+
+// TestOutboxFlushedWhileDetached: a detached session counts as flushed —
+// its queue cannot move — so a drain does not burn its whole deadline on
+// a client that is gone.
+func TestOutboxFlushedWhileDetached(t *testing.T) {
+	o := newOutbox(session.Codec{}, 4, 100, 100, 16)
+	conn := testConn(t)
+	if !o.attach(conn, 0) {
+		t.Fatal("attach refused")
+	}
+	o.push(testMsg(1))
+	if o.flushed() {
+		t.Fatal("queued frame reported flushed")
+	}
+	if !o.detach(conn) {
+		t.Fatal("detach refused")
+	}
+	if !o.flushed() {
+		t.Fatal("detached session must count as flushed")
+	}
+	if !o.attach(testConn(t), 0) {
+		t.Fatal("reattach refused")
+	}
+	if o.flushed() {
+		t.Fatal("reattached backlog reported flushed")
+	}
+}
+
+// TestOutboxThrottleNoticesOrdered: the On and Off notices are enqueued
+// under the outbox lock at the moment of the transition, so the client
+// can never observe Off before the On that preceded it.
+func TestOutboxThrottleNoticesOrdered(t *testing.T) {
+	o := newOutbox(session.Codec{}, 8, 4, 100, 16)
+	conn := testConn(t)
+	if !o.attach(conn, 0) {
+		t.Fatal("attach refused")
+	}
+	res := pushResult{}
+	for i := 0; i < 4; i++ {
+		res = o.push(testMsg(i))
+	}
+	if !res.throttleOn {
+		t.Fatalf("4 queued at watermark 4: no throttleOn (%+v)", res)
+	}
+	var notices []session.Throttle
+	for !o.flushed() {
+		c, _, sf, ok := o.next()
+		if !ok {
+			t.Fatal("outbox closed mid-drain")
+		}
+		if sf.seq == 0 {
+			th, isTh := sf.f.(session.Throttle)
+			if !isTh {
+				t.Fatalf("unexpected control frame %#v", sf.f)
+			}
+			notices = append(notices, th)
+		}
+		o.wrote(c, sf)
+	}
+	if len(notices) != 2 || !notices[0].On || notices[1].On {
+		t.Fatalf("throttle notices = %+v, want exactly [On, Off]", notices)
+	}
+	if notices[0].Queued < 4 || notices[1].Queued > 2 {
+		t.Fatalf("notice queue depths = %d/%d, want >=4 then <=2", notices[0].Queued, notices[1].Queued)
+	}
+}

@@ -28,6 +28,8 @@ func FuzzDecode(f *testing.F) {
 		Throttle{On: true, Queued: 64},
 		Seqd{Seq: 5, Frame: Message{Sender: group.ClientID{Daemon: 1, Local: 2},
 			Service: evs.Agreed, Groups: []string{"g"}, Payload: []byte("m")}},
+		Challenge{Nonce: [ChallengeNonceLen]byte{1, 15: 16}},
+		ChallengeAck{Nonce: [ChallengeNonceLen]byte{2, 15: 32}},
 	} {
 		enc, err := Encode(fr)
 		if err != nil {

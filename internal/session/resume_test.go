@@ -29,6 +29,10 @@ func TestResumeFrameRoundTrips(t *testing.T) {
 			Service: evs.Agreed, Groups: []string{"g"}, Payload: []byte("m")}},
 		Seqd{Seq: 1, Frame: View{Group: "g", Members: []group.ClientID{{Daemon: 1, Local: 1}}}},
 		Seqd{Seq: 2, Frame: Error{Code: CodeNoRecipient, Msg: "gone"}},
+		Challenge{Nonce: [ChallengeNonceLen]byte{1, 2, 3, 15: 16}},
+		Challenge{},
+		ChallengeAck{Nonce: [ChallengeNonceLen]byte{0xff, 15: 0xee}},
+		ChallengeAck{},
 	}
 	for _, in := range frames {
 		enc, err := Encode(in)
@@ -57,13 +61,15 @@ func TestResumeFrameRoundTrips(t *testing.T) {
 // over-length, and non-canonical variants are all rejected.
 func TestResumeFrameStrictness(t *testing.T) {
 	canonical := map[string]Frame{
-		"welcome":  Welcome{Client: group.ClientID{Daemon: 1, Local: 2}, Token: 3},
-		"resume":   Resume{Client: group.ClientID{Daemon: 1, Local: 2}, Token: 3, LastSeq: 4},
-		"ack":      Ack{Seq: 9},
-		"bye":      Bye{},
-		"detach":   Detach{Reason: "drain", CanResume: true},
-		"throttle": Throttle{On: true, Queued: 8},
-		"seqd":     Seqd{Seq: 5, Frame: Ack{Seq: 1}},
+		"welcome":   Welcome{Client: group.ClientID{Daemon: 1, Local: 2}, Token: 3},
+		"resume":    Resume{Client: group.ClientID{Daemon: 1, Local: 2}, Token: 3, LastSeq: 4},
+		"ack":       Ack{Seq: 9},
+		"bye":       Bye{},
+		"detach":    Detach{Reason: "drain", CanResume: true},
+		"throttle":  Throttle{On: true, Queued: 8},
+		"seqd":      Seqd{Seq: 5, Frame: Ack{Seq: 1}},
+		"challenge": Challenge{Nonce: [ChallengeNonceLen]byte{9, 15: 9}},
+		"chalack":   ChallengeAck{Nonce: [ChallengeNonceLen]byte{4, 15: 4}},
 	}
 	for name, f := range canonical {
 		enc, err := Encode(f)

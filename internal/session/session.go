@@ -65,6 +65,13 @@ const (
 	// KindSeqd (daemon->client) wraps one delivery frame with the
 	// session's delivery sequence number for resume/ack bookkeeping.
 	KindSeqd
+	// KindChallenge (daemon->client) demands fresh proof of key
+	// possession before a keyed Resume is honored: the nonce must come
+	// back in a ChallengeAck.
+	KindChallenge
+	// KindChallengeAck (client->daemon) echoes a Challenge nonce; its
+	// frame MAC covers the nonce, defeating handshake replay.
+	KindChallengeAck
 )
 
 // Errors shared by codec users.
@@ -213,6 +220,19 @@ type Resume struct {
 // Ack acknowledges every Seqd delivery with sequence <= Seq.
 type Ack struct{ Seq uint64 }
 
+// ChallengeNonceLen is the size of a resume-challenge nonce.
+const ChallengeNonceLen = 16
+
+// Challenge is the daemon's freshness probe during a keyed Resume
+// handshake: the per-frame HMAC alone cannot stop an observer from
+// replaying a recorded Resume verbatim, so the daemon issues a random
+// nonce the client must echo. Only sent on keyed sessions.
+type Challenge struct{ Nonce [ChallengeNonceLen]byte }
+
+// ChallengeAck answers a Challenge by echoing its nonce; the frame's
+// MAC then covers a value no previously recorded stream contains.
+type ChallengeAck struct{ Nonce [ChallengeNonceLen]byte }
+
 // Bye announces a clean client close (no resume intended).
 type Bye struct{}
 
@@ -258,6 +278,9 @@ func (Bye) kind() Kind      { return KindBye }
 func (Detach) kind() Kind   { return KindDetach }
 func (Throttle) kind() Kind { return KindThrottle }
 func (Seqd) kind() Kind     { return KindSeqd }
+
+func (Challenge) kind() Kind    { return KindChallenge }
+func (ChallengeAck) kind() Kind { return KindChallengeAck }
 
 func appendString8(b []byte, s string) []byte {
 	b = append(b, byte(len(s)))
@@ -362,6 +385,10 @@ func Encode(f Frame) ([]byte, error) {
 		}
 		b = binary.BigEndian.AppendUint64(b, v.Seq)
 		b = append(b, inner...)
+	case Challenge:
+		b = append(b, v.Nonce[:]...)
+	case ChallengeAck:
+		b = append(b, v.Nonce[:]...)
 	default:
 		return nil, fmt.Errorf("session: unknown frame %T", f)
 	}
@@ -472,6 +499,19 @@ func (c *cursor) u64() uint64 {
 	return v
 }
 
+func (c *cursor) nonce() (n [ChallengeNonceLen]byte) {
+	if c.err != nil {
+		return n
+	}
+	if c.off+ChallengeNonceLen > len(c.b) {
+		c.err = ErrTruncated
+		return n
+	}
+	copy(n[:], c.b[c.off:])
+	c.off += ChallengeNonceLen
+	return n
+}
+
 func (c *cursor) viewID() evs.ViewID {
 	rep := c.u32()
 	seq := c.u64()
@@ -571,6 +611,10 @@ func Decode(b []byte) (Frame, error) {
 			return nil, err
 		}
 		return Seqd{Seq: seq, Frame: inner}, nil
+	case KindChallenge:
+		f = Challenge{Nonce: c.nonce()}
+	case KindChallengeAck:
+		f = ChallengeAck{Nonce: c.nonce()}
 	default:
 		return nil, fmt.Errorf("%w: kind %d", ErrBadFrame, b[0])
 	}
