@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-full bench-smoke bench-baseline bench-shard bench-shard-smoke chaos obs-smoke soak-smoke
+.PHONY: ci vet build test race race-full bench-smoke bench-baseline bench-shard bench-shard-smoke bench-wire bench-wire-smoke chaos obs-smoke soak-smoke
 
 ci: vet build test race
 
@@ -39,6 +39,22 @@ bench-baseline:
 	{ $(GO) test -run '^$$' -bench . -benchmem ./internal/core ./internal/wire ; \
 	  $(GO) test -run '^$$' -bench 'Fig0[13]' -benchtime 1x -benchmem . ; } \
 	  | tee results/BENCH_core.txt | $(GO) run ./cmd/benchjson > results/BENCH_core.json
+
+# Wire-path baseline: loopback UDP syscalls-per-frame (bare vs batched
+# vs multicast sendmmsg/recvmmsg) plus simulated-ring ordered throughput
+# bare vs packed, recorded in results/BENCH_wire.json (+ raw text).
+# Commit the JSON when the wire path changes; the multicast rows skip
+# silently where the environment cannot route group traffic on loopback.
+bench-wire:
+	mkdir -p results
+	{ $(GO) test -run '^$$' -bench 'Wire' -benchtime 20000x -benchmem ./internal/transport ; \
+	  $(GO) test -run '^$$' -bench 'WireRing' -benchtime 30000x -benchmem ./internal/ringnode ; } \
+	  | tee results/BENCH_wire.txt | $(GO) run ./cmd/benchjson > results/BENCH_wire.json
+
+# Quick variant for CI: one pass, throwaway output.
+bench-wire-smoke:
+	$(GO) test -run '^$$' -bench 'Wire' -benchtime 1000x ./internal/transport
+	$(GO) test -run '^$$' -bench 'WireRing' -benchtime 2000x ./internal/ringnode
 
 # Multi-ring scaling experiment: single-ring baseline vs 2- and 4-shard
 # aggregates at equal windows on the virtual-time testbed, recorded in

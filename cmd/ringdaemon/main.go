@@ -16,9 +16,15 @@
 //
 // With -shards N every daemon runs N independent rings and routes each
 // group to one of them by a stable hash of the group name (see README
-// § "Multi-ring sharding"). Ring r listens on every base port + 2*r, so
-// all daemons must use the same -shards value and numeric ports with a
-// gap of 2*N free above each base port.
+// § "Multi-ring sharding"). Ring r listens on every base port +
+// stride*r (-shard-stride, default 2), so all daemons must use the same
+// -shards value and numeric ports with a gap of stride*N free above
+// each base port.
+//
+// Wire-path tuning (see README § "Wire modes"): -mcast switches the
+// data path to true IP multicast, -batch-send/-batch-recv coalesce
+// datagrams into sendmmsg/recvmmsg calls, and -pack bundles small
+// messages into shared frames under load.
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"accelring/internal/daemon"
 	"accelring/internal/evs"
 	"accelring/internal/obs"
+	"accelring/internal/pack"
 	"accelring/internal/ringnode"
 	"accelring/internal/transport"
 	"accelring/internal/wire"
@@ -62,7 +69,16 @@ func run(args []string) error {
 	accel := fs.Int("accelerated", 15, "accelerated window (post-token messages per round)")
 	obsAddr := fs.String("obs", "", "serve /debug/vars, /debug/ring, /metrics, /debug/health and /debug/pprof on this address (e.g. :6060)")
 	traceSample := fs.Int("trace-sample", 0, "sample every Nth sequence number for message-lifecycle tracing at /debug/msgtrace (0 disables)")
-	shards := fs.Int("shards", 1, "independent rings per daemon; ring r uses every base port + 2*r (numeric ports required)")
+	shards := fs.Int("shards", 1, "independent rings per daemon; ring r uses every base port + stride*r (numeric ports required)")
+	stride := fs.Int("shard-stride", 2, "port gap between consecutive rings of a sharded daemon (all daemons must agree)")
+	mcast := fs.String("mcast", "", "IPv4 multicast group for the data path, e.g. 239.1.1.7:5100 (empty keeps unicast fan-out; all daemons must agree)")
+	mcastTTL := fs.Int("mcast-ttl", 1, "IP_MULTICAST_TTL for outgoing multicast data (1 = link-local)")
+	mcastIf := fs.String("mcast-if", "", "network interface for multicast send/join (empty lets the kernel choose)")
+	batchSend := fs.Int("batch-send", 0, "stage up to N data frames and send them in one sendmmsg call (0 disables)")
+	batchRecv := fs.Int("batch-recv", 0, "drain up to N datagrams per recvmmsg call (0 disables)")
+	packOn := fs.Bool("pack", false, "bundle small messages into shared frames under load (all daemons must agree)")
+	packLimit := fs.Int("pack-limit", 0, "packed-frame size budget in bytes (0 = pack.DefaultLimit)")
+	packDelay := fs.Duration("pack-delay", 0, "longest a message may wait in a partial bundle (0 = pack.DefaultMaxDelay)")
 	ringKey := fs.String("ring-key", "", "shared secret authenticating ring wire frames and client sessions with HMAC-SHA256 (all daemons and clients must agree; empty disables)")
 	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "graceful-drain budget on SIGINT/SIGTERM before hard stop")
 	if err := fs.Parse(args); err != nil {
@@ -73,6 +89,15 @@ func run(args []string) error {
 	}
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be at least 1")
+	}
+	if *stride < 1 {
+		return fmt.Errorf("-shard-stride must be at least 1")
+	}
+	if *mcastTTL < 0 || *mcastTTL > 255 {
+		return fmt.Errorf("-mcast-ttl must be in [0,255]")
+	}
+	if *batchSend < 0 || *batchSend > transport.MaxBatch || *batchRecv < 0 || *batchRecv > transport.MaxBatch {
+		return fmt.Errorf("-batch-send/-batch-recv must be in [0,%d]", transport.MaxBatch)
 	}
 	if *traceSample < 0 {
 		return fmt.Errorf("-trace-sample must be non-negative")
@@ -104,21 +129,35 @@ func run(args []string) error {
 	}
 	self := evs.ProcID(*id)
 	newTransport := func(ring int) (transport.Transport, error) {
-		listenAddrs, err := shiftPeer(transport.UDPPeer{Data: *dataAddr, Token: *tokenAddr}, 2*ring)
+		listenAddrs, err := shiftPeer(transport.UDPPeer{Data: *dataAddr, Token: *tokenAddr}, *stride*ring)
 		if err != nil {
 			return nil, err
 		}
 		ringPeers := make(map[evs.ProcID]transport.UDPPeer, len(peers))
 		for pid, p := range peers {
-			if ringPeers[pid], err = shiftPeer(p, 2*ring); err != nil {
+			if ringPeers[pid], err = shiftPeer(p, *stride*ring); err != nil {
 				return nil, err
 			}
 		}
+		var mc *transport.UDPMulticast
+		if *mcast != "" {
+			group := *mcast
+			if *shards > 1 {
+				// Each ring joins its own group address, same stride rule as
+				// the unicast ports, so shards never see each other's data.
+				if group, err = shiftPort(group, *stride*ring); err != nil {
+					return nil, err
+				}
+			}
+			mc = &transport.UDPMulticast{Group: group, TTL: *mcastTTL, Interface: *mcastIf}
+		}
 		udp, err := transport.NewUDP(transport.UDPConfig{
-			Self:   self,
-			Listen: listenAddrs,
-			Peers:  ringPeers,
-			Obs:    reg,
+			Self:      self,
+			Listen:    listenAddrs,
+			Peers:     ringPeers,
+			Batch:     transport.BatchConfig{Send: *batchSend, Recv: *batchRecv},
+			Multicast: mc,
+			Obs:       reg,
 		})
 		if err != nil {
 			return nil, err
@@ -169,6 +208,14 @@ func run(args []string) error {
 		}
 	}
 
+	if *packOn {
+		pc := pack.AdaptiveConfig{Limit: *packLimit, MaxDelay: *packDelay}
+		if err := pc.Validate(); err != nil {
+			return err
+		}
+		dcfg.Ring.Packing = &pc
+	}
+
 	ln, err := listen(*clientAddr)
 	if err != nil {
 		return err
@@ -216,8 +263,12 @@ func run(args []string) error {
 	if *original {
 		proto = "original"
 	}
-	log.Printf("daemon %d up: protocol=%s shards=%d data=%s token=%s clients=%s peers=%d",
-		*id, proto, d.Shards(), *dataAddr, *tokenAddr, ln.Addr(), len(peers))
+	wireMode := "unicast"
+	if *mcast != "" {
+		wireMode = "multicast " + *mcast
+	}
+	log.Printf("daemon %d up: protocol=%s shards=%d data=%s token=%s wire=%s batch=%d/%d pack=%v clients=%s peers=%d",
+		*id, proto, d.Shards(), *dataAddr, *tokenAddr, wireMode, *batchSend, *batchRecv, *packOn, ln.Addr(), len(peers))
 
 	go func() {
 		for {

@@ -25,6 +25,7 @@ import (
 	"accelring/internal/client"
 	"accelring/internal/daemon"
 	"accelring/internal/evs"
+	"accelring/internal/pack"
 	"accelring/internal/ringnode"
 	"accelring/internal/transport"
 )
@@ -47,6 +48,8 @@ func run(args []string) error {
 	safe := fs.Bool("safe", false, "use Safe delivery instead of Agreed")
 	daemonsFlag := fs.String("daemons", "", "comma-separated client addresses of external daemons (skips self-contained setup)")
 	churn := fs.Int("churn", 0, "churning sessions per daemon: each repeatedly connects, joins, sends, and disconnects for the whole run (session-lifecycle stress)")
+	batch := fs.Int("batch", 0, "self-contained mode: sendmmsg/recvmmsg batch size for the daemons' UDP transports (0 disables)")
+	packOn := fs.Bool("pack", false, "self-contained mode: bundle small messages into shared frames under load")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,7 +66,7 @@ func run(args []string) error {
 	} else {
 		var stop func()
 		var err error
-		addrs, stop, err = selfContained(*nodes, *original)
+		addrs, stop, err = selfContained(*nodes, *original, *batch, *packOn)
 		if err != nil {
 			return err
 		}
@@ -79,12 +82,13 @@ func run(args []string) error {
 
 // selfContained spins up n daemons over UDP loopback and returns their
 // client addresses plus a stop function.
-func selfContained(n int, original bool) ([]string, func(), error) {
+func selfContained(n int, original bool, batch int, packOn bool) ([]string, func(), error) {
 	transports := make([]*transport.UDP, n)
 	for i := range transports {
 		u, err := transport.NewUDP(transport.UDPConfig{
 			Self:   evs.ProcID(i + 1),
 			Listen: transport.UDPPeer{Data: "127.0.0.1:0", Token: "127.0.0.1:0"},
+			Batch:  transport.BatchConfig{Send: batch, Recv: batch},
 		})
 		if err != nil {
 			return nil, nil, err
@@ -112,6 +116,9 @@ func selfContained(n int, original bool) ([]string, func(), error) {
 			ringCfg = ringnode.Original(evs.ProcID(i+1), transports[i], 20, 160)
 		} else {
 			ringCfg = ringnode.Accelerated(evs.ProcID(i+1), transports[i], 20, 160, 15)
+		}
+		if packOn {
+			ringCfg.Packing = &pack.AdaptiveConfig{}
 		}
 		d, err := daemon.Start(daemon.Config{Ring: ringCfg, Listener: ln})
 		if err != nil {

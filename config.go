@@ -81,23 +81,34 @@ type Config struct {
 	// partitioned across rings by a stable hash of the group name:
 	// per-group total order is unchanged and aggregate throughput
 	// multiplies, but cross-group delivery order is only guaranteed for
-	// groups owned by the same ring (see RingOf).
+	// groups owned by the same ring (see RingOf). A sharded UDP node
+	// derives ring r's ports by offsetting every base port by
+	// Wire.ShardStride*r.
 	Shards int
 
-	// Transport, when non-nil, carries frames (e.g. a Hub endpoint for
-	// tests). The node takes ownership and closes it on Close. Only
-	// valid with Shards <= 1; sharded nodes need one transport per ring.
+	// Wire is the unified transport configuration: mode (hub, unicast,
+	// multicast), addressing, per-shard port stride, syscall batching,
+	// and adaptive message packing. See WireConfig and WithWire.
+	Wire WireConfig
+
+	// Transport carries frames when non-nil (e.g. a Hub endpoint for
+	// tests). The node takes ownership and closes it on Close.
+	//
+	// Deprecated: set Wire.Transport (or use WithWire). Kept as a shim;
+	// combining it with Wire or the other legacy fields fails Validate
+	// with ErrWireConflict.
 	Transport Transport
 	// Transports carries frames per ring in a sharded node: Transports[r]
-	// is ring r's binding (e.g. an endpoint on ring r's own Hub). When
-	// set, its length must equal Shards. The node takes ownership.
+	// is ring r's binding. When set, its length must equal Shards.
+	//
+	// Deprecated: set Wire.Transports (or use WithWire).
 	Transports []Transport
-	// Listen and Peers configure a UDP transport when Transport is nil:
-	// Listen holds this node's data/token listen addresses, Peers the
-	// other participants'. Addresses must resolve as UDP host:ports.
-	// With Shards > 1 the ports must be numeric and nonzero: ring r
-	// listens (and expects each peer) on every base port + 2*r, so
-	// leave a gap of 2*Shards ports free above each base port.
+	// Listen and Peers configure a unicast UDP transport: Listen holds
+	// this node's data/token listen addresses, Peers the other
+	// participants'.
+	//
+	// Deprecated: set Wire.Listen/Wire.Peers (or use WithWire), which
+	// also unlock the multicast mode and the batching/packing knobs.
 	Listen UDPAddrs
 	Peers  map[ProcID]UDPAddrs
 
@@ -230,55 +241,14 @@ func (c *Config) Validate() error {
 		return ErrBadBufferSize
 	}
 
-	// Transport.
-	if len(c.Transports) > 0 && len(c.Transports) != c.Shards {
-		return fmt.Errorf("%w: %d Transports for %d shards", ErrBadShards, len(c.Transports), c.Shards)
-	}
-	for r, tr := range c.Transports {
-		if tr == nil {
-			return fmt.Errorf("%w: Transports[%d] is nil", ErrBadShards, r)
-		}
-	}
-	if c.Shards > 1 && c.Transport != nil {
-		return fmt.Errorf("%w: a sharded node needs one transport per ring: use Transports, not Transport", ErrBadShards)
-	}
-	if c.Transport == nil && len(c.Transports) == 0 {
-		if c.Listen.Data == "" || c.Listen.Token == "" {
-			return ErrNoTransport
-		}
-		if err := checkUDPAddrs("listen", c.Listen); err != nil {
-			return err
-		}
-		for id, p := range c.Peers {
-			if id == 0 {
-				return fmt.Errorf("%w: peer with zero ID", ErrBadAddress)
-			}
-			if err := checkUDPAddrs(fmt.Sprintf("peer %d", id), p); err != nil {
-				return err
-			}
-		}
-		if c.Shards > 1 {
-			// Per-ring ports are derived by offsetting the base ports, so
-			// they must be numeric and nonzero (an ephemeral ":0" cannot
-			// be shifted deterministically on every node).
-			addrs := []UDPAddrs{c.Listen}
-			for _, p := range c.Peers {
-				addrs = append(addrs, p)
-			}
-			for _, p := range addrs {
-				for _, a := range []string{p.Data, p.Token} {
-					if _, err := shiftPort(a, 0); err != nil {
-						return fmt.Errorf("%w: sharded UDP needs numeric nonzero ports: %q: %v", ErrBadShards, a, err)
-					}
-				}
-			}
-		}
-	}
-	return nil
+	// Transport: fold the legacy fields into Wire and validate the
+	// result — the single resolve path for every mode and knob.
+	return c.resolveWire()
 }
 
 // shiftPort returns addr with its numeric, nonzero port offset by `by` —
-// how a sharded node derives ring r's addresses from the base ones.
+// how a sharded node derives ring r's addresses from the base ones
+// (by = ShardStride * r; see WireConfig.ShardStride).
 func shiftPort(addr string, by int) (string, error) {
 	host, port, err := net.SplitHostPort(addr)
 	if err != nil {
@@ -294,7 +264,7 @@ func shiftPort(addr string, by int) (string, error) {
 	return net.JoinHostPort(host, strconv.Itoa(p+by)), nil
 }
 
-// shiftUDPAddrs offsets both ports of an address pair (ring r uses 2*r).
+// shiftUDPAddrs offsets both ports of an address pair.
 func shiftUDPAddrs(p UDPAddrs, by int) (UDPAddrs, error) {
 	var out UDPAddrs
 	var err error
@@ -332,40 +302,60 @@ func (c *Config) ringConfig() ringnode.Config {
 		rc.Priority = core.PriorityAggressive
 		rc.DelayedRequests = true
 	}
+	rc.Packing = c.Wire.Packing
 	return rc
 }
 
-// openTransport returns ring's transport: the explicit per-ring (or
-// single) transport when configured, otherwise a UDP one created from
-// Listen/Peers — on the base ports for ring 0, and on ports offset by
-// 2*ring for the other rings of a sharded node. Validate must have
-// passed.
+// openTransport returns ring's transport per the resolved Wire config:
+// the explicit per-ring (or single) transport in hub mode, otherwise a
+// UDP one — on the base ports for ring 0, and on ports offset by
+// ShardStride*ring for the other rings of a sharded node, with the
+// configured batching and (in multicast mode) the group joined.
+// Validate must have passed.
 func (c *Config) openTransport(ring int) (Transport, error) {
-	if len(c.Transports) > 0 {
-		return c.keyed(c.Transports[ring], ring), nil
+	w := &c.Wire
+	if w.Mode == WireHub {
+		if len(w.Transports) > 0 {
+			return c.keyed(w.Transports[ring], ring), nil
+		}
+		return c.keyed(w.Transport, ring), nil
 	}
-	if c.Transport != nil {
-		return c.keyed(c.Transport, ring), nil
-	}
-	listen, peers := c.Listen, c.Peers
+	listen, peers := w.Listen, w.Peers
 	if c.Shards > 1 {
 		var err error
-		if listen, err = shiftUDPAddrs(c.Listen, 2*ring); err != nil {
+		if listen, err = shiftUDPAddrs(w.Listen, w.ShardStride*ring); err != nil {
 			return nil, err
 		}
-		peers = make(map[ProcID]UDPAddrs, len(c.Peers))
-		for id, p := range c.Peers {
-			if peers[id], err = shiftUDPAddrs(p, 2*ring); err != nil {
+		peers = make(map[ProcID]UDPAddrs, len(w.Peers))
+		for id, p := range w.Peers {
+			if peers[id], err = shiftUDPAddrs(p, w.ShardStride*ring); err != nil {
 				return nil, err
 			}
 		}
 	}
-	tr, err := transport.NewUDP(transport.UDPConfig{
+	ucfg := transport.UDPConfig{
 		Self:   c.Self,
 		Listen: listen,
 		Peers:  peers,
+		Batch:  w.Batch,
 		Obs:    c.Observer,
-	})
+	}
+	if w.Mode == WireMulticast {
+		group := w.MulticastGroup
+		if c.Shards > 1 {
+			var err error
+			if group, err = shiftPort(group, w.ShardStride*ring); err != nil {
+				return nil, err
+			}
+		}
+		ucfg.Multicast = &transport.UDPMulticast{
+			Group:           group,
+			TTL:             w.MulticastTTL,
+			Interface:       w.MulticastInterface,
+			DisableLoopback: w.MulticastNoLoopback,
+		}
+	}
+	tr, err := transport.NewUDP(ucfg)
 	if err != nil {
 		return nil, err
 	}

@@ -84,6 +84,239 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
+// TestWireConfigValidate covers the unified wire-path resolve: every
+// mode, every legacy/new combination, and every knob bound.
+func TestWireConfigValidate(t *testing.T) {
+	hubEp := func() Transport {
+		ep, _ := NewHub().Endpoint(1, 16, 16)
+		return ep
+	}
+	udpWire := func() WireConfig {
+		return WireConfig{
+			Listen: UDPAddrs{Data: "127.0.0.1:7400", Token: "127.0.0.1:7401"},
+			Peers: map[ProcID]UDPAddrs{
+				2: {Data: "127.0.0.1:7410", Token: "127.0.0.1:7411"},
+			},
+		}
+	}
+	tests := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr error
+		check   func(*testing.T, *Config)
+	}{
+		// Mode inference.
+		{"wire unicast auto", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			c.Wire = udpWire()
+		}, nil, func(t *testing.T, c *Config) {
+			if c.Wire.Mode != WireUnicast {
+				t.Fatalf("Mode = %v, want unicast", c.Wire.Mode)
+			}
+		}},
+		{"wire hub auto", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			c.Wire = WireConfig{Transport: hubEp()}
+		}, nil, func(t *testing.T, c *Config) {
+			if c.Wire.Mode != WireHub {
+				t.Fatalf("Mode = %v, want hub", c.Wire.Mode)
+			}
+		}},
+		{"wire multicast auto", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			w := udpWire()
+			w.MulticastGroup = "239.192.7.1:7600"
+			c.Wire = w
+		}, nil, func(t *testing.T, c *Config) {
+			if c.Wire.Mode != WireMulticast {
+				t.Fatalf("Mode = %v, want multicast", c.Wire.Mode)
+			}
+		}},
+		{"legacy UDP resolves to unicast", func(c *Config) {}, nil,
+			func(t *testing.T, c *Config) {
+				if c.Wire.Mode != WireUnicast {
+					t.Fatalf("Mode = %v, want unicast", c.Wire.Mode)
+				}
+				if c.Wire.Listen != c.Listen {
+					t.Fatalf("legacy Listen not folded into Wire")
+				}
+			}},
+		{"stride default applied", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			c.Wire = udpWire()
+		}, nil, func(t *testing.T, c *Config) {
+			if c.Wire.ShardStride != DefaultShardStride {
+				t.Fatalf("ShardStride = %d, want %d", c.Wire.ShardStride, DefaultShardStride)
+			}
+		}},
+		{"batching and packing knobs accepted", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			w := udpWire()
+			w.Batch = BatchConfig{Send: 64, Recv: 32}
+			w.Packing = &PackingConfig{Limit: 1024, MaxDelay: time.Millisecond}
+			c.Wire = w
+		}, nil, nil},
+
+		// Conflicts: legacy × legacy and legacy × WithWire.
+		{"transport plus udp", func(c *Config) {
+			c.Transport = hubEp()
+		}, ErrWireConflict, nil},
+		{"transport plus shard transports", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			c.Transport = hubEp()
+			c.Transports = []Transport{hubEp()}
+		}, ErrWireConflict, nil},
+		{"shard transports plus udp", func(c *Config) {
+			c.Transports = []Transport{hubEp()}
+		}, ErrWireConflict, nil},
+		{"legacy udp plus wire", func(c *Config) {
+			c.Wire = udpWire()
+		}, ErrWireConflict, nil},
+		{"legacy transport plus wire", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			c.Transport = hubEp()
+			c.Wire = WireConfig{Batch: BatchConfig{Send: 8}}
+		}, ErrWireConflict, nil},
+		{"hub transport plus listen inside wire", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			w := udpWire()
+			w.Transport = hubEp()
+			c.Wire = w
+		}, ErrWireConflict, nil},
+		{"both transport and transports", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			c.Wire = WireConfig{Transport: hubEp(), Transports: []Transport{hubEp()}}
+		}, ErrWireConflict, nil},
+		{"multicast group in unicast mode", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			w := udpWire()
+			w.Mode = WireUnicast
+			w.MulticastGroup = "239.192.7.1:7600"
+			c.Wire = w
+		}, ErrWireConflict, nil},
+
+		// Mode/knob errors.
+		{"unknown wire mode", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			w := udpWire()
+			w.Mode = WireMode(99)
+			c.Wire = w
+		}, ErrBadWire, nil},
+		{"hub mode without transport", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			c.Wire = WireConfig{Mode: WireHub}
+		}, ErrBadWire, nil},
+		{"multicast mode without group", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			w := udpWire()
+			w.Mode = WireMulticast
+			c.Wire = w
+		}, ErrBadWire, nil},
+		{"non-multicast group address", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			w := udpWire()
+			w.MulticastGroup = "127.0.0.1:7600"
+			c.Wire = w
+		}, ErrBadWire, nil},
+		{"multicast ttl out of range", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			w := udpWire()
+			w.MulticastGroup = "239.192.7.1:7600"
+			w.MulticastTTL = 300
+			c.Wire = w
+		}, ErrBadWire, nil},
+		{"batching on hub transport", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			c.Wire = WireConfig{Transport: hubEp(), Batch: BatchConfig{Send: 8}}
+		}, ErrBadWire, nil},
+		{"negative batch", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			w := udpWire()
+			w.Batch.Send = -1
+			c.Wire = w
+		}, ErrBadWire, nil},
+		{"oversized batch", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			w := udpWire()
+			w.Batch.Recv = 100000
+			c.Wire = w
+		}, ErrBadWire, nil},
+		{"bad packing limit", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			w := udpWire()
+			w.Packing = &PackingConfig{Limit: 3}
+			c.Wire = w
+		}, ErrBadWire, nil},
+		{"packing limit beyond frame cap", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			w := udpWire()
+			w.Packing = &PackingConfig{Limit: 1 << 20}
+			c.Wire = w
+		}, ErrBadWire, nil},
+		{"negative stride", func(c *Config) {
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			w := udpWire()
+			w.ShardStride = -2
+			c.Wire = w
+		}, ErrBadWire, nil},
+
+		// Sharded port derivation.
+		{"stride collision", func(c *Config) {
+			c.Shards = 2
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			w := udpWire()
+			// Token base is data base + stride: ring 1's data port lands
+			// exactly on ring 0's token port.
+			w.Listen = UDPAddrs{Data: "127.0.0.1:7400", Token: "127.0.0.1:7402"}
+			w.Peers = map[ProcID]UDPAddrs{2: {Data: "127.0.0.1:7500", Token: "127.0.0.1:7501"}}
+			c.Wire = w
+		}, ErrShardPorts, nil},
+		{"stride overflow", func(c *Config) {
+			c.Shards = 2
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			w := udpWire()
+			w.Listen = UDPAddrs{Data: "127.0.0.1:65535", Token: "127.0.0.1:7401"}
+			w.Peers = map[ProcID]UDPAddrs{2: {Data: "127.0.0.1:7410", Token: "127.0.0.1:7411"}}
+			c.Wire = w
+		}, ErrShardPorts, nil},
+		{"wide stride ok", func(c *Config) {
+			c.Shards = 4
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			w := udpWire()
+			w.ShardStride = 10
+			w.Listen = UDPAddrs{Data: "127.0.0.1:7400", Token: "127.0.0.1:7401"}
+			w.Peers = map[ProcID]UDPAddrs{2: {Data: "127.0.0.1:7500", Token: "127.0.0.1:7501"}}
+			c.Wire = w
+		}, nil, nil},
+		{"sharded multicast group overflow", func(c *Config) {
+			c.Shards = 3
+			c.Listen, c.Peers = UDPAddrs{}, nil
+			w := udpWire()
+			w.MulticastGroup = "239.192.7.1:65534"
+			c.Wire = w
+		}, ErrShardPorts, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := validUDPConfig()
+			tt.mutate(&cfg)
+			err := cfg.Validate()
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				if tt.check != nil {
+					tt.check(t, &cfg)
+				}
+				return
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("Validate() = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
 func TestConfigValidateAppliesDefaults(t *testing.T) {
 	cfg := validUDPConfig()
 	if err := cfg.Validate(); err != nil {

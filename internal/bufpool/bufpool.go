@@ -43,6 +43,14 @@ const MaxCap = 66 * 1024
 
 var pools [len(classSizes)]sync.Pool
 
+// item carries a pooled buffer through sync.Pool. Pooling a bare []byte
+// would box its header on every Put (an allocation on the hot path the
+// zero-alloc gates measure); instead the headers themselves are pooled
+// and cycle between itemPool and the class pools without allocating.
+type item struct{ b []byte }
+
+var itemPool = sync.Pool{New: func() any { return new(item) }}
+
 // Stats is a point-in-time snapshot of pool activity. Gets = Hits + Misses
 // + Oversize. A healthy steady state shows Hits tracking Gets and Puts
 // tracking Gets for the frame classes that are recycled (token frames);
@@ -97,8 +105,11 @@ func Get(n int) []byte {
 	}
 	if v := pools[ci].Get(); v != nil {
 		hits.Add(1)
-		b := v.(*[]byte)
-		return (*b)[:n]
+		it := v.(*item)
+		b := it.b
+		it.b = nil
+		itemPool.Put(it)
+		return b[:n]
 	}
 	misses.Add(1)
 	return make([]byte, n, classSizes[ci])
@@ -117,8 +128,9 @@ func Put(b []byte) {
 		return
 	}
 	puts.Add(1)
-	b = b[:0]
-	pools[ci].Put(&b)
+	it := itemPool.Get().(*item)
+	it.b = b[:0]
+	pools[ci].Put(it)
 }
 
 // Snapshot returns the current pool counters.

@@ -266,6 +266,13 @@ func (m *Machine) Submit(payload []byte, service evs.Service) error {
 	return m.eng.Submit(payload, service)
 }
 
+// CanSubmit reports whether Submit would be accepted right now (a ring
+// has formed at least once). Drivers that stage submissions — the
+// adaptive packing layer — use it to fail fast at stage time instead of
+// discovering ErrNotOperational at flush time, after the submitter was
+// already acknowledged.
+func (m *Machine) CanSubmit() bool { return m.eng != nil }
+
 // obsReg returns the observer's registry, or nil. Registry handles are
 // nil-safe, so metric updates can be written unconditionally against it.
 func (m *Machine) obsReg() *obs.Registry {

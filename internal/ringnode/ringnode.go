@@ -20,6 +20,7 @@ import (
 	"accelring/internal/flowcontrol"
 	"accelring/internal/membership"
 	"accelring/internal/obs"
+	"accelring/internal/pack"
 	"accelring/internal/transport"
 )
 
@@ -50,6 +51,15 @@ type Config struct {
 	// Clock is nil, the node installs time.Now so hold times and delivery
 	// latencies are measured. Nil disables observation.
 	Observer *obs.RingObserver
+	// Packing, when non-nil, enables adaptive small-message packing:
+	// submissions are bundled up to the configured byte limit and the
+	// bundle is held open only while a send backlog already hides the
+	// wait (and never past MaxDelay, checked at the next protocol event).
+	// At low rate every message flushes immediately. All ring members
+	// must agree on whether packing is enabled — with it on, every data
+	// payload travels in the bundle wire format and receivers unpack on
+	// delivery.
+	Packing *pack.AdaptiveConfig
 }
 
 // Accelerated returns a Config for the Accelerated Ring protocol.
@@ -130,6 +140,7 @@ type Status struct {
 type Node struct {
 	cfg      Config
 	machine  *membership.Machine
+	bundle   *pack.Adaptive // nil when packing is off
 	submitCh chan submitReq
 	stopCh   chan struct{}
 	done     chan struct{}
@@ -147,6 +158,12 @@ func Start(cfg Config) (*Node, error) {
 		submitCh: make(chan submitReq),
 		stopCh:   make(chan struct{}),
 		done:     make(chan struct{}),
+	}
+	if cfg.Packing != nil {
+		if err := cfg.Packing.Validate(); err != nil {
+			return nil, err
+		}
+		n.bundle = pack.NewAdaptive(*cfg.Packing)
 	}
 	if cfg.Observer != nil && cfg.Observer.Clock == nil {
 		cfg.Observer.Clock = time.Now
@@ -182,9 +199,29 @@ func (o machineOut) Unicast(to evs.ProcID, frame []byte) {
 }
 
 func (o machineOut) Deliver(ev evs.Event) {
-	if o.n.cfg.OnEvent != nil {
-		o.n.cfg.OnEvent(ev)
+	n := o.n
+	if n.cfg.OnEvent == nil {
+		return
 	}
+	if n.bundle != nil {
+		if m, ok := ev.(evs.Message); ok && pack.IsBundle(m.Payload) {
+			// Fan the bundle out as one event per packed message, in
+			// packing order. Sub-payloads alias the delivered buffer,
+			// which is handed off and never recycled, so aliasing is
+			// safe for as long as the application keeps any of them.
+			if err := pack.Each(m.Payload, func(msg []byte) {
+				sub := m
+				sub.Payload = msg
+				n.cfg.OnEvent(sub)
+			}); err == nil {
+				return
+			}
+			// A corrupt bundle means a peer without packing shares the
+			// ring (a misconfiguration); deliver the raw payload rather
+			// than lose it.
+		}
+	}
+	n.cfg.OnEvent(ev)
 }
 
 func (n *Node) publishStatus() {
@@ -270,6 +307,66 @@ func (n *Node) tickInterval() time.Duration {
 	return d
 }
 
+// handleSubmit routes one submission — through the bundler when packing
+// is enabled, straight to the machine otherwise.
+func (n *Node) handleSubmit(req submitReq) error {
+	if n.bundle == nil {
+		return n.machine.Submit(req.payload, req.service)
+	}
+	if !n.machine.CanSubmit() {
+		return membership.ErrNotOperational
+	}
+	if !req.service.Valid() {
+		return fmt.Errorf("ringnode: invalid service %d", req.service)
+	}
+	if n.bundle.Oversize(len(req.payload)) {
+		// Too big to ever share a frame: solo-framed, so every payload on
+		// a packed ring speaks the bundle format. The fresh allocation is
+		// required — the engine retains submitted payloads zero-copy.
+		solo := pack.AppendSolo(make([]byte, 0, len(req.payload)+pack.SoloOverhead), req.payload)
+		return n.machine.Submit(solo, req.service)
+	}
+	now := time.Now()
+	if !n.bundle.Add(req.payload, uint8(req.service), now) {
+		// Bundle full or service-class change: close it out first. An
+		// empty bundle accepts any non-oversize payload, so the retry
+		// cannot fail.
+		n.flushPack()
+		n.bundle.Add(req.payload, uint8(req.service), now)
+	}
+	return nil
+}
+
+// flushPack submits the open bundle to the machine. CanSubmit was
+// checked when the bundle opened and can never revert, and the bundle is
+// bounded well under the engine's payload cap, so the submit cannot
+// fail.
+func (n *Node) flushPack() {
+	if n.bundle == nil || n.bundle.Empty() {
+		return
+	}
+	svc := evs.Service(n.bundle.Service())
+	if b := n.bundle.Flush(); b != nil {
+		_ = n.machine.Submit(b, svc)
+	}
+}
+
+// maybeFlushPack flushes the open bundle unless holding it is free: with
+// a backlog already waiting for the token, later submissions can join
+// the bundle without adding latency. An idle queue means the bundle
+// would be the next thing sent, so it goes immediately — packing engages
+// under load and stays out of the way at low rate. MaxDelay bounds the
+// hold regardless of backlog.
+func (n *Node) maybeFlushPack(now time.Time) {
+	if n.bundle == nil || n.bundle.Empty() {
+		return
+	}
+	eng := n.machine.Engine()
+	if eng == nil || eng.QueueLen() == 0 || n.bundle.Expired(now) {
+		n.flushPack()
+	}
+}
+
 func (n *Node) machineTimeouts() membership.Timeouts {
 	var zero membership.Timeouts
 	if n.cfg.Timeouts == zero {
@@ -291,6 +388,16 @@ func (n *Node) run() {
 	dataCh := n.cfg.Transport.Data()
 	tokenCh := n.cfg.Transport.Token()
 
+	// A batching transport stages sends; flush at the end of every
+	// machine step that can transmit (frame handling, ticks) so the
+	// staged burst hits the wire in one syscall before the loop waits.
+	flusher, _ := n.cfg.Transport.(transport.Flusher)
+	wireFlush := func() {
+		if flusher != nil {
+			_ = flusher.Flush()
+		}
+	}
+
 	// Received frames are rented from bufpool by the transport and owned
 	// by this goroutine. Token-class frames are never retained by the
 	// machine, so they recycle immediately; data frames recycle only when
@@ -303,6 +410,7 @@ func (n *Node) run() {
 		if !n.machine.HandleDataFrame(f, time.Now()) {
 			bufpool.Put(f)
 		}
+		wireFlush()
 		return true
 	}
 	handleToken := func(f []byte, ok bool) bool {
@@ -310,12 +418,24 @@ func (n *Node) run() {
 			tokenCh = nil
 			return false
 		}
+		// The token triggers this round's sends: anything staged in the
+		// bundler must reach the engine's send queue first or it misses
+		// the round.
+		n.flushPack()
 		n.machine.HandleTokenFrame(f, time.Now())
 		bufpool.Put(f)
+		wireFlush()
 		return true
 	}
 
 	for {
+		// A bundle that outlived its latency bound goes out on the next
+		// pass regardless of backlog; this runs on every iteration, so
+		// the bound is enforced at frame/tick granularity.
+		if n.bundle != nil && !n.bundle.Empty() && n.bundle.Expired(time.Now()) {
+			n.flushPack()
+		}
+
 		// Service control events without blocking: a busy ring (e.g. a
 		// singleton whose token loops back instantly) may never reach the
 		// blocking select below, and must still honor Stop, submissions,
@@ -324,9 +444,11 @@ func (n *Node) run() {
 		case <-n.stopCh:
 			return
 		case req := <-n.submitCh:
-			req.reply <- n.machine.Submit(req.payload, req.service)
+			req.reply <- n.handleSubmit(req)
+			n.maybeFlushPack(time.Now())
 		case <-ticker.C:
 			n.machine.Tick(time.Now())
+			wireFlush()
 		default:
 		}
 
@@ -370,9 +492,11 @@ func (n *Node) run() {
 		case f, ok := <-tokenCh:
 			handleToken(f, ok)
 		case req := <-n.submitCh:
-			req.reply <- n.machine.Submit(req.payload, req.service)
+			req.reply <- n.handleSubmit(req)
+			n.maybeFlushPack(time.Now())
 		case <-ticker.C:
 			n.machine.Tick(time.Now())
+			wireFlush()
 		case <-n.stopCh:
 			return
 		}

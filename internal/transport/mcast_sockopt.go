@@ -1,0 +1,67 @@
+//go:build linux || darwin
+
+package transport
+
+import (
+	"net"
+	"syscall"
+)
+
+// setMulticastSendOpts configures the multicast send socket: TTL (scope),
+// loopback (same-host deployments and tests need copies delivered to other
+// local sockets), and the outgoing interface. Errors are returned so the
+// caller can fail setup loudly — a wrong TTL or interface silently
+// blackholes the data path.
+func setMulticastSendOpts(conn *net.UDPConn, ttl int, loopback bool, ifi *net.Interface) error {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return err
+	}
+	var serr error
+	cerr := rc.Control(func(fd uintptr) {
+		if serr = syscall.SetsockoptByte(int(fd), syscall.IPPROTO_IP, syscall.IP_MULTICAST_TTL, byte(ttl)); serr != nil {
+			return
+		}
+		loop := byte(0)
+		if loopback {
+			loop = 1
+		}
+		if serr = syscall.SetsockoptByte(int(fd), syscall.IPPROTO_IP, syscall.IP_MULTICAST_LOOP, loop); serr != nil {
+			return
+		}
+		if ifi != nil {
+			ip := interfaceIPv4(ifi)
+			if ip == nil {
+				return
+			}
+			var addr [4]byte
+			copy(addr[:], ip)
+			serr = syscall.SetsockoptInet4Addr(int(fd), syscall.IPPROTO_IP, syscall.IP_MULTICAST_IF, addr)
+		}
+	})
+	if cerr != nil {
+		return cerr
+	}
+	return serr
+}
+
+// interfaceIPv4 returns the interface's first IPv4 address, or nil.
+func interfaceIPv4(ifi *net.Interface) net.IP {
+	addrs, err := ifi.Addrs()
+	if err != nil {
+		return nil
+	}
+	for _, a := range addrs {
+		var ip net.IP
+		switch v := a.(type) {
+		case *net.IPNet:
+			ip = v.IP
+		case *net.IPAddr:
+			ip = v.IP
+		}
+		if ip4 := ip.To4(); ip4 != nil {
+			return ip4
+		}
+	}
+	return nil
+}

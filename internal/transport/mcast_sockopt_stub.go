@@ -1,0 +1,11 @@
+//go:build !(linux || darwin)
+
+package transport
+
+import "net"
+
+// setMulticastSendOpts is a best-effort no-op on platforms without the
+// raw sockopt wiring: the kernel defaults (TTL 1, loopback on) apply.
+func setMulticastSendOpts(conn *net.UDPConn, ttl int, loopback bool, ifi *net.Interface) error {
+	return nil
+}

@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"accelring/internal/evs"
+)
+
+// newMcastPair opens two transports joined to the same multicast group
+// on loopback, or skips the test when the environment cannot do
+// multicast (no group join, no loopback routing).
+func newMcastPair(t *testing.T, group string, batch int) (*UDP, *UDP) {
+	t.Helper()
+	mk := func(self evs.ProcID) *UDP {
+		u, err := NewUDP(UDPConfig{
+			Self:      self,
+			Listen:    UDPPeer{Data: "127.0.0.1:0", Token: "127.0.0.1:0"},
+			Batch:     BatchConfig{Send: batch, Recv: batch},
+			Multicast: &UDPMulticast{Group: group, TTL: 0}, // TTL 0: never leaves the host
+		})
+		if err != nil {
+			t.Skipf("multicast unavailable in this environment: %v", err)
+		}
+		t.Cleanup(func() { u.Close() })
+		return u
+	}
+	a, b := mk(1), mk(2)
+	if err := a.AddPeer(2, b.LocalAddrs()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer(1, a.LocalAddrs()); err != nil {
+		t.Fatal(err)
+	}
+	// Probe: multicast joins can succeed while the kernel still refuses
+	// to route group traffic back over loopback (some containers). Skip
+	// rather than fail in that case.
+	probeDeadline := time.After(2 * time.Second)
+	for {
+		if err := a.Multicast([]byte{0xFE, 'p', 'r', 'o', 'b', 'e'}); err != nil {
+			t.Fatal(err)
+		}
+		Flush(a)
+		select {
+		case <-b.Data():
+			return a, b
+		case <-probeDeadline:
+			t.Skip("multicast loopback does not deliver in this environment")
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func TestUDPMulticastRoundTrip(t *testing.T) {
+	a, b := newMcastPair(t, "239.77.13.7:39177", 0)
+	payload := bytes.Repeat([]byte{0xAB}, 1350)
+	if err := a.Multicast(payload); err != nil {
+		t.Fatal(err)
+	}
+	got := recvFrame(t, b.Data())
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("multicast frame corrupted: %d bytes", len(got))
+	}
+	// Tokens still travel unicast in multicast mode.
+	if err := b.Unicast(1, []byte("token")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvFrame(t, a.Token()); string(got) != "token" {
+		t.Fatalf("token over unicast: got %q", got)
+	}
+}
+
+func TestUDPMulticastSelfFilter(t *testing.T) {
+	a, _ := newMcastPair(t, "239.77.13.8:39178", 0)
+	// Loopback is left on so same-host peers hear each other; the
+	// envelope's sender ID must filter our own copies out (the protocol
+	// self-delivers at send time, a second copy would corrupt ordering).
+	if err := a.Multicast([]byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	expectNone(t, a.Data())
+}
+
+func TestUDPMulticastBatched(t *testing.T) {
+	a, b := newMcastPair(t, "239.77.13.9:39179", 8)
+	const n = 6
+	for i := 0; i < n; i++ {
+		if err := a.Multicast([]byte{byte(i), 0xBC, 0xDE}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := collectFrames(t, b.Data(), n)
+	for i := 0; i < n; i++ {
+		if want := []byte{byte(i), 0xBC, 0xDE}; !bytes.Equal(got[byte(i)], want) {
+			t.Fatalf("frame %d: got %x want %x", i, got[byte(i)], want)
+		}
+	}
+}
+
+func TestUDPMulticastConfigErrors(t *testing.T) {
+	listen := UDPPeer{Data: "127.0.0.1:0", Token: "127.0.0.1:0"}
+	cases := []struct {
+		name  string
+		mcast UDPMulticast
+	}{
+		{"non-multicast group", UDPMulticast{Group: "127.0.0.1:9999"}},
+		{"bad address", UDPMulticast{Group: "not-an-addr"}},
+		{"missing port", UDPMulticast{Group: "239.1.1.1"}},
+		{"bad interface", UDPMulticast{Group: "239.77.13.10:39180", Interface: "no-such-if0"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mc := tc.mcast
+			u, err := NewUDP(UDPConfig{Self: 1, Listen: listen, Multicast: &mc})
+			if err == nil {
+				u.Close()
+				t.Fatalf("NewUDP accepted %+v", tc.mcast)
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ type netMetrics struct {
 	rxDataFrames, rxDataBytes   *obs.Counter
 	rxTokenFrames, rxTokenBytes *obs.Counter
 	rxDropped                   *obs.Counter
+	txSyscalls, rxSyscalls      *obs.Counter
 }
 
 // newNetMetrics resolves the counter handles under prefix (e.g.
@@ -36,6 +37,8 @@ func newNetMetrics(reg *obs.Registry, prefix string) *netMetrics {
 		rxTokenFrames: reg.Counter(prefix + "rx_token_frames"),
 		rxTokenBytes:  reg.Counter(prefix + "rx_token_bytes"),
 		rxDropped:     reg.Counter(prefix + "rx_dropped"),
+		txSyscalls:    reg.Counter(prefix + "tx_syscalls"),
+		rxSyscalls:    reg.Counter(prefix + "rx_syscalls"),
 	}
 }
 
@@ -65,6 +68,23 @@ func (m *netMetrics) rx(token bool, n int) {
 	}
 	m.rxDataFrames.Inc()
 	m.rxDataBytes.Add(uint64(n))
+}
+
+// txSys counts kernel crossings on the send path. With batching one
+// crossing covers many frames; the ratio to tx_data_frames is the win.
+func (m *netMetrics) txSys(n int) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.txSyscalls.Add(uint64(n))
+}
+
+// rxSys counts kernel crossings on the receive path.
+func (m *netMetrics) rxSys(n int) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.rxSyscalls.Add(uint64(n))
 }
 
 // rxDrop counts one frame lost to receive-channel overflow.

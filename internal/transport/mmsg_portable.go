@@ -1,0 +1,79 @@
+//go:build !(linux && (amd64 || arm64))
+
+// Portable single-syscall fallback for platforms without the raw
+// sendmmsg/recvmmsg wiring (see mmsg_linux.go). Batch semantics — staging,
+// flush points, buffer ownership — are identical; only the syscall count
+// per flush differs (one write/read per datagram instead of one per
+// batch).
+
+package transport
+
+import "net"
+
+const mmsgAvailable = false
+
+// rawAddr keeps the resolved address; there is no kernel blob to build.
+type rawAddr struct {
+	addr *net.UDPAddr
+}
+
+func mkRawAddr(a *net.UDPAddr) (rawAddr, bool) {
+	if a == nil {
+		return rawAddr{}, false
+	}
+	return rawAddr{addr: a}, true
+}
+
+// mmsgWriter stages frames like the linux implementation but flushes with
+// one WriteToUDP per datagram.
+type mmsgWriter struct {
+	conn   *net.UDPConn
+	frames [][]byte
+	addrs  []*rawAddr
+}
+
+func newMMsgWriter(conn *net.UDPConn, batch int) *mmsgWriter {
+	return &mmsgWriter{conn: conn}
+}
+
+func (w *mmsgWriter) append(frame []byte, addr *rawAddr) {
+	w.frames = append(w.frames, frame)
+	w.addrs = append(w.addrs, addr)
+}
+
+func (w *mmsgWriter) staged() int { return len(w.frames) }
+
+func (w *mmsgWriter) writeBatch() int {
+	syscalls := 0
+	for i, f := range w.frames {
+		if w.addrs[i].addr == nil {
+			continue
+		}
+		_, _ = w.conn.WriteToUDP(f, w.addrs[i].addr)
+		syscalls++
+	}
+	w.frames = w.frames[:0]
+	w.addrs = w.addrs[:0]
+	return syscalls
+}
+
+// mmsgReader reads one datagram per syscall into slot 0.
+type mmsgReader struct {
+	conn  *net.UDPConn
+	slots [][]byte
+}
+
+func newMMsgReader(conn *net.UDPConn, batch, frameSize int) *mmsgReader {
+	return &mmsgReader{conn: conn, slots: [][]byte{make([]byte, frameSize)}}
+}
+
+func (r *mmsgReader) readBatch(visit func(i, n int)) (got, syscalls int, ok bool) {
+	n, _, err := r.conn.ReadFromUDP(r.slots[0])
+	if err != nil {
+		return 0, 1, false
+	}
+	visit(0, n)
+	return 1, 1, true
+}
+
+func (r *mmsgReader) slot(i int) []byte { return r.slots[i] }

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package transport
+
+// The stdlib syscall table for linux/amd64 predates sendmmsg, so the
+// numbers are pinned here (x86-64 syscall table; stable ABI).
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = 299
+)

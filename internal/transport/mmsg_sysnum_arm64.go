@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package transport
+
+// Generic (asm-generic) syscall numbers used by linux/arm64; stable ABI.
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

@@ -1,0 +1,7 @@
+//go:build race
+
+package transport
+
+// raceEnabled lets allocation gates skip under the race detector, whose
+// instrumentation allocates on channel hand-offs the gates measure.
+const raceEnabled = true

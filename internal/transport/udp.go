@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -22,6 +23,25 @@ type UDPPeer struct {
 	Token string
 }
 
+// UDPMulticast selects the true IP-multicast data path: data frames are
+// sent once to the group instead of unicast per peer, as on the paper's
+// testbed. Tokens stay unicast. Every ring member must be configured with
+// the same group; IPv4 groups only (239.0.0.0/8 is the private-use
+// range).
+type UDPMulticast struct {
+	// Group is the multicast group host:port data frames are sent to and
+	// received from, e.g. "239.192.7.1:7600".
+	Group string
+	// TTL bounds propagation; 0 means the default of 1 (link-local).
+	TTL int
+	// Interface optionally names the NIC used for sending and joining.
+	Interface string
+	// DisableLoopback turns off IP_MULTICAST_LOOP. Leave it false for
+	// same-host deployments and tests, where members share a machine and
+	// only see each other via the loopback copy.
+	DisableLoopback bool
+}
+
 // UDPConfig configures a UDP transport.
 type UDPConfig struct {
 	// Self is the local participant.
@@ -34,6 +54,12 @@ type UDPConfig struct {
 	// DataChanCap and TokenChanCap size the receive channels in frames
 	// (defaults 8192 and 16).
 	DataChanCap, TokenChanCap int
+	// Batch sizes sendmmsg/recvmmsg syscall coalescing on the data path.
+	// The zero value keeps one syscall per datagram.
+	Batch BatchConfig
+	// Multicast, when non-nil, replaces unicast fan-out with IP
+	// multicast for data frames.
+	Multicast *UDPMulticast
 	// Obs, when non-nil, receives transport.udp.* frame/byte counters.
 	Obs *obs.Registry
 	// Flight, when non-nil, receives a black-box event per inbound frame
@@ -41,10 +67,21 @@ type UDPConfig struct {
 	Flight *obs.FlightRecorder
 }
 
+// mcMagic/mcHeader frame the transport-level multicast envelope: group
+// datagrams carry [magic][sender ProcID, big-endian u32] ahead of the
+// protocol frame so receivers can discard their own loopback copies (the
+// protocol self-delivers at send time) and foreign traffic on the group.
+const (
+	mcMagic  = 0xAC
+	mcHeader = 5
+)
+
 // UDP is the real-network transport: one socket per frame class, exactly
-// as the paper's implementations separate token and data traffic. IP
-// multicast is emulated by unicast fan-out, the fallback the paper notes
-// Spread provides where multicast is unavailable.
+// as the paper's implementations separate token and data traffic. Data
+// dissemination is either unicast fan-out (the fallback the paper notes
+// Spread provides where multicast is unavailable) or true IP multicast,
+// and sends/receives can be batched into single sendmmsg/recvmmsg
+// kernel crossings.
 type UDP struct {
 	self     evs.ProcID
 	dataConn *net.UDPConn
@@ -58,12 +95,25 @@ type UDP struct {
 	peers  atomic.Pointer[map[evs.ProcID]*udpPeerAddrs]
 	inj    atomic.Pointer[faults.Injector]
 
+	// Send batching: frames staged under sendMu in pooled copies, each
+	// with the peer snapshot it was addressed against (nil = the
+	// multicast group). writer is non-nil iff batching is on.
+	sendMu    sync.Mutex
+	writer    *mmsgWriter
+	batchSend int
+	pendBuf   [][]byte
+	pendTo    []*map[evs.ProcID]*udpPeerAddrs
+
+	mc *mcState
+
 	dataCh  chan []byte
 	tokenCh chan []byte
 
 	closed    atomic.Bool
 	dataDrop  atomic.Uint64
 	tokenDrop atomic.Uint64
+	txSysN    atomic.Uint64
+	rxSysN    atomic.Uint64
 	wg        sync.WaitGroup
 	nm        *netMetrics
 	fl        *obs.FlightRecorder
@@ -72,9 +122,24 @@ type UDP struct {
 
 type udpPeerAddrs struct {
 	data, token *net.UDPAddr
+	// raw is the precomputed kernel sockaddr for the data address, built
+	// once at AddPeer so the batched flush never resolves anything.
+	raw   rawAddr
+	rawOK bool
+}
+
+// mcState holds the multicast data path: the group-joined receive socket
+// and the resolved group address sends go to. In multicast mode the
+// unicast data socket is send-only.
+type mcState struct {
+	conn  *net.UDPConn
+	group *net.UDPAddr
+	raw   rawAddr
+	rawOK bool
 }
 
 var _ Transport = (*UDP)(nil)
+var _ Flusher = (*UDP)(nil)
 
 // NewUDP opens the sockets and starts the reader goroutines.
 func NewUDP(cfg UDPConfig) (*UDP, error) {
@@ -110,6 +175,21 @@ func NewUDP(cfg UDPConfig) (*UDP, error) {
 		nm:       newNetMetrics(cfg.Obs, "transport.udp."),
 		fl:       cfg.Flight,
 	}
+	if cfg.Multicast != nil {
+		mc, err := openMulticast(dataConn, cfg.Multicast)
+		if err != nil {
+			dataConn.Close()
+			tokConn.Close()
+			return nil, err
+		}
+		u.mc = mc
+	}
+	if cfg.Batch.Send > 1 {
+		if w := newMMsgWriter(dataConn, cfg.Batch.Send); w != nil {
+			u.writer = w
+			u.batchSend = cfg.Batch.Send
+		}
+	}
 	empty := make(map[evs.ProcID]*udpPeerAddrs)
 	u.peers.Store(&empty)
 	// Register ourselves: the membership representative starts a new ring
@@ -127,10 +207,56 @@ func NewUDP(cfg UDPConfig) (*UDP, error) {
 			return nil, err
 		}
 	}
+	recvBatch := cfg.Batch.Recv
 	u.wg.Add(2)
-	go u.readLoop(dataConn, u.dataCh, &u.dataDrop, false)
-	go u.readLoop(tokConn, u.tokenCh, &u.tokenDrop, true)
+	if u.mc != nil {
+		// Data arrives on the group socket only; the envelope filters our
+		// own loopback copies.
+		go u.readLoop(u.mc.conn, recvBatch, u.dataCh, u.deliverMC)
+	} else {
+		go u.readLoop(dataConn, recvBatch, u.dataCh, func(raw []byte) {
+			u.deliverFrame(raw, u.dataCh, &u.dataDrop, false)
+		})
+	}
+	// Tokens arrive one per round; batching buys nothing there.
+	go u.readLoop(tokConn, 0, u.tokenCh, func(raw []byte) {
+		u.deliverFrame(raw, u.tokenCh, &u.tokenDrop, true)
+	})
 	return u, nil
+}
+
+// openMulticast joins the group for receiving and configures the unicast
+// data socket (the sender) with TTL, loopback, and interface options.
+func openMulticast(send *net.UDPConn, m *UDPMulticast) (*mcState, error) {
+	ga, err := net.ResolveUDPAddr("udp4", m.Group)
+	if err != nil {
+		return nil, fmt.Errorf("transport: multicast group: %w", err)
+	}
+	if ga.IP == nil || !ga.IP.IsMulticast() {
+		return nil, fmt.Errorf("transport: multicast group %q is not an IPv4 multicast address", m.Group)
+	}
+	var ifi *net.Interface
+	if m.Interface != "" {
+		ifi, err = net.InterfaceByName(m.Interface)
+		if err != nil {
+			return nil, fmt.Errorf("transport: multicast interface %q: %w", m.Interface, err)
+		}
+	}
+	conn, err := net.ListenMulticastUDP("udp4", ifi, ga)
+	if err != nil {
+		return nil, fmt.Errorf("transport: join multicast group %s: %w", ga, err)
+	}
+	_ = conn.SetReadBuffer(4 << 20)
+	ttl := m.TTL
+	if ttl <= 0 {
+		ttl = 1
+	}
+	if err := setMulticastSendOpts(send, ttl, !m.DisableLoopback, ifi); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: multicast send options: %w", err)
+	}
+	raw, ok := mkRawAddr(ga)
+	return &mcState{conn: conn, group: ga, raw: raw, rawOK: ok}, nil
 }
 
 func listenUDP(addr string) (*net.UDPConn, error) {
@@ -153,13 +279,15 @@ func (u *UDP) AddPeer(id evs.ProcID, p UDPPeer) error {
 	if err != nil {
 		return fmt.Errorf("transport: peer %d token addr: %w", id, err)
 	}
+	pa := &udpPeerAddrs{data: da, token: ta}
+	pa.raw, pa.rawOK = mkRawAddr(da)
 	u.peerMu.Lock()
 	old := *u.peers.Load()
 	next := make(map[evs.ProcID]*udpPeerAddrs, len(old)+1)
 	for k, v := range old {
 		next[k] = v
 	}
-	next[id] = &udpPeerAddrs{data: da, token: ta}
+	next[id] = pa
 	u.peers.Store(&next)
 	u.peerMu.Unlock()
 	return nil
@@ -187,6 +315,7 @@ func (u *UDP) sendFaulty(conn *net.UDPConn, frame []byte, addr *net.UDPAddr, d f
 		if delay <= 0 {
 			if !u.closed.Load() {
 				_, _ = conn.WriteToUDP(frame, addr)
+				u.countTxSys(1)
 			}
 			return
 		}
@@ -195,6 +324,7 @@ func (u *UDP) sendFaulty(conn *net.UDPConn, frame []byte, addr *net.UDPAddr, d f
 		u.delayQ.after(delay, func() {
 			if !u.closed.Load() {
 				_, _ = conn.WriteToUDP(cp, addr)
+				u.countTxSys(1)
 			}
 			bufpool.Put(cp)
 		})
@@ -213,13 +343,51 @@ func (u *UDP) LocalAddrs() UDPPeer {
 	}
 }
 
-// readLoop reads datagrams into a fixed socket buffer and hands each frame
-// to the receive channel in a buffer rented from bufpool; the consumer
-// (the protocol driver) owns it from there. When the channel is already
-// full the datagram is dropped before renting or copying anything — the
-// old code paid a full frame allocation and copy just to throw it away.
-func (u *UDP) readLoop(conn *net.UDPConn, ch chan []byte, drops *atomic.Uint64, token bool) {
+// Syscalls returns cumulative send/receive kernel crossings on the wire —
+// the number the batch path exists to shrink. Divide by the frame
+// counters for syscalls per frame.
+func (u *UDP) Syscalls() (tx, rx uint64) {
+	return u.txSysN.Load(), u.rxSysN.Load()
+}
+
+func (u *UDP) countTxSys(n int) {
+	if n == 0 {
+		return
+	}
+	u.txSysN.Add(uint64(n))
+	u.nm.txSys(n)
+}
+
+func (u *UDP) countRxSys(n int) {
+	if n == 0 {
+		return
+	}
+	u.rxSysN.Add(uint64(n))
+	u.nm.rxSys(n)
+}
+
+// readLoop drains one socket into a receive channel, one datagram per
+// syscall or — when batch > 1 and the platform supports recvmmsg — a
+// batch per syscall. Each datagram is handed to deliver, which rents the
+// frame's pooled buffer; the fixed slot buffers here are reused across
+// reads. The channel is closed when the socket dies (Close).
+func (u *UDP) readLoop(conn *net.UDPConn, batch int, ch chan []byte, deliver func(raw []byte)) {
 	defer u.wg.Done()
+	if batch > 1 {
+		if r := newMMsgReader(conn, batch, wire.MaxPayload+1024); r != nil {
+			// Hoisted so the hot loop closes over one allocation, not one
+			// per syscall (the zero-alloc receive gate measures this).
+			visit := func(i, n int) { deliver(r.slot(i)[:n]) }
+			for {
+				_, sys, ok := r.readBatch(visit)
+				u.countRxSys(sys)
+				if !ok {
+					close(ch)
+					return
+				}
+			}
+		}
+	}
 	buf := make([]byte, wire.MaxPayload+1024)
 	for {
 		n, _, err := conn.ReadFromUDP(buf)
@@ -228,24 +396,46 @@ func (u *UDP) readLoop(conn *net.UDPConn, ch chan []byte, drops *atomic.Uint64, 
 			close(ch)
 			return
 		}
-		if len(ch) == cap(ch) {
-			drops.Add(1)
-			u.nm.rxDrop()
-			u.recordDrop(token)
-			continue
-		}
-		frame := bufpool.Get(n)
-		copy(frame, buf[:n])
-		select {
-		case ch <- frame:
-			u.nm.rx(token, n)
-		default:
-			bufpool.Put(frame)
-			drops.Add(1)
-			u.nm.rxDrop()
-			u.recordDrop(token)
-		}
+		u.countRxSys(1)
+		deliver(buf[:n])
 	}
+}
+
+// deliverFrame copies one received datagram into a rented buffer and
+// pushes it to the channel; the consumer (the protocol driver) owns it
+// from there. When the channel is already full the datagram is dropped
+// before renting or copying anything.
+func (u *UDP) deliverFrame(raw []byte, ch chan []byte, drops *atomic.Uint64, token bool) {
+	if len(ch) == cap(ch) {
+		drops.Add(1)
+		u.nm.rxDrop()
+		u.recordDrop(token)
+		return
+	}
+	frame := bufpool.Get(len(raw))
+	copy(frame, raw)
+	select {
+	case ch <- frame:
+		u.nm.rx(token, len(raw))
+	default:
+		bufpool.Put(frame)
+		drops.Add(1)
+		u.nm.rxDrop()
+		u.recordDrop(token)
+	}
+}
+
+// deliverMC strips the multicast envelope and discards our own loopback
+// copies (the protocol self-delivers at send time) and any foreign
+// traffic sharing the group.
+func (u *UDP) deliverMC(raw []byte) {
+	if len(raw) < mcHeader || raw[0] != mcMagic {
+		return
+	}
+	if evs.ProcID(binary.BigEndian.Uint32(raw[1:mcHeader])) == u.self {
+		return
+	}
+	u.deliverFrame(raw[mcHeader:], u.dataCh, &u.dataDrop, false)
 }
 
 // recordDrop notes a receiver-overflow drop in the flight recorder.
@@ -260,42 +450,161 @@ func (u *UDP) recordDrop(token bool) {
 	u.fl.Record(obs.FlightEvent{Kind: obs.FlightRxDrop, Note: note})
 }
 
-// Multicast implements Transport by unicast fan-out to every peer's data
-// address. Send errors to individual peers are ignored, as UDP loss would
-// be; the protocol's retransmission machinery recovers. No lock is held
-// across the socket writes: the fan-out runs over an immutable peer
-// snapshot, and with no injector installed the fast path is a bare
-// WriteToUDP per peer.
+// Multicast implements Transport. In multicast mode the frame goes to
+// the group in one datagram; otherwise it is fanned out by unicast to
+// every peer's data address. Send errors are ignored, as UDP loss would
+// be; the protocol's retransmission machinery recovers. With batching on,
+// the frame is staged in a pooled copy and hits the wire at the next
+// flush (batch full, token send, or explicit Flush).
 func (u *UDP) Multicast(frame []byte) error {
 	if u.closed.Load() {
 		return ErrClosed
 	}
-	peers := *u.peers.Load()
-	inj := u.inj.Load()
-	for id, p := range peers {
-		if id == u.self {
-			// No loopback: the protocol self-receives its own messages
-			// at send time.
-			continue
-		}
-		u.nm.tx(false, len(frame))
-		if inj != nil {
+	if u.mc != nil {
+		return u.multicastGroup(frame)
+	}
+	snap := u.peers.Load()
+	peers := *snap
+	if inj := u.inj.Load(); inj != nil {
+		// Faults are decided per destination and sent immediately; flush
+		// first so staged frames keep their ordering ahead of these.
+		_ = u.Flush()
+		for id, p := range peers {
+			if id == u.self {
+				// No loopback: the protocol self-receives its own
+				// messages at send time.
+				continue
+			}
+			u.nm.tx(false, len(frame))
 			d := inj.DecideWall(faults.Packet{
 				From: u.self, To: id, Size: len(frame), Frame: frame,
 			})
 			u.sendFaulty(u.dataConn, frame, p.data, d)
+		}
+		return nil
+	}
+	if u.writer != nil {
+		// One pooled copy per frame, shared across the whole fan-out; the
+		// peer snapshot is resolved at flush time from the pointer staged
+		// with it.
+		cp := bufpool.Get(len(frame))
+		copy(cp, frame)
+		for id := range peers {
+			if id != u.self {
+				u.nm.tx(false, len(frame))
+			}
+		}
+		u.sendMu.Lock()
+		u.pendBuf = append(u.pendBuf, cp)
+		u.pendTo = append(u.pendTo, snap)
+		if len(u.pendBuf) >= u.batchSend {
+			u.flushLocked()
+		}
+		u.sendMu.Unlock()
+		return nil
+	}
+	for id, p := range peers {
+		if id == u.self {
 			continue
 		}
+		u.nm.tx(false, len(frame))
 		_, _ = u.dataConn.WriteToUDP(frame, p.data)
+		u.countTxSys(1)
 	}
 	return nil
 }
 
+// multicastGroup sends one enveloped datagram to the group.
+func (u *UDP) multicastGroup(frame []byte) error {
+	u.nm.tx(false, len(frame))
+	cp := bufpool.Get(mcHeader + len(frame))
+	cp[0] = mcMagic
+	binary.BigEndian.PutUint32(cp[1:mcHeader], uint32(u.self))
+	copy(cp[mcHeader:], frame)
+	if inj := u.inj.Load(); inj != nil {
+		// Real multicast cannot drop per receiver at the sender: one
+		// decision covers the whole group, modeling loss on the sender's
+		// uplink.
+		_ = u.Flush()
+		d := inj.DecideWall(faults.Packet{
+			From: u.self, Size: len(cp), Frame: cp,
+		})
+		u.sendFaulty(u.dataConn, cp, u.mc.group, d)
+		bufpool.Put(cp)
+		return nil
+	}
+	if u.writer != nil {
+		u.sendMu.Lock()
+		u.pendBuf = append(u.pendBuf, cp)
+		u.pendTo = append(u.pendTo, nil)
+		if len(u.pendBuf) >= u.batchSend {
+			u.flushLocked()
+		}
+		u.sendMu.Unlock()
+		return nil
+	}
+	_, _ = u.dataConn.WriteToUDP(cp, u.mc.group)
+	u.countTxSys(1)
+	bufpool.Put(cp)
+	return nil
+}
+
+// Flush implements Flusher: everything staged by send batching hits the
+// wire. Safe to call concurrently with sends; a no-op when batching is
+// off or nothing is pending.
+func (u *UDP) Flush() error {
+	if u.writer == nil {
+		return nil
+	}
+	u.sendMu.Lock()
+	u.flushLocked()
+	u.sendMu.Unlock()
+	return nil
+}
+
+// flushLocked expands every staged frame into its destinations and
+// transmits the whole batch in as few sendmmsg calls as possible. Caller
+// holds sendMu. Pooled frame copies are recycled after the syscall
+// returns — the kernel has copied them out by then.
+func (u *UDP) flushLocked() {
+	if len(u.pendBuf) == 0 {
+		return
+	}
+	for i, f := range u.pendBuf {
+		snap := u.pendTo[i]
+		if snap == nil {
+			if u.mc != nil && u.mc.rawOK {
+				u.writer.append(f, &u.mc.raw)
+			}
+			continue
+		}
+		for id, p := range *snap {
+			if id == u.self || !p.rawOK {
+				continue
+			}
+			u.writer.append(f, &p.raw)
+		}
+	}
+	u.countTxSys(u.writer.writeBatch())
+	for i, f := range u.pendBuf {
+		bufpool.Put(f)
+		u.pendBuf[i] = nil
+		u.pendTo[i] = nil
+	}
+	u.pendBuf = u.pendBuf[:0]
+	u.pendTo = u.pendTo[:0]
+}
+
 // Unicast implements Transport: send to the peer's token address. Like
-// Multicast, it runs lock-free over the peer snapshot.
+// Multicast, it runs lock-free over the peer snapshot. Staged data
+// frames are flushed first so the token never overtakes the data it
+// covers on the wire.
 func (u *UDP) Unicast(to evs.ProcID, frame []byte) error {
 	if u.closed.Load() {
 		return ErrClosed
+	}
+	if u.writer != nil {
+		_ = u.Flush()
 	}
 	p := (*u.peers.Load())[to]
 	if p == nil {
@@ -311,6 +620,7 @@ func (u *UDP) Unicast(to evs.ProcID, frame []byte) error {
 		return nil
 	}
 	_, _ = u.tokConn.WriteToUDP(frame, p.token)
+	u.countTxSys(1)
 	return nil
 }
 
@@ -326,9 +636,9 @@ func (u *UDP) Drops() Drops {
 }
 
 // Close shuts both sockets down and waits for the readers to exit. The
-// receive channels are closed, and every pending delayed send and every
-// received-but-unconsumed frame is recycled to bufpool — nothing the
-// transport rented stays stranded.
+// receive channels are closed, and every pending delayed send, staged
+// batch frame, and received-but-unconsumed frame is recycled to bufpool —
+// nothing the transport rented stays stranded.
 func (u *UDP) Close() error {
 	if u.closed.Swap(true) {
 		return nil
@@ -337,8 +647,22 @@ func (u *UDP) Close() error {
 	// callback skips its socket write and recycles its buffer, and the
 	// drainer goroutine exits.
 	u.delayQ.stop()
+	// Staged batch frames are dropped, not sent: a closed transport loses
+	// in-flight traffic exactly like the network would.
+	u.sendMu.Lock()
+	for i, f := range u.pendBuf {
+		bufpool.Put(f)
+		u.pendBuf[i] = nil
+		u.pendTo[i] = nil
+	}
+	u.pendBuf = u.pendBuf[:0]
+	u.pendTo = u.pendTo[:0]
+	u.sendMu.Unlock()
 	err1 := u.dataConn.Close()
 	err2 := u.tokConn.Close()
+	if u.mc != nil {
+		_ = u.mc.conn.Close()
+	}
 	u.wg.Wait()
 	// The readLoops have closed both channels; recycle frames that were
 	// received but never consumed. A consumer draining concurrently is

@@ -1,0 +1,119 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"accelring/internal/bufpool"
+	"accelring/internal/evs"
+)
+
+// benchWire measures the loopback wire path sender-side: ns/op and
+// syscalls-per-frame for b.N data frames, plus the receiver's measured
+// syscalls-per-datagram (recvmmsg drains many frames per call). UDP may
+// drop under blast load, so receive-side figures are over the frames
+// that actually arrived; the "delivered" metric reports that fraction.
+func benchWire(b *testing.B, batch BatchConfig, mcast *UDPMulticast) {
+	mk := func(self evs.ProcID) *UDP {
+		var mc *UDPMulticast
+		if mcast != nil {
+			c := *mcast
+			mc = &c
+		}
+		u, err := NewUDP(UDPConfig{
+			Self:      self,
+			Listen:    UDPPeer{Data: "127.0.0.1:0", Token: "127.0.0.1:0"},
+			Batch:     batch,
+			Multicast: mc,
+		})
+		if err != nil {
+			if mcast != nil {
+				b.Skipf("multicast unavailable: %v", err)
+			}
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { u.Close() })
+		return u
+	}
+	snd, rcv := mk(1), mk(2)
+	if err := snd.AddPeer(2, rcv.LocalAddrs()); err != nil {
+		b.Fatal(err)
+	}
+	if err := rcv.AddPeer(1, snd.LocalAddrs()); err != nil {
+		b.Fatal(err)
+	}
+
+	var got atomic.Int64
+	go func() {
+		for f := range rcv.Data() {
+			got.Add(1)
+			bufpool.Put(f)
+		}
+	}()
+
+	payload := make([]byte, 1350)
+	if mcast != nil {
+		// Probe: group joins can succeed in environments that still do
+		// not route multicast back over loopback.
+		deadline := time.Now().Add(2 * time.Second)
+		for got.Load() == 0 {
+			if time.Now().After(deadline) {
+				b.Skip("multicast loopback does not deliver in this environment")
+			}
+			snd.Multicast(payload)
+			Flush(snd)
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	got.Store(0)
+	txBefore, _ := snd.Syscalls()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := snd.Multicast(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	Flush(snd)
+	b.StopTimer()
+
+	// Let the receiver settle: stop once the count is quiet for a bit.
+	last, quiet := int64(-1), 0
+	for quiet < 5 {
+		time.Sleep(20 * time.Millisecond)
+		if n := got.Load(); n == last {
+			quiet++
+		} else {
+			last, quiet = n, 0
+		}
+	}
+	txAfter, _ := snd.Syscalls()
+	_, rx := rcv.Syscalls()
+	b.ReportMetric(float64(txAfter-txBefore)/float64(b.N), "txsys/frame")
+	if n := got.Load(); n > 0 {
+		b.ReportMetric(float64(rx)/float64(n), "rxsys/frame")
+		b.ReportMetric(float64(n)/float64(b.N), "delivered")
+	}
+}
+
+func BenchmarkWireUnicastBare(b *testing.B) {
+	benchWire(b, BatchConfig{}, nil)
+}
+
+func BenchmarkWireUnicastBatched16(b *testing.B) {
+	benchWire(b, BatchConfig{Send: 16, Recv: 16}, nil)
+}
+
+func BenchmarkWireUnicastBatched64(b *testing.B) {
+	benchWire(b, BatchConfig{Send: 64, Recv: 64}, nil)
+}
+
+func BenchmarkWireMulticastBare(b *testing.B) {
+	benchWire(b, BatchConfig{}, &UDPMulticast{Group: "239.77.14.1:39271", TTL: 0})
+}
+
+func BenchmarkWireMulticastBatched16(b *testing.B) {
+	benchWire(b, BatchConfig{Send: 16, Recv: 16}, &UDPMulticast{Group: "239.77.14.2:39272", TTL: 0})
+}

@@ -31,28 +31,48 @@ func WithWindows(personal, global, accelerated int) Option {
 // across them by a stable hash of the group name (default 1, max
 // MaxShards). Per-group total order is unchanged and aggregate ordering
 // throughput multiplies; cross-group delivery order is only guaranteed
-// for groups owned by the same ring. Supply one transport per ring with
-// WithShardTransports, or UDP addresses whose numeric ports leave a gap
-// of 2*n free (ring r uses every base port + 2*r).
+// for groups owned by the same ring. Supply one transport per ring via
+// WithWire (WireConfig.Transports), or UDP addresses whose numeric ports
+// leave a stride of free ports per ring (ring r uses every base port +
+// WireConfig.ShardStride*r, default DefaultShardStride).
 func WithShards(n int) Option {
 	return func(c *Config) { c.Shards = n }
+}
+
+// WithWire sets the unified transport configuration: wire mode (hub,
+// unicast, IP multicast), addressing, per-shard port stride, syscall
+// batching, and adaptive message packing. It subsumes WithTransport,
+// WithUDP, and WithShardTransports; combining it with any of them fails
+// Validate with ErrWireConflict.
+func WithWire(w WireConfig) Option {
+	return func(c *Config) { c.Wire = w }
 }
 
 // WithShardTransports supplies one established transport per ring of a
 // sharded node (len must equal the WithShards count). The node takes
 // ownership and closes them on Close.
+//
+// Deprecated: use WithWire(WireConfig{Transports: ts}). This shim keeps
+// working but cannot be combined with WithWire.
 func WithShardTransports(ts ...Transport) Option {
 	return func(c *Config) { c.Transports = ts }
 }
 
 // WithTransport supplies an established transport (e.g. a Hub endpoint).
 // The node takes ownership and closes it on Close.
+//
+// Deprecated: use WithWire(WireConfig{Transport: t}). This shim keeps
+// working but cannot be combined with WithWire.
 func WithTransport(t Transport) Option {
 	return func(c *Config) { c.Transport = t }
 }
 
 // WithUDP configures a real-network UDP transport: listen holds this
 // node's data/token addresses, peers the other participants'.
+//
+// Deprecated: use WithWire(WireConfig{Listen: listen, Peers: peers}),
+// which also unlocks the multicast mode and the batching and packing
+// knobs. This shim keeps working but cannot be combined with WithWire.
 func WithUDP(listen UDPAddrs, peers map[ProcID]UDPAddrs) Option {
 	return func(c *Config) {
 		c.Listen = listen

@@ -81,11 +81,11 @@ func TestShardsValidation(t *testing.T) {
 		{"sharded UDP with ephemeral port", func(c *Config) {
 			c.Shards = 2
 			c.Listen.Data = "127.0.0.1:0"
-		}, ErrBadShards},
+		}, ErrShardPorts},
 		{"sharded UDP with service-name port", func(c *Config) {
 			c.Shards = 2
 			c.Peers[2] = UDPAddrs{Data: "127.0.0.1:domain", Token: "127.0.0.1:7411"}
-		}, ErrBadShards},
+		}, ErrShardPorts},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
