@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-full bench-smoke bench-baseline bench-shard bench-shard-smoke bench-wire bench-wire-smoke chaos obs-smoke soak-smoke
+.PHONY: ci vet build test race race-full bench-smoke bench-baseline bench-shard bench-shard-smoke bench-wire bench-wire-smoke bench-fanout bench-fanout-smoke chaos obs-smoke soak-smoke
 
 ci: vet build test race
 
@@ -55,6 +55,21 @@ bench-wire:
 bench-wire-smoke:
 	$(GO) test -run '^$$' -bench 'Wire' -benchtime 1000x ./internal/transport
 	$(GO) test -run '^$$' -bench 'WireRing' -benchtime 2000x ./internal/ringnode
+
+# Client fan-out figure: 1 publisher frame delivered to 16/64 subscriber
+# sessions over TCP loopback, legacy per-session-encode path vs the
+# encode-once shared-buffer path with batched vectored writes. Records
+# frames/s, write syscalls/frame, and allocs/op in
+# results/BENCH_fanout.json (+ raw text). Commit the JSON when the daemon
+# client layer changes.
+bench-fanout:
+	mkdir -p results
+	$(GO) test -run '^$$' -bench 'Fanout' -benchtime 20000x -benchmem ./internal/daemon \
+	  | tee results/BENCH_fanout.txt | $(GO) run ./cmd/benchjson > results/BENCH_fanout.json
+
+# Quick variant for CI: one short pass, throwaway output.
+bench-fanout-smoke:
+	$(GO) test -run '^$$' -bench 'Fanout' -benchtime 500x ./internal/daemon
 
 # Multi-ring scaling experiment: single-ring baseline vs 2- and 4-shard
 # aggregates at equal windows on the virtual-time testbed, recorded in

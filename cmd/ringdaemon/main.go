@@ -62,6 +62,7 @@ func run(args []string) error {
 	dataAddr := fs.String("data", "127.0.0.1:5001", "UDP listen address for data messages")
 	tokenAddr := fs.String("token", "127.0.0.1:6001", "UDP listen address for the token")
 	clientAddr := fs.String("client", "127.0.0.1:4801", "TCP listen address for clients (or unix:PATH)")
+	clientBatch := fs.Int("client-batch", 0, "pending frames one session writer drains into a single vectored write (0 = default 8, 1 = one write per frame)")
 	peerSpec := fs.String("peers", "", "comma-separated peers: id=dataAddr/tokenAddr")
 	original := fs.Bool("original", false, "run the original Ring protocol instead of the Accelerated Ring")
 	personal := fs.Int("personal", 20, "personal window (messages per participant per round)")
@@ -101,6 +102,9 @@ func run(args []string) error {
 	}
 	if *traceSample < 0 {
 		return fmt.Errorf("-trace-sample must be non-negative")
+	}
+	if *clientBatch < 0 {
+		return fmt.Errorf("-client-batch must be non-negative")
 	}
 
 	var reg *obs.Registry
@@ -172,7 +176,7 @@ func run(args []string) error {
 		return tr, nil
 	}
 
-	dcfg := daemon.Config{Obs: reg, Flight: flight, Key: []byte(*ringKey)}
+	dcfg := daemon.Config{Obs: reg, Flight: flight, Key: []byte(*ringKey), WriterBatch: *clientBatch}
 	if *shards > 1 {
 		dcfg.Shards = *shards
 		dcfg.NewTransport = newTransport

@@ -25,6 +25,7 @@ import (
 	"accelring/internal/client"
 	"accelring/internal/daemon"
 	"accelring/internal/evs"
+	"accelring/internal/obs"
 	"accelring/internal/pack"
 	"accelring/internal/ringnode"
 	"accelring/internal/transport"
@@ -50,8 +51,16 @@ func run(args []string) error {
 	churn := fs.Int("churn", 0, "churning sessions per daemon: each repeatedly connects, joins, sends, and disconnects for the whole run (session-lifecycle stress)")
 	batch := fs.Int("batch", 0, "self-contained mode: sendmmsg/recvmmsg batch size for the daemons' UDP transports (0 disables)")
 	packOn := fs.Bool("pack", false, "self-contained mode: bundle small messages into shared frames under load")
+	fanout := fs.Int("fanout", 0, "fan-out mode: one daemon, one publisher, N subscriber sessions; reports frames/s and write syscalls/frame (ignores -nodes/-daemons)")
+	clientBatch := fs.Int("client-batch", 0, "pending frames one session writer drains into a single vectored write (0 = default 8, 1 = one write per frame)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *fanout < 0 || *clientBatch < 0 {
+		return fmt.Errorf("-fanout and -client-batch must be non-negative")
+	}
+	if *fanout > 0 {
+		return measureFanout(*fanout, *clientBatch, *rate, *payload, *warmup, *duration)
 	}
 	if *payload < 8 {
 		return fmt.Errorf("-payload must be at least 8 (latency stamp)")
@@ -140,6 +149,126 @@ func selfContained(n int, original bool, batch int, packOn bool) ([]string, func
 		}
 	}
 	return addrs, stop, nil
+}
+
+// measureFanout is the daemon fan-out figure: one self-contained daemon,
+// one publisher, and subs subscriber sessions in one group. The publisher
+// multicasts at rate for duration; the daemon's own counters report how
+// many write syscalls the encode-once batched writers spent per delivered
+// frame.
+func measureFanout(subs, clientBatch int, rate float64, payloadBytes int,
+	warmup, duration time.Duration) error {
+	if payloadBytes < 8 {
+		return fmt.Errorf("-payload must be at least 8 (latency stamp)")
+	}
+	u, err := transport.NewUDP(transport.UDPConfig{
+		Self:   1,
+		Listen: transport.UDPPeer{Data: "127.0.0.1:0", Token: "127.0.0.1:0"},
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	d, err := daemon.Start(daemon.Config{
+		Ring:        ringnode.Accelerated(1, u, 20, 160, 15),
+		Listener:    ln,
+		Obs:         reg,
+		WriterBatch: clientBatch,
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Stop()
+	if !d.WaitOperational(15 * time.Second) {
+		return fmt.Errorf("daemon did not become operational")
+	}
+
+	const groupName = "fan"
+	var delivered atomic.Int64
+	var lastLat atomic.Int64 // most recent delivery latency, ns
+	var wg sync.WaitGroup
+	for i := 0; i < subs; i++ {
+		rc, err := client.Dial("tcp", ln.Addr().String(), fmt.Sprintf("sub%d", i))
+		if err != nil {
+			return err
+		}
+		defer rc.Close()
+		if err := rc.Join(groupName); err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ev := range rc.Events() {
+				if m, ok := ev.(*client.Message); ok && len(m.Payload) >= 8 {
+					delivered.Add(1)
+					sent := int64(binary.BigEndian.Uint64(m.Payload))
+					lastLat.Store(time.Now().UnixNano() - sent)
+				}
+			}
+		}()
+	}
+	pub, err := client.Dial("tcp", ln.Addr().String(), "pub")
+	if err != nil {
+		return err
+	}
+	defer pub.Close()
+
+	fmt.Fprintf(os.Stderr, "fan-out: 1 publisher -> %d subscribers, batch=%d\n", subs, clientBatch)
+	// Warm up, then snapshot the counters around the measured window.
+	interval := time.Duration(float64(time.Second) / rate)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	buf := make([]byte, payloadBytes)
+	send := func() error {
+		binary.BigEndian.PutUint64(buf, uint64(time.Now().UnixNano()))
+		return pub.Multicast(evs.Agreed, append([]byte(nil), buf...), groupName)
+	}
+	warmEnd := time.Now().Add(warmup)
+	for time.Now().Before(warmEnd) {
+		<-ticker.C
+		if err := send(); err != nil {
+			return err
+		}
+	}
+	startFrames := reg.Counter("daemon.writer_frames").Value()
+	startFlushes := reg.Counter("daemon.writer_flushes").Value()
+	startDelivered := delivered.Load()
+	startEnc := reg.Counter("daemon.fanout_encodes").Value()
+	start := time.Now()
+	end := start.Add(duration)
+	sent := 0
+	for time.Now().Before(end) {
+		<-ticker.C
+		if err := send(); err != nil {
+			return err
+		}
+		sent++
+	}
+	time.Sleep(200 * time.Millisecond) // let the tail drain
+	elapsed := time.Since(start).Seconds()
+	frames := reg.Counter("daemon.writer_frames").Value() - startFrames
+	flushes := reg.Counter("daemon.writer_flushes").Value() - startFlushes
+	got := delivered.Load() - startDelivered
+	encodes := reg.Counter("daemon.fanout_encodes").Value() - startEnc
+
+	fmt.Printf("fanout=%d payload=%dB offered=%.0f msg/s over %v\n", subs, payloadBytes, rate, duration)
+	fmt.Printf("delivered: %.0f frames/s to subscribers (%d total, %d sent)\n",
+		float64(got)/elapsed, got, sent)
+	if frames > 0 {
+		fmt.Printf("writer: %d frames in %d flushes = %.3f write syscalls/frame (batch avg %.1f)\n",
+			frames, flushes, float64(flushes)/float64(frames), float64(frames)/float64(flushes))
+	}
+	if encodes > 0 {
+		fmt.Printf("encode-once: %d encodes for %d deliveries = %.1f deliveries/encode\n",
+			encodes, got, float64(got)/float64(encodes))
+	}
+	fmt.Printf("latency (last sample): %v\n", time.Duration(lastLat.Load()).Round(time.Microsecond))
+	return nil
 }
 
 // measure attaches a sender and a receiver client per daemon, offers load,

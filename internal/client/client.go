@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"accelring/internal/bufpool"
 	"accelring/internal/evs"
 	"accelring/internal/group"
 	"accelring/internal/session"
@@ -264,10 +265,13 @@ func (c *Client) resumeHandshake(conn net.Conn) (session.Welcome, error) {
 
 func (c *Client) readWelcome(conn net.Conn) (session.Welcome, error) {
 	for {
-		f, err := c.codec.ReadFrame(conn)
+		f, buf, err := c.codec.ReadFramePooled(conn)
 		if err != nil {
 			return session.Welcome{}, err
 		}
+		// No handshake frame aliases its read buffer (identities, tokens,
+		// and nonces are value copies), so the buffer recycles right away.
+		bufpool.Put(buf)
 		switch v := f.(type) {
 		case session.Welcome:
 			return v, nil
@@ -325,11 +329,14 @@ func (c *Client) Err() error {
 }
 
 // readLoop processes deliveries, surviving connection losses when
-// reconnect is on.
+// reconnect is on. Frames are read into pooled buffers; a buffer whose
+// decoded frame escapes to the application (a Message, whose Payload
+// aliases it zero-copy) is retained — it becomes the application's —
+// while every other frame's buffer recycles immediately.
 func (c *Client) readLoop(conn net.Conn) {
 	defer close(c.events)
 	for {
-		f, err := c.codec.ReadFrame(conn)
+		f, buf, err := c.codec.ReadFramePooled(conn)
 		if err != nil {
 			select {
 			case <-c.done:
@@ -358,10 +365,12 @@ func (c *Client) readLoop(conn net.Conn) {
 		switch v := f.(type) {
 		case session.Seqd:
 			if v.Seq <= c.lastSeq {
+				bufpool.Put(buf)
 				continue // duplicate from a resume replay
 			}
 			c.lastSeq = v.Seq
 			if !c.handleDelivery(v.Frame) {
+				bufpool.Put(buf)
 				return
 			}
 			c.unacked++
@@ -377,10 +386,27 @@ func (c *Client) readLoop(conn net.Conn) {
 		default:
 			// Unsequenced Message/View/Error (pre-resume daemons).
 			if !c.handleDelivery(f) {
+				bufpool.Put(buf)
 				return
 			}
 		}
+		if !retainsBuf(f) {
+			bufpool.Put(buf)
+		}
 	}
+}
+
+// retainsBuf reports whether the decoded frame's zero-copy fields alias
+// the read buffer after dispatch — true only for delivered Messages,
+// whose Payload is handed to the application without a copy.
+func retainsBuf(f session.Frame) bool {
+	switch v := f.(type) {
+	case session.Seqd:
+		return retainsBuf(v.Frame)
+	case session.Message:
+		return len(v.Payload) > 0
+	}
+	return false
 }
 
 // handleDelivery dispatches one delivered frame; false means the session

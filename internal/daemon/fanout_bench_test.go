@@ -1,0 +1,215 @@
+package daemon
+
+// The fan-out figure: one publisher's message delivered to F subscriber
+// sessions over real TCP loopback connections.
+//
+//   - legacy      — the pre-change wire path: every session encodes its
+//     own copy of the frame and writes it as a header write plus a body
+//     write (2 syscalls/frame), one frame per writer wakeup.
+//   - encodeonce  — the shared-buffer path: the frame body is encoded
+//     once, every outbox queues a reference, and each writer drains up
+//     to `batch` frames per wakeup into a single vectored write.
+//
+// Reported metrics: frames/s across all subscribers, and write
+// syscalls/frame (writev flushes or write calls over frames delivered).
+// Run via `make bench-fanout`, committed as results/BENCH_fanout.json.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"accelring/internal/evs"
+	"accelring/internal/session"
+)
+
+// legacyWriteFrame reproduces the pre-change session.WriteFrame: a fresh
+// encode per frame and a separate header and body write.
+func legacyWriteFrame(w io.Writer, f session.Frame) error {
+	body, err := session.Encode(f)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// fanoutBench is one subscriber fleet: TCP loopback conns with discard
+// readers, one outbox and one writer goroutine per subscriber.
+type fanoutBench struct {
+	outs     []*outbox
+	wg       sync.WaitGroup
+	closers  []io.Closer
+	syscalls atomic.Uint64 // write syscalls issued (writes or writev flushes)
+}
+
+func newFanoutBench(b *testing.B, subs int, encodeOnce bool, batch int) *fanoutBench {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fb := &fanoutBench{closers: []io.Closer{ln}}
+	accepted := make(chan net.Conn)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c) //nolint:errcheck // discard reader
+			accepted <- c
+		}
+	}()
+	for i := 0; i < subs; i++ {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fb.closers = append(fb.closers, conn, <-accepted)
+		o := newOutbox(session.Codec{}, 256, 1<<30, 1<<30, 64)
+		if !o.attach(conn, 0, nil) {
+			b.Fatal("attach refused")
+		}
+		fb.outs = append(fb.outs, o)
+		fb.wg.Add(1)
+		if encodeOnce {
+			go fb.batchedWriter(o, batch)
+		} else {
+			go fb.legacyWriter(o)
+		}
+	}
+	return fb
+}
+
+func (fb *fanoutBench) legacyWriter(o *outbox) {
+	defer fb.wg.Done()
+	for {
+		conn, _, sf, ok := o.next()
+		if !ok {
+			return
+		}
+		var f session.Frame = sf.f
+		if sf.seq != 0 {
+			f = session.Seqd{Seq: sf.seq, Frame: sf.f}
+		}
+		if err := legacyWriteFrame(conn, f); err != nil {
+			return
+		}
+		fb.syscalls.Add(2)
+		o.wrote(conn, sf)
+	}
+}
+
+func (fb *fanoutBench) batchedWriter(o *outbox, batch int) {
+	defer fb.wg.Done()
+	w := newFrameWriter(batch)
+	for {
+		conn, codec, frames, ok := o.nextBatch(w.frames[:0], batch)
+		if !ok {
+			return
+		}
+		w.frames = frames
+		if err := w.flush(conn, codec, frames); err != nil {
+			return
+		}
+		fb.syscalls.Add(1)
+		o.wroteBatch(conn, frames)
+	}
+}
+
+// drainWait blocks until every outbox has written its whole backlog.
+func (fb *fanoutBench) drainWait() {
+	for _, o := range fb.outs {
+		for !o.flushed() {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (fb *fanoutBench) close() {
+	for _, o := range fb.outs {
+		o.shutdown()
+	}
+	fb.wg.Wait()
+	for _, c := range fb.closers {
+		c.Close()
+	}
+}
+
+func benchFanout(b *testing.B, subs int, encodeOnce bool, batch int) {
+	fb := newFanoutBench(b, subs, encodeOnce, batch)
+	defer fb.close()
+	payload := make([]byte, 256)
+	var msg session.Frame = session.Message{Service: evs.Agreed, Groups: []string{"fan"}, Payload: payload}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if encodeOnce {
+			sh, err := session.NewShared(msg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, o := range fb.outs {
+				o.pushShared(sh)
+			}
+			sh.Unref()
+		} else {
+			for _, o := range fb.outs {
+				o.push(msg)
+			}
+		}
+		if i%1024 == 1023 {
+			fb.drainWait() // bound the in-flight backlog
+		}
+	}
+	fb.drainWait()
+	b.StopTimer()
+	frames := float64(b.N) * float64(subs)
+	b.ReportMetric(frames/b.Elapsed().Seconds(), "frames/s")
+	b.ReportMetric(float64(fb.syscalls.Load())/frames, "syscalls/frame")
+}
+
+func BenchmarkFanout(b *testing.B) {
+	for _, subs := range []int{16, 64} {
+		b.Run(fmt.Sprintf("legacy/subs=%d", subs), func(b *testing.B) {
+			benchFanout(b, subs, false, 1)
+		})
+		b.Run(fmt.Sprintf("encodeonce/subs=%d/batch=8", subs), func(b *testing.B) {
+			benchFanout(b, subs, true, 8)
+		})
+	}
+}
+
+// TestFanoutSpeedup is a coarse in-tree gate on the encode-once path: at
+// 64 subscribers it must beat the legacy per-session-encode path. The
+// committed BENCH_fanout.json tracks the full margin; this test only
+// guards against the fast path regressing below the old one, with a
+// deliberately modest threshold to stay robust on loaded CI machines.
+func TestFanoutSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate; skipped in -short")
+	}
+	const subs = 64
+	run := func(encodeOnce bool) float64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			benchFanout(b, subs, encodeOnce, 8)
+		})
+		return res.Extra["frames/s"]
+	}
+	legacy := run(false)
+	fast := run(true)
+	if fast < legacy*1.2 {
+		t.Fatalf("encode-once fan-out %.0f frames/s vs legacy %.0f: want >= 1.2x", fast, legacy)
+	}
+}

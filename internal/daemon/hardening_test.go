@@ -344,7 +344,7 @@ func TestThrottleTierNotifications(t *testing.T) {
 
 	// Reattach and catch up: drain the stream until the throttle is
 	// withdrawn.
-	if !slow.out.attach(daemonConn, 0) {
+	if !slow.out.attach(daemonConn, 0, nil) {
 		t.Fatal("reattach refused")
 	}
 	sawOn, sawOff := false, false

@@ -11,9 +11,27 @@ import (
 // seqFrame pairs a queued frame with its delivery sequence number. Seq 0
 // marks a control frame (Welcome, Throttle, Detach) that rides outside
 // the resumable delivery stream.
+//
+// Exactly one of f and sh is set: f boxes an ordinary frame that the
+// writer encodes per session (control frames, views, errors), sh
+// references an encode-once shared body produced by a group fan-out
+// (session.Shared). The outbox holds one shared reference per queued
+// seqFrame, taken in pushShared and dropped when the frame leaves the
+// retained resume-replay window (ack, eviction, resume fast-forward) or
+// the outbox shuts down — never merely on write, because a reconnecting
+// client may need the bytes replayed.
 type seqFrame struct {
 	seq uint64
 	f   session.Frame
+	sh  *session.Shared
+}
+
+// release drops the frame's shared reference, if it holds one.
+func (sf *seqFrame) release() {
+	if sf.sh != nil {
+		sf.sh.Unref()
+		sf.sh = nil
+	}
 }
 
 // pushResult reports what one enqueue did to the session's backpressure
@@ -54,8 +72,9 @@ var (
 // that overflows into a bounded spill queue (tier 1), a throttle
 // watermark (tier 2), and a retained window of written-but-unacked
 // deliveries that a resumed connection replays. It owns the session's
-// current connection: the writer goroutine blocks in next() while the
-// session is detached and wakes when attach installs a new conn.
+// current connection: the writer goroutine blocks in next/nextBatch
+// while the session is detached and wakes when attach installs a new
+// conn.
 //
 // Lock ordering: outbox.mu is a leaf — nothing is called with it held.
 type outbox struct {
@@ -102,6 +121,18 @@ func (o *outbox) queuedLocked() int { return o.count + len(o.spill) }
 
 // push enqueues one sequenced delivery, reporting tier transitions.
 func (o *outbox) push(f session.Frame) pushResult {
+	return o.enqueue(seqFrame{f: f})
+}
+
+// pushShared enqueues one sequenced encode-once delivery. The outbox
+// takes its own reference on sh (under the lock, so a concurrent
+// shutdown cannot race the take); a rejected enqueue (closed or
+// overflowed) takes none.
+func (o *outbox) pushShared(sh *session.Shared) pushResult {
+	return o.enqueue(seqFrame{sh: sh})
+}
+
+func (o *outbox) enqueue(sf seqFrame) pushResult {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if o.closed || o.overflowed {
@@ -112,7 +143,10 @@ func (o *outbox) push(f session.Frame) pushResult {
 		return pushResult{overflow: true, queued: o.queuedLocked()}
 	}
 	o.nextSeq++
-	sf := seqFrame{seq: o.nextSeq, f: f}
+	sf.seq = o.nextSeq
+	if sf.sh != nil {
+		sf.sh.Ref()
+	}
 	var res pushResult
 	if o.count < len(o.ring) && len(o.spill) == 0 {
 		o.ring[(o.head+o.count)%len(o.ring)] = sf
@@ -169,6 +203,47 @@ func (o *outbox) next() (net.Conn, session.Codec, seqFrame, bool) {
 	}
 }
 
+// nextBatch blocks like next but peeks up to max pending frames in write
+// order — control notices first, then resume replay, then the ring — so
+// the writer can flush them with one vectored write instead of one
+// syscall pair per frame. The frames are appended to dst (reset and
+// reused by the caller) and stay queued until wroteBatch completes them.
+// Only ring-resident deliveries are batched beyond the control/replay
+// heads; the spill queue refills the ring as frames complete.
+func (o *outbox) nextBatch(dst []seqFrame, max int) (net.Conn, session.Codec, []seqFrame, bool) {
+	if max < 1 {
+		max = 1
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for {
+		if o.closed {
+			return nil, o.codec, dst, false
+		}
+		if o.conn != nil {
+			for _, f := range o.control {
+				if len(dst) >= max {
+					break
+				}
+				dst = append(dst, seqFrame{f: f})
+			}
+			for _, sf := range o.replay {
+				if len(dst) >= max {
+					break
+				}
+				dst = append(dst, sf)
+			}
+			for i := 0; i < o.count && len(dst) < max; i++ {
+				dst = append(dst, o.ring[(o.head+i)%len(o.ring)])
+			}
+			if len(dst) > 0 {
+				return o.conn, o.codec, dst, true
+			}
+		}
+		o.cond.Wait()
+	}
+}
+
 // wrote removes the frame next returned after a successful write to
 // conn, moves sequenced frames into the retained window, and refills the
 // ring from the spill queue, reporting tier recoveries.
@@ -189,6 +264,33 @@ func (o *outbox) wrote(conn net.Conn, sf seqFrame) writeResult {
 	if o.conn != conn {
 		return res
 	}
+	o.wroteLocked(sf, &res)
+	o.finishWriteLocked(&res)
+	return res
+}
+
+// wroteBatch completes a nextBatch worth of frames after one successful
+// vectored write to conn. Like wrote, a superseded conn makes the whole
+// completion a no-op: the live connection re-peeks everything and the
+// client's duplicate suppression absorbs the double send.
+func (o *outbox) wroteBatch(conn net.Conn, frames []seqFrame) writeResult {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var res writeResult
+	res.queued = o.queuedLocked()
+	if o.conn != conn {
+		return res
+	}
+	for i := range frames {
+		o.wroteLocked(frames[i], &res)
+	}
+	o.finishWriteLocked(&res)
+	return res
+}
+
+// wroteLocked applies one frame completion. Caller holds o.mu and has
+// verified the connection.
+func (o *outbox) wroteLocked(sf seqFrame, res *writeResult) {
 	switch {
 	case sf.seq == 0:
 		if len(o.control) > 0 {
@@ -198,7 +300,7 @@ func (o *outbox) wrote(conn net.Conn, sf seqFrame) writeResult {
 				o.control = nil
 			}
 		}
-		return res
+		return
 	case len(o.replay) > 0:
 		// Replayed frames are already retained. Scan for the sequence
 		// instead of assuming the head: a racing attach may have
@@ -207,20 +309,22 @@ func (o *outbox) wrote(conn net.Conn, sf seqFrame) writeResult {
 			if o.replay[i].seq != sf.seq {
 				continue
 			}
+			// No release: the retained window still holds the entry (and,
+			// for shared frames, its reference).
 			copy(o.replay[i:], o.replay[i+1:])
 			o.replay[len(o.replay)-1] = seqFrame{}
 			o.replay = o.replay[:len(o.replay)-1]
 			if len(o.replay) == 0 {
 				o.replay = nil
 			}
-			return res
+			return
 		}
 	}
 	if o.count == 0 || o.ring[o.head].seq != sf.seq {
 		// Neither a pending replay nor the ring head (the frame was
 		// implicitly acked by a resume): nothing left to complete, and
 		// popping the ring here would discard an unwritten frame.
-		return res
+		return
 	}
 	hadSpill := len(o.spill) > 0
 	o.ring[o.head] = seqFrame{}
@@ -234,38 +338,55 @@ func (o *outbox) wrote(conn net.Conn, sf seqFrame) writeResult {
 	}
 	if len(o.spill) == 0 {
 		o.spill = nil
-		res.spillEnd = hadSpill
+		res.spillEnd = res.spillEnd || hadSpill
 	}
 	o.retained = append(o.retained, sf)
 	if len(o.retained) > o.retainLimit {
 		o.floor = o.retained[0].seq
-		o.retained[0] = seqFrame{}
-		o.retained = o.retained[1:]
+		o.retained[0].release()
+		n := copy(o.retained, o.retained[1:])
+		o.retained[n] = seqFrame{}
+		o.retained = o.retained[:n]
 	}
+}
+
+// finishWriteLocked settles the post-completion backlog accounting:
+// final queue depth and the throttle-off transition (with its ordered
+// notice, enqueued under the same lock for the same reason push enqueues
+// the On notice there — transition order is wire order).
+func (o *outbox) finishWriteLocked(res *writeResult) {
 	res.queued = o.queuedLocked()
 	if o.throttled && res.queued <= o.throttleAt/2 {
 		o.throttled = false
 		res.throttleOff = true
-		// Under the lock for the same reason push enqueues the On notice
-		// here: transition order is wire order.
 		o.control = append(o.control, session.Throttle{On: false, Queued: uint32(res.queued)})
 	}
-	return res
 }
 
-// ack prunes the retained window up to and including seq.
+// ack prunes the retained window up to and including seq. The window is
+// compacted in place (not re-sliced) so its backing array survives a
+// drain-to-empty: the steady acked fan-out path appends and prunes one
+// retained entry per delivery without ever reallocating.
 func (o *outbox) ack(seq uint64) {
 	o.mu.Lock()
+	o.pruneRetainedLocked(seq)
+	o.mu.Unlock()
+}
+
+// pruneRetainedLocked releases and compacts away every retained frame
+// with seq <= upTo. Caller holds o.mu.
+func (o *outbox) pruneRetainedLocked(upTo uint64) {
 	i := 0
-	for i < len(o.retained) && o.retained[i].seq <= seq {
-		o.retained[i] = seqFrame{}
+	for i < len(o.retained) && o.retained[i].seq <= upTo {
+		o.retained[i].release()
 		i++
 	}
-	o.retained = o.retained[i:]
-	if len(o.retained) == 0 {
-		o.retained = nil
+	if i == 0 {
+		return
 	}
-	o.mu.Unlock()
+	n := copy(o.retained, o.retained[i:])
+	clear(o.retained[n:])
+	o.retained = o.retained[:n]
 }
 
 // canResume reports whether a client that processed deliveries up to
@@ -284,22 +405,25 @@ func (o *outbox) canResume(lastSeq uint64) error {
 
 // attach installs a new connection, treating lastSeq as an implicit ack
 // and scheduling the remaining retained frames for replay. An existing
-// connection (a half-dead predecessor) is superseded and closed. Returns
+// connection (a half-dead predecessor) is superseded and closed. hello,
+// when non-nil, is the handshake reply (Welcome): it is spliced in as
+// the FIRST control frame under the same lock that installs conn, so the
+// writer can neither race a Seqd delivery ahead of it nor let an older
+// queued notice (Throttle, Detach) precede it on the new connection —
+// the whole handshake rides the ordinary outbox write path. Returns
 // false if the session closed or the replay window moved in the
 // meantime; the caller should close conn.
-func (o *outbox) attach(conn net.Conn, lastSeq uint64) bool {
+func (o *outbox) attach(conn net.Conn, lastSeq uint64, hello session.Frame) bool {
 	o.mu.Lock()
 	if o.closed || o.overflowed || lastSeq < o.floor || lastSeq > o.nextSeq {
 		o.mu.Unlock()
 		return false
 	}
-	i := 0
-	for i < len(o.retained) && o.retained[i].seq <= lastSeq {
-		o.retained[i] = seqFrame{}
-		i++
+	o.pruneRetainedLocked(lastSeq)
+	o.replay = append(o.replay[:0], o.retained...)
+	if hello != nil {
+		o.control = append([]session.Frame{hello}, o.control...)
 	}
-	o.retained = o.retained[i:]
-	o.replay = append([]seqFrame(nil), o.retained...)
 	old := o.conn
 	o.conn = conn
 	o.cond.Broadcast()
@@ -338,7 +462,9 @@ func (o *outbox) flushed() bool {
 }
 
 // shutdown closes the outbox for good: the writer exits and pushes
-// become no-ops. Returns the connection to close, if any, plus the
+// become no-ops. Every queued and retained shared reference is released
+// (the replay queue aliases retained entries, so it is not released
+// separately). Returns the connection to close, if any, plus the
 // backpressure tiers the session occupied at close so the caller can
 // settle the matching gauges (reported only on the first shutdown).
 func (o *outbox) shutdown() (conn net.Conn, spilling, throttled bool) {
@@ -348,6 +474,23 @@ func (o *outbox) shutdown() (conn net.Conn, spilling, throttled bool) {
 	if !o.closed {
 		spilling = len(o.spill) > 0
 		throttled = o.throttled
+		for i := 0; i < o.count; i++ {
+			o.ring[(o.head+i)%len(o.ring)].release()
+			o.ring[(o.head+i)%len(o.ring)] = seqFrame{}
+		}
+		o.count = 0
+		for i := range o.spill {
+			o.spill[i].release()
+			o.spill[i] = seqFrame{}
+		}
+		o.spill = nil
+		for i := range o.retained {
+			o.retained[i].release()
+			o.retained[i] = seqFrame{}
+		}
+		o.retained = nil
+		o.replay = nil
+		o.control = nil
 	}
 	o.closed = true
 	o.cond.Broadcast()

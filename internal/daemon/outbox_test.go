@@ -30,7 +30,7 @@ func testMsg(i int) session.Frame {
 func TestOutboxWroteSupersededConn(t *testing.T) {
 	o := newOutbox(session.Codec{}, 4, 100, 100, 16)
 	connA, connB := testConn(t), testConn(t)
-	if !o.attach(connA, 0) {
+	if !o.attach(connA, 0, nil) {
 		t.Fatal("attach A refused")
 	}
 	o.push(testMsg(1))
@@ -40,7 +40,7 @@ func TestOutboxWroteSupersededConn(t *testing.T) {
 	}
 
 	// The resume lands between the writer's syscall and its completion.
-	if !o.attach(connB, 0) {
+	if !o.attach(connB, 0, nil) {
 		t.Fatal("attach B refused")
 	}
 	o.wrote(connA, sf) // superseded: must be a no-op
@@ -74,7 +74,7 @@ func TestOutboxWroteSupersededConn(t *testing.T) {
 func TestOutboxShutdownReportsTiersOnce(t *testing.T) {
 	o := newOutbox(session.Codec{}, 2, 3, 100, 4)
 	conn := testConn(t)
-	if !o.attach(conn, 0) {
+	if !o.attach(conn, 0, nil) {
 		t.Fatal("attach refused")
 	}
 	for i := 0; i < 5; i++ {
@@ -95,7 +95,7 @@ func TestOutboxShutdownReportsTiersOnce(t *testing.T) {
 func TestOutboxFlushedWhileDetached(t *testing.T) {
 	o := newOutbox(session.Codec{}, 4, 100, 100, 16)
 	conn := testConn(t)
-	if !o.attach(conn, 0) {
+	if !o.attach(conn, 0, nil) {
 		t.Fatal("attach refused")
 	}
 	o.push(testMsg(1))
@@ -108,7 +108,7 @@ func TestOutboxFlushedWhileDetached(t *testing.T) {
 	if !o.flushed() {
 		t.Fatal("detached session must count as flushed")
 	}
-	if !o.attach(testConn(t), 0) {
+	if !o.attach(testConn(t), 0, nil) {
 		t.Fatal("reattach refused")
 	}
 	if o.flushed() {
@@ -122,7 +122,7 @@ func TestOutboxFlushedWhileDetached(t *testing.T) {
 func TestOutboxThrottleNoticesOrdered(t *testing.T) {
 	o := newOutbox(session.Codec{}, 8, 4, 100, 16)
 	conn := testConn(t)
-	if !o.attach(conn, 0) {
+	if !o.attach(conn, 0, nil) {
 		t.Fatal("attach refused")
 	}
 	res := pushResult{}

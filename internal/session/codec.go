@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 
+	"accelring/internal/bufpool"
 	"accelring/internal/wire"
 )
 
@@ -32,24 +33,36 @@ func NewCodec(key []byte) Codec { return Codec{auth: wire.NewAuth(key)} }
 // Keyed reports whether the codec authenticates frames.
 func (c Codec) Keyed() bool { return c.auth != nil }
 
+// Auth exposes the codec's authenticator (nil when unkeyed), for writers
+// that assemble frames from discontiguous parts and need to compute the
+// tag themselves (wire.Auth.SumParts).
+func (c Codec) Auth() *wire.Auth { return c.auth }
+
+// Overhead is the per-frame byte cost of authentication: wire.MacLen when
+// keyed, zero otherwise.
+func (c Codec) Overhead() int { return c.auth.Overhead() }
+
 // WriteFrame writes one length-prefixed (and, when keyed, authenticated)
-// frame to w as a single Write call.
+// frame to w as a single Write call, assembled in one pooled buffer.
 func (c Codec) WriteFrame(w io.Writer, f Frame) error {
 	if c.auth == nil {
 		return WriteFrame(w, f)
 	}
-	body, err := Encode(f)
+	buf := bufpool.Get(writeScratch)[:4]
+	b, err := AppendEncode(buf, f)
 	if err != nil {
+		bufpool.Put(buf)
 		return err
 	}
-	buf := make([]byte, 4, 4+len(body)+wire.MacLen)
-	buf = c.auth.AppendMAC(buf, body)
-	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
-	_, err = w.Write(buf)
+	b = c.auth.SumParts(b, b[4:])
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	_, err = w.Write(b)
+	bufpool.Put(b)
 	return err
 }
 
-// ReadFrame reads one frame from r, verifying the tag when keyed.
+// ReadFrame reads one frame from r, verifying the tag when keyed. The
+// frame owns a fresh backing; use ReadFramePooled on hot paths.
 func (c Codec) ReadFrame(r io.Reader) (Frame, error) {
 	if c.auth == nil {
 		return ReadFrame(r)
@@ -71,4 +84,38 @@ func (c Codec) ReadFrame(r io.Reader) (Frame, error) {
 		return nil, ErrAuth
 	}
 	return Decode(plain)
+}
+
+// ReadFramePooled reads one frame from r into a bufpool buffer, verifying
+// the tag when keyed. Like the package-level ReadFramePooled, the decoded
+// frame's zero-copy fields alias the returned buffer; the caller owns it
+// under the retained-or-Put convention.
+func (c Codec) ReadFramePooled(r io.Reader) (Frame, []byte, error) {
+	if c.auth == nil {
+		return ReadFramePooled(r)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame+wire.MacLen {
+		return nil, nil, ErrTooLarge
+	}
+	body := bufpool.Get(int(n))
+	if _, err := io.ReadFull(r, body); err != nil {
+		bufpool.Put(body)
+		return nil, nil, err
+	}
+	plain, ok := c.auth.Verify(body)
+	if !ok {
+		bufpool.Put(body)
+		return nil, nil, ErrAuth
+	}
+	f, err := Decode(plain)
+	if err != nil {
+		bufpool.Put(body)
+		return nil, nil, err
+	}
+	return f, body, nil
 }

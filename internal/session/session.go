@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 
+	"accelring/internal/bufpool"
 	"accelring/internal/evs"
 	"accelring/internal/group"
 )
@@ -314,7 +315,16 @@ func appendViewID(b []byte, v evs.ViewID) []byte {
 
 // Encode serializes a frame body (without the length prefix).
 func Encode(f Frame) ([]byte, error) {
-	b := []byte{byte(f.kind())}
+	return AppendEncode(nil, f)
+}
+
+// AppendEncode serializes a frame body (without the length prefix) onto
+// dst and returns the extended slice, so callers with a scratch or pooled
+// buffer can encode without a fresh allocation per frame. The MaxFrame
+// check covers the appended body only, not dst's existing contents.
+func AppendEncode(dst []byte, f Frame) ([]byte, error) {
+	start := len(dst)
+	b := append(dst, byte(f.kind()))
 	switch v := f.(type) {
 	case Connect:
 		if len(v.Name) > MaxClientName {
@@ -379,12 +389,11 @@ func Encode(f Frame) ([]byte, error) {
 		if _, nested := v.Frame.(Seqd); nested {
 			return nil, fmt.Errorf("%w: nested Seqd", ErrBadFrame)
 		}
-		inner, err := Encode(v.Frame)
-		if err != nil {
+		b = binary.BigEndian.AppendUint64(b, v.Seq)
+		var err error
+		if b, err = AppendEncode(b, v.Frame); err != nil {
 			return nil, err
 		}
-		b = binary.BigEndian.AppendUint64(b, v.Seq)
-		b = append(b, inner...)
 	case Challenge:
 		b = append(b, v.Nonce[:]...)
 	case ChallengeAck:
@@ -392,7 +401,7 @@ func Encode(f Frame) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("session: unknown frame %T", f)
 	}
-	if len(b) > MaxFrame {
+	if len(b)-start > MaxFrame {
 		return nil, ErrTooLarge
 	}
 	return b, nil
@@ -624,22 +633,31 @@ func Decode(b []byte) (Frame, error) {
 	return f, nil
 }
 
-// WriteFrame writes a length-prefixed frame to w.
+// writeScratch is the pooled rent size for one-shot frame writes: large
+// enough that handshake and control frames encode without growing past
+// the pooled backing.
+const writeScratch = 1024
+
+// WriteFrame writes a length-prefixed frame to w as a single Write call.
+// Header and body are assembled in one pooled buffer: two Write syscalls
+// per frame would double the syscall bill of every handshake and control
+// frame, and a split header/body write lets the kernel emit a 4-byte TCP
+// segment under TCP_NODELAY.
 func WriteFrame(w io.Writer, f Frame) error {
-	body, err := Encode(f)
+	buf := bufpool.Get(writeScratch)[:4]
+	b, err := AppendEncode(buf, f)
 	if err != nil {
+		bufpool.Put(buf)
 		return err
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(body)
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	_, err = w.Write(b)
+	bufpool.Put(b)
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame from r.
+// ReadFrame reads one length-prefixed frame from r. The frame owns its
+// freshly allocated backing; use ReadFramePooled on hot paths.
 func ReadFrame(r io.Reader) (Frame, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -654,4 +672,32 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		return nil, err
 	}
 	return Decode(body)
+}
+
+// ReadFramePooled reads one length-prefixed frame from r into a buffer
+// rented from bufpool and returns the frame together with its backing
+// buffer. Zero-copy fields of the decoded frame (Message.Payload and
+// friends) alias buf, so the caller owns buf under the retained-or-Put
+// convention: bufpool.Put(buf) once the frame is fully consumed, or let
+// the garbage collector reclaim it when a payload escapes. Never both.
+func ReadFramePooled(r io.Reader) (Frame, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return nil, nil, ErrTooLarge
+	}
+	body := bufpool.Get(int(n))
+	if _, err := io.ReadFull(r, body); err != nil {
+		bufpool.Put(body)
+		return nil, nil, err
+	}
+	f, err := Decode(body)
+	if err != nil {
+		bufpool.Put(body)
+		return nil, nil, err
+	}
+	return f, body, nil
 }

@@ -1,0 +1,210 @@
+package session
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"accelring/internal/evs"
+	"accelring/internal/group"
+)
+
+func sharedTestMsg() Message {
+	return Message{
+		Sender:  group.ClientID{Daemon: 3, Local: 7},
+		Service: evs.Agreed,
+		Groups:  []string{"alpha", "beta"},
+		Payload: []byte("encode-once payload"),
+	}
+}
+
+// TestSharedEncodesOnce: the shared body is byte-identical to Encode's
+// output, and the refcount lifecycle settles the live gauge back down.
+func TestSharedEncodesOnce(t *testing.T) {
+	msg := sharedTestMsg()
+	want, err := Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := SharedLive()
+	sh, err := NewShared(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sh.Bytes(), want) {
+		t.Fatalf("shared body differs from Encode:\n  got  %x\n  want %x", sh.Bytes(), want)
+	}
+	if sh.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", sh.Len(), len(want))
+	}
+	if live := SharedLive(); live != before+1 {
+		t.Fatalf("SharedLive = %d after NewShared, want %d", live, before+1)
+	}
+
+	// Two extra holders (outboxes), then everyone releases.
+	sh.Ref()
+	sh.Ref()
+	sh.Unref() // creator
+	sh.Unref()
+	if live := SharedLive(); live != before+1 {
+		t.Fatalf("SharedLive = %d with one holder left, want %d", live, before+1)
+	}
+	sh.Unref() // last holder frees
+	if live := SharedLive(); live != before {
+		t.Fatalf("SharedLive = %d after last Unref, want %d", live, before)
+	}
+}
+
+// TestSharedRejectsSeqd: the per-session Seqd wrapper must never end up
+// inside the shared bytes.
+func TestSharedRejectsSeqd(t *testing.T) {
+	if _, err := NewShared(Seqd{Seq: 1, Frame: sharedTestMsg()}); err == nil {
+		t.Fatal("NewShared accepted a Seqd frame")
+	}
+}
+
+// TestSharedOverReleasePanics: a refcount underflow is a programming
+// error loud enough to panic, not a silent double-free.
+func TestSharedOverReleasePanics(t *testing.T) {
+	sh, err := NewShared(Bye{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.Unref()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("extra Unref did not panic")
+		}
+	}()
+	sh.Unref()
+}
+
+// TestSharedLargePayload: a payload past the default scratch class still
+// encodes whole (the pool rent sizes up from the payload length).
+func TestSharedLargePayload(t *testing.T) {
+	msg := Message{Service: evs.Agreed, Groups: []string{"g"}, Payload: bytes.Repeat([]byte{0xAB}, 48<<10)}
+	want, err := Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewShared(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Unref()
+	if !bytes.Equal(sh.Bytes(), want) {
+		t.Fatal("large shared body differs from Encode")
+	}
+}
+
+// countingWriter counts Write calls: the coalesced WriteFrame must issue
+// exactly one syscall-shaped write per frame (no header/body split).
+type countingWriter struct {
+	writes int
+	buf    bytes.Buffer
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.buf.Write(p)
+}
+
+func TestWriteFrameSingleWrite(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		codec Codec
+	}{
+		{"plain", Codec{}},
+		{"keyed", NewCodec([]byte("shared-secret"))},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var w countingWriter
+			frames := []Frame{
+				sharedTestMsg(),
+				Seqd{Seq: 42, Frame: sharedTestMsg()},
+				Throttle{On: true, Queued: 9},
+			}
+			for _, f := range frames {
+				if err := tc.codec.WriteFrame(&w, f); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if w.writes != len(frames) {
+				t.Fatalf("%d frames took %d Write calls, want one each", len(frames), w.writes)
+			}
+			// And the stream reads back intact.
+			r := bytes.NewReader(w.buf.Bytes())
+			for i := range frames {
+				got, err := tc.codec.ReadFrame(r)
+				if err != nil {
+					t.Fatalf("frame %d: %v", i, err)
+				}
+				if _, isSeqd := frames[i].(Seqd); isSeqd {
+					if s, ok := got.(Seqd); !ok || s.Seq != 42 {
+						t.Fatalf("frame %d decoded as %#v", i, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReadFramePooledEquivalence: the pooled read path decodes exactly
+// what ReadFrame does, for both codecs, and the returned buffer backs the
+// zero-copy fields.
+func TestReadFramePooledEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		codec Codec
+	}{
+		{"plain", Codec{}},
+		{"keyed", NewCodec([]byte("shared-secret"))},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			msg := sharedTestMsg()
+			if err := tc.codec.WriteFrame(&buf, Seqd{Seq: 5, Frame: msg}); err != nil {
+				t.Fatal(err)
+			}
+			f, pb, err := tc.codec.ReadFramePooled(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pb == nil {
+				t.Fatal("pooled read returned no buffer")
+			}
+			s, ok := f.(Seqd)
+			if !ok || s.Seq != 5 {
+				t.Fatalf("decoded %#v, want Seqd{5}", f)
+			}
+			m, ok := s.Frame.(Message)
+			if !ok || !bytes.Equal(m.Payload, msg.Payload) || len(m.Groups) != 2 {
+				t.Fatalf("inner frame %#v", s.Frame)
+			}
+			// Truncated stream errors cleanly.
+			if _, _, err := tc.codec.ReadFramePooled(bytes.NewReader(buf.Bytes()[:6])); err == nil {
+				t.Fatal("truncated pooled read did not error")
+			}
+			if _, _, err := tc.codec.ReadFramePooled(io.MultiReader()); err == nil {
+				t.Fatal("empty pooled read did not error")
+			}
+		})
+	}
+}
+
+// TestAppendEncodeOffset: AppendEncode respects existing bytes in dst and
+// enforces MaxFrame on the appended frame alone.
+func TestAppendEncodeOffset(t *testing.T) {
+	prefix := []byte{1, 2, 3, 4}
+	b, err := AppendEncode(append([]byte(nil), prefix...), sharedTestMsg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b[:4], prefix) {
+		t.Fatal("AppendEncode clobbered the prefix")
+	}
+	want, _ := Encode(sharedTestMsg())
+	if !bytes.Equal(b[4:], want) {
+		t.Fatal("AppendEncode body differs from Encode")
+	}
+}

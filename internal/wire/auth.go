@@ -54,6 +54,23 @@ func (a *Auth) AppendMAC(dst, frame []byte) []byte {
 	return append(dst, m.Sum(sum[:0])[:MacLen]...)
 }
 
+// SumParts appends the authentication tag of the concatenation of parts
+// to dst and returns the extended slice. It lets a caller MAC a frame
+// assembled from discontiguous pieces (a per-session header plus a shared
+// encode-once body) without first copying them together. With a nil
+// receiver dst is returned unchanged.
+func (a *Auth) SumParts(dst []byte, parts ...[]byte) []byte {
+	if a == nil {
+		return dst
+	}
+	m := hmac.New(sha256.New, a.key)
+	for _, p := range parts {
+		m.Write(p)
+	}
+	var sum [sha256.Size]byte
+	return append(dst, m.Sum(sum[:0])[:MacLen]...)
+}
+
 // Verify checks the trailing tag of a received frame and returns the
 // frame body with the tag stripped. The returned slice aliases frame's
 // backing array (same capacity class, so bufpool recycling still works).
