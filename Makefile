@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-full bench-smoke bench-baseline bench-shard bench-shard-smoke bench-wire bench-wire-smoke bench-fanout bench-fanout-smoke chaos obs-smoke soak-smoke
+.PHONY: ci vet build test race race-full bench-smoke bench-baseline bench-shard bench-shard-smoke bench-wire bench-wire-smoke bench-fanout bench-fanout-smoke bench-xring bench-xring-smoke chaos chaos-xring obs-smoke soak-smoke
 
 ci: vet build test race
 
@@ -71,6 +71,23 @@ bench-fanout:
 bench-fanout-smoke:
 	$(GO) test -run '^$$' -bench 'Fanout' -benchtime 500x ./internal/daemon
 
+# Cross-ring merge figure: end-to-end client delivery through real
+# daemons — single-ring split baseline (the PR 4 shape) vs the 2-shard
+# merged path (merge overhead is the per-message delta), plus the live
+# migration blackout window (ns/op of one Migrate round trip with
+# traffic in flight). Recorded in results/BENCH_xring.json (+ raw text).
+# Commit the JSON when the merge or migration path changes.
+bench-xring:
+	mkdir -p results
+	{ $(GO) test -run '^$$' -bench 'XRing(Split|Merged)Delivery' -benchtime 20000x -benchmem ./internal/daemon ; \
+	  $(GO) test -run '^$$' -bench 'XRingMigrationBlackout' -benchtime 200x -benchmem ./internal/daemon ; } \
+	  | tee results/BENCH_xring.txt | $(GO) run ./cmd/benchjson > results/BENCH_xring.json
+
+# Quick variant for CI: short passes, throwaway output.
+bench-xring-smoke:
+	$(GO) test -run '^$$' -bench 'XRing(Split|Merged)Delivery' -benchtime 1000x ./internal/daemon
+	$(GO) test -run '^$$' -bench 'XRingMigrationBlackout' -benchtime 20x ./internal/daemon
+
 # Multi-ring scaling experiment: single-ring baseline vs 2- and 4-shard
 # aggregates at equal windows on the virtual-time testbed, recorded in
 # results/BENCH_shard.json (+ results/shard.txt). Commit the JSON when
@@ -85,6 +102,11 @@ bench-shard-smoke:
 # Replay one chaos seed: make chaos FAULTS_SEED=17
 chaos:
 	$(GO) test -v -run TestChaosRandomPlans ./internal/faults/chaos/
+
+# Replay one cross-ring merge+migration chaos seed:
+# make chaos-xring FAULTS_SEED=17
+chaos-xring:
+	$(GO) test -v -run TestXRingChaos ./internal/faults/chaos/
 
 # End-to-end observability smoke: live 3-node ring, curl /metrics,
 # /debug/health, /debug/msgtrace, /debug/flight and validate the output.

@@ -3,6 +3,7 @@ package accelring
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"accelring/internal/obs"
 	"accelring/internal/ringnode"
 	"accelring/internal/shard"
+	"accelring/internal/shard/merge"
 )
 
 // Event is a delivery to the application: a *Message, a *GroupView, or a
@@ -73,6 +75,12 @@ type Node struct {
 	tracers []*obs.RingTracer
 	events  chan Event
 
+	// merger reunifies the per-ring ordered streams into one global
+	// delivery order when Shards > 1 (nil otherwise); pacerStop ends its
+	// lambda-pacing goroutine.
+	merger    *merge.Merger
+	pacerStop chan struct{}
+
 	mu        sync.Mutex
 	table     *group.ShardedTable
 	lastViews []ViewID
@@ -119,6 +127,14 @@ func OpenConfig(ctx context.Context, cfg Config) (*Node, error) {
 	}
 
 	if cfg.Shards > 1 {
+		n.merger = merge.New(merge.Config{
+			Shards:    cfg.Shards,
+			Self:      cfg.Self,
+			Table:     n.table,
+			Out:       nodeMergeOut{n},
+			SkipAhead: cfg.SkipAhead,
+			Obs:       cfg.Observer,
+		})
 		base := cfg.ringConfig()
 		if cfg.Observer != nil || cfg.TraceSampling > 0 {
 			// ForRing derives one observer per ring from this base: shared
@@ -147,6 +163,8 @@ func OpenConfig(ctx context.Context, cfg Config) (*Node, error) {
 			}
 			n.tracer = n.tracers[0]
 		}
+		n.pacerStop = make(chan struct{})
+		go n.skipPacer(cfg.SkipInterval)
 		return n, nil
 	}
 
@@ -344,9 +362,12 @@ func (n *Node) Send(service Service, payload []byte, groups ...string) error {
 	if !service.Valid() {
 		return ErrInvalidService
 	}
-	for ring, subset := range n.table.SplitByRing(groups) {
-		err := n.submit(ring, &group.Envelope{
-			Kind: group.OpMessage, Sender: n.self, Groups: subset, Payload: payload,
+	// Ascending ring order keeps spanning sends deterministic across
+	// identical runs; the merge layer gives the per-ring copies one
+	// global delivery order.
+	for _, rg := range n.table.SplitByRing(groups, nil) {
+		err := n.submit(rg.Ring, &group.Envelope{
+			Kind: group.OpMessage, Sender: n.self, Groups: rg.Groups, Payload: payload,
 		}, service)
 		if err != nil {
 			return err
@@ -411,6 +432,9 @@ func (n *Node) Close() error {
 		n.mu.Lock()
 		n.closed = true
 		n.mu.Unlock()
+		if n.pacerStop != nil {
+			close(n.pacerStop)
+		}
 		// Stop waits for every protocol goroutine to exit, so no event
 		// callback can race the channel close below.
 		if n.rings != nil {
@@ -449,11 +473,15 @@ func (n *Node) emit(ev Event) {
 	}
 }
 
-// onRingEvent runs on ring's protocol goroutine: it applies that ring's
-// totally ordered stream to the ring's partition of the group table and
-// forwards application-visible events. Different rings of a sharded node
-// invoke it concurrently; n.mu serializes the table work and the events
-// channel serializes emission.
+// onRingEvent runs on ring's protocol goroutine. Without a merger
+// (Shards <= 1) it applies that ring's totally ordered stream to the
+// ring's partition of the group table and forwards application-visible
+// events. With one, every ring's ordered stream — envelopes AND
+// configuration changes — feeds the cross-ring merger, which re-invokes
+// the same application logic (via nodeMergeOut) at each item's globally
+// ordered emission point, so Receive observes one identical global order
+// on every node. Different rings invoke it concurrently; n.mu serializes
+// the table work and the events channel serializes emission.
 func (n *Node) onRingEvent(ring int, ev evs.Event) {
 	switch e := ev.(type) {
 	case evs.Message:
@@ -461,39 +489,170 @@ func (n *Node) onRingEvent(ring int, ev evs.Event) {
 		if err != nil {
 			return // not ours: a foreign application on the same ring
 		}
+		if n.merger != nil {
+			n.merger.PushEnvelope(ring, env, e.Service)
+			return
+		}
 		n.applyEnvelope(ring, env, e.Service)
 	case evs.ConfigChange:
+		if n.merger != nil {
+			n.merger.PushConfig(ring, e)
+			return
+		}
 		n.applyConfigChange(ring, e)
 	}
 }
 
+// nodeMergeOut adapts the Node to the merger's output interface. Its
+// methods run with the merger's lock held at globally ordered emission
+// points; none of them blocks or reenters the merger (submissions spawn,
+// emit drops on a full buffer rather than wait).
+type nodeMergeOut struct{ n *Node }
+
+func (o nodeMergeOut) Deliver(ring int, env *group.Envelope, svc evs.Service) {
+	o.n.applyEnvelope(ring, env, svc)
+}
+
+func (o nodeMergeOut) Config(ring int, cc evs.ConfigChange) {
+	o.n.applyConfigChange(ring, cc)
+}
+
+func (o nodeMergeOut) SubmitAsync(ring int, env group.Envelope) {
+	enc, err := env.Encode()
+	if err != nil {
+		return
+	}
+	rings := o.n.rings
+	// Off the emission goroutine: Submit is a blocking round trip to the
+	// ring's protocol goroutine, which may be the very one emitting.
+	go func() { _ = rings.Submit(ring, enc, evs.Agreed) }()
+}
+
+func (o nodeMergeOut) Migrated(g string, from, to int) {
+	// The re-home itself happened in the shared table at this ordered
+	// point; the application sees the group's traffic continue seamlessly.
+}
+
+// skipPacer is the merge's lambda-pacing loop: every interval it asks the
+// merger which idle rings block the global order and, for each ring this
+// node represents, orders a skip claim on it. Skips are ordinary ordered
+// envelopes, so every node applies the same claims at the same per-ring
+// positions.
+func (n *Node) skipPacer(interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var wants []merge.Want
+	for {
+		select {
+		case <-n.pacerStop:
+			return
+		case <-tick.C:
+		}
+		wants = n.merger.Wants(wants)
+		for _, w := range wants {
+			env := n.merger.SkipEnvelope(w)
+			if enc, err := env.Encode(); err == nil {
+				_ = n.rings.Submit(w.Ring, enc, evs.Agreed)
+			}
+		}
+	}
+}
+
+// migrateTimeout bounds how long Migrate waits for the ordered close.
+const migrateTimeout = 30 * time.Second
+
+// Migrate re-homes a group onto another ring instance with no loss,
+// duplication, or reordering: it orders a migration marker on the group's
+// current ring and blocks until the migration's globally ordered close
+// point has been emitted locally (source ring drained, membership state
+// re-homed, buffered target-ring traffic replayed). Requires WithShards.
+// The move survives this call returning early (timeout): the protocol
+// completes or voids deterministically on every node regardless.
+func (n *Node) Migrate(groupName string, ring int) error {
+	if n.merger == nil {
+		return errors.New("accelring: Migrate requires a sharded node (WithShards)")
+	}
+	env, err := n.merger.BeginEnvelope(groupName, ring)
+	if err != nil {
+		return err
+	}
+	from := n.table.Ring(groupName)
+	if from == ring {
+		return nil // already home
+	}
+	done := n.merger.NotifyMigrated(groupName)
+	if err := n.submit(from, &env, Agreed); err != nil {
+		return err
+	}
+	select {
+	case <-done:
+		return nil
+	case <-time.After(migrateTimeout):
+		return fmt.Errorf("accelring: migration of %q to ring %d timed out", groupName, ring)
+	}
+}
+
+// RingOfGroup reports which ring instance currently owns a group: its
+// hash home (RingFor) or, after a Migrate, its override.
+func (n *Node) RingOfGroup(groupName string) int { return n.table.Ring(groupName) }
+
+// envTable locates the table holding a group's membership state at the
+// current point of the (global, when merged) order. A message can
+// straggle in on a ring the group has since migrated away from; the
+// probe resolves identically on every node because table contents at an
+// emission point are identical everywhere. Callers hold n.mu.
+func (n *Node) envTable(ring int, g string) *group.Table {
+	t := n.table.Table(ring)
+	if n.merger == nil || t.Has(g) {
+		return t
+	}
+	return n.table.For(g)
+}
+
 func (n *Node) applyEnvelope(ring int, env *group.Envelope, svc Service) {
-	table := n.table.Table(ring)
 	switch env.Kind {
 	case group.OpJoin:
 		n.mu.Lock()
-		err := table.Join(env.Sender, env.Groups[0])
+		err := n.envTable(ring, env.Groups[0]).Join(env.Sender, env.Groups[0])
 		n.mu.Unlock()
 		if err == nil {
 			n.announceView(env.Groups[0], env.Sender)
 		}
 	case group.OpLeave:
 		n.mu.Lock()
-		err := table.Leave(env.Sender, env.Groups[0])
+		err := n.envTable(ring, env.Groups[0]).Leave(env.Sender, env.Groups[0])
 		n.mu.Unlock()
 		if err == nil {
 			n.announceView(env.Groups[0], env.Sender)
 		}
 	case group.OpDisconnect:
+		var left []string
 		n.mu.Lock()
-		left := table.Disconnect(env.Sender)
+		if n.merger != nil {
+			// Merged mode orders one disconnect and applies it to every
+			// partition at its single global emission point.
+			for r := 0; r < n.shards; r++ {
+				left = append(left, n.table.Table(r).Disconnect(env.Sender)...)
+			}
+		} else {
+			left = n.table.Table(ring).Disconnect(env.Sender)
+		}
 		n.mu.Unlock()
 		for _, g := range left {
 			n.announceView(g, env.Sender)
 		}
 	case group.OpMessage:
 		n.mu.Lock()
-		deliver := memberOf(table.Recipients(env.Groups), n.self)
+		deliver := false
+		for _, g := range env.Groups {
+			if memberOf(n.envTable(ring, g).Members(g), n.self) {
+				deliver = true
+				break
+			}
+		}
 		n.mu.Unlock()
 		if deliver {
 			n.emit(&Message{

@@ -72,6 +72,8 @@ func run(args []string) error {
 	traceSample := fs.Int("trace-sample", 0, "sample every Nth sequence number for message-lifecycle tracing at /debug/msgtrace (0 disables)")
 	shards := fs.Int("shards", 1, "independent rings per daemon; ring r uses every base port + stride*r (numeric ports required)")
 	stride := fs.Int("shard-stride", 2, "port gap between consecutive rings of a sharded daemon (all daemons must agree)")
+	skipInterval := fs.Duration("skip-interval", 0, "cross-ring merge lambda-pacing tick: how often idle rings blocking the global order are skipped (0 = default 2ms; shards > 1 only)")
+	skipAhead := fs.Uint64("skip-ahead", 0, "virtual slots each cross-ring skip claims past the blocked head (0 = merge default; shards > 1 only)")
 	mcast := fs.String("mcast", "", "IPv4 multicast group for the data path, e.g. 239.1.1.7:5100 (empty keeps unicast fan-out; all daemons must agree)")
 	mcastTTL := fs.Int("mcast-ttl", 1, "IP_MULTICAST_TTL for outgoing multicast data (1 = link-local)")
 	mcastIf := fs.String("mcast-if", "", "network interface for multicast send/join (empty lets the kernel choose)")
@@ -105,6 +107,9 @@ func run(args []string) error {
 	}
 	if *clientBatch < 0 {
 		return fmt.Errorf("-client-batch must be non-negative")
+	}
+	if *skipInterval < 0 {
+		return fmt.Errorf("-skip-interval must be non-negative")
 	}
 
 	var reg *obs.Registry
@@ -180,6 +185,8 @@ func run(args []string) error {
 	if *shards > 1 {
 		dcfg.Shards = *shards
 		dcfg.NewTransport = newTransport
+		dcfg.SkipInterval = *skipInterval
+		dcfg.SkipAhead = *skipAhead
 		if *original {
 			dcfg.Ring = ringnode.Original(self, nil, *personal, *global)
 		} else {

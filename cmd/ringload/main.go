@@ -8,6 +8,7 @@
 //	ringload -nodes 4 -rate 5000 -payload 1350 -duration 5s
 //	ringload -nodes 4 -original            # baseline protocol
 //	ringload -daemons 127.0.0.1:4801,127.0.0.1:4802   # external daemons
+//	ringload -nodes 2 -shards 2 -migrate-every 500ms  # hot-group migration under load
 package main
 
 import (
@@ -49,6 +50,8 @@ func run(args []string) error {
 	safe := fs.Bool("safe", false, "use Safe delivery instead of Agreed")
 	daemonsFlag := fs.String("daemons", "", "comma-separated client addresses of external daemons (skips self-contained setup)")
 	churn := fs.Int("churn", 0, "churning sessions per daemon: each repeatedly connects, joins, sends, and disconnects for the whole run (session-lifecycle stress)")
+	shards := fs.Int("shards", 1, "self-contained mode: independent rings per daemon with cross-ring merge (see README § Multi-ring sharding)")
+	migrateEvery := fs.Duration("migrate-every", 0, "self-contained sharded mode: live-migrate the bench group to the next ring this often during the run, reporting the mean blackout (0 disables)")
 	batch := fs.Int("batch", 0, "self-contained mode: sendmmsg/recvmmsg batch size for the daemons' UDP transports (0 disables)")
 	packOn := fs.Bool("pack", false, "self-contained mode: bundle small messages into shared frames under load")
 	fanout := fs.Int("fanout", 0, "fan-out mode: one daemon, one publisher, N subscriber sessions; reports frames/s and write syscalls/frame (ignores -nodes/-daemons)")
@@ -68,47 +71,109 @@ func run(args []string) error {
 	if *churn < 0 {
 		return fmt.Errorf("-churn must be non-negative")
 	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1")
+	}
+	if *migrateEvery < 0 {
+		return fmt.Errorf("-migrate-every must be non-negative")
+	}
+	if *migrateEvery > 0 && *shards < 2 {
+		return fmt.Errorf("-migrate-every needs -shards >= 2 (a group can only migrate between rings)")
+	}
 
 	var addrs []string
+	var locals []*daemon.Daemon
 	if *daemonsFlag != "" {
+		if *shards > 1 || *migrateEvery > 0 {
+			return fmt.Errorf("-shards/-migrate-every apply to self-contained mode only")
+		}
 		addrs = strings.Split(*daemonsFlag, ",")
 	} else {
 		var stop func()
 		var err error
-		addrs, stop, err = selfContained(*nodes, *original, *batch, *packOn)
+		addrs, locals, stop, err = selfContained(*nodes, *shards, *original, *batch, *packOn)
 		if err != nil {
 			return err
 		}
 		defer stop()
 	}
 
+	// The migrator ping-pongs the bench group around the rings while the
+	// measured load flows, so the reported latency distribution includes
+	// the handoff blackouts (EXPERIMENTS § migrating a hot group).
+	var migStop chan struct{}
+	var migWG sync.WaitGroup
+	var migCount atomic.Int64
+	var migBlackout atomic.Int64 // cumulative ns spent inside Migrate
+	if *migrateEvery > 0 {
+		migStop = make(chan struct{})
+		migWG.Add(1)
+		go func() {
+			defer migWG.Done()
+			tick := time.NewTicker(*migrateEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-migStop:
+					return
+				case <-tick.C:
+					target := (locals[0].RingOfGroup("bench") + 1) % *shards
+					start := time.Now()
+					if err := locals[0].Migrate("bench", target); err != nil {
+						fmt.Fprintf(os.Stderr, "migrate to ring %d: %v\n", target, err)
+						continue
+					}
+					migBlackout.Add(int64(time.Since(start)))
+					migCount.Add(1)
+				}
+			}
+		}()
+	}
+
 	svc := evs.Agreed
 	if *safe {
 		svc = evs.Safe
 	}
-	return measure(addrs, *rate, *payload, svc, *warmup, *duration, *churn)
+	err := measure(addrs, *rate, *payload, svc, *warmup, *duration, *churn)
+	if migStop != nil {
+		close(migStop)
+		migWG.Wait()
+		if n := migCount.Load(); n > 0 {
+			fmt.Printf("migrations: %d (every %v), mean blackout %v\n",
+				n, *migrateEvery, (time.Duration(migBlackout.Load()) / time.Duration(n)).Round(time.Microsecond))
+		}
+	}
+	return err
 }
 
-// selfContained spins up n daemons over UDP loopback and returns their
-// client addresses plus a stop function.
-func selfContained(n int, original bool, batch int, packOn bool) ([]string, func(), error) {
-	transports := make([]*transport.UDP, n)
+// selfContained spins up n daemons over UDP loopback — each running
+// `shards` independent rings when shards > 1 — and returns their client
+// addresses, the daemons themselves, and a stop function.
+func selfContained(n, shards int, original bool, batch int, packOn bool) ([]string, []*daemon.Daemon, func(), error) {
+	// transports[i][r] is daemon i's endpoint on ring r; every ring is its
+	// own fully cross-wired UDP mesh.
+	transports := make([][]*transport.UDP, n)
 	for i := range transports {
-		u, err := transport.NewUDP(transport.UDPConfig{
-			Self:   evs.ProcID(i + 1),
-			Listen: transport.UDPPeer{Data: "127.0.0.1:0", Token: "127.0.0.1:0"},
-			Batch:  transport.BatchConfig{Send: batch, Recv: batch},
-		})
-		if err != nil {
-			return nil, nil, err
+		transports[i] = make([]*transport.UDP, shards)
+		for r := range transports[i] {
+			u, err := transport.NewUDP(transport.UDPConfig{
+				Self:   evs.ProcID(i + 1),
+				Listen: transport.UDPPeer{Data: "127.0.0.1:0", Token: "127.0.0.1:0"},
+				Batch:  transport.BatchConfig{Send: batch, Recv: batch},
+			})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			transports[i][r] = u
 		}
-		transports[i] = u
 	}
-	for i, u := range transports {
-		for j, peer := range transports {
-			if i != j {
-				if err := u.AddPeer(evs.ProcID(j+1), peer.LocalAddrs()); err != nil {
-					return nil, nil, err
+	for i := range transports {
+		for r, u := range transports[i] {
+			for j := range transports {
+				if i != j {
+					if err := u.AddPeer(evs.ProcID(j+1), transports[j][r].LocalAddrs()); err != nil {
+						return nil, nil, nil, err
+					}
 				}
 			}
 		}
@@ -118,37 +183,49 @@ func selfContained(n int, original bool, batch int, packOn bool) ([]string, func
 	for i := range daemons {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		var ringCfg ringnode.Config
+		var ringTr transport.Transport
+		if shards == 1 {
+			ringTr = transports[i][0]
+		}
 		if original {
-			ringCfg = ringnode.Original(evs.ProcID(i+1), transports[i], 20, 160)
+			ringCfg = ringnode.Original(evs.ProcID(i+1), ringTr, 20, 160)
 		} else {
-			ringCfg = ringnode.Accelerated(evs.ProcID(i+1), transports[i], 20, 160, 15)
+			ringCfg = ringnode.Accelerated(evs.ProcID(i+1), ringTr, 20, 160, 15)
 		}
 		if packOn {
 			ringCfg.Packing = &pack.AdaptiveConfig{}
 		}
-		d, err := daemon.Start(daemon.Config{Ring: ringCfg, Listener: ln})
+		dcfg := daemon.Config{Ring: ringCfg, Listener: ln}
+		if shards > 1 {
+			mine := transports[i]
+			dcfg.Shards = shards
+			dcfg.NewTransport = func(ring int) (transport.Transport, error) {
+				return mine[ring], nil
+			}
+		}
+		d, err := daemon.Start(dcfg)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		daemons[i] = d
 		addrs[i] = ln.Addr().String()
 	}
 	for i, d := range daemons {
 		if !d.WaitOperational(15 * time.Second) {
-			return nil, nil, fmt.Errorf("daemon %d did not become operational", i+1)
+			return nil, nil, nil, fmt.Errorf("daemon %d did not become operational", i+1)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "self-contained: %d daemons over UDP, ring %v\n",
-		n, daemons[0].Node().Status().Ring)
+	fmt.Fprintf(os.Stderr, "self-contained: %d daemons x %d rings over UDP, ring 0 %v\n",
+		n, shards, daemons[0].RingNode(0).Status().Ring)
 	stop := func() {
 		for _, d := range daemons {
 			d.Stop()
 		}
 	}
-	return addrs, stop, nil
+	return addrs, daemons, stop, nil
 }
 
 // measureFanout is the daemon fan-out figure: one self-contained daemon,

@@ -86,6 +86,19 @@ type Config struct {
 	// Wire.ShardStride*r.
 	Shards int
 
+	// SkipInterval is the lambda-pacing tick of the cross-ring merge
+	// (Shards > 1 only): how often the node checks for idle rings that
+	// block the global delivery order and, when it is the blocked ring's
+	// representative, orders a skip claim on it (default 2ms). Smaller
+	// values cut the latency a busy ring's messages wait on an idle
+	// one; larger values cut skip traffic.
+	SkipInterval time.Duration
+	// SkipAhead is how many virtual slots past the blocked head each
+	// skip claims (default 32). Larger values cut skip traffic on quiet
+	// rings at the cost of letting a quiet ring's next real message
+	// order later relative to busy rings.
+	SkipAhead uint64
+
 	// Wire is the unified transport configuration: mode (hub, unicast,
 	// multicast), addressing, per-shard port stride, syscall batching,
 	// and adaptive message packing. See WireConfig and WithWire.
@@ -201,6 +214,12 @@ func (c *Config) Validate() error {
 	}
 	if c.TraceDepth == 0 {
 		c.TraceDepth = obs.DefaultTraceDepth
+	}
+	if c.SkipInterval < 0 {
+		return fmt.Errorf("%w: got %v", ErrBadTimeout, c.SkipInterval)
+	}
+	if c.SkipInterval == 0 {
+		c.SkipInterval = 2 * time.Millisecond
 	}
 
 	// Windows.

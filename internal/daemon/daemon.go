@@ -59,6 +59,7 @@ import (
 	"accelring/internal/ringnode"
 	"accelring/internal/session"
 	"accelring/internal/shard"
+	"accelring/internal/shard/merge"
 	"accelring/internal/transport"
 )
 
@@ -76,6 +77,16 @@ type Config struct {
 	// NewTransport opens ring r's transport binding; required when
 	// Shards > 1 (each ring needs its own ports), ignored otherwise.
 	NewTransport func(ring int) (transport.Transport, error)
+	// SkipInterval is the lambda-pacing tick of the cross-ring merge
+	// (Shards > 1 only): how often the daemon checks for idle rings that
+	// block the global order and, when it is the blocked ring's
+	// representative, orders a skip claim on it (default 2ms). Smaller
+	// values cut the latency a busy ring's messages wait on an idle one;
+	// larger values cut skip traffic.
+	SkipInterval time.Duration
+	// SkipAhead is how many virtual slots past the blocked head each
+	// skip claims (default merge.DefaultSkipAhead).
+	SkipAhead uint64
 	// Listener accepts client connections (TCP or Unix socket). The
 	// daemon takes ownership and closes it on Stop.
 	Listener net.Listener
@@ -129,9 +140,17 @@ type Daemon struct {
 	ln     net.Listener
 	codec  session.Codec
 
-	// table holds one per-ring partition; each partition is only
-	// touched on its own ring's protocol goroutine (onRingEvent).
+	// table holds one per-ring partition. Without a merger each
+	// partition is only touched on its own ring's protocol goroutine
+	// (onRingEvent); with one, all partitions are mutated at the
+	// merger's globally ordered emission points, under its lock.
 	table *group.ShardedTable
+
+	// merger reunifies the per-ring ordered streams into one global
+	// delivery order when Shards > 1 (nil otherwise); pacerStop ends
+	// its lambda-pacing goroutine.
+	merger    *merge.Merger
+	pacerStop chan struct{}
 
 	mu        sync.Mutex
 	clients   map[uint32]*clientConn
@@ -209,6 +228,9 @@ type clientConn struct {
 	name  string
 	token uint64
 	out   *outbox
+	// split is the connection's SplitByRing scratch; only the session's
+	// reader goroutine touches it, so spanning sends stay alloc-free.
+	split []group.RingGroups
 
 	mu       sync.Mutex
 	expiry   *time.Timer // resume deadline while detached
@@ -249,6 +271,9 @@ func Start(cfg Config) (*Daemon, error) {
 	if cfg.WriterBatch <= 0 {
 		cfg.WriterBatch = 8
 	}
+	if cfg.SkipInterval <= 0 {
+		cfg.SkipInterval = 2 * time.Millisecond
+	}
 	shards := cfg.Shards
 	if shards < 1 {
 		shards = 1
@@ -264,6 +289,14 @@ func Start(cfg Config) (*Daemon, error) {
 		dm:      newDaemonMetrics(cfg.Obs),
 	}
 	if shards > 1 {
+		d.merger = merge.New(merge.Config{
+			Shards:    shards,
+			Self:      cfg.Ring.Self,
+			Table:     d.table,
+			Out:       mergeOut{d},
+			SkipAhead: cfg.SkipAhead,
+			Obs:       cfg.Obs,
+		})
 		g, err := shard.Start(shard.Config{
 			Shards:       shards,
 			Base:         cfg.Ring,
@@ -274,6 +307,9 @@ func Start(cfg Config) (*Daemon, error) {
 			return nil, err
 		}
 		d.rings = g
+		d.pacerStop = make(chan struct{})
+		d.wg.Add(1)
+		go d.skipPacer()
 	} else {
 		ringCfg := cfg.Ring
 		ringCfg.OnEvent = func(ev evs.Event) { d.onRingEvent(0, ev) }
@@ -339,6 +375,9 @@ func (d *Daemon) Stop() {
 	d.mu.Unlock()
 
 	d.ln.Close()
+	if d.pacerStop != nil {
+		close(d.pacerStop)
+	}
 	for _, c := range clients {
 		d.shutdownClient(c)
 	}
@@ -610,12 +649,15 @@ func (d *Daemon) handleRequest(c *clientConn, f session.Frame) bool {
 		}
 		d.backpressure()
 		// A multi-group send spanning several rings becomes one
-		// independent ordered message per owning ring: each group
-		// still sees a single total order, but cross-group order is
-		// only preserved within a ring.
-		for ring, groups := range d.table.SplitByRing(req.Groups) {
-			d.submitEnvelope(c, ring, group.Envelope{
-				Kind: group.OpMessage, Sender: c.id, Groups: groups,
+		// independent ordered message per owning ring, submitted in
+		// ascending ring order so identical runs replay identically;
+		// the cross-ring merger reunifies the per-ring streams into
+		// one global delivery order. The single-ring common case
+		// reuses the connection's split scratch and does not allocate.
+		c.split = d.table.SplitByRing(req.Groups, c.split)
+		for _, rg := range c.split {
+			d.submitEnvelope(c, rg.Ring, group.Envelope{
+				Kind: group.OpMessage, Sender: c.id, Groups: rg.Groups,
 				Payload: req.Payload,
 			}, svc)
 		}
@@ -783,19 +825,27 @@ func (d *Daemon) dropClient(c *clientConn) {
 		d.flight("disconnect", c.id.Local, 0)
 		env := group.Envelope{Kind: group.OpDisconnect, Sender: c.id}
 		if enc, err := env.Encode(); err == nil {
-			// The disconnect must reach EVERY ring: the client's groups may
-			// be partitioned across all of them, and each ring drops its own
-			// in its own total order. Submitted off this goroutine — drops
-			// can originate on a ring's own event goroutine (overflow during
-			// delivery), where a synchronous Submit would deadlock. Best
-			// effort: if a ring is down its table is rebuilt from
-			// configuration changes anyway.
-			shards := d.shards
-			go func() {
-				for r := 0; r < shards; r++ {
-					_ = d.submit(r, enc, evs.Agreed)
-				}
-			}()
+			// Submitted off this goroutine — drops can originate on a
+			// ring's own event goroutine (overflow during delivery), where
+			// a synchronous Submit would deadlock. Best effort: if a ring
+			// is down its table is rebuilt from configuration changes
+			// anyway.
+			if d.merger != nil {
+				// One copy, ordered on ring 0 and applied to every
+				// partition at its single global emission point — per-ring
+				// copies would race migration closes between them.
+				go func() { _ = d.submit(0, enc, evs.Agreed) }()
+			} else {
+				// The disconnect must reach EVERY ring: the client's
+				// groups may be partitioned across all of them, and each
+				// ring drops its own in its own total order.
+				shards := d.shards
+				go func() {
+					for r := 0; r < shards; r++ {
+						_ = d.submit(r, enc, evs.Agreed)
+					}
+				}()
+			}
 		}
 	})
 }
@@ -811,10 +861,13 @@ func (d *Daemon) localClient(id group.ClientID) *clientConn {
 	return d.clients[id.Local]
 }
 
-// onRingEvent runs on ring's protocol goroutine: it applies ordered
-// envelopes to that ring's partition of the group table and routes
-// deliveries to local clients. Different rings invoke it concurrently,
-// but each ring's partition is only ever touched by its own goroutine.
+// onRingEvent runs on ring's protocol goroutine. Without a merger
+// (Shards <= 1) it applies ordered envelopes to that ring's partition of
+// the group table directly. With one, every ring's ordered stream —
+// envelopes AND configuration changes — feeds the cross-ring merger,
+// which re-invokes the same application logic (via mergeOut) at each
+// item's globally ordered emission point; every daemon then applies the
+// identical interleaving of all rings' events.
 func (d *Daemon) onRingEvent(ring int, ev evs.Event) {
 	switch e := ev.(type) {
 	case evs.Message:
@@ -822,8 +875,18 @@ func (d *Daemon) onRingEvent(ring int, ev evs.Event) {
 		if err != nil {
 			return // not ours; a foreign application on the same ring
 		}
+		if d.merger != nil {
+			d.merger.PushEnvelope(ring, env, e.Service)
+			return
+		}
 		d.applyEnvelope(ring, env, e.Service)
 	case evs.ConfigChange:
+		if d.merger != nil {
+			// Transitional changes are slotted too: every daemon must
+			// assign the same virtual slots to a ring's stream.
+			d.merger.PushConfig(ring, e)
+			return
+		}
 		if e.Transitional {
 			return
 		}
@@ -831,16 +894,162 @@ func (d *Daemon) onRingEvent(ring int, ev evs.Event) {
 	}
 }
 
+// mergeOut adapts the Daemon to the merger's output interface. Its
+// methods run with the merger's lock held, at globally ordered emission
+// points; none of them blocks or reenters the merger (submissions spawn).
+type mergeOut struct{ d *Daemon }
+
+func (o mergeOut) Deliver(ring int, env *group.Envelope, svc evs.Service) {
+	o.d.applyEnvelope(ring, env, svc)
+}
+
+func (o mergeOut) Config(ring int, cc evs.ConfigChange) {
+	if cc.Transitional {
+		return
+	}
+	o.d.applyConfigChange(ring, cc.Config)
+}
+
+func (o mergeOut) SubmitAsync(ring int, env group.Envelope) {
+	enc, err := env.Encode()
+	if err != nil {
+		return
+	}
+	// Off the emission goroutine: Submit is a blocking round trip to the
+	// ring's protocol goroutine, which may be the very one emitting.
+	go func() { _ = o.d.submit(ring, enc, evs.Agreed) }()
+}
+
+func (o mergeOut) Migrated(g string, from, to int) {
+	o.d.flight("migrated "+g, 0, to)
+}
+
+// skipPacer is the merge's lambda-pacing loop: every SkipInterval it asks
+// the merger which idle rings block the global order and, for each ring
+// this daemon represents, orders a skip claim on it. Skips are ordinary
+// ordered envelopes, so every daemon applies the same claims at the same
+// per-ring positions.
+func (d *Daemon) skipPacer() {
+	defer d.wg.Done()
+	tick := time.NewTicker(d.cfg.SkipInterval)
+	defer tick.Stop()
+	var wants []merge.Want
+	for {
+		select {
+		case <-d.pacerStop:
+			return
+		case <-tick.C:
+		}
+		wants = d.merger.Wants(wants)
+		for _, w := range wants {
+			env := d.merger.SkipEnvelope(w)
+			enc, err := env.Encode()
+			if err != nil {
+				continue
+			}
+			_ = d.submit(w.Ring, enc, evs.Agreed)
+		}
+	}
+}
+
+// migrateTimeout bounds how long Migrate waits for the ordered close.
+const migrateTimeout = 30 * time.Second
+
+// Migrate re-homes a group onto another ring with no loss, duplication,
+// or reordering: it orders an OpMigrateBegin on the group's current ring
+// and blocks until the migration's globally ordered close point has been
+// emitted locally (source ring drained, membership state re-homed, and
+// buffered target-ring traffic replayed). Requires Shards > 1. The move
+// survives this call returning early (timeout): the protocol completes or
+// voids deterministically on every daemon regardless.
+func (d *Daemon) Migrate(g string, ring int) error {
+	if d.merger == nil {
+		return errors.New("daemon: Migrate requires a sharded daemon (Shards > 1)")
+	}
+	env, err := d.merger.BeginEnvelope(g, ring)
+	if err != nil {
+		return err
+	}
+	from := d.table.Ring(g)
+	if from == ring {
+		return nil // already home
+	}
+	done := d.merger.NotifyMigrated(g)
+	enc, err := env.Encode()
+	if err != nil {
+		return err
+	}
+	if err := d.submit(from, enc, evs.Agreed); err != nil {
+		return err
+	}
+	select {
+	case <-done:
+		return nil
+	case <-time.After(migrateTimeout):
+		return fmt.Errorf("daemon: migration of %q to ring %d timed out", g, ring)
+	}
+}
+
+// RingOfGroup reports which ring currently owns a group (hash home or
+// migration override).
+func (d *Daemon) RingOfGroup(g string) int { return d.table.Ring(g) }
+
+// envTable locates the table holding a group's membership state at the
+// current point of the (global, when merged) order. Without a merger it
+// is always the emission ring's partition. With one, a message can
+// straggle in on a ring the group has since migrated away from: the
+// group's state moved at the ordered close point, so the emission ring's
+// partition no longer has it and the routed partition does. Table
+// contents at an emission point are identical on every daemon, so the
+// probe resolves identically everywhere.
+func (d *Daemon) envTable(ring int, g string) *group.Table {
+	t := d.table.Table(ring)
+	if d.merger == nil || t.Has(g) {
+		return t
+	}
+	return d.table.For(g)
+}
+
+// recipientsFor computes a multicast's delivery set honoring migrated
+// groups. The common case — every group's state on the emission ring's
+// table — is one Recipients call; mixed tables (a straggler multicast
+// naming both a migrated and a resident group) take the slow union.
+func (d *Daemon) recipientsFor(ring int, groups []string) []group.ClientID {
+	tbl := d.envTable(ring, groups[0])
+	mixed := false
+	for _, g := range groups[1:] {
+		if d.envTable(ring, g) != tbl {
+			mixed = true
+			break
+		}
+	}
+	if !mixed {
+		return tbl.Recipients(groups)
+	}
+	seen := make(map[group.ClientID]bool)
+	var out []group.ClientID
+	for _, g := range groups {
+		for _, c := range d.envTable(ring, g).Members(g) {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
 func (d *Daemon) applyEnvelope(ring int, env *group.Envelope, svc evs.Service) {
-	table := d.table.Table(ring)
 	switch env.Kind {
 	case group.OpJoin:
+		table := d.envTable(ring, env.Groups[0])
 		if err := table.Join(env.Sender, env.Groups[0]); err == nil {
 			d.announceView(table, env.Groups[0])
 		} else if c := d.localClient(env.Sender); c != nil {
 			d.pushError(c, session.Error{Code: session.CodeBadRequest, Msg: err.Error()})
 		}
 	case group.OpLeave:
+		table := d.envTable(ring, env.Groups[0])
 		if err := table.Leave(env.Sender, env.Groups[0]); err == nil {
 			d.announceView(table, env.Groups[0])
 		} else if c := d.localClient(env.Sender); c != nil {
@@ -848,8 +1057,22 @@ func (d *Daemon) applyEnvelope(ring int, env *group.Envelope, svc evs.Service) {
 			d.pushError(c, session.Error{Code: session.CodeNotMember, Msg: err.Error()})
 		}
 	case group.OpDisconnect:
+		if d.merger != nil {
+			// Merged mode submits ONE disconnect (ring 0) and applies it
+			// to every partition at its single globally ordered emission:
+			// per-ring copies could race a migration close and resurrect
+			// the client on the ring its groups just left.
+			for r := 0; r < d.shards; r++ {
+				t := d.table.Table(r)
+				for _, g := range t.Disconnect(env.Sender) {
+					d.announceView(t, g)
+				}
+			}
+			return
+		}
 		// Dropped once per ring: each ring's disconnect copy removes the
 		// client from the groups that ring owns.
+		table := d.table.Table(ring)
 		for _, g := range table.Disconnect(env.Sender) {
 			d.announceView(table, g)
 		}
@@ -860,7 +1083,7 @@ func (d *Daemon) applyEnvelope(ring int, env *group.Envelope, svc evs.Service) {
 		// outbox queues a reference and the per-session writers prepend
 		// only the tiny Seqd header (and MAC, when keyed) at write time.
 		var sh *session.Shared
-		for _, rcpt := range table.Recipients(env.Groups) {
+		for _, rcpt := range d.recipientsFor(ring, env.Groups) {
 			c := d.localClient(rcpt)
 			if c == nil {
 				continue

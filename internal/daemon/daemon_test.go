@@ -80,7 +80,7 @@ func startDaemonsOnHub(t *testing.T, n int, hub *transport.Hub) []*Daemon {
 	return nil
 }
 
-func dial(t *testing.T, d *Daemon, name string) *client.Client {
+func dial(t testing.TB, d *Daemon, name string) *client.Client {
 	t.Helper()
 	c, err := client.Dial("tcp", d.Addr().String(), name)
 	if err != nil {
@@ -91,7 +91,7 @@ func dial(t *testing.T, d *Daemon, name string) *client.Client {
 }
 
 // nextEvent waits for the next event of type T, skipping others.
-func nextMessage(t *testing.T, c *client.Client, within time.Duration) *client.Message {
+func nextMessage(t testing.TB, c *client.Client, within time.Duration) *client.Message {
 	t.Helper()
 	deadline := time.After(within)
 	for {
@@ -109,7 +109,7 @@ func nextMessage(t *testing.T, c *client.Client, within time.Duration) *client.M
 	}
 }
 
-func nextView(t *testing.T, c *client.Client, groupName string, within time.Duration) *client.View {
+func nextView(t testing.TB, c *client.Client, groupName string, within time.Duration) *client.View {
 	t.Helper()
 	deadline := time.After(within)
 	for {

@@ -15,7 +15,14 @@ import (
 
 // startShardedDaemons launches n daemons, each running `shards` ring
 // instances over per-ring hubs, and waits for every ring to converge.
-func startShardedDaemons(t *testing.T, n, shards int) []*Daemon {
+func startShardedDaemons(t testing.TB, n, shards int) []*Daemon {
+	t.Helper()
+	return startShardedDaemonsCfg(t, n, shards, nil)
+}
+
+// startShardedDaemonsCfg is startShardedDaemons with a config hook, so
+// benchmarks can tune the merge pacing knobs.
+func startShardedDaemonsCfg(t testing.TB, n, shards int, tune func(*Config)) []*Daemon {
 	t.Helper()
 	hubs := make([]*transport.Hub, shards)
 	for r := range hubs {
@@ -30,14 +37,28 @@ func startShardedDaemons(t *testing.T, n, shards int) []*Daemon {
 		}
 		ringCfg := ringnode.Accelerated(id, nil, 10, 100, 7)
 		ringCfg.Timeouts = fastTimeouts()
-		d, err := Start(Config{
+		cfg := Config{
 			Ring:   ringCfg,
 			Shards: shards,
 			NewTransport: func(ring int) (transport.Transport, error) {
 				return hubs[ring].Endpoint(id, 0, 0)
 			},
 			Listener: ln,
-		})
+		}
+		if shards == 1 {
+			// Single-ring mode takes its transport from the ring config
+			// directly (NewTransport is ignored), so benchmarks can use
+			// this helper as the unsharded baseline too.
+			ep, err := hubs[0].Endpoint(id, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Ring.Transport = ep
+		}
+		if tune != nil {
+			tune(&cfg)
+		}
+		d, err := Start(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

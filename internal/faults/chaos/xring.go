@@ -1,0 +1,732 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"accelring/internal/evs"
+	"accelring/internal/faults"
+	"accelring/internal/group"
+	"accelring/internal/shard/merge"
+)
+
+// XRingOptions parameterizes a cross-ring merge chaos run: one harness
+// cluster per ring as in RunSharded, but every node additionally runs a
+// merge.Merger over all of its per-ring delivery streams, exactly like a
+// sharded daemon — including lambda-pacing skips, a live group migration
+// triggered mid-stream, and a split/heal of the migration's source ring
+// while the migration is in flight. Zero fields derive from the seed.
+type XRingOptions struct {
+	// Seed determines everything about the run.
+	Seed int64
+	// Shards is the ring count (default 2).
+	Shards int
+	// Nodes is the per-ring cluster size (default: 4–6, seed-chosen).
+	Nodes int
+	// Steps is the number of fault-schedule steps (default: 10–17,
+	// seed-chosen).
+	Steps int
+	// Groups is the number of client groups spread across the rings
+	// (default: 3–5, seed-chosen).
+	Groups int
+}
+
+// XRingResult summarizes one cross-ring chaos run. Two runs with equal
+// Options are identical, including the Result.
+type XRingResult struct {
+	Seed                 int64
+	Shards, Nodes, Steps int
+	Groups               []string
+	// MigratedGroup / MigratedTo describe the migration the schedule
+	// triggered (MigratedGroup is always set; the Begin may still be lost
+	// to faults, in which case MigrationsClosed is 0 and the route stays).
+	MigratedGroup string
+	MigratedTo    int
+	// MigrationsClosed is the maximum per-node migration close count over
+	// live nodes. Counts may legitimately differ across nodes: when a
+	// Begin straddles a partition and the run repairs it by re-issuing the
+	// Migrate, members that ordered the original Begin close twice while
+	// the other component closes only the repair. What must agree — and is
+	// checked — is the route every node ends with.
+	MigrationsClosed int
+	// PerRing holds each ring's own Result (per-ring EVS invariants
+	// included, with ring-derived seeds).
+	PerRing []*Result
+	// Submitted and Delivered aggregate application traffic over the
+	// rings (control envelopes — skips, acks, Begins — excluded from
+	// Submitted, included in the raw per-ring Delivered).
+	Submitted, Delivered int
+	// GlobalLogs is each node's globally ordered message-payload stream,
+	// indexed like the node ids; the determinism regression compares two
+	// runs' logs byte for byte.
+	GlobalLogs [][]string
+	// Violations flattens every breach: each ring's EVS violations plus
+	// the cross-ring checks — identical global order, zero loss, and
+	// exactly-once delivery through the migration.
+	Violations []Violation
+}
+
+// xnode is one daemon-equivalent: a routing table and a merger over the
+// node's own per-ring delivery logs, plus the globally ordered output.
+type xnode struct {
+	id     evs.ProcID
+	dead   bool
+	table  *group.ShardedTable
+	merger *merge.Merger
+	// logs[r] is this node's incarnation log on ring r; consumed[r] is
+	// how much of it has been fed to the merger. Nodes are never
+	// restarted (a fresh merger's slot numbering would only re-level at
+	// the next announcement round — the guarantee is per incarnation), so
+	// the log pointers are stable for the whole run.
+	logs     []*memberLog
+	consumed []int
+	// global is the node's globally ordered delivery stream (message
+	// payloads; config changes are per-ring and excluded from cross-node
+	// comparison since partitioned components legitimately see different
+	// view sequences).
+	global []string
+	// pending holds merger-originated control envelopes (acks, frontier
+	// announcements) awaiting a successful machine submit; kept FIFO so
+	// an ack never overtakes the traffic it drains.
+	pending []xctl
+	// wants is the reusable Wants scratch; migClosed counts Migrated
+	// callbacks.
+	wants     []merge.Want
+	migClosed int
+}
+
+type xctl struct {
+	ring int
+	enc  []byte
+}
+
+// xout adapts a node's merger output back onto the harness: deliveries
+// append to the node's global log, control submissions queue for the next
+// pacing round.
+type xout struct{ n *xnode }
+
+func (o *xout) Deliver(ring int, env *group.Envelope, svc evs.Service) {
+	if env.Kind == group.OpMessage {
+		o.n.global = append(o.n.global, string(env.Payload))
+	}
+}
+
+func (o *xout) Config(ring int, cc evs.ConfigChange) {}
+
+func (o *xout) SubmitAsync(ring int, env group.Envelope) {
+	enc, err := env.Encode()
+	if err != nil {
+		panic("chaos: control envelope: " + err.Error())
+	}
+	o.n.pending = append(o.n.pending, xctl{ring: ring, enc: enc})
+}
+
+func (o *xout) Migrated(g string, from, to int) { o.n.migClosed++ }
+
+// xrun is the running state of one cross-ring chaos run.
+type xrun struct {
+	res    *XRingResult
+	hs     []*harness
+	nodes  []*xnode
+	msgSeq uint32
+	// split tracks which rings currently have a partition installed, so
+	// the migration only triggers while its source ring is whole.
+	split []bool
+}
+
+func (x *xrun) violate(inv, detail string) {
+	x.res.Violations = append(x.res.Violations, Violation{inv, detail})
+}
+
+// feed pushes every not-yet-consumed per-ring delivery of every live node
+// into that node's merger, in node then ring order. Emission happens
+// inline, so captured control submissions are ready for the next pace.
+func (x *xrun) feed() {
+	for _, n := range x.nodes {
+		if n.dead {
+			continue
+		}
+		for r := range x.hs {
+			log := n.logs[r]
+			for n.consumed[r] < len(log.events) {
+				ev := log.events[n.consumed[r]]
+				n.consumed[r]++
+				switch e := ev.(type) {
+				case evs.Message:
+					env, err := group.DecodeEnvelope(e.Payload)
+					if err != nil {
+						x.violate("decode", fmt.Sprintf(
+							"node %d ring %d: %v", n.id, r, err))
+						continue
+					}
+					n.merger.PushEnvelope(r, env, e.Service)
+				case evs.ConfigChange:
+					n.merger.PushConfig(r, e)
+				}
+			}
+		}
+	}
+}
+
+// pace is one lambda-pacing round: flush each live node's queued control
+// envelopes (retrying refused submits, in order), then submit the skip
+// claims the node's merger wants where this node is the representative.
+func (x *xrun) pace() {
+	for _, n := range x.nodes {
+		if n.dead {
+			continue
+		}
+		keep := n.pending[:0]
+		for _, p := range n.pending {
+			m := x.hs[p.ring].machines[n.id]
+			if m == nil || m.Submit(p.enc, evs.Agreed) != nil {
+				keep = append(keep, p)
+			}
+		}
+		n.pending = keep
+		n.wants = n.merger.Wants(n.wants)
+		for _, w := range n.wants {
+			env := n.merger.SkipEnvelope(w)
+			enc, err := env.Encode()
+			if err != nil {
+				panic("chaos: skip envelope: " + err.Error())
+			}
+			// A refused skip is simply dropped: Wants re-requests it
+			// after its suppression window.
+			if m := x.hs[w.Ring].machines[n.id]; m != nil {
+				_ = m.Submit(enc, evs.Agreed)
+			}
+		}
+	}
+}
+
+// run advances all rings d of virtual time in small chunks, feeding and
+// pacing the mergers between chunks — the deterministic stand-in for the
+// daemon's event loop and skip-pacer timer.
+func (x *xrun) run(d time.Duration) {
+	const chunk = 10 * time.Millisecond
+	for d > 0 {
+		step := chunk
+		if d < step {
+			step = d
+		}
+		for _, h := range x.hs {
+			h.advance(step)
+		}
+		d -= step
+		x.feed()
+		x.pace()
+	}
+}
+
+// settle runs until every live merger has drained (no queued items, no
+// unsubmitted control envelopes) for a few consecutive rounds, or the
+// virtual-time budget runs out.
+func (x *xrun) settle(budget time.Duration) bool {
+	quiet := 0
+	for spent := time.Duration(0); spent < budget; spent += 10 * time.Millisecond {
+		x.run(10 * time.Millisecond)
+		if x.quiescent() {
+			if quiet++; quiet >= 5 {
+				return true
+			}
+		} else {
+			quiet = 0
+		}
+	}
+	return x.quiescent()
+}
+
+func (x *xrun) quiescent() bool {
+	for _, n := range x.nodes {
+		if n.dead {
+			continue
+		}
+		if len(n.pending) > 0 || n.merger.Pending() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (x *xrun) liveNodes() []*xnode {
+	var out []*xnode
+	for _, n := range x.nodes {
+		if !n.dead {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// killNode stops one node everywhere: its machines vanish from every
+// ring and its merger is no longer driven.
+func (x *xrun) killNode(n *xnode) {
+	n.dead = true
+	for _, h := range x.hs {
+		h.kill(n.id)
+	}
+}
+
+// submitMsg routes one tagged application message by the SENDER's own
+// routing table — mid-migration, different nodes may transiently route
+// the same group differently, and each sender's view is the authoritative
+// one for its own traffic (that is the semantics the daemon gives its
+// clients). Returns whether the submission was accepted.
+func (x *xrun) submitMsg(n *xnode, g, phase string, svc evs.Service) bool {
+	ring := n.table.Ring(g)
+	m := x.hs[ring].machines[n.id]
+	if m == nil {
+		return false
+	}
+	x.msgSeq++
+	env := group.Envelope{
+		Kind:    group.OpMessage,
+		Sender:  group.ClientID{Daemon: n.id, Local: x.msgSeq},
+		Groups:  []string{g},
+		Payload: []byte(fmt.Sprintf("%s/%s-%d-%d", g, phase, n.id, x.msgSeq)),
+	}
+	enc, err := env.Encode()
+	if err != nil {
+		panic("chaos: message envelope: " + err.Error())
+	}
+	if m.Submit(enc, svc) != nil {
+		return false
+	}
+	x.hs[ring].submitted++
+	return true
+}
+
+// splitRing installs a seeded two-sided partition on one ring.
+func (x *xrun) splitRing(r int, rng *rand.Rand) {
+	sides := make(map[evs.ProcID]int, len(x.hs[r].ids))
+	for i, id := range x.hs[r].ids {
+		// Guarantee both sides are nonempty, then randomize the rest.
+		if i < 2 {
+			sides[id] = i
+		} else {
+			sides[id] = rng.Intn(2)
+		}
+	}
+	x.hs[r].part.Split(sides)
+	x.split[r] = true
+}
+
+func (x *xrun) healRing(r int) {
+	x.hs[r].part.Heal()
+	x.split[r] = false
+}
+
+// checkEqualStreams verifies that every live node produced the identical
+// stream, reporting the first divergence.
+func (x *xrun) checkEqualStreams(inv string, streams map[evs.ProcID][]string) {
+	live := x.liveNodes()
+	if len(live) < 2 {
+		return
+	}
+	ref := streams[live[0].id]
+	for _, n := range live[1:] {
+		got := streams[n.id]
+		limit := len(ref)
+		if len(got) < limit {
+			limit = len(got)
+		}
+		for i := 0; i < limit; i++ {
+			if ref[i] != got[i] {
+				x.violate(inv, fmt.Sprintf(
+					"nodes %d and %d diverge at global position %d: %q vs %q",
+					live[0].id, n.id, i, ref[i], got[i]))
+				return
+			}
+		}
+		if len(ref) != len(got) {
+			x.violate(inv, fmt.Sprintf(
+				"nodes %d and %d delivered %d vs %d messages",
+				live[0].id, n.id, len(ref), len(got)))
+			return
+		}
+	}
+}
+
+// RunXRing executes one cross-ring merge chaos run. It is deterministic:
+// equal Options produce equal Results, including every node's global log.
+func RunXRing(opts XRingOptions) *XRingResult {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	shards := opts.Shards
+	if shards == 0 {
+		shards = 2
+	}
+	n := opts.Nodes
+	if n == 0 {
+		n = 4 + rng.Intn(3)
+	}
+	steps := opts.Steps
+	if steps == 0 {
+		steps = 10 + rng.Intn(8)
+	}
+	ngroups := opts.Groups
+	if ngroups == 0 {
+		ngroups = 3 + rng.Intn(3)
+	}
+	res := &XRingResult{Seed: opts.Seed, Shards: shards, Nodes: n, Steps: steps}
+	for g := 0; g < ngroups; g++ {
+		res.Groups = append(res.Groups, fmt.Sprintf("g-%d", g))
+	}
+
+	x := &xrun{res: res, split: make([]bool, shards)}
+	for r := 0; r < shards; r++ {
+		x.hs = append(x.hs, newHarness(rand.New(rand.NewSource(ringSeed(opts.Seed, r))), n))
+		res.PerRing = append(res.PerRing, &Result{Seed: ringSeed(opts.Seed, r), Nodes: n, Steps: steps})
+	}
+	for i := 0; i < n; i++ {
+		node := &xnode{
+			id:       evs.ProcID(i + 1),
+			table:    group.NewShardedTable(shards),
+			consumed: make([]int, shards),
+		}
+		node.merger = merge.New(merge.Config{
+			Shards: shards,
+			Self:   node.id,
+			Table:  node.table,
+			Out:    &xout{n: node},
+		})
+		for r := 0; r < shards; r++ {
+			node.logs = append(node.logs, x.hs[r].cur[node.id])
+		}
+		x.nodes = append(x.nodes, node)
+	}
+
+	// Phase 1: fault-free formation of every ring, then a converged burst
+	// that every node must deliver in the identical global order.
+	for r, h := range x.hs {
+		if !h.waitConverged(10 * time.Second) {
+			x.violate("formation", fmt.Sprintf("ring %d did not form", r))
+			return finishXRing(res, x)
+		}
+	}
+	x.feed()
+	x.pace()
+	burstA := 0
+	for i := 0; i < 4+rng.Intn(4); i++ {
+		g := res.Groups[rng.Intn(ngroups)]
+		svc := evs.Agreed
+		if rng.Intn(2) == 0 {
+			svc = evs.Safe
+		}
+		if x.submitMsg(x.nodes[rng.Intn(n)], g, "a", svc) {
+			burstA++
+		}
+	}
+	if !x.settle(20 * time.Second) {
+		x.violate("merge-liveness", x.stallDetail("converged burst did not drain"))
+		return finishXRing(res, x)
+	}
+	streams := make(map[evs.ProcID][]string)
+	for _, node := range x.nodes {
+		streams[node.id] = node.global
+	}
+	x.checkEqualStreams("global-order", streams)
+	if got := len(x.nodes[0].global); got != burstA {
+		x.violate("global-loss", fmt.Sprintf(
+			"converged burst: %d accepted, %d delivered globally", burstA, got))
+	}
+
+	// Pick the migration before the fault phase: the group, its source
+	// ring (the routing hash's choice), and the neighbouring target.
+	gM := res.Groups[rng.Intn(ngroups)]
+	migFrom := group.RingOf(gM, shards)
+	migTo := (migFrom + 1) % shards
+	res.MigratedGroup, res.MigratedTo = gM, migTo
+	migStep := steps / 2
+	if migStep+3 >= steps {
+		migStep = steps - 4
+	}
+	migSubmitted := false
+	submitBegin := func() {
+		// The lowest live node initiates; any node could. Triggered only
+		// while the source ring is whole, so the Begin orders ring-wide
+		// before the scheduled split lands on it.
+		live := x.liveNodes()
+		if len(live) == 0 || x.split[migFrom] {
+			return
+		}
+		env, err := live[0].merger.BeginEnvelope(gM, migTo)
+		if err != nil {
+			panic("chaos: begin envelope: " + err.Error())
+		}
+		enc, err := env.Encode()
+		if err != nil {
+			panic("chaos: begin envelope: " + err.Error())
+		}
+		if m := x.hs[migFrom].machines[live[0].id]; m != nil && m.Submit(enc, evs.Agreed) == nil {
+			migSubmitted = true
+		}
+	}
+
+	// Phase 2: the shared fault schedule — independent per-ring fault
+	// plans, whole-node kills, ring splits and heals, group traffic — with
+	// the migration forced mid-stream and its source ring split and healed
+	// while the migration is in flight.
+	durs := make([]time.Duration, steps)
+	var total time.Duration
+	for i := range durs {
+		durs[i] = time.Duration(50+rng.Intn(300)) * time.Millisecond
+		total += durs[i]
+	}
+	for r, h := range x.hs {
+		h.inj = faults.New(ringSeed(opts.Seed, r), randomPlan(h.rng, n, total, h.part))
+		h.faultStart = h.now
+		h.faultsOn = true
+	}
+
+	for s := 0; s < steps; s++ {
+		switch {
+		case s == migStep && migStep >= 0:
+			submitBegin()
+		case s == migStep+1 && migStep >= 0:
+			x.splitRing(migFrom, rng)
+		case s == migStep+3 && migStep >= 0:
+			x.healRing(migFrom)
+		default:
+			switch rng.Intn(8) {
+			case 0: // kill one whole node (keep a workable majority)
+				if live := x.liveNodes(); len(live) > 3 {
+					x.killNode(live[rng.Intn(len(live))])
+				}
+			case 1:
+				// Restarts are deliberately absent: the merge guarantee is
+				// per incarnation (a reborn merger re-levels only at the
+				// next announcement round), and the daemon restart path is
+				// out of scope here. Burn the rng draw to keep the
+				// schedule shape aligned with the other chaos suites.
+				_ = rng.Intn(2)
+			case 2: // split one ring
+				x.splitRing(rng.Intn(shards), rng)
+			case 3: // heal one ring
+				x.healRing(rng.Intn(shards))
+			default: // traffic burst: sender-routed, mixed Agreed/Safe
+				for i := 0; i < 1+rng.Intn(4); i++ {
+					svc := evs.Agreed
+					if rng.Intn(2) == 0 {
+						svc = evs.Safe
+					}
+					g := res.Groups[rng.Intn(ngroups)]
+					if live := x.liveNodes(); len(live) > 0 {
+						x.submitMsg(live[rng.Intn(len(live))], g, "x", svc)
+					}
+				}
+			}
+		}
+		// Keep traffic flowing at the migrating group through the handoff
+		// window, so the buffer-and-replay path is actually exercised.
+		if migStep >= 0 && s >= migStep && s <= migStep+3 {
+			if live := x.liveNodes(); len(live) > 0 {
+				x.submitMsg(live[rng.Intn(len(live))], gM, "x", evs.Agreed)
+				if !migSubmitted && s > migStep {
+					submitBegin()
+				}
+			}
+		}
+		x.run(durs[s])
+	}
+
+	// Phase 3: stop all faults, converge every ring, drain the merge, and
+	// make sure a migration actually ran even on seeds whose schedule kept
+	// the source ring split through the whole window.
+	for _, h := range x.hs {
+		h.faultsOn = false
+	}
+	for r := range x.hs {
+		x.healRing(r)
+	}
+	for r, h := range x.hs {
+		if !h.waitConverged(20 * time.Second) {
+			detail := fmt.Sprintf("ring %d live machines did not converge after heal:", r)
+			for _, id := range h.liveIDs() {
+				m := h.machines[id]
+				detail += fmt.Sprintf(" %d=%v/%v", id, m.State(), m.Ring().ID)
+			}
+			x.violate("convergence", detail)
+			return finishXRing(res, x)
+		}
+	}
+	if !x.settle(30 * time.Second) {
+		x.violate("merge-liveness", x.stallDetail("post-heal drain"))
+		return finishXRing(res, x)
+	}
+	if !migSubmitted {
+		submitBegin()
+		x.run(time.Second)
+		if !x.settle(20 * time.Second) {
+			x.violate("merge-liveness", x.stallDetail("fallback migration drain"))
+			return finishXRing(res, x)
+		}
+	}
+
+	// A Begin that straddled the forced partition leaves damage the merge
+	// layer cannot repair by itself: the component that never ordered the
+	// Begin keeps the old route, and a member that ordered it but whose
+	// required acks closed in the OTHER component stays open forever (the
+	// closed members have nothing left to re-announce). The operator's
+	// remedy for both is re-issuing the Migrate on the group's old ring:
+	// not-yet-flipped members run the normal flow, already-closed members
+	// join the drain with no-op flips, and stuck-open members supersede
+	// their original Begin — everyone leaves closed with one agreed route.
+	// The harness plays the operator here, exactly once.
+	if live := x.liveNodes(); len(live) > 1 {
+		damaged := false
+		for _, node := range live {
+			if node.table.Ring(gM) != live[0].table.Ring(gM) || node.merger.Migrating(gM) {
+				damaged = true
+				break
+			}
+		}
+		if damaged {
+			env, err := live[0].merger.BeginEnvelope(gM, migTo)
+			if err != nil {
+				panic("chaos: repair begin envelope: " + err.Error())
+			}
+			enc, err := env.Encode()
+			if err != nil {
+				panic("chaos: repair begin envelope: " + err.Error())
+			}
+			submitted := false
+			for _, node := range live {
+				if m := x.hs[migFrom].machines[node.id]; m != nil && m.Submit(enc, evs.Agreed) == nil {
+					submitted = true
+					break
+				}
+			}
+			if !submitted {
+				x.violate("migration", fmt.Sprintf(
+					"routes for %q diverged and no live node could submit the repair Begin", gM))
+			}
+			x.run(time.Second)
+			if !x.settle(20 * time.Second) {
+				x.violate("merge-liveness", x.stallDetail("repair migration drain"))
+				return finishXRing(res, x)
+			}
+		}
+	}
+
+	// The migration must have settled to one agreed outcome everywhere:
+	// one route for the group (after the repair, if one was needed) and no
+	// migration left open. Close COUNTS may differ legitimately — a
+	// repair-joining member closes both the original and the repair — so
+	// the result records the maximum.
+	live := x.liveNodes()
+	if len(live) > 0 {
+		for _, node := range live {
+			if node.migClosed > res.MigrationsClosed {
+				res.MigrationsClosed = node.migClosed
+			}
+		}
+		ref := live[0].table.Ring(gM)
+		for _, node := range live[1:] {
+			if got := node.table.Ring(gM); got != ref {
+				x.violate("migration", fmt.Sprintf(
+					"nodes %d and %d route %q to rings %d vs %d after heal",
+					live[0].id, node.id, gM, ref, got))
+			}
+		}
+		for _, node := range live {
+			if node.merger.Migrating(gM) {
+				x.violate("migration", fmt.Sprintf(
+					"migration of %q still open at node %d after heal", gM, node.id))
+			}
+		}
+	}
+
+	// Epilogue: a post-heal burst every live node must deliver in the
+	// identical global order, with nothing lost and nothing duplicated —
+	// the re-leveling guarantee after the frontier announcement round.
+	burstE := 0
+	for i := 0; i < 4+rng.Intn(4); i++ {
+		g := res.Groups[rng.Intn(ngroups)]
+		svc := evs.Agreed
+		if rng.Intn(2) == 0 {
+			svc = evs.Safe
+		}
+		if live := x.liveNodes(); len(live) > 0 {
+			if x.submitMsg(live[rng.Intn(len(live))], g, "e", svc) {
+				burstE++
+			}
+		}
+	}
+	if !x.settle(20 * time.Second) {
+		x.violate("merge-liveness", x.stallDetail("epilogue burst did not drain"))
+		return finishXRing(res, x)
+	}
+
+	epilogue := make(map[evs.ProcID][]string)
+	for _, node := range x.liveNodes() {
+		for _, p := range node.global {
+			if strings.Contains(p, "/e-") {
+				epilogue[node.id] = append(epilogue[node.id], p)
+			}
+		}
+	}
+	x.checkEqualStreams("global-order", epilogue)
+	if live := x.liveNodes(); len(live) > 0 {
+		if got := len(epilogue[live[0].id]); got != burstE {
+			x.violate("global-loss", fmt.Sprintf(
+				"epilogue burst: %d accepted, %d delivered globally", burstE, got))
+		}
+	}
+	// Exactly-once across the whole run, migration handoff included: no
+	// payload may appear twice in any node's global stream.
+	for _, node := range x.nodes {
+		seen := make(map[string]bool, len(node.global))
+		for _, p := range node.global {
+			if seen[p] {
+				x.violate("global-dup", fmt.Sprintf(
+					"node %d delivered %q twice", node.id, p))
+				break
+			}
+			seen[p] = true
+		}
+	}
+
+	// Per-ring EVS invariants still hold underneath the merge.
+	for r, h := range x.hs {
+		h.advance(2 * time.Second)
+		x.feed()
+		for _, v := range checkInvariants(h.logs) {
+			res.PerRing[r].Violations = append(res.PerRing[r].Violations, v)
+			x.violate(v.Invariant, fmt.Sprintf("ring %d: %s", r, v.Detail))
+		}
+	}
+	return finishXRing(res, x)
+}
+
+// stallDetail snapshots every live merger's pending state for a
+// merge-liveness violation message.
+func (x *xrun) stallDetail(what string) string {
+	detail := what + ":"
+	for _, n := range x.nodes {
+		if n.dead {
+			continue
+		}
+		detail += fmt.Sprintf(" node%d{pending=%d ctl=%d", n.id, n.merger.Pending(), len(n.pending))
+		for r := range x.hs {
+			detail += fmt.Sprintf(" f%d=%d", r, n.merger.Frontier(r))
+		}
+		detail += "}"
+	}
+	return detail
+}
+
+func finishXRing(res *XRingResult, x *xrun) *XRingResult {
+	for r, h := range x.hs {
+		finish(res.PerRing[r], h)
+		res.Submitted += res.PerRing[r].Submitted
+		res.Delivered += res.PerRing[r].Delivered
+	}
+	res.GlobalLogs = make([][]string, len(x.nodes))
+	for i, n := range x.nodes {
+		res.GlobalLogs[i] = n.global
+	}
+	return res
+}

@@ -27,7 +27,43 @@ const (
 	// already gone at its host daemon: Sender is the vanished target,
 	// Target the original sender to notify.
 	OpPrivateReject
+	// OpSkip claims delivery slots for an otherwise idle ring so the
+	// cross-ring merge never stalls on it (Multi-Ring Paxos lambda
+	// pacing). Arg is the cumulative slot frontier being claimed; claims
+	// are monotone (max-merged), so duplicate or stale skips are
+	// harmless. Emitted by any member of the ring whose own merge the
+	// ring is blocking.
+	OpSkip
+	// OpMigrateBegin starts a live migration of Groups[0] from the ring
+	// this envelope is ordered on to ring Arg. Sender.Daemon is the
+	// initiating daemon.
+	OpMigrateBegin
+	// OpFrontier is a member's slot-frontier announcement, submitted at
+	// each regular configuration change and anchored to it: Arg is the
+	// announcer's virtual frontier immediately after slotting the change.
+	// Receivers apply it RELATIVE to that common stream position —
+	// front = max(front, Arg + slots consumed since the change) — which
+	// re-levels frontiers that diverged during a partition exactly, even
+	// when traffic is ordered concurrently with the announcement (an
+	// absolute claim would under-level by however many slots landed
+	// before it was ordered, leaving a permanent skew). Consumes no slot.
+	OpFrontier
+	// OpMigrateAck is a member daemon's drain acknowledgement for the
+	// in-flight migration of Groups[0]; Target echoes the identity of
+	// the MigrateBegin it answers (which is what ties the ack to one
+	// migration instance, even across members whose migration histories
+	// diverged during a partition), Arg the acker's local migration
+	// epoch, and Sender.Daemon the acking daemon. Because each daemon
+	// submits FIFO to a ring, the ack orders after all of that daemon's
+	// pre-switch traffic for the group.
+	OpMigrateAck
 )
+
+// hasArg reports whether the kind carries the 8-byte Arg field on the
+// wire. Existing kinds keep their PR 4 encoding byte-for-byte.
+func (k OpKind) hasArg() bool {
+	return k == OpSkip || k == OpFrontier || k == OpMigrateBegin || k == OpMigrateAck
+}
 
 func (k OpKind) String() string {
 	switch k {
@@ -43,6 +79,14 @@ func (k OpKind) String() string {
 		return "private"
 	case OpPrivateReject:
 		return "private_reject"
+	case OpSkip:
+		return "skip"
+	case OpFrontier:
+		return "frontier"
+	case OpMigrateBegin:
+		return "migrate_begin"
+	case OpMigrateAck:
+		return "migrate_ack"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(k))
 	}
@@ -62,6 +106,12 @@ type Envelope struct {
 	Groups []string
 	// Payload is the application data of a Message or Private.
 	Payload []byte
+	// Arg carries the small integer operand of the merge-control kinds:
+	// the cumulative slot frontier of a Skip, the CC-anchored frontier of
+	// a Frontier announcement, the target ring of a MigrateBegin, or the
+	// migration epoch of a MigrateAck. Zero (and absent on the wire) for
+	// every other kind.
+	Arg uint64
 }
 
 // Validate checks structural constraints before encoding.
@@ -86,8 +136,28 @@ func (e *Envelope) Validate() error {
 		if e.Target == (ClientID{}) {
 			return fmt.Errorf("group: private message needs a target")
 		}
+	case OpSkip, OpFrontier:
+		if len(e.Groups) != 0 || len(e.Payload) != 0 {
+			return fmt.Errorf("group: %v carries no groups or payload", e.Kind)
+		}
+		if e.Arg == 0 {
+			return fmt.Errorf("group: %v needs a nonzero slot frontier", e.Kind)
+		}
+	case OpMigrateBegin, OpMigrateAck:
+		if len(e.Groups) != 1 {
+			return fmt.Errorf("group: %v needs exactly one group", e.Kind)
+		}
+		if len(e.Payload) != 0 {
+			return fmt.Errorf("group: %v carries no payload", e.Kind)
+		}
+		if e.Kind == OpMigrateAck && e.Arg == 0 {
+			return fmt.Errorf("group: migrate_ack needs a nonzero epoch")
+		}
 	default:
 		return fmt.Errorf("group: unknown op %d", e.Kind)
+	}
+	if !e.Kind.hasArg() && e.Arg != 0 {
+		return fmt.Errorf("group: %v carries no arg", e.Kind)
 	}
 	for _, g := range e.Groups {
 		if !ValidGroupName(g) {
@@ -107,12 +177,15 @@ func (e *Envelope) Encode() ([]byte, error) {
 		n += 1 + len(g)
 	}
 	n += 4 + len(e.Payload)
-	b := make([]byte, 0, n+8)
+	b := make([]byte, 0, n+16)
 	b = append(b, byte(e.Kind))
 	b = binary.BigEndian.AppendUint32(b, uint32(e.Sender.Daemon))
 	b = binary.BigEndian.AppendUint32(b, e.Sender.Local)
 	b = binary.BigEndian.AppendUint32(b, uint32(e.Target.Daemon))
 	b = binary.BigEndian.AppendUint32(b, e.Target.Local)
+	if e.Kind.hasArg() {
+		b = binary.BigEndian.AppendUint64(b, e.Arg)
+	}
 	b = append(b, byte(len(e.Groups)))
 	for _, g := range e.Groups {
 		b = append(b, byte(len(g)))
@@ -135,8 +208,16 @@ func DecodeEnvelope(b []byte) (*Envelope, error) {
 	e.Sender.Local = binary.BigEndian.Uint32(b[5:])
 	e.Target.Daemon = evs.ProcID(binary.BigEndian.Uint32(b[9:]))
 	e.Target.Local = binary.BigEndian.Uint32(b[13:])
-	ng := int(b[17])
-	off := 18
+	off := 17
+	if e.Kind.hasArg() {
+		if len(b) < 26 {
+			return fail()
+		}
+		e.Arg = binary.BigEndian.Uint64(b[17:])
+		off = 25
+	}
+	ng := int(b[off])
+	off++
 	if ng > MaxGroups {
 		return nil, fmt.Errorf("group: %d groups exceeds %d", ng, MaxGroups)
 	}

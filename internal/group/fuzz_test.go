@@ -13,6 +13,11 @@ func FuzzDecodeEnvelope(f *testing.F) {
 		{Kind: OpMessage, Sender: ClientID{Daemon: 1, Local: 2},
 			Groups: []string{"a", "b"}, Payload: []byte("data")},
 		{Kind: OpDisconnect, Sender: ClientID{Daemon: 3, Local: 4}},
+		{Kind: OpSkip, Sender: ClientID{Daemon: 1}, Arg: 42},
+		{Kind: OpMigrateBegin, Sender: ClientID{Daemon: 1, Local: 2},
+			Groups: []string{"hot"}, Arg: 3},
+		{Kind: OpMigrateAck, Sender: ClientID{Daemon: 2},
+			Groups: []string{"hot"}, Arg: 1},
 	} {
 		enc, err := e.Encode()
 		if err != nil {

@@ -156,6 +156,13 @@ func (t *Table) DropDaemon(d evs.ProcID) []string {
 	return out
 }
 
+// Has reports whether the group currently has any members in this table —
+// a cheap existence probe the cross-ring merge layer uses to locate a
+// migrated group's state without copying the member list.
+func (t *Table) Has(g string) bool {
+	return len(t.groups[g]) > 0
+}
+
 // Members returns the sorted membership of a group (nil if empty).
 func (t *Table) Members(g string) []ClientID {
 	members := t.groups[g]

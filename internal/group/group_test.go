@@ -124,6 +124,9 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 		{Kind: OpMessage, Sender: ClientID{1, 1}, Groups: []string{"a", "b", "c"},
 			Payload: []byte("payload bytes")},
 		{Kind: OpMessage, Sender: ClientID{1, 1}, Groups: []string{"solo"}},
+		{Kind: OpSkip, Sender: ClientID{Daemon: 4}, Arg: 1234567},
+		{Kind: OpMigrateBegin, Sender: ClientID{2, 5}, Groups: []string{"hot"}, Arg: 3},
+		{Kind: OpMigrateAck, Sender: ClientID{Daemon: 6}, Groups: []string{"hot"}, Arg: 9},
 	}
 	for _, in := range tests {
 		t.Run(in.Kind.String(), func(t *testing.T) {
@@ -136,6 +139,7 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 				t.Fatal(err)
 			}
 			if out.Kind != in.Kind || out.Sender != in.Sender ||
+				out.Arg != in.Arg ||
 				!reflect.DeepEqual(out.Groups, in.Groups) ||
 				!bytes.Equal(out.Payload, in.Payload) {
 				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", out, in)
@@ -152,6 +156,13 @@ func TestEnvelopeValidation(t *testing.T) {
 		{Kind: OpDisconnect, Groups: []string{"a"}},
 		{Kind: OpKind(99), Groups: []string{"a"}},
 		{Kind: OpJoin, Groups: []string{""}},
+		{Kind: OpSkip},                                             // zero frontier
+		{Kind: OpSkip, Groups: []string{"a"}, Arg: 1},              // groups forbidden
+		{Kind: OpSkip, Payload: []byte("x"), Arg: 1},               // payload forbidden
+		{Kind: OpMigrateBegin},                                     // needs a group
+		{Kind: OpMigrateBegin, Groups: []string{"a", "b"}, Arg: 1}, // one group only
+		{Kind: OpMigrateAck, Groups: []string{"a"}},                // zero epoch
+		{Kind: OpMessage, Groups: []string{"a"}, Arg: 1},           // arg forbidden
 	}
 	for _, e := range bad {
 		if _, err := e.Encode(); err == nil {

@@ -3,6 +3,7 @@ package group
 import (
 	"hash/fnv"
 	"sort"
+	"sync"
 )
 
 func sortedUnique(ss []string) []string {
@@ -34,15 +35,22 @@ func RingOf(group string, shards int) int {
 }
 
 // ShardedTable partitions the replicated group-membership state of a
-// sharded daemon: one Table per ring. Because RingOf pins each group — and
-// therefore every join, leave, and message for it — to exactly one ring,
-// no group's state ever spans two tables, and each table is mutated only
-// by applying its own ring's totally ordered operations on that ring's
-// protocol goroutine. The tables need no common lock for that confinement;
-// cross-ring aggregations (GroupsOf, Groups) are for callers that
-// serialize all access themselves, like the library facade's single mutex.
+// sharded daemon: one Table per ring. The default placement is RingOf
+// (pure hash), and live migration (PR 9) can re-home individual groups
+// with a route override — overrides are installed at the migration's
+// globally ordered close point, so every daemon flips a group's route at
+// the same place in the merged total order. The route map has its own
+// read-write lock (reads on the submit hot path, writes only at migration
+// close); each per-ring Table is still mutated only by applying ordered
+// operations, which since the cross-ring merger serializes all rings'
+// envelope application needs no further locking. Cross-ring aggregations
+// (GroupsOf, Groups) remain for callers that serialize all access
+// themselves, like the library facade's single mutex.
 type ShardedTable struct {
 	tables []*Table
+
+	mu     sync.RWMutex
+	routes map[string]int // migration overrides: group -> owning ring
 }
 
 // NewShardedTable returns shards empty per-ring tables (shards >= 1).
@@ -60,8 +68,59 @@ func NewShardedTable(shards int) *ShardedTable {
 // Shards returns the ring count.
 func (s *ShardedTable) Shards() int { return len(s.tables) }
 
-// Ring returns the ring owning a group name.
-func (s *ShardedTable) Ring(group string) int { return RingOf(group, len(s.tables)) }
+// Ring returns the ring owning a group name: a migration override when
+// one is installed, the stable RingOf hash otherwise.
+func (s *ShardedTable) Ring(group string) int {
+	if len(s.tables) <= 1 {
+		return 0
+	}
+	s.mu.RLock()
+	r, ok := s.routes[group]
+	s.mu.RUnlock()
+	if ok {
+		return r
+	}
+	return RingOf(group, len(s.tables))
+}
+
+// SetRoute installs a route override for a group without touching member
+// state. The migration protocol calls it when a MigrateBegin is applied,
+// so new submissions head for the target ring (where they are buffered
+// until the ordered close point) while the source ring drains.
+func (s *ShardedTable) SetRoute(group string, ring int) {
+	s.mu.Lock()
+	if s.routes == nil {
+		s.routes = make(map[string]int)
+	}
+	s.routes[group] = ring
+	s.mu.Unlock()
+}
+
+// Rehome moves a group's membership state and route from ring `from` to
+// ring `to`. It must be called at the migration's ordered close point on
+// every daemon (the cross-ring merger guarantees that point is the same
+// everywhere), so replicated tables stay identical. Rehoming to the
+// group's hash-home ring clears the override instead of storing one.
+func (s *ShardedTable) Rehome(group string, from, to int) {
+	if from == to {
+		return
+	}
+	src, dst := s.tables[from], s.tables[to]
+	for _, c := range src.Members(group) {
+		_ = src.Leave(c, group)
+		_ = dst.Join(c, group)
+	}
+	s.mu.Lock()
+	if to == RingOf(group, len(s.tables)) {
+		delete(s.routes, group)
+	} else {
+		if s.routes == nil {
+			s.routes = make(map[string]int)
+		}
+		s.routes[group] = to
+	}
+	s.mu.Unlock()
+}
 
 // Table returns ring r's table.
 func (s *ShardedTable) Table(r int) *Table { return s.tables[r] }
@@ -87,17 +146,54 @@ func (s *ShardedTable) Groups() []string {
 	return sortedUnique(out)
 }
 
-// SplitByRing partitions a multi-group destination list by owning ring:
-// the result maps ring index -> the subset of groups it owns, preserving
-// the caller's order within each subset. A multi-group send spanning
-// several rings becomes one independent ordered message per ring — each
-// group still sees a single total order, but cross-group delivery order
-// (guaranteed on a single ring) is NOT preserved across rings.
-func (s *ShardedTable) SplitByRing(groups []string) map[int][]string {
-	out := make(map[int][]string)
+// RingGroups is one ring's share of a split multi-group destination list.
+type RingGroups struct {
+	Ring   int
+	Groups []string
+}
+
+// SplitByRing partitions a multi-group destination list by owning ring,
+// in ascending ring order — deterministic, unlike the map iteration it
+// replaces, so two identical runs submit a spanning send's per-ring
+// copies in the same order and chaos replays reproduce byte-identical
+// delivery logs. The result reuses dst's backing array when it has
+// capacity, and the common case — every destination group on one ring,
+// always true for shards <= 1 — aliases the caller's groups slice without
+// allocating. A spanning send still becomes one independent ordered
+// message per ring; the cross-ring merger is what reunifies the rings'
+// streams into one global delivery order.
+func (s *ShardedTable) SplitByRing(groups []string, dst []RingGroups) []RingGroups {
+	dst = dst[:0]
+	if len(groups) == 0 {
+		return dst
+	}
+	var ringBuf [MaxGroups]int
+	rings := ringBuf[:0]
+	if len(groups) > MaxGroups {
+		rings = make([]int, 0, len(groups))
+	}
+	first := s.Ring(groups[0])
+	mixed := false
 	for _, g := range groups {
 		r := s.Ring(g)
-		out[r] = append(out[r], g)
+		rings = append(rings, r)
+		if r != first {
+			mixed = true
+		}
 	}
-	return out
+	if !mixed {
+		return append(dst, RingGroups{Ring: first, Groups: groups})
+	}
+	for r := 0; r < len(s.tables); r++ {
+		var sub []string
+		for i, g := range groups {
+			if rings[i] == r {
+				sub = append(sub, g)
+			}
+		}
+		if sub != nil {
+			dst = append(dst, RingGroups{Ring: r, Groups: sub})
+		}
+	}
+	return dst
 }

@@ -97,10 +97,96 @@ func TestShardedTableRoutingAndAggregation(t *testing.T) {
 		t.Fatalf("Groups() = %v", got)
 	}
 
-	// A multi-group destination list splits by owning ring, order kept.
-	split := s.SplitByRing([]string{"g-0", "g-1", "g-2", "g-3"})
-	want := map[int][]string{0: {"g-1", "g-3"}, 1: {"g-0", "g-2"}}
+	// A multi-group destination list splits by owning ring, ascending,
+	// with the caller's order kept within each ring's subset.
+	split := s.SplitByRing([]string{"g-0", "g-1", "g-2", "g-3"}, nil)
+	want := []RingGroups{{0, []string{"g-1", "g-3"}}, {1, []string{"g-0", "g-2"}}}
 	if !reflect.DeepEqual(split, want) {
 		t.Fatalf("SplitByRing = %v, want %v", split, want)
+	}
+}
+
+// TestSplitByRingDeterministicAndFast pins the two PR 9 bugfixes on the
+// split itself: the result is in ascending ring order on every call (the
+// old map return iterated nondeterministically), and the single-ring case
+// aliases the input without allocating.
+func TestSplitByRingDeterministicAndFast(t *testing.T) {
+	s := NewShardedTable(4)
+	groups := []string{"g-0", "g-3", "g-1", "g-2", "chat"} // rings 3,2,0,1,3
+	var scratch []RingGroups
+	var first []RingGroups
+	for i := 0; i < 100; i++ {
+		scratch = s.SplitByRing(groups, scratch)
+		if i == 0 {
+			first = append([]RingGroups(nil), scratch...)
+			for j := 1; j < len(scratch); j++ {
+				if scratch[j].Ring <= scratch[j-1].Ring {
+					t.Fatalf("rings not ascending: %v", scratch)
+				}
+			}
+			continue
+		}
+		if !reflect.DeepEqual(scratch, first) {
+			t.Fatalf("split not deterministic: run %d = %v, first = %v", i, scratch, first)
+		}
+	}
+
+	// Single-ring fast path: no allocation, input aliased.
+	one := []string{"g-1"} // ring 0
+	scratch = s.SplitByRing(one, scratch)
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = s.SplitByRing(one, scratch)
+	})
+	if allocs != 0 {
+		t.Fatalf("single-ring SplitByRing allocates %v/op, want 0", allocs)
+	}
+	if len(scratch) != 1 || scratch[0].Ring != 0 || &scratch[0].Groups[0] != &one[0] {
+		t.Fatalf("single-ring split = %+v, want alias of input on ring 0", scratch)
+	}
+
+	// Empty input.
+	if got := s.SplitByRing(nil, scratch); len(got) != 0 {
+		t.Fatalf("empty split = %v", got)
+	}
+}
+
+// TestRehome moves a group's members and route between rings and back.
+func TestRehome(t *testing.T) {
+	s := NewShardedTable(2)
+	alice := ClientID{Daemon: 1, Local: 1}
+	bob := ClientID{Daemon: 2, Local: 1}
+	// "g-0" hashes to ring 1.
+	if err := s.For("g-0").Join(alice, "g-0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.For("g-0").Join(bob, "g-0"); err != nil {
+		t.Fatal(err)
+	}
+
+	s.Rehome("g-0", 1, 0)
+	if got := s.Ring("g-0"); got != 0 {
+		t.Fatalf("Ring after rehome = %d, want 0", got)
+	}
+	if got := s.Table(0).Members("g-0"); !reflect.DeepEqual(got, []ClientID{alice, bob}) {
+		t.Fatalf("ring 0 members after rehome = %v", got)
+	}
+	if got := s.Table(1).Members("g-0"); got != nil {
+		t.Fatalf("stale members on source ring: %v", got)
+	}
+	// Other groups are unaffected.
+	if got := s.Ring("g-1"); got != 0 {
+		t.Fatalf("Ring(g-1) = %d, want 0", got)
+	}
+
+	// Migrating back to the hash home clears the override.
+	s.Rehome("g-0", 0, 1)
+	s.mu.RLock()
+	_, overridden := s.routes["g-0"]
+	s.mu.RUnlock()
+	if overridden {
+		t.Fatal("override not cleared after rehoming to hash home")
+	}
+	if got := s.Table(1).Members("g-0"); !reflect.DeepEqual(got, []ClientID{alice, bob}) {
+		t.Fatalf("ring 1 members after return = %v", got)
 	}
 }
