@@ -313,6 +313,21 @@ func (n *Node) MsgTracers() []*MsgTracer {
 	return out
 }
 
+// AttachLatency registers every ring's message tracer with agg under the
+// metric scope that ring's histograms use ("" on a single-ring node,
+// "shard0".."shardN-1" on a sharded one), so folded span deltas land next
+// to the ring's other metrics. No-op unless the node was opened with
+// WithObserver and WithTraceSampling.
+func (n *Node) AttachLatency(agg *LatencyAgg) {
+	for r, mt := range n.MsgTracers() {
+		scope := ""
+		if n.rings != nil {
+			scope = fmt.Sprintf("shard%d", r)
+		}
+		agg.AddTracer(scope, mt)
+	}
+}
+
 // Join adds this node to a group. The resulting agreed view arrives as a
 // *GroupView event, in total order with all traffic on the group's ring.
 func (n *Node) Join(groupName string) error {
@@ -490,7 +505,7 @@ func (n *Node) onRingEvent(ring int, ev evs.Event) {
 			return // not ours: a foreign application on the same ring
 		}
 		if n.merger != nil {
-			n.merger.PushEnvelope(ring, env, e.Service)
+			n.merger.PushEnvelopeSeq(ring, env, e.Service, e.Seq)
 			return
 		}
 		n.applyEnvelope(ring, env, e.Service)
@@ -503,13 +518,29 @@ func (n *Node) onRingEvent(ring int, ev evs.Event) {
 	}
 }
 
+// recordMergeOut stamps the merge-emission stage onto a sampled span at
+// its globally ordered emission point (the merger's lock is held; the
+// record is a lock-free slot store, so nothing blocks). Seq 0 means the
+// pusher had no carrier sequence and is never stamped.
+func (n *Node) recordMergeOut(ring int, seq uint64) {
+	if n.rings == nil || seq == 0 {
+		return
+	}
+	mt := n.rings.MsgTracer(ring)
+	if !mt.Sampled(seq) {
+		return
+	}
+	mt.Record(obs.MsgEvent{Seq: seq, Stage: obs.StageMergeOut, At: n.rings.Node(ring).Observer().Now()})
+}
+
 // nodeMergeOut adapts the Node to the merger's output interface. Its
 // methods run with the merger's lock held at globally ordered emission
 // points; none of them blocks or reenters the merger (submissions spawn,
 // emit drops on a full buffer rather than wait).
 type nodeMergeOut struct{ n *Node }
 
-func (o nodeMergeOut) Deliver(ring int, env *group.Envelope, svc evs.Service) {
+func (o nodeMergeOut) Deliver(ring int, env *group.Envelope, svc evs.Service, seq uint64) {
+	o.n.recordMergeOut(ring, seq)
 	o.n.applyEnvelope(ring, env, svc)
 }
 

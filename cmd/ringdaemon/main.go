@@ -69,7 +69,10 @@ func run(args []string) error {
 	global := fs.Int("global", 160, "global window (messages per round, ring-wide)")
 	accel := fs.Int("accelerated", 15, "accelerated window (post-token messages per round)")
 	obsAddr := fs.String("obs", "", "serve /debug/vars, /debug/ring, /metrics, /debug/health and /debug/pprof on this address (e.g. :6060)")
-	traceSample := fs.Int("trace-sample", 0, "sample every Nth sequence number for message-lifecycle tracing at /debug/msgtrace (0 disables)")
+	traceSample := fs.Int("trace-sample", 0, "sample every Nth sequence number for message-lifecycle tracing at /debug/msgtrace and latency attribution at /debug/latency (0 disables)")
+	sloP99 := fs.Duration("slo-p99", 0, "p99 end-to-end latency target per ring; burn rate past -slo-burn flips the health slo_burn flag (0 disables; needs -obs and -trace-sample)")
+	sloP999 := fs.Duration("slo-p999", 0, "p999 end-to-end latency target per ring (0 disables; needs -obs and -trace-sample)")
+	sloBurn := fs.Float64("slo-burn", 0, "burn-rate factor at or above which an SLO scope is breaching (0 = default 1.0)")
 	shards := fs.Int("shards", 1, "independent rings per daemon; ring r uses every base port + stride*r (numeric ports required)")
 	stride := fs.Int("shard-stride", 2, "port gap between consecutive rings of a sharded daemon (all daemons must agree)")
 	skipInterval := fs.Duration("skip-interval", 0, "cross-ring merge lambda-pacing tick: how often idle rings blocking the global order are skipped (0 = default 2ms; shards > 1 only)")
@@ -258,12 +261,39 @@ func run(args []string) error {
 				scopes = append(scopes, fmt.Sprintf("shard%d", r))
 			}
 		}
+		// Latency attribution: fold each ring's sampled spans into
+		// per-stage histograms under the ring's metric scope. With
+		// -trace-sample 0 the tracers are nil and AddTracer no-ops, so
+		// /debug/latency serves empty scopes at zero cost.
+		lat := obs.NewLatencyAgg(reg)
+		for r := 0; r < d.Shards(); r++ {
+			scope := ""
+			if *shards > 1 {
+				scope = fmt.Sprintf("shard%d", r)
+			}
+			lat.AddTracer(scope, d.RingNode(r).Observer().MsgTracer())
+		}
+		srv.SetLatency(lat)
+		var slo *obs.SLO
+		if *sloP99 > 0 || *sloP999 > 0 {
+			slo = obs.NewSLO(reg, obs.SLOConfig{
+				TargetP99:  *sloP99,
+				TargetP999: *sloP999,
+				BurnFactor: *sloBurn,
+			})
+			for _, scope := range scopes {
+				slo.Track(scope, lat.E2E(scope))
+			}
+		}
 		health = obs.NewHealth(reg, obs.HealthConfig{
 			Scopes:        scopes,
 			RetransBudget: *global,
+			Latency:       lat,
+			SLO:           slo,
+			Flight:        flight,
 			OnChange: func(st obs.HealthStatus) {
-				log.Printf("health: ring=%q healthy=%v token_stall=%v aru_stagnation=%v retrans_storm=%v slow_consumer=%v backpressure=%v",
-					st.Ring, st.Healthy(), st.TokenStall, st.AruStagnation, st.RetransStorm, st.SlowConsumer, st.Backpressure)
+				log.Printf("health: ring=%q healthy=%v token_stall=%v aru_stagnation=%v retrans_storm=%v slow_consumer=%v backpressure=%v merge_stall=%v slo_burn=%v",
+					st.Ring, st.Healthy(), st.TokenStall, st.AruStagnation, st.RetransStorm, st.SlowConsumer, st.Backpressure, st.MergeStall, st.SLOBurn)
 			},
 		})
 		health.Start()

@@ -221,9 +221,35 @@ func runFollow(nodes, msgs, sample int) error {
 	c.Sim.RunUntil(30 * simnet.Second)
 
 	// Merge: the same seqs are sampled everywhere, so spans group by seq.
+	// Each span keeps the earliest cluster-wide time per lifecycle
+	// milestone, in pipeline order; milestones no node produced (no
+	// packing, no daemon fan-out, no client tracer) render as columns only
+	// when at least one span has them, so the table stays compact on a
+	// bare ring and grows the daemon/client stages when they exist.
+	milestones := []struct {
+		name   string
+		stages []obs.MsgStage
+	}{
+		{"pack", []obs.MsgStage{obs.StagePack}},
+		{"submit", []obs.MsgStage{obs.StageSubmit}},
+		{"sent", []obs.MsgStage{obs.StageSentPre, obs.StageSentPost}},
+		{"batch-flush", []obs.MsgStage{obs.StageBatchFlush}},
+		{"first-recv", []obs.MsgStage{obs.StageRecv}},
+		{"merge", []obs.MsgStage{obs.StageMergeOut}},
+		{"fanout", []obs.MsgStage{obs.StageFanout}},
+		{"writer", []obs.MsgStage{obs.StageWriterFlush}},
+		{"client", []obs.MsgStage{obs.StageClientRecv}},
+	}
+	slot := make(map[obs.MsgStage]int)
+	for i, m := range milestones {
+		for _, s := range m.stages {
+			slot[s] = i
+		}
+	}
 	type span struct {
-		submit, sent, firstRecv, lastDeliver time.Time
-		recvs, delivers, retrans             int
+		at                       []time.Time // earliest per milestone
+		lastDeliver              time.Time
+		recvs, delivers, retrans int
 	}
 	spans := make(map[uint64]*span)
 	var seqs []uint64
@@ -231,22 +257,18 @@ func runFollow(nodes, msgs, sample int) error {
 		for _, ev := range t.Snapshot(0) {
 			sp := spans[ev.Seq]
 			if sp == nil {
-				sp = &span{}
+				sp = &span{at: make([]time.Time, len(milestones))}
 				spans[ev.Seq] = sp
 				seqs = append(seqs, ev.Seq)
 			}
-			switch ev.Stage {
-			case obs.StageSubmit:
-				sp.submit = ev.At
-			case obs.StageSentPre, obs.StageSentPost:
-				if sp.sent.IsZero() || ev.At.Before(sp.sent) {
-					sp.sent = ev.At
+			if i, ok := slot[ev.Stage]; ok {
+				if sp.at[i].IsZero() || ev.At.Before(sp.at[i]) {
+					sp.at[i] = ev.At
 				}
+			}
+			switch ev.Stage {
 			case obs.StageRecv:
 				sp.recvs++
-				if sp.firstRecv.IsZero() || ev.At.Before(sp.firstRecv) {
-					sp.firstRecv = ev.At
-				}
 			case obs.StageRetransmit:
 				sp.retrans++
 			case obs.StageDeliver:
@@ -259,28 +281,56 @@ func runFollow(nodes, msgs, sample int) error {
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 
+	present := make([]bool, len(milestones))
+	for _, sp := range spans {
+		for i := range milestones {
+			if !sp.at[i].IsZero() {
+				present[i] = true
+			}
+		}
+	}
+
 	fmt.Printf("== message lifecycle, %d nodes, %d msgs/node, sampling 1/%d ==\n\n",
 		nodes, msgs, sample)
-	fmt.Printf("%8s  %12s  %12s  %12s  %9s  %4s  %12s\n",
-		"seq", "submit", "sent", "first-recv", "delivered", "rtx", "e2e")
+	fmt.Printf("%8s", "seq")
+	for i, m := range milestones {
+		if present[i] {
+			fmt.Printf("  %12s", m.name)
+		}
+	}
+	fmt.Printf("  %9s  %4s  %12s\n", "delivered", "rtx", "e2e")
 	at := func(t time.Time) string {
 		if t.IsZero() {
 			return "-"
 		}
 		return time.Duration(t.UnixNano()).String()
 	}
+	submitSlot := slot[obs.StageSubmit]
 	var e2es []time.Duration
 	for _, seq := range seqs {
 		sp := spans[seq]
 		e2e := "-"
-		if !sp.submit.IsZero() && !sp.lastDeliver.IsZero() {
-			d := sp.lastDeliver.Sub(sp.submit)
+		// End-to-end: submit to the final milestone the cluster produced —
+		// last delivery on a bare ring, client receive behind daemons.
+		end := sp.lastDeliver
+		for i := len(milestones) - 1; i > submitSlot; i-- {
+			if !sp.at[i].IsZero() && sp.at[i].After(end) {
+				end = sp.at[i]
+				break
+			}
+		}
+		if !sp.at[submitSlot].IsZero() && !end.IsZero() {
+			d := end.Sub(sp.at[submitSlot])
 			e2es = append(e2es, d)
 			e2e = d.String()
 		}
-		fmt.Printf("%8d  %12s  %12s  %12s  %6d/%-2d  %4d  %12s\n",
-			seq, at(sp.submit), at(sp.sent), at(sp.firstRecv),
-			sp.delivers, nodes, sp.retrans, e2e)
+		fmt.Printf("%8d", seq)
+		for i := range milestones {
+			if present[i] {
+				fmt.Printf("  %12s", at(sp.at[i]))
+			}
+		}
+		fmt.Printf("  %6d/%-2d  %4d  %12s\n", sp.delivers, nodes, sp.retrans, e2e)
 	}
 	if len(e2es) > 0 {
 		sort.Slice(e2es, func(i, j int) bool { return e2es[i] < e2es[j] })

@@ -23,6 +23,7 @@ import (
 	"accelring/internal/bufpool"
 	"accelring/internal/evs"
 	"accelring/internal/group"
+	"accelring/internal/obs"
 	"accelring/internal/session"
 )
 
@@ -40,6 +41,10 @@ type Message struct {
 	Groups []string
 	// Payload is the application data.
 	Payload []byte
+	// Seq is the ring sequence number that ordered this delivery (0 when
+	// the daemon predates sequence propagation). With a shared tracer
+	// sampling cadence it keys this delivery into a cross-node span.
+	Seq uint64
 }
 
 func (*Message) isEvent() {}
@@ -141,6 +146,11 @@ type Config struct {
 	EventBuffer int
 	// Dialer overrides net.Dial (tests and chaos harnesses).
 	Dialer func(network, addr string) (net.Conn, error)
+	// Tracer, when non-nil, records the client_recv lifecycle stage for
+	// deliveries whose ring sequence it samples, closing the span a
+	// daemon-side tracer with the same cadence opened. Nil disables
+	// client-side latency attribution at zero cost.
+	Tracer *obs.MsgTracer
 }
 
 func (cfg *Config) fillDefaults() {
@@ -414,7 +424,10 @@ func retainsBuf(f session.Frame) bool {
 func (c *Client) handleDelivery(f session.Frame) bool {
 	switch v := f.(type) {
 	case session.Message:
-		c.events <- &Message{Sender: v.Sender, Service: v.Service, Groups: v.Groups, Payload: v.Payload}
+		if v.Seq != 0 && c.cfg.Tracer.Sampled(v.Seq) {
+			c.cfg.Tracer.Record(obs.MsgEvent{Seq: v.Seq, Stage: obs.StageClientRecv, At: time.Now()})
+		}
+		c.events <- &Message{Sender: v.Sender, Service: v.Service, Groups: v.Groups, Payload: v.Payload, Seq: v.Seq}
 	case session.View:
 		c.events <- &View{Group: v.Group, Members: v.Members}
 	case session.Error:

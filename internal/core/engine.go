@@ -195,6 +195,9 @@ type pending struct {
 	// at is the submit time when the observer has a wall clock (zero
 	// otherwise); it feeds the per-service delivery-latency histogram.
 	at time.Time
+	// held is when the payload first entered a packing bundle (zero when
+	// it was never held); it backdates the sampled span's pack stage.
+	held time.Time
 }
 
 // Engine runs the ordering protocol for one participant on one ring.
@@ -269,6 +272,11 @@ type Engine struct {
 	remScratch  []uint64
 	reqScratch  []uint64
 	haveScratch map[uint64]struct{}
+	// sentSampled collects the sampled seqs multicast since the driver
+	// last drained them, so it can stamp StageBatchFlush when the staged
+	// wire batch actually leaves. Empty (and never appended to) when
+	// tracing is off.
+	sentSampled []uint64
 	// releaseFn is e.putData bound once (binding per discard would
 	// allocate).
 	releaseFn func(*wire.Data)
@@ -369,6 +377,18 @@ func (e *Engine) QueueLen() int { return len(e.sendQ) }
 // priority over the token. Drivers with both classes pending consult this.
 func (e *Engine) DataPriority() bool { return e.dataPriority }
 
+// DrainSampledSent calls fn for every sampled seq multicast since the
+// previous drain and forgets them. Batching drivers call it right after
+// flushing their staged wire writes and record StageBatchFlush for each,
+// closing the gap between "handed to the transport" and "left in a
+// syscall". Always empty when tracing is off, so the drain is free.
+func (e *Engine) DrainSampledSent(fn func(seq uint64)) {
+	for _, seq := range e.sentSampled {
+		fn(seq)
+	}
+	e.sentSampled = e.sentSampled[:0]
+}
+
 // LastToken returns the most recently sent token, for retransmission on a
 // token-loss timer, or nil if none has been sent.
 func (e *Engine) LastToken() *wire.Token { return e.lastSent }
@@ -390,13 +410,21 @@ var ErrPayloadTooLarge = fmt.Errorf("core: payload exceeds %d bytes", wire.MaxPa
 // mutate it afterwards. Messages are sent when the token next arrives,
 // subject to flow control.
 func (e *Engine) Submit(payload []byte, service evs.Service) error {
+	return e.SubmitHeld(payload, service, time.Time{})
+}
+
+// SubmitHeld is Submit for payloads that waited in a packing bundle:
+// held is when the bundle opened (zero means no hold). Sampled spans of
+// the resulting message get a backdated pack stage, so latency
+// attribution can separate the pack hold from token wait.
+func (e *Engine) SubmitHeld(payload []byte, service evs.Service, held time.Time) error {
 	if len(payload) > wire.MaxPayload {
 		return ErrPayloadTooLarge
 	}
 	if !service.Valid() {
 		return fmt.Errorf("core: invalid service %d", service)
 	}
-	e.sendQ = append(e.sendQ, pending{payload: payload, service: service, at: e.obs.Now()})
+	e.sendQ = append(e.sendQ, pending{payload: payload, service: service, at: e.obs.Now(), held: held})
 	return nil
 }
 
@@ -561,6 +589,7 @@ func (e *Engine) HandleToken(t *wire.Token) {
 		e.out.Multicast(m)
 		if e.mt.Sampled(m.Seq) {
 			e.mt.Record(obs.MsgEvent{Seq: m.Seq, Stage: obs.StageSentPre, At: e.obs.Now(), Round: e.myRound})
+			e.sentSampled = append(e.sentSampled, m.Seq)
 		}
 	}
 
@@ -602,6 +631,7 @@ func (e *Engine) HandleToken(t *wire.Token) {
 		e.out.Multicast(m)
 		if e.mt.Sampled(m.Seq) {
 			e.mt.Record(obs.MsgEvent{Seq: m.Seq, Stage: obs.StageSentPost, At: e.obs.Now(), Round: e.myRound})
+			e.sentSampled = append(e.sentSampled, m.Seq)
 		}
 	}
 
@@ -695,6 +725,12 @@ func (e *Engine) takeMessages(n int, afterSeq uint64) []*wire.Data {
 			e.submitAt[seq] = p.at
 		}
 		if e.mt.Sampled(seq) {
+			if !p.held.IsZero() {
+				// The payload waited in a packing bundle before it could
+				// be submitted; backdate a pack stage to the hold start so
+				// the span attributes that wait separately.
+				e.mt.Record(obs.MsgEvent{Seq: seq, Stage: obs.StagePack, At: p.held, Round: e.myRound})
+			}
 			// Submit stage carries the original submit time when the
 			// observer has a clock, so spans show queueing delay too.
 			at := p.at

@@ -340,6 +340,18 @@ func (d *Daemon) ringNode(r int) *ringnode.Node {
 	return d.node
 }
 
+// msgTracer returns ring's message-lifecycle tracer (nil when tracing
+// is off — the single branch the uninstrumented hot path pays).
+func (d *Daemon) msgTracer(ring int) *obs.MsgTracer {
+	return d.ringNode(ring).Observer().MsgTracer()
+}
+
+// obsNow reads ring's observer clock (zero time without an observer, in
+// which case no tracer exists to record the event anyway).
+func (d *Daemon) obsNow(ring int) time.Time {
+	return d.ringNode(ring).Observer().Now()
+}
+
 // submit hands an encoded envelope to the owning ring.
 func (d *Daemon) submit(ring int, enc []byte, svc evs.Service) error {
 	if d.rings != nil {
@@ -723,6 +735,20 @@ func (d *Daemon) sessionWriter(c *clientConn) {
 		}
 		d.dm.writerFlushes.Inc()
 		d.dm.writerFrames.Add(uint64(len(frames)))
+		for i := range frames {
+			if frames[i].traceSeq != 0 {
+				// Writer-flush stage for a sampled delivery: the frame's
+				// bytes have reached the client socket. Replays after a
+				// reconnect re-record; the latency fold keeps the
+				// earliest stamp.
+				ring := frames[i].traceRing
+				d.msgTracer(ring).Record(obs.MsgEvent{
+					Seq:   frames[i].traceSeq,
+					Stage: obs.StageWriterFlush,
+					At:    d.obsNow(ring),
+				})
+			}
+		}
 		d.afterWrite(c, c.out.wroteBatch(conn, frames))
 	}
 }
@@ -734,10 +760,12 @@ func (d *Daemon) deliver(c *clientConn, f session.Frame) {
 }
 
 // deliverShared pushes one encode-once shared delivery (the outbox takes
-// its own reference) and acts on the resulting tier transition.
-func (d *Daemon) deliverShared(c *clientConn, sh *session.Shared) {
+// its own reference) and acts on the resulting tier transition. traceSeq
+// is nonzero only for latency-sampled deliveries; it rides the queued
+// frame so the writer can attribute flush time to the span.
+func (d *Daemon) deliverShared(c *clientConn, sh *session.Shared, traceSeq uint64, ring int) {
 	d.dm.fanoutShared.Inc()
-	d.afterPush(c, c.out.pushShared(sh))
+	d.afterPush(c, c.out.pushSharedTraced(sh, traceSeq, ring))
 }
 
 // afterPush acts on the backpressure tier transition one enqueue caused.
@@ -876,10 +904,10 @@ func (d *Daemon) onRingEvent(ring int, ev evs.Event) {
 			return // not ours; a foreign application on the same ring
 		}
 		if d.merger != nil {
-			d.merger.PushEnvelope(ring, env, e.Service)
+			d.merger.PushEnvelopeSeq(ring, env, e.Service, e.Seq)
 			return
 		}
-		d.applyEnvelope(ring, env, e.Service)
+		d.applyEnvelope(ring, env, e.Service, e.Seq)
 	case evs.ConfigChange:
 		if d.merger != nil {
 			// Transitional changes are slotted too: every daemon must
@@ -899,8 +927,15 @@ func (d *Daemon) onRingEvent(ring int, ev evs.Event) {
 // points; none of them blocks or reenters the merger (submissions spawn).
 type mergeOut struct{ d *Daemon }
 
-func (o mergeOut) Deliver(ring int, env *group.Envelope, svc evs.Service) {
-	o.d.applyEnvelope(ring, env, svc)
+func (o mergeOut) Deliver(ring int, env *group.Envelope, svc evs.Service, seq uint64) {
+	if seq != 0 {
+		if mt := o.d.msgTracer(ring); mt.Sampled(seq) {
+			// The span's merge stage: the envelope's globally ordered
+			// emission point (a lock-free slot store; nothing blocks).
+			mt.Record(obs.MsgEvent{Seq: seq, Stage: obs.StageMergeOut, At: o.d.obsNow(ring)})
+		}
+	}
+	o.d.applyEnvelope(ring, env, svc, seq)
 }
 
 func (o mergeOut) Config(ring int, cc evs.ConfigChange) {
@@ -1039,7 +1074,7 @@ func (d *Daemon) recipientsFor(ring int, groups []string) []group.ClientID {
 	return out
 }
 
-func (d *Daemon) applyEnvelope(ring int, env *group.Envelope, svc evs.Service) {
+func (d *Daemon) applyEnvelope(ring int, env *group.Envelope, svc evs.Service, seq uint64) {
 	switch env.Kind {
 	case group.OpJoin:
 		table := d.envTable(ring, env.Groups[0])
@@ -1083,6 +1118,7 @@ func (d *Daemon) applyEnvelope(ring int, env *group.Envelope, svc evs.Service) {
 		// outbox queues a reference and the per-session writers prepend
 		// only the tiny Seqd header (and MAC, when keyed) at write time.
 		var sh *session.Shared
+		var traceSeq uint64
 		for _, rcpt := range d.recipientsFor(ring, env.Groups) {
 			c := d.localClient(rcpt)
 			if c == nil {
@@ -1093,6 +1129,7 @@ func (d *Daemon) applyEnvelope(ring int, env *group.Envelope, svc evs.Service) {
 				sh, err = session.NewShared(session.Message{
 					Sender:  env.Sender,
 					Service: svc,
+					Seq:     seq,
 					Groups:  env.Groups,
 					Payload: env.Payload,
 				})
@@ -1100,8 +1137,16 @@ func (d *Daemon) applyEnvelope(ring int, env *group.Envelope, svc evs.Service) {
 					return // oversized or malformed; nothing deliverable
 				}
 				d.dm.fanoutEnc.Inc()
+				if seq != 0 {
+					if mt := d.msgTracer(ring); mt.Sampled(seq) {
+						// Fan-out start: the first local recipient forced
+						// the encode; everything after is queue + write.
+						mt.Record(obs.MsgEvent{Seq: seq, Stage: obs.StageFanout, At: d.obsNow(ring)})
+						traceSeq = seq
+					}
+				}
 			}
-			d.deliverShared(c, sh)
+			d.deliverShared(c, sh, traceSeq, ring)
 			d.dm.framesRouted.Inc()
 		}
 		if sh != nil {
@@ -1112,6 +1157,7 @@ func (d *Daemon) applyEnvelope(ring int, env *group.Envelope, svc evs.Service) {
 			d.deliver(c, session.Message{
 				Sender:  env.Sender,
 				Service: svc,
+				Seq:     seq,
 				Payload: env.Payload,
 			})
 			d.dm.framesRouted.Inc()

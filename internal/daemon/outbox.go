@@ -24,6 +24,14 @@ type seqFrame struct {
 	seq uint64
 	f   session.Frame
 	sh  *session.Shared
+
+	// traceSeq/traceRing carry the ring sequence of a latency-sampled
+	// delivery (zero otherwise) so the session writer can stamp the
+	// writer-flush stage after the vectored write. Set only when the
+	// ring's tracer sampled the message: the untraced hot path pays a
+	// single uint64 compare per flushed frame.
+	traceSeq  uint64
+	traceRing int
 }
 
 // release drops the frame's shared reference, if it holds one.
@@ -130,6 +138,14 @@ func (o *outbox) push(f session.Frame) pushResult {
 // overflowed) takes none.
 func (o *outbox) pushShared(sh *session.Shared) pushResult {
 	return o.enqueue(seqFrame{sh: sh})
+}
+
+// pushSharedTraced is pushShared for a latency-sampled delivery: the
+// queued frame remembers the ring sequence (and ring) that ordered it so
+// the writer can attribute its flush time. A replayed frame after resume
+// re-stamps harmlessly — the latency fold keeps the earliest time.
+func (o *outbox) pushSharedTraced(sh *session.Shared, traceSeq uint64, traceRing int) pushResult {
+	return o.enqueue(seqFrame{sh: sh, traceSeq: traceSeq, traceRing: traceRing})
 }
 
 func (o *outbox) enqueue(sf seqFrame) pushResult {

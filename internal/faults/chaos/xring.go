@@ -107,7 +107,7 @@ type xctl struct {
 // pacing round.
 type xout struct{ n *xnode }
 
-func (o *xout) Deliver(ring int, env *group.Envelope, svc evs.Service) {
+func (o *xout) Deliver(ring int, env *group.Envelope, svc evs.Service, seq uint64) {
 	if env.Kind == group.OpMessage {
 		o.n.global = append(o.n.global, string(env.Payload))
 	}

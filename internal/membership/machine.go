@@ -266,6 +266,23 @@ func (m *Machine) Submit(payload []byte, service evs.Service) error {
 	return m.eng.Submit(payload, service)
 }
 
+// SubmitHeld is Submit for payloads that waited in a packing bundle
+// since held (zero means no hold); see core.Engine.SubmitHeld.
+func (m *Machine) SubmitHeld(payload []byte, service evs.Service, held time.Time) error {
+	if m.eng == nil {
+		return ErrNotOperational
+	}
+	return m.eng.SubmitHeld(payload, service, held)
+}
+
+// DrainSampledSent forwards core.Engine.DrainSampledSent for the
+// installed ring's engine (no-op before the first ring forms).
+func (m *Machine) DrainSampledSent(fn func(seq uint64)) {
+	if m.eng != nil {
+		m.eng.DrainSampledSent(fn)
+	}
+}
+
 // CanSubmit reports whether Submit would be accepted right now (a ring
 // has formed at least once). Drivers that stage submissions — the
 // adaptive packing layer — use it to fail fast at stage time instead of

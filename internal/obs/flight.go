@@ -42,6 +42,11 @@ const (
 	// FlightClient: a daemon client event; Note is "connect",
 	// "disconnect" or "slow_disconnect", Count the clients now attached.
 	FlightClient
+	// FlightSLO: a health detector flag crossed its rising edge; Note is
+	// "slo_burn" or "merge_stall", Ring the affected scope. Recorded so
+	// a flight dump around a tail-latency incident carries the moment the
+	// burn started.
+	FlightSLO
 )
 
 var flightKindNames = [...]string{
@@ -54,6 +59,7 @@ var flightKindNames = [...]string{
 	FlightFault:      "fault",
 	FlightRxDrop:     "rx_drop",
 	FlightClient:     "client",
+	FlightSLO:        "slo",
 }
 
 // String returns the kind's wire name ("token_rx", ...).

@@ -35,6 +35,18 @@ type HealthConfig struct {
 	// OnChange, when set, is called from the detector loop whenever a
 	// scope's flag set differs from the previous pass (e.g. to log).
 	OnChange func(HealthStatus)
+	// Latency, when non-nil, is folded once per pass so the latency.*
+	// histograms (and any SLO tracking them) stay current without a
+	// second timer.
+	Latency *LatencyAgg
+	// SLO, when non-nil, runs one evaluation pass per check; a scope
+	// whose burn rate breaches raises its SLOBurn flag. SLO scopes must
+	// use the same names as Scopes.
+	SLO *SLO
+	// Flight, when non-nil, records a FlightSLO event on every rising
+	// edge of SLOBurn or MergeStall, so a dump around a tail-latency
+	// incident pins down when the burn started.
+	Flight *FlightRecorder
 }
 
 // HealthStatus is one scope's verdict from one detector pass. The boolean
@@ -64,6 +76,14 @@ type HealthStatus struct {
 	// throttle tier since the last pass — clients are falling behind,
 	// though none has been disconnected for it yet.
 	Backpressure bool `json:"backpressure"`
+	// MergeStall: this ring's cross-ring merge frontier stopped
+	// advancing while a peer ring's kept moving — the merge is emitting
+	// on this ring's skips alone (or is about to block on it). Only
+	// meaningful on sharded nodes exporting merge.frontier per scope.
+	MergeStall bool `json:"merge_stall"`
+	// SLOBurn: the scope's latency SLO burn rate is at or past the
+	// configured factor (see HealthConfig.SLO).
+	SLOBurn bool `json:"slo_burn"`
 
 	// Rounds, Seq, Aru and RetransPerRound are the inputs behind the
 	// flags, for the health endpoint and log lines.
@@ -71,12 +91,21 @@ type HealthStatus struct {
 	Seq             int64   `json:"seq"`
 	Aru             int64   `json:"aru"`
 	RetransPerRound float64 `json:"retrans_per_round"`
+	// SLOP99Burn is the windowed p99 burn rate behind SLOBurn (0 with no
+	// SLO configured).
+	SLOP99Burn float64 `json:"slo_p99_burn,omitempty"`
 }
 
 // Healthy reports whether no flag is raised.
 func (st HealthStatus) Healthy() bool {
 	return !st.TokenStall && !st.AruStagnation && !st.RetransStorm &&
-		!st.SlowConsumer && !st.Backpressure
+		!st.SlowConsumer && !st.Backpressure && !st.MergeStall && !st.SLOBurn
+}
+
+// flags packs the status booleans for change detection.
+func (st HealthStatus) flags() [7]bool {
+	return [7]bool{st.TokenStall, st.AruStagnation, st.RetransStorm,
+		st.SlowConsumer, st.Backpressure, st.MergeStall, st.SLOBurn}
 }
 
 type healthSample struct {
@@ -85,6 +114,9 @@ type healthSample struct {
 	aru          int64
 	slow         uint64
 	back         uint64
+	front        int64
+	mergeStall   bool
+	sloBurn      bool
 }
 
 // Health is the ring health detector: a periodic pass over the registry's
@@ -158,6 +190,14 @@ func (h *Health) Check() []HealthStatus {
 
 func (h *Health) checkLocked() []HealthStatus {
 	now := h.cfg.Now()
+	h.cfg.Latency.Fold()
+	var slo map[string]SLOStatus
+	if h.cfg.SLO != nil {
+		slo = make(map[string]SLOStatus)
+		for _, st := range h.cfg.SLO.Pass() {
+			slo[st.Scope] = st
+		}
+	}
 	var slow, back uint64
 	for _, name := range h.cfg.SlowConsumerCounters {
 		slow += h.reg.Counter(name).Value()
@@ -165,8 +205,18 @@ func (h *Health) checkLocked() []HealthStatus {
 	for _, name := range h.cfg.BackpressureCounters {
 		back += h.reg.Counter(name).Value()
 	}
+	// Merge-stall needs a cross-scope view: one ring's frontier standing
+	// still is only suspicious while another's moved this pass.
+	fronts := make([]int64, len(h.cfg.Scopes))
+	anyFrontAdvanced := false
+	for i, scope := range h.cfg.Scopes {
+		fronts[i] = h.reg.Gauge(scoped(scope, "merge.frontier")).Value()
+		if prev := h.prev[scope]; prev.valid && fronts[i] > prev.front {
+			anyFrontAdvanced = true
+		}
+	}
 	out := make([]HealthStatus, 0, len(h.cfg.Scopes))
-	for _, scope := range h.cfg.Scopes {
+	for i, scope := range h.cfg.Scopes {
 		cur := healthSample{
 			valid:  true,
 			rounds: h.reg.Counter(scoped(scope, "ring.rounds")).Value(),
@@ -174,6 +224,7 @@ func (h *Health) checkLocked() []HealthStatus {
 			aru:    h.reg.Gauge(scoped(scope, "ring.aru")).Value(),
 			slow:   slow,
 			back:   back,
+			front:  fronts[i],
 		}
 		seq := h.reg.Gauge(scoped(scope, "ring.seq")).Value()
 		st := HealthStatus{
@@ -183,7 +234,8 @@ func (h *Health) checkLocked() []HealthStatus {
 			Seq:       seq,
 			Aru:       cur.aru,
 		}
-		if prev := h.prev[scope]; prev.valid {
+		prev := h.prev[scope]
+		if prev.valid {
 			roundsDelta := cur.rounds - prev.rounds
 			st.TokenStall = cur.rounds > 0 && roundsDelta == 0
 			st.AruStagnation = roundsDelta > 0 && cur.aru == prev.aru && seq > cur.aru
@@ -196,7 +248,24 @@ func (h *Health) checkLocked() []HealthStatus {
 			}
 			st.SlowConsumer = cur.slow > prev.slow
 			st.Backpressure = cur.back > prev.back
+			// A scope that has merged before (front > 0) but did not move
+			// while a peer did is stalling the global order.
+			st.MergeStall = prev.front > 0 && cur.front == prev.front && anyFrontAdvanced
 		}
+		if s, ok := slo[scope]; ok {
+			st.SLOBurn = s.Breach
+			st.SLOP99Burn = s.P99Burn
+		}
+		if h.cfg.Flight != nil {
+			if st.SLOBurn && !prev.sloBurn {
+				h.cfg.Flight.Record(FlightEvent{Kind: FlightSLO, Ring: scope, Note: "slo_burn"})
+			}
+			if st.MergeStall && !prev.mergeStall {
+				h.cfg.Flight.Record(FlightEvent{Kind: FlightSLO, Ring: scope, Note: "merge_stall"})
+			}
+		}
+		cur.mergeStall = st.MergeStall
+		cur.sloBurn = st.SLOBurn
 		h.prev[scope] = cur
 		h.exportLocked(scope, st)
 		out = append(out, st)
@@ -221,6 +290,8 @@ func (h *Health) exportLocked(scope string, st HealthStatus) {
 	h.reg.Gauge(scoped(scope, "health.retrans_storm")).Set(b2i(st.RetransStorm))
 	h.reg.Gauge(scoped(scope, "health.slow_consumer")).Set(b2i(st.SlowConsumer))
 	h.reg.Gauge(scoped(scope, "health.backpressure")).Set(b2i(st.Backpressure))
+	h.reg.Gauge(scoped(scope, "health.merge_stall")).Set(b2i(st.MergeStall))
+	h.reg.Gauge(scoped(scope, "health.slo_burn")).Set(b2i(st.SLOBurn))
 	h.reg.Gauge(scoped(scope, "health.healthy")).Set(b2i(st.Healthy()))
 	h.reg.Gauge(scoped(scope, "health.retrans_per_round")).Set(int64(st.RetransPerRound))
 }
@@ -258,7 +329,7 @@ func (h *Health) Start() {
 		defer close(h.done)
 		tick := time.NewTicker(h.cfg.Interval)
 		defer tick.Stop()
-		var prevFlags map[string][5]bool
+		var prevFlags map[string][7]bool
 		for {
 			select {
 			case <-h.stop:
@@ -269,10 +340,9 @@ func (h *Health) Start() {
 				if h.cfg.OnChange == nil {
 					continue
 				}
-				flags := [5]bool{st.TokenStall, st.AruStagnation, st.RetransStorm,
-					st.SlowConsumer, st.Backpressure}
+				flags := st.flags()
 				if prevFlags == nil {
-					prevFlags = make(map[string][5]bool)
+					prevFlags = make(map[string][7]bool)
 				}
 				if prevFlags[st.Ring] != flags {
 					prevFlags[st.Ring] = flags

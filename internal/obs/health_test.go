@@ -231,3 +231,138 @@ func TestHealthCloseWithoutStart(t *testing.T) {
 		t.Fatal("Close without Start hung")
 	}
 }
+
+// TestHealthMergeStall stages the cross-ring pathology under a virtual
+// clock: ring 1's merge frontier freezes while ring 0's keeps advancing,
+// which means the global order is progressing on skips alone.
+func TestHealthMergeStall(t *testing.T) {
+	rig := &healthRig{reg: NewRegistry(), now: time.Unix(1000, 0)}
+	fl := NewFlightRecorder(16)
+	rig.h = NewHealth(rig.reg, HealthConfig{
+		Scopes: []string{"shard0", "shard1"},
+		Now:    func() time.Time { return rig.now },
+		Flight: fl,
+	})
+	front0 := rig.reg.Gauge("shard0.merge.frontier")
+	front1 := rig.reg.Gauge("shard1.merge.frontier")
+	check := func() map[string]HealthStatus {
+		rig.now = rig.now.Add(time.Second)
+		out := make(map[string]HealthStatus)
+		for _, st := range rig.h.Check() {
+			out[st.Ring] = st
+		}
+		return out
+	}
+
+	front0.Set(10)
+	front1.Set(10)
+	check() // baseline
+	front0.Set(20)
+	front1.Set(20) // both advance: healthy
+	for scope, st := range check() {
+		if st.MergeStall {
+			t.Fatalf("%s flagged while both frontiers advance", scope)
+		}
+	}
+	front0.Set(30) // shard1 frozen, shard0 moving
+	sts := check()
+	if !sts["shard1"].MergeStall {
+		t.Fatalf("frozen shard1 frontier not flagged: %+v", sts["shard1"])
+	}
+	if sts["shard0"].MergeStall {
+		t.Fatalf("advancing shard0 flagged: %+v", sts["shard0"])
+	}
+	if v := rig.reg.Gauge("shard1.health.merge_stall").Value(); v != 1 {
+		t.Fatalf("shard1.health.merge_stall gauge = %d, want 1", v)
+	}
+	// The rising edge landed exactly one flight event.
+	evs := fl.Snapshot()
+	if len(evs) != 1 || evs[0].Kind != FlightSLO || evs[0].Ring != "shard1" || evs[0].Note != "merge_stall" {
+		t.Fatalf("flight events = %+v, want one shard1 merge_stall", evs)
+	}
+	// Still stalled: flag stays, but no second event (edge-triggered).
+	front0.Set(40)
+	if sts := check(); !sts["shard1"].MergeStall {
+		t.Fatal("stall flag dropped while still frozen")
+	}
+	if n := len(fl.Snapshot()); n != 1 {
+		t.Fatalf("sustained stall re-recorded: %d events", n)
+	}
+	// Recovery clears the flag; a later re-freeze records a new edge.
+	front1.Set(40)
+	front0.Set(50)
+	if sts := check(); sts["shard1"].MergeStall {
+		t.Fatalf("recovered shard1 still flagged: %+v", sts["shard1"])
+	}
+	front0.Set(60)
+	if sts := check(); !sts["shard1"].MergeStall {
+		t.Fatal("re-frozen shard1 not re-flagged")
+	}
+	if n := len(fl.Snapshot()); n != 2 {
+		t.Fatalf("re-freeze did not record a second edge: %d events", n)
+	}
+	// Both frozen together (no peer advanced): idle cluster, not a stall.
+	if sts := check(); sts["shard1"].MergeStall || sts["shard0"].MergeStall {
+		t.Fatal("idle cluster flagged as merge stall")
+	}
+}
+
+// TestHealthSLOBurnFlight drives a full latency->SLO->health chain under
+// virtual time: sampled spans past the p99 target must flip the SLOBurn
+// flag and land exactly one flight-recorder event on the rising edge.
+func TestHealthSLOBurnFlight(t *testing.T) {
+	reg := NewRegistry()
+	tracer := NewMsgTracer(1, 1024)
+	agg := NewLatencyAgg(reg)
+	agg.AddTracer("", tracer)
+	slo := NewSLO(reg, SLOConfig{TargetP99: 10 * time.Millisecond, MinSamples: 1, Window: 2})
+	slo.Track("", agg.E2E(""))
+	fl := NewFlightRecorder(16)
+	now := time.Unix(1000, 0)
+	h := NewHealth(reg, HealthConfig{
+		Now:     func() time.Time { return now },
+		Latency: agg,
+		SLO:     slo,
+		Flight:  fl,
+	})
+	base := time.Unix(2000, 0)
+	span := func(seq uint64, e2e time.Duration) {
+		tracer.Record(MsgEvent{Seq: seq, Stage: StageSubmit, At: base})
+		tracer.Record(MsgEvent{Seq: seq, Stage: StageDeliver, At: base.Add(e2e)})
+	}
+	check := func() HealthStatus {
+		now = now.Add(time.Second)
+		sts := h.Check()
+		if len(sts) != 1 {
+			t.Fatalf("got %d statuses, want 1", len(sts))
+		}
+		return sts[0]
+	}
+
+	check() // baseline pass (folds nothing, baselines the SLO)
+	for seq := uint64(1); seq <= 20; seq++ {
+		span(seq, 100*time.Millisecond) // 10x over target
+	}
+	st := check()
+	if !st.SLOBurn || st.Healthy() {
+		t.Fatalf("over-target spans did not raise SLOBurn: %+v", st)
+	}
+	if st.SLOP99Burn < 99 {
+		t.Fatalf("SLOP99Burn = %v, want ~100 (every sample over budget)", st.SLOP99Burn)
+	}
+	if v := reg.Gauge("health.slo_burn").Value(); v != 1 {
+		t.Fatalf("health.slo_burn gauge = %d, want 1", v)
+	}
+	evs := fl.Snapshot()
+	if len(evs) != 1 || evs[0].Kind != FlightSLO || evs[0].Note != "slo_burn" {
+		t.Fatalf("flight events = %+v, want one slo_burn", evs)
+	}
+	if check(); len(fl.Snapshot()) != 1 {
+		t.Fatal("sustained burn re-recorded the rising edge")
+	}
+	// Two quiet passes slide the burst out of the SLO window.
+	check()
+	if st := check(); st.SLOBurn {
+		t.Fatalf("SLOBurn did not clear after the window slid: %+v", st)
+	}
+}

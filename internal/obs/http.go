@@ -18,6 +18,7 @@ import (
 //	                 one message's span across registered tracers)
 //	/debug/flight    flight-recorder contents as JSONL
 //	/debug/health    the health detector's latest per-ring statuses
+//	/debug/latency   per-stage latency attribution digests per ring
 //	/metrics         the registry in Prometheus text exposition format
 //	/debug/pprof     the standard net/http/pprof profiles
 //
@@ -33,6 +34,7 @@ type Server struct {
 	msgs    map[string]*MsgTracer
 	flights map[string]*FlightRecorder
 	health  *Health
+	latency *LatencyAgg
 }
 
 // maxSnapshotQuery bounds ?n=/-style count parameters; anything larger
@@ -60,6 +62,7 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/msgtrace", s.handleMsgTrace)
 	mux.HandleFunc("/debug/flight", s.handleFlight)
 	mux.HandleFunc("/debug/health", s.handleHealth)
+	mux.HandleFunc("/debug/latency", s.handleLatency)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -112,6 +115,14 @@ func (s *Server) AddFlight(name string, f *FlightRecorder) {
 func (s *Server) SetHealth(h *Health) {
 	s.mu.Lock()
 	s.health = h
+	s.mu.Unlock()
+}
+
+// SetLatency attaches the latency aggregator served at /debug/latency
+// (nil detaches).
+func (s *Server) SetLatency(a *LatencyAgg) {
+	s.mu.Lock()
+	s.latency = a
 	s.mu.Unlock()
 }
 
@@ -262,6 +273,19 @@ func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 		_ = enc.Encode(map[string]string{"recorder": names[i]})
 		_ = rec.WriteJSONL(w)
 	}
+}
+
+// handleLatency folds pending spans and renders every scope's per-stage
+// latency digest (404 until an aggregator is attached with SetLatency).
+func (s *Server) handleLatency(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	a := s.latency
+	s.mu.Unlock()
+	if a == nil {
+		http.Error(w, "no latency aggregator attached", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, a.Snapshot())
 }
 
 // handleHealth renders the health detector's latest statuses (404 until

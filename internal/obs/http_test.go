@@ -245,4 +245,3 @@ func TestDebugServerHealth(t *testing.T) {
 		t.Fatalf("detached health = %d, want 404", got)
 	}
 }
-

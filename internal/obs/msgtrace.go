@@ -35,17 +35,43 @@ const (
 	StageRetransmit
 	// StageDeliver marks delivery to the application.
 	StageDeliver
+	// StagePack marks the moment a payload entered an adaptive packing
+	// bundle — the start of its pack hold. Recorded retroactively at seq
+	// assignment (the seq does not exist while the bundle is open) with
+	// the bundle's hold-start time, so the submit delta shows the hold.
+	StagePack
+	// StageBatchFlush marks the message's multicast actually leaving in a
+	// sendmmsg batch (the wire flush after the token visit that sent it).
+	StageBatchFlush
+	// StageMergeOut marks the message's emission from the cross-ring
+	// merger into the single global order (sharded deployments only).
+	StageMergeOut
+	// StageFanout marks the daemon encoding the delivery once and
+	// enqueueing it toward its client sessions.
+	StageFanout
+	// StageWriterFlush marks the delivery frame leaving the daemon in a
+	// session writer's vectored write.
+	StageWriterFlush
+	// StageClientRecv marks the client library decoding the delivery off
+	// its daemon connection.
+	StageClientRecv
 )
 
 var msgStageNames = [...]string{
-	StageSubmit:     "submit",
-	StageSentPre:    "sent_pre",
-	StageSentPost:   "sent_post",
-	StageRecv:       "recv",
-	StageRecvDup:    "recv_dup",
-	StageRtrRequest: "rtr_request",
-	StageRetransmit: "retransmit",
-	StageDeliver:    "deliver",
+	StageSubmit:      "submit",
+	StageSentPre:     "sent_pre",
+	StageSentPost:    "sent_post",
+	StageRecv:        "recv",
+	StageRecvDup:     "recv_dup",
+	StageRtrRequest:  "rtr_request",
+	StageRetransmit:  "retransmit",
+	StageDeliver:     "deliver",
+	StagePack:        "pack",
+	StageBatchFlush:  "batch_flush",
+	StageMergeOut:    "merge",
+	StageFanout:      "fanout",
+	StageWriterFlush: "writer_flush",
+	StageClientRecv:  "client_recv",
 }
 
 // String returns the stage's wire name ("submit", "sent_pre", ...).

@@ -129,6 +129,49 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration sample in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d)) }
 
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the bucket that holds it, the standard Prometheus
+// histogram_quantile estimate. The first bucket interpolates from zero;
+// a quantile landing in the +Inf bucket reports the highest finite
+// bound. Returns 0 on a nil or empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: the best point estimate is the last
+				// finite bound.
+				if len(h.bounds) == 0 {
+					return 0
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (h.bounds[i]-lo)*(rank-float64(cum))/float64(n)
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // HistogramSnapshot is a point-in-time copy of a histogram.
 type HistogramSnapshot struct {
 	// Count is the total number of samples.

@@ -140,6 +140,43 @@ func TestWritePrometheusPublished(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusLabeledHistogram pins the sharded-histogram shape
+// the latency aggregator produces: per-ring e2e histograms land in one
+// family, the ring label composes with le on bucket rows, and _sum/_count
+// stay per-ring.
+func TestWritePrometheusLabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	bounds := []float64{10, 100}
+	r.Histogram("latency.e2e_ns", bounds).Observe(5)
+	r.Histogram("shard0.latency.e2e_ns", bounds).Observe(50)
+	h1 := r.Histogram("shard1.latency.e2e_ns", bounds)
+	h1.Observe(5)
+	h1.Observe(50)
+
+	lines := promLines(t, r)
+	for series, want := range map[string]string{
+		`accelring_latency_e2e_ns_bucket{le="10"}`:            "1",
+		`accelring_latency_e2e_ns_bucket{ring="0",le="10"}`:   "0",
+		`accelring_latency_e2e_ns_bucket{ring="0",le="100"}`:  "1",
+		`accelring_latency_e2e_ns_bucket{ring="1",le="+Inf"}`: "2",
+		`accelring_latency_e2e_ns_count{ring="0"}`:            "1",
+		`accelring_latency_e2e_ns_sum{ring="1"}`:              "55",
+		`accelring_latency_e2e_ns_count`:                      "1",
+	} {
+		if v := promValue(t, lines, series); v != want {
+			t.Errorf("%s = %s, want %s", series, v, want)
+		}
+	}
+	// One TYPE comment for the whole family, before any of its rows.
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "# TYPE accelring_latency_e2e_ns histogram"); n != 1 {
+		t.Errorf("TYPE lines for the family = %d, want 1", n)
+	}
+}
+
 // Every exported series name must match the stable naming scheme; this is
 // the same property the daemon-level lint asserts end to end.
 func TestWritePrometheusNamesValid(t *testing.T) {

@@ -104,6 +104,11 @@ func (a *Adaptive) Empty() bool { return a.p.Count() == 0 }
 // Empty).
 func (a *Adaptive) Service() uint8 { return a.svc }
 
+// Since returns when the open bundle's first message was staged (the
+// start of its hold; meaningless when Empty). Latency attribution
+// backdates the pack stage of sampled spans to it.
+func (a *Adaptive) Since() time.Time { return a.since }
+
 // Expired reports whether the open bundle has waited past MaxDelay.
 func (a *Adaptive) Expired(now time.Time) bool {
 	return a.p.Count() > 0 && now.Sub(a.since) >= a.cfg.MaxDelay

@@ -346,8 +346,9 @@ func (n *Node) flushPack() {
 		return
 	}
 	svc := evs.Service(n.bundle.Service())
+	held := n.bundle.Since()
 	if b := n.bundle.Flush(); b != nil {
-		_ = n.machine.Submit(b, svc)
+		_ = n.machine.SubmitHeld(b, svc, held)
 	}
 }
 
@@ -392,9 +393,19 @@ func (n *Node) run() {
 	// machine step that can transmit (frame handling, ticks) so the
 	// staged burst hits the wire in one syscall before the loop waits.
 	flusher, _ := n.cfg.Transport.(transport.Flusher)
+	mt := n.cfg.Observer.MsgTracer()
 	wireFlush := func() {
 		if flusher != nil {
 			_ = flusher.Flush()
+		}
+		if mt != nil {
+			// The staged burst (if any) is on the wire; stamp the batch
+			// flush on every sampled message sent since the last flush so
+			// spans separate syscall batching delay from network time.
+			at := n.cfg.Observer.Now()
+			n.machine.DrainSampledSent(func(seq uint64) {
+				mt.Record(obs.MsgEvent{Seq: seq, Stage: obs.StageBatchFlush, At: at})
+			})
 		}
 	}
 

@@ -148,6 +148,12 @@ type Message struct {
 	Service evs.Service
 	Groups  []string
 	Payload []byte
+	// Seq is the ring sequence number that ordered this delivery (0 from
+	// daemons predating it). It is the cross-node span key of message
+	// tracing: a client that knows it can stamp client-side lifecycle
+	// stages onto the same span the daemons record. Distinct from the
+	// per-session delivery sequence carried by Seqd.
+	Seq uint64
 }
 
 // View is a group's agreed membership after a change.
@@ -347,6 +353,7 @@ func AppendEncode(dst []byte, f Frame) ([]byte, error) {
 	case Message:
 		b = appendClientID(b, v.Sender)
 		b = append(b, byte(v.Service))
+		b = binary.BigEndian.AppendUint64(b, v.Seq)
 		b = appendGroups(b, v.Groups)
 		b = binary.BigEndian.AppendUint32(b, uint32(len(v.Payload)))
 		b = append(b, v.Payload...)
@@ -573,7 +580,8 @@ func Decode(b []byte) (Frame, error) {
 	case KindMessage:
 		sender := c.clientID()
 		svc := evs.Service(c.u8())
-		f = Message{Sender: sender, Service: svc, Groups: c.groups(), Payload: c.payload()}
+		seq := c.u64()
+		f = Message{Sender: sender, Service: svc, Seq: seq, Groups: c.groups(), Payload: c.payload()}
 	case KindView:
 		g := c.string8()
 		n := int(c.u16())

@@ -96,8 +96,11 @@ const skipRetryTicks = 8
 // must not call back into the merger synchronously and must not block.
 type Out interface {
 	// Deliver hands over the next globally ordered envelope (never a
-	// merge-control kind). Ring is the ring the envelope was ordered on.
-	Deliver(ring int, env *group.Envelope, svc evs.Service)
+	// merge-control kind). Ring is the ring the envelope was ordered on;
+	// seq is the carrier message's ring sequence number (0 when the
+	// pusher had none), which latency attribution uses to stamp the
+	// merge stage onto sampled spans.
+	Deliver(ring int, env *group.Envelope, svc evs.Service, seq uint64)
 	// Config hands over a ring's configuration change at its globally
 	// ordered position.
 	Config(ring int, cc evs.ConfigChange)
@@ -127,6 +130,9 @@ type item struct {
 	env  *group.Envelope // nil for a configuration change
 	svc  evs.Service
 	cc   evs.ConfigChange
+	// seq is the envelope's carrier ring sequence number (0 when
+	// unknown), carried through to Out.Deliver for latency attribution.
+	seq uint64
 }
 
 // ringState is the merger's per-ring cursor state.
@@ -159,6 +165,7 @@ type ringState struct {
 type buffered struct {
 	env *group.Envelope
 	svc evs.Service
+	seq uint64
 }
 
 // migration is the per-group state machine between Begin and close.
@@ -203,6 +210,10 @@ type Merger struct {
 	pending    *obs.Gauge
 	bufferedG  *obs.Gauge
 	migrating  *obs.Gauge
+	// frontG publishes each ring's virtual frontier as a gauge
+	// (shardN.merge.frontier); the health detector compares them across
+	// passes to flag a ring whose frontier stopped while peers advance.
+	frontG []*obs.Gauge
 }
 
 // New builds a Merger for cfg.Shards >= 2 rings.
@@ -213,6 +224,10 @@ func New(cfg Config) *Merger {
 	ahead := cfg.SkipAhead
 	if ahead == 0 {
 		ahead = DefaultSkipAhead
+	}
+	frontG := make([]*obs.Gauge, cfg.Shards)
+	for ri := range frontG {
+		frontG[ri] = cfg.Obs.Gauge(fmt.Sprintf("shard%d.merge.frontier", ri))
 	}
 	return &Merger{
 		cfg:        cfg,
@@ -228,11 +243,21 @@ func New(cfg Config) *Merger {
 		pending:    cfg.Obs.Gauge("merge.pending"),
 		bufferedG:  cfg.Obs.Gauge("merge.buffered"),
 		migrating:  cfg.Obs.Gauge("merge.migrating"),
+		frontG:     frontG,
 	}
 }
 
 // PushEnvelope feeds one decoded envelope from ring's ordered stream.
+// Envelopes fed this way carry no ring seq for tracing; drivers that
+// know the carrier message's sequence number use PushEnvelopeSeq.
 func (m *Merger) PushEnvelope(ring int, env *group.Envelope, svc evs.Service) {
+	m.PushEnvelopeSeq(ring, env, svc, 0)
+}
+
+// PushEnvelopeSeq is PushEnvelope carrying the envelope's ring sequence
+// number, which travels with the item to Out.Deliver so sampled spans
+// can be stamped with their merge emission.
+func (m *Merger) PushEnvelopeSeq(ring int, env *group.Envelope, svc evs.Service, seq uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	r := &m.rings[ring]
@@ -244,6 +269,7 @@ func (m *Merger) PushEnvelope(ring int, env *group.Envelope, svc evs.Service) {
 			r.front = env.Arg
 			r.pendingSkipTarget = 0
 			m.skipsRx.Inc()
+			m.frontG[ring].Set(int64(r.front))
 		}
 		m.drain()
 		return
@@ -260,13 +286,15 @@ func (m *Merger) PushEnvelope(ring int, env *group.Envelope, svc evs.Service) {
 			r.front = v
 			r.pendingSkipTarget = 0
 			m.skipsRx.Inc()
+			m.frontG[ring].Set(int64(r.front))
 		}
 		m.drain()
 		return
 	}
 	r.front++
 	r.sinceReg++
-	r.queue = append(r.queue, item{slot: r.front, env: env, svc: svc})
+	m.frontG[ring].Set(int64(r.front))
+	r.queue = append(r.queue, item{slot: r.front, env: env, svc: svc, seq: seq})
 	m.drain()
 }
 
@@ -278,6 +306,7 @@ func (m *Merger) PushConfig(ring int, cc evs.ConfigChange) {
 	defer m.mu.Unlock()
 	r := &m.rings[ring]
 	r.front++
+	m.frontG[ring].Set(int64(r.front))
 	r.queue = append(r.queue, item{slot: r.front, cc: cc})
 	// Announce our frontier at every regular change, immediately at push:
 	// members whose virtual slot counters diverged while partitioned
@@ -347,7 +376,7 @@ func (m *Merger) drain() {
 		}
 		m.emitted.Inc()
 		if it.env != nil {
-			m.emitEnvelope(best, it.env, it.svc)
+			m.emitEnvelope(best, it.env, it.svc, it.seq)
 		} else {
 			m.emitConfig(best, it.cc)
 		}
@@ -366,7 +395,7 @@ func (m *Merger) updatePending() {
 // migration state machine runs here, everything else goes to Out.Deliver.
 // Also the replay path for buffered migration traffic, which is why a
 // diverted envelope re-enters this function at close.
-func (m *Merger) emitEnvelope(ring int, env *group.Envelope, svc evs.Service) {
+func (m *Merger) emitEnvelope(ring int, env *group.Envelope, svc evs.Service, seq uint64) {
 	switch env.Kind {
 	case group.OpMigrateAck:
 		g := env.Groups[0]
@@ -386,7 +415,7 @@ func (m *Merger) emitEnvelope(ring int, env *group.Envelope, svc evs.Service) {
 	if len(m.migs) > 0 {
 		for _, g := range env.Groups {
 			if mig := m.migs[g]; mig != nil && mig.to == ring {
-				mig.buffered = append(mig.buffered, buffered{env: env, svc: svc})
+				mig.buffered = append(mig.buffered, buffered{env: env, svc: svc, seq: seq})
 				m.bufferedG.Add(1)
 				return
 			}
@@ -396,7 +425,7 @@ func (m *Merger) emitEnvelope(ring int, env *group.Envelope, svc evs.Service) {
 		m.beginMigration(ring, env)
 		return
 	}
-	m.cfg.Out.Deliver(ring, env, svc)
+	m.cfg.Out.Deliver(ring, env, svc, seq)
 }
 
 // beginMigration validates and starts a migration at the Begin's ordered
@@ -505,7 +534,7 @@ func (m *Merger) closeEval(mig *migration) {
 	mig.buffered = nil
 	m.bufferedG.Add(int64(-len(buf)))
 	for _, b := range buf {
-		m.emitEnvelope(mig.to, b.env, b.svc)
+		m.emitEnvelope(mig.to, b.env, b.svc, b.seq)
 	}
 	for _, ch := range m.notify[g] {
 		close(ch)

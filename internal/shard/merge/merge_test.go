@@ -20,7 +20,7 @@ type recOut struct {
 	migrated []string
 }
 
-func (o *recOut) Deliver(ring int, env *group.Envelope, svc evs.Service) {
+func (o *recOut) Deliver(ring int, env *group.Envelope, svc evs.Service, seq uint64) {
 	o.events = append(o.events, fmt.Sprintf("d%d:%s:%s", ring, env.Kind, env.Payload))
 }
 func (o *recOut) Config(ring int, cc evs.ConfigChange) {

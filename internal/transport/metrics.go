@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"time"
+
 	"accelring/internal/bufpool"
 	"accelring/internal/obs"
 )
@@ -15,6 +17,7 @@ type netMetrics struct {
 	rxTokenFrames, rxTokenBytes *obs.Counter
 	rxDropped                   *obs.Counter
 	txSyscalls, rxSyscalls      *obs.Counter
+	batchWait                   *obs.Histogram
 }
 
 // newNetMetrics resolves the counter handles under prefix (e.g.
@@ -39,6 +42,7 @@ func newNetMetrics(reg *obs.Registry, prefix string) *netMetrics {
 		rxDropped:     reg.Counter(prefix + "rx_dropped"),
 		txSyscalls:    reg.Counter(prefix + "tx_syscalls"),
 		rxSyscalls:    reg.Counter(prefix + "rx_syscalls"),
+		batchWait:     reg.Histogram(prefix+"batch_wait_ns", obs.FineDurationBuckets()),
 	}
 }
 
@@ -85,6 +89,15 @@ func (m *netMetrics) rxSys(n int) {
 		return
 	}
 	m.rxSyscalls.Add(uint64(n))
+}
+
+// batchHeld records how long a send batch sat staged before its flush —
+// the adaptive-packing hold the batching trades for fewer syscalls.
+func (m *netMetrics) batchHeld(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.batchWait.ObserveDuration(d)
 }
 
 // rxDrop counts one frame lost to receive-channel overflow.

@@ -103,6 +103,10 @@ type UDP struct {
 	batchSend int
 	pendBuf   [][]byte
 	pendTo    []*map[evs.ProcID]*udpPeerAddrs
+	// pendSince: when the oldest staged frame entered the batch (zero when
+	// empty or metrics are off). Feeds the batch_wait_ns histogram so the
+	// syscall-batching hold shows up in latency attribution.
+	pendSince time.Time
 
 	mc *mcState
 
@@ -497,6 +501,9 @@ func (u *UDP) Multicast(frame []byte) error {
 		u.sendMu.Lock()
 		u.pendBuf = append(u.pendBuf, cp)
 		u.pendTo = append(u.pendTo, snap)
+		if u.nm != nil && len(u.pendBuf) == 1 {
+			u.pendSince = time.Now()
+		}
 		if len(u.pendBuf) >= u.batchSend {
 			u.flushLocked()
 		}
@@ -537,6 +544,9 @@ func (u *UDP) multicastGroup(frame []byte) error {
 		u.sendMu.Lock()
 		u.pendBuf = append(u.pendBuf, cp)
 		u.pendTo = append(u.pendTo, nil)
+		if u.nm != nil && len(u.pendBuf) == 1 {
+			u.pendSince = time.Now()
+		}
 		if len(u.pendBuf) >= u.batchSend {
 			u.flushLocked()
 		}
@@ -569,6 +579,10 @@ func (u *UDP) Flush() error {
 func (u *UDP) flushLocked() {
 	if len(u.pendBuf) == 0 {
 		return
+	}
+	if u.nm != nil && !u.pendSince.IsZero() {
+		u.nm.batchHeld(time.Since(u.pendSince))
+		u.pendSince = time.Time{}
 	}
 	for i, f := range u.pendBuf {
 		snap := u.pendTo[i]

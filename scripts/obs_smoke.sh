@@ -9,6 +9,13 @@
 #   /debug/msgtrace JSON (message tracing enabled end to end)
 #   /debug/flight   JSONL black-box dump
 #
+# A second phase brings up a 2-node x 2-shard cluster with -slo-p99,
+# pushes real client traffic through it with ringload, and validates the
+# latency-attribution stack:
+#   /debug/latency  per-ring stage digests with folded spans
+#   /metrics        accelring_latency_* and accelring_slo_* families
+#   ringtop -once   renders one console snapshot across both nodes
+#
 # Exits non-zero (and prints the offending body) on any failure.
 set -euo pipefail
 
@@ -22,8 +29,10 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "== building ringdaemon"
+echo "== building ringdaemon, ringload, ringtop"
 go build -o "$workdir/ringdaemon" ./cmd/ringdaemon
+go build -o "$workdir/ringload" ./cmd/ringload
+go build -o "$workdir/ringtop" ./cmd/ringtop
 
 peers="1=127.0.0.1:5101/127.0.0.1:6101,2=127.0.0.1:5102/127.0.0.1:6102,3=127.0.0.1:5103/127.0.0.1:6103"
 obs_ports=(6871 6872 6873)
@@ -113,5 +122,113 @@ case "$flight" in
 *'"kind":"token_rx"'*) ;;
 *) fail "flight has no token events" ;;
 esac
+
+echo "== phase 2: 2-node x 2-shard cluster with latency attribution + SLO"
+shard_obs=(6874 6875)
+shard_peers="1=127.0.0.1:5211/127.0.0.1:6211,2=127.0.0.1:5212/127.0.0.1:6212"
+for i in 1 2; do
+    "$workdir/ringdaemon" \
+        -id "$i" \
+        -data "127.0.0.1:521$i" -token "127.0.0.1:621$i" \
+        -client "127.0.0.1:481$i" \
+        -peers "$shard_peers" \
+        -shards 2 -shard-stride 10 \
+        -obs "127.0.0.1:${shard_obs[$((i-1))]}" \
+        -trace-sample 1 \
+        -slo-p99 250ms \
+        >"$workdir/sharded$i.log" 2>&1 &
+    pids+=($!)
+done
+
+fail2() {
+    echo "FAIL: $*" >&2
+    for i in 1 2; do
+        echo "--- sharded$i.log ---" >&2
+        cat "$workdir/sharded$i.log" >&2 || true
+    done
+    exit 1
+}
+
+echo "== waiting for both rings to rotate on both nodes"
+formed=0
+for _ in $(seq 120); do
+    rotating=0
+    for port in "${shard_obs[@]}"; do
+        m=$(fetch "http://127.0.0.1:$port/metrics" 4)
+        r0=$(echo "$m" | awk '/^accelring_ring_rounds\{ring="0"\} /{print int($2)}')
+        r1=$(echo "$m" | awk '/^accelring_ring_rounds\{ring="1"\} /{print int($2)}')
+        [ "${r0:-0}" -gt 0 ] && [ "${r1:-0}" -gt 0 ] && rotating=$((rotating + 1))
+    done
+    if [ "$rotating" -eq 2 ]; then
+        formed=1
+        break
+    fi
+    sleep 0.25
+done
+[ "$formed" -eq 1 ] || fail2 "sharded rings never rotated on both nodes"
+echo "   both rings rotating on both nodes"
+
+echo "== pushing client traffic through the sharded cluster"
+"$workdir/ringload" -daemons 127.0.0.1:4811,127.0.0.1:4812 \
+    -rate 200 -payload 64 -warmup 500ms -duration 2s \
+    >"$workdir/ringload.log" 2>&1 || fail2 "ringload failed: $(cat "$workdir/ringload.log")"
+
+echo "== validating /debug/latency"
+spans=0
+for _ in $(seq 40); do
+    lat=$(fetch "http://127.0.0.1:${shard_obs[0]}/debug/latency")
+    case "$lat" in
+    *'"spans_folded"'*)
+        s=$(echo "$lat" | grep -o '"spans_folded": *[0-9]*' | grep -o '[0-9]*' | sort -n | tail -1)
+        if [ "${s:-0}" -gt 0 ]; then
+            spans=$s
+            break
+        fi
+        ;;
+    esac
+    sleep 0.25
+done
+[ "$spans" -gt 0 ] || fail2 "no spans folded at /debug/latency: $lat"
+case "$lat" in
+*'"scope":"shard0"'* | *'"scope": "shard0"'*) ;;
+*) fail2 "latency digest has no shard0 scope: $lat" ;;
+esac
+case "$lat" in
+*'"stages"'*) ;;
+*) fail2 "latency digest has no stage map: $lat" ;;
+esac
+echo "   $spans spans folded with per-stage digests"
+
+echo "== validating SLO families and health verdicts"
+slo_ok=0
+for _ in $(seq 40); do
+    m=$(fetch "http://127.0.0.1:${shard_obs[0]}/metrics")
+    if echo "$m" | grep -q '^accelring_slo_p99_burn_ppm{ring="0"} ' &&
+        echo "$m" | grep -q '^accelring_latency_e2e_ns_count{ring="0"} '; then
+        slo_ok=1
+        break
+    fi
+    sleep 0.25
+done
+[ "$slo_ok" -eq 1 ] || fail2 "SLO/latency families missing from /metrics"
+health=$(fetch "http://127.0.0.1:${shard_obs[0]}/debug/health")
+case "$health" in
+*'"slo_burn"'*) ;;
+*) fail2 "health verdicts carry no slo_burn flag: $health" ;;
+esac
+echo "   slo burn gauges exported, health carries slo_burn"
+
+echo "== validating ringtop -once"
+top=$("$workdir/ringtop" -once -nodes "127.0.0.1:${shard_obs[0]},127.0.0.1:${shard_obs[1]}")
+case "$top" in
+*UNREACHABLE*) fail2 "ringtop saw an unreachable node:
+$top" ;;
+esac
+case "$top" in
+*shard0*) ;;
+*) fail2 "ringtop did not render per-ring rows:
+$top" ;;
+esac
+echo "   ringtop rendered both nodes"
 
 echo "OK: observability smoke passed"

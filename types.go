@@ -74,8 +74,25 @@ type (
 	FlightEvent = obs.FlightEvent
 
 	// DebugServer serves /debug/vars, /debug/ring, /debug/msgtrace,
-	// /debug/flight, /debug/health, /metrics and /debug/pprof.
+	// /debug/flight, /debug/health, /debug/latency, /metrics and
+	// /debug/pprof.
 	DebugServer = obs.Server
+
+	// LatencyAgg folds sampled message spans into per-stage latency
+	// histograms (latency.stage.*_ns, latency.e2e_ns); attach a node with
+	// Node.AttachLatency and serve digests with DebugServer.SetLatency.
+	LatencyAgg = obs.LatencyAgg
+
+	// SLO evaluates p99/p999 latency targets over the e2e histograms a
+	// LatencyAgg maintains, exporting burn-rate gauges (slo.*).
+	SLO = obs.SLO
+
+	// SLOConfig parameterizes an SLO evaluator: targets, rolling window,
+	// burn factor.
+	SLOConfig = obs.SLOConfig
+
+	// SLOStatus is one scope's state after an SLO evaluation pass.
+	SLOStatus = obs.SLOStatus
 )
 
 // Delivery service levels, in increasing strength. The ring totally orders
@@ -91,14 +108,20 @@ const (
 // Message-lifecycle stages recorded by a MsgTracer (see
 // WithTraceSampling), in protocol order.
 const (
-	StageSubmit     = obs.StageSubmit
-	StageSentPre    = obs.StageSentPre
-	StageSentPost   = obs.StageSentPost
-	StageRecv       = obs.StageRecv
-	StageRecvDup    = obs.StageRecvDup
-	StageRtrRequest = obs.StageRtrRequest
-	StageRetransmit = obs.StageRetransmit
-	StageDeliver    = obs.StageDeliver
+	StagePack        = obs.StagePack
+	StageSubmit      = obs.StageSubmit
+	StageSentPre     = obs.StageSentPre
+	StageSentPost    = obs.StageSentPost
+	StageBatchFlush  = obs.StageBatchFlush
+	StageRecv        = obs.StageRecv
+	StageRecvDup     = obs.StageRecvDup
+	StageRtrRequest  = obs.StageRtrRequest
+	StageRetransmit  = obs.StageRetransmit
+	StageDeliver     = obs.StageDeliver
+	StageMergeOut    = obs.StageMergeOut
+	StageFanout      = obs.StageFanout
+	StageWriterFlush = obs.StageWriterFlush
+	StageClientRecv  = obs.StageClientRecv
 )
 
 // NewHub returns an in-process virtual network for tests and examples.
@@ -112,6 +135,17 @@ func NewRegistry() *Registry { return obs.NewRegistry() }
 // protocol events (depth <= 0 uses a default). Register it with
 // DebugServer.AddFlight to serve dumps at /debug/flight.
 func NewFlightRecorder(depth int) *FlightRecorder { return obs.NewFlightRecorder(depth) }
+
+// NewLatencyAgg returns a latency aggregator registering its per-stage
+// histograms on reg (nil reg disables attribution). Feed it a node's
+// tracers with Node.AttachLatency and serve it at /debug/latency with
+// DebugServer.SetLatency.
+func NewLatencyAgg(reg *Registry) *LatencyAgg { return obs.NewLatencyAgg(reg) }
+
+// NewSLO returns a latency-SLO evaluator exporting per-scope burn-rate
+// gauges on reg. Track each scope's end-to-end histogram with
+// SLO.Track(scope, agg.E2E(scope)).
+func NewSLO(reg *Registry, cfg SLOConfig) *SLO { return obs.NewSLO(reg, cfg) }
 
 // DefaultTimeouts returns the membership timing defaults used when
 // Config.Timeouts is zero.
